@@ -1,0 +1,47 @@
+// Ablation A5: load robustness. An RLBackfilling agent trained at the
+// trace's native offered load is deployed at 0.5x–1.5x the arrival rate
+// and compared against EASY / EASY-AR at each level — does the learned
+// strategy survive a shifted operating point (the deployment reality on
+// production clusters)?
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/log.h"
+#include "util/table.h"
+#include "workload/transforms.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  util::set_log_level(util::LogLevel::Info);
+
+  const swf::Trace base = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
+  // Reuses the Table-4/5 cached agent (trained at the native load).
+  const core::Agent agent = bench::get_or_train_agent(base, "FCFS", args);
+
+  util::Table table({"load_factor", "offered_load", "FCFS+EASY", "FCFS+EASY-AR",
+                     "FCFS+RLBF", "RLBF_vs_EASY"});
+  for (const double factor : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+    const swf::Trace trace = workload::scale_load(base, factor);
+    const sched::SchedulerSpec easy{"FCFS", sched::BackfillKind::Easy,
+                                    sched::EstimateKind::RequestTime};
+    const sched::SchedulerSpec easy_ar{"FCFS", sched::BackfillKind::Easy,
+                                       sched::EstimateKind::ActualRuntime};
+    const double easy_bsld = bench::eval_spec(trace, easy, args);
+    const double easy_ar_bsld = bench::eval_spec(trace, easy_ar, args);
+    const double rlbf_bsld = bench::eval_rlbf(trace, agent, "FCFS", args);
+    const double gain = (easy_bsld - rlbf_bsld) / easy_bsld * 100.0;
+    table.add_row({util::Table::fmt(factor, 2),
+                   util::Table::fmt(workload::offered_load(trace), 3),
+                   util::Table::fmt(easy_bsld), util::Table::fmt(easy_ar_bsld),
+                   util::Table::fmt(rlbf_bsld),
+                   util::Table::fmt(gain, 1) + "%"});
+  }
+
+  std::cout << "# Ablation A5: load robustness of an agent trained at 1.0x"
+            << " (SDSC-SP2, FCFS base)\n";
+  table.print(std::cout);
+  table.save_csv("ablation_load.csv");
+  std::cout << "# CSV: ablation_load.csv\n";
+  return 0;
+}

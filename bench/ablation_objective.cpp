@@ -1,0 +1,62 @@
+// Ablation A4 (the paper's stated future work): training objective.
+// Trains one agent per RewardObjective and reports every agent on every
+// metric — does optimizing average wait transfer to bsld and vice versa?
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  if (args.epochs > 8) args.epochs = 8;
+  util::set_log_level(util::LogLevel::Warn);
+
+  const swf::Trace trace = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
+
+  const auto evaluate = [&](sim::BackfillChooser* chooser) {
+    sched::FcfsPolicy fcfs;
+    sched::RequestTimeEstimator est;
+    util::Rng rng(args.seed ^ 0xab1a71040b11ull);
+    double bsld = 0, wait = 0, turn = 0;
+    for (std::size_t i = 0; i < args.samples; ++i) {
+      const swf::Trace seq = trace.sample(args.sample_jobs, rng);
+      const auto out = sched::run_schedule(seq, fcfs, est, chooser);
+      bsld += out.metrics.avg_bounded_slowdown;
+      wait += out.metrics.avg_wait_time;
+      turn += out.metrics.avg_turnaround;
+    }
+    const auto n = static_cast<double>(args.samples);
+    return std::array<double, 3>{bsld / n, wait / n, turn / n};
+  };
+
+  util::Table table({"objective", "bsld", "avg_wait(s)", "avg_turnaround(s)"});
+  sched::EasyBackfillChooser easy;
+  const auto base = evaluate(&easy);
+  table.add_row({"FCFS+EASY baseline", util::Table::fmt(base[0]),
+                 util::Table::fmt(base[1], 0), util::Table::fmt(base[2], 0)});
+
+  const std::vector<std::pair<std::string, core::RewardObjective>> objectives = {
+      {"bounded slowdown (paper)", core::RewardObjective::BoundedSlowdown},
+      {"avg wait time", core::RewardObjective::AvgWaitTime},
+      {"avg turnaround", core::RewardObjective::AvgTurnaround},
+  };
+  for (const auto& [label, objective] : objectives) {
+    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
+    cfg.env.objective = objective;
+    core::Trainer trainer(trace, cfg);
+    trainer.train();
+    core::RlBackfillChooser chooser(trainer.agent());
+    const auto m = evaluate(&chooser);
+    table.add_row({label, util::Table::fmt(m[0]), util::Table::fmt(m[1], 0),
+                   util::Table::fmt(m[2], 0)});
+  }
+
+  std::cout << "# Ablation A4: training objective (future work of the paper), "
+            << trace.name() << ", " << args.epochs << " epochs each\n";
+  table.print(std::cout);
+  table.save_csv("ablation_objective.csv");
+  std::cout << "# CSV: ablation_objective.csv\n";
+  return 0;
+}

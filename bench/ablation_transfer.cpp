@@ -1,0 +1,85 @@
+// Ablation A8: transfer and fine-tuning. Table 5 shows zero-shot
+// generality — a model trained on trace X deployed unchanged on trace Y.
+// This bench adds the natural operational question: if a site CAN afford
+// a little training on its own workload, is warm-starting from a foreign
+// model better than training from scratch at equal budget?
+//
+// Configurations compared on the target trace (Table-4 protocol):
+//   EASY / EASY-AR      — heuristic references
+//   zero-shot           — source-trained agent, no target training
+//   fine-tuned          — source-trained agent + K epochs on the target
+//   scratch             — fresh agent, the same K epochs on the target
+//   full                — fresh agent, the full training budget (reference)
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  util::set_log_level(util::LogLevel::Warn);
+
+  const std::string source_name = "Lublin-1";
+  const std::string target_name = "SDSC-SP2";
+  const swf::Trace source = bench::trace_by_name(source_name, args.seed, args.trace_jobs);
+  const swf::Trace target =
+      bench::trace_by_name(target_name, args.seed + 1, args.trace_jobs);
+
+  // The fine-tuning budget: a quarter of the full budget, >= 2 epochs.
+  const std::size_t k_epochs = std::max<std::size_t>(args.epochs / 4, 2);
+
+  const core::Agent source_agent = bench::get_or_train_agent(source, "FCFS", args);
+
+  util::Table table({"configuration", "target bsld", "target epochs"});
+  const auto add_spec = [&](const std::string& label, sched::EstimateKind est) {
+    table.add_row({label,
+                   util::Table::fmt(bench::eval_spec(
+                       target, {"FCFS", sched::BackfillKind::Easy, est}, args), 2),
+                   "-"});
+  };
+  add_spec("FCFS+EASY", sched::EstimateKind::RequestTime);
+  add_spec("FCFS+EASY-AR", sched::EstimateKind::ActualRuntime);
+
+  table.add_row({"zero-shot (train " + source_name + ")",
+                 util::Table::fmt(
+                     bench::eval_rlbf(target, source_agent, "FCFS", args), 2),
+                 "0"});
+
+  {
+    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
+    cfg.epochs = k_epochs;
+    core::Trainer fine(target, cfg, source_agent);
+    fine.train();
+    table.add_row({"fine-tuned (" + source_name + " -> " + target_name + ")",
+                   util::Table::fmt(
+                       bench::eval_rlbf(target, fine.agent(), "FCFS", args), 2),
+                   std::to_string(k_epochs)});
+  }
+  {
+    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
+    cfg.epochs = k_epochs;
+    core::Trainer scratch(target, cfg);
+    scratch.train();
+    table.add_row({"scratch, equal budget",
+                   util::Table::fmt(
+                       bench::eval_rlbf(target, scratch.agent(), "FCFS", args), 2),
+                   std::to_string(k_epochs)});
+  }
+  {
+    const core::Agent full = bench::get_or_train_agent(target, "FCFS", args);
+    table.add_row({"scratch, full budget",
+                   util::Table::fmt(bench::eval_rlbf(target, full, "FCFS", args), 2),
+                   std::to_string(args.epochs)});
+  }
+
+  std::cout << "# Ablation A8: transfer learning, " << source_name << " -> "
+            << target_name << " (FCFS base)\n"
+            << "# Fine-tuning should close most of the zero-shot -> full gap "
+            << "at a fraction of the budget.\n";
+  table.print(std::cout);
+  table.save_csv("ablation_transfer.csv");
+  std::cout << "# CSV: ablation_transfer.csv\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+
+#include "util/log.h"
+#include "util/stats.h"
+
+namespace rlbf::bench {
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  auto value_of = [](const std::string& arg, const std::string& flag,
+                     std::string* out) {
+    if (arg.rfind(flag + "=", 0) != 0) return false;
+    *out = arg.substr(flag.size() + 1);
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (value_of(arg, "--trace-jobs", &v)) {
+      args.trace_jobs = std::strtoul(v.c_str(), nullptr, 10);
+    } else if (value_of(arg, "--epochs", &v)) {
+      args.epochs = std::strtoul(v.c_str(), nullptr, 10);
+    } else if (value_of(arg, "--trajectories", &v)) {
+      args.trajectories = std::strtoul(v.c_str(), nullptr, 10);
+    } else if (value_of(arg, "--traj-jobs", &v)) {
+      args.jobs_per_trajectory = std::strtoul(v.c_str(), nullptr, 10);
+    } else if (value_of(arg, "--samples", &v)) {
+      args.samples = std::strtoul(v.c_str(), nullptr, 10);
+    } else if (value_of(arg, "--sample-jobs", &v)) {
+      args.sample_jobs = std::strtoul(v.c_str(), nullptr, 10);
+    } else if (value_of(arg, "--seed", &v)) {
+      args.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (value_of(arg, "--model-dir", &v)) {
+      args.model_dir = v;
+    } else if (arg == "--retrain") {
+      args.retrain = true;
+    } else if (arg == "--quick") {
+      args.quick = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "flags: --trace-jobs=N --epochs=N --trajectories=N"
+                << " --traj-jobs=N --samples=N --sample-jobs=N --seed=N"
+                << " --model-dir=DIR --retrain --quick\n";
+      std::exit(2);
+    }
+  }
+  if (args.quick) {
+    args.trace_jobs = std::min<std::size_t>(args.trace_jobs, 3000);
+    args.epochs = std::min<std::size_t>(args.epochs, 3);
+    args.trajectories = std::min<std::size_t>(args.trajectories, 12);
+    args.samples = std::min<std::size_t>(args.samples, 3);
+    args.sample_jobs = std::min<std::size_t>(args.sample_jobs, 384);
+  }
+  return args;
+}
+
+swf::Trace trace_by_name(const std::string& name, std::uint64_t seed,
+                         std::size_t jobs) {
+  for (const auto& targets : workload::all_targets()) {
+    if (targets.name == name) return workload::make_preset(targets, jobs, seed);
+  }
+  throw std::invalid_argument("unknown paper trace: " + name);
+}
+
+std::vector<std::string> paper_trace_names() {
+  return {"SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2"};
+}
+
+core::TrainerConfig trainer_config(const BenchArgs& args,
+                                   const std::string& base_policy) {
+  core::TrainerConfig cfg;
+  cfg.base_policy = base_policy;
+  cfg.epochs = args.epochs;
+  cfg.trajectories_per_epoch = args.trajectories;
+  cfg.jobs_per_trajectory = args.jobs_per_trajectory;
+  cfg.ppo.train_iters = 80;     // paper protocol
+  cfg.ppo.policy_lr = 1e-3;
+  cfg.ppo.value_lr = 1e-3;
+  cfg.ppo.minibatch_size = 512;
+  cfg.seed = args.seed;
+  return cfg;
+}
+
+core::Agent get_or_train_agent(const swf::Trace& trace, const std::string& base_policy,
+                               const BenchArgs& args) {
+  std::filesystem::create_directories(args.model_dir);
+  const std::string path =
+      args.model_dir + "/rlbf-" + trace.name() + "-" + base_policy + ".model";
+  if (!args.retrain && std::filesystem::exists(path)) {
+    util::log_info("loading cached agent ", path);
+    return core::Agent::load(path);
+  }
+  util::log_info("training agent for ", trace.name(), " base=", base_policy,
+                 " (", args.epochs, " epochs x ", args.trajectories,
+                 " trajectories)");
+  core::Trainer trainer(trace, trainer_config(args, base_policy));
+  trainer.train();
+  if (!trainer.agent().save(path, {{"trace", trace.name()},
+                                   {"base_policy", base_policy},
+                                   {"epochs", std::to_string(args.epochs)}})) {
+    util::log_warn("could not cache agent at ", path);
+  }
+  return trainer.agent().clone();
+}
+
+namespace {
+
+core::EvalProtocol protocol_of(const BenchArgs& args) {
+  core::EvalProtocol protocol;
+  protocol.samples = args.samples;
+  protocol.sample_jobs = args.sample_jobs;
+  protocol.seed = args.seed;
+  return protocol;
+}
+
+EvalStats to_stats(core::EvalResult result) {
+  EvalStats stats;
+  stats.mean = result.mean;
+  stats.ci_lo = result.ci_lo;
+  stats.ci_hi = result.ci_hi;
+  stats.samples = std::move(result.samples);
+  return stats;
+}
+
+}  // namespace
+
+EvalStats eval_spec_stats(const swf::Trace& trace, const sched::SchedulerSpec& spec,
+                          const BenchArgs& args) {
+  return to_stats(core::evaluate_spec(trace, spec, protocol_of(args)));
+}
+
+double eval_spec(const swf::Trace& trace, const sched::SchedulerSpec& spec,
+                 const BenchArgs& args) {
+  return eval_spec_stats(trace, spec, args).mean;
+}
+
+EvalStats eval_rlbf_stats(const swf::Trace& trace, const core::Agent& agent,
+                          const std::string& base_policy, const BenchArgs& args) {
+  return to_stats(core::evaluate_agent(trace, agent, base_policy, protocol_of(args)));
+}
+
+double eval_rlbf(const swf::Trace& trace, const core::Agent& agent,
+                 const std::string& base_policy, const BenchArgs& args) {
+  return eval_rlbf_stats(trace, agent, base_policy, args).mean;
+}
+
+}  // namespace rlbf::bench

@@ -1,0 +1,75 @@
+// Shared plumbing for the table/figure benches: CLI flags, trace
+// construction, agent training with an on-disk cache (so table4/table5
+// reuse the same trained models), and the paper's evaluation protocol
+// (mean bsld over N random 1024-job samples, fresh seeds per sample).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/rl_backfill.h"
+#include "core/trainer.h"
+#include "sched/scheduler.h"
+#include "workload/presets.h"
+
+namespace rlbf::bench {
+
+struct BenchArgs {
+  std::size_t trace_jobs = 10000;   // paper: first 10K jobs per trace
+  std::size_t epochs = 60;          // training epochs per agent
+  std::size_t trajectories = 50;    // trajectories per epoch
+  std::size_t jobs_per_trajectory = 256;  // paper: 256
+  std::size_t samples = 10;         // paper: 10 evaluation repetitions
+  std::size_t sample_jobs = 1024;   // paper: 1024-job test sequences
+  std::uint64_t seed = 1;
+  std::string model_dir = "bench_models";
+  bool retrain = false;             // ignore cached models
+  bool quick = false;               // --quick: tiny budgets for smoke runs
+
+  /// Parse --flag=value style arguments; unknown flags abort with usage.
+  static BenchArgs parse(int argc, char** argv);
+};
+
+/// Construct the Table-2 preset by name ("SDSC-SP2", ...). Throws on
+/// unknown names.
+swf::Trace trace_by_name(const std::string& name, std::uint64_t seed,
+                         std::size_t jobs);
+
+/// All four paper trace names in Table-2 order.
+std::vector<std::string> paper_trace_names();
+
+/// The paper's training configuration scaled by the bench flags.
+core::TrainerConfig trainer_config(const BenchArgs& args,
+                                   const std::string& base_policy);
+
+/// Load a cached agent for (trace, base policy) or train and cache one.
+/// Cache key: <model_dir>/rlbf-<trace>-<policy>.model.
+core::Agent get_or_train_agent(const swf::Trace& trace, const std::string& base_policy,
+                               const BenchArgs& args);
+
+/// Per-configuration evaluation outcome: the mean bsld the paper reports
+/// plus a 95% percentile-bootstrap confidence interval over the samples.
+struct EvalStats {
+  double mean = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  std::vector<double> samples;
+};
+
+/// Evaluate a heuristic scheduler spec over `samples` random
+/// `sample_jobs`-long sequences (the Table-4 protocol). Seeds derive
+/// from args.seed so every spec sees identical sequences.
+EvalStats eval_spec_stats(const swf::Trace& trace, const sched::SchedulerSpec& spec,
+                          const BenchArgs& args);
+double eval_spec(const swf::Trace& trace, const sched::SchedulerSpec& spec,
+                 const BenchArgs& args);
+
+/// Same protocol with RLBackfilling under the given base policy.
+EvalStats eval_rlbf_stats(const swf::Trace& trace, const core::Agent& agent,
+                          const std::string& base_policy, const BenchArgs& args);
+double eval_rlbf(const swf::Trace& trace, const core::Agent& agent,
+                 const std::string& base_policy, const BenchArgs& args);
+
+}  // namespace rlbf::bench

@@ -1,0 +1,62 @@
+// Figure 4: RLBackfilling training curves on the four traces with FCFS
+// as the base policy. Emits one epoch-indexed series per trace (mean
+// agent bsld across the epoch's trajectories, plus the SJF-backfill
+// baseline and the mean reward), matching the paper's x = epoch,
+// y = bsld presentation.
+//
+// Expected shape: synthetic traces (Lublin-1/2) converge quickly; the
+// real-trace stand-ins take longer and are noisier (HPC2N especially).
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  util::set_log_level(util::LogLevel::Warn);
+
+  util::Table table({"trace", "epoch", "mean_bsld", "baseline_bsld", "mean_reward",
+                     "greedy_eval_bsld", "steps", "wall_s"});
+  std::vector<std::vector<double>> curves;  // per trace: mean_bsld by epoch
+  for (const auto& name : bench::paper_trace_names()) {
+    const swf::Trace trace = bench::trace_by_name(name, args.seed, args.trace_jobs);
+    core::Trainer trainer(trace, bench::trainer_config(args, "FCFS"));
+    std::cout << "# training on " << name << " (" << args.epochs << " epochs)\n";
+    curves.emplace_back();
+    trainer.train([&](const core::EpochStats& s) {
+      table.add_row({name, std::to_string(s.epoch), util::Table::fmt(s.mean_bsld, 2),
+                     util::Table::fmt(s.mean_baseline_bsld, 2),
+                     util::Table::fmt(s.mean_reward, 4),
+                     util::Table::fmt(s.eval_bsld, 2),  // "-" off-cadence
+                     std::to_string(s.steps),
+                     util::Table::fmt(s.wall_seconds, 2)});
+      curves.back().push_back(s.mean_bsld);
+    });
+  }
+  std::cout << "# Figure 4: RLBackfilling training curves (FCFS base policy)\n";
+  table.print(std::cout);
+  table.save_csv("fig4_training_curves.csv");
+
+  // Wide-format companion (x = epoch, one series per trace) plus the
+  // gnuplot script that renders the figure itself.
+  std::vector<std::string> plot_header = {"epoch"};
+  for (const auto& name : bench::paper_trace_names()) plot_header.push_back(name);
+  util::Table plot(plot_header);
+  for (std::size_t e = 0; e < args.epochs; ++e) {
+    std::vector<std::string> row = {std::to_string(e + 1)};
+    for (const auto& curve : curves) {
+      row.push_back(e < curve.size() ? util::Table::fmt(curve[e], 2) : "-");
+    }
+    plot.add_row(std::move(row));
+  }
+  plot.save_csv("fig4_training_curves_plot.csv");
+  util::write_gnuplot_script("fig4_training_curves.gnuplot",
+                             "fig4_training_curves_plot.csv",
+                             "Figure 4: RLBackfilling training curves (FCFS base)",
+                             "training epoch", "mean bsld",
+                             bench::paper_trace_names().size(), /*log_y=*/true);
+  std::cout << "# CSV: fig4_training_curves.csv (+ _plot.csv, .gnuplot)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Micro-benchmarks for the learning substrate: kernel policy forward
+// passes (the deployment hot path), full policy-gradient graph builds
+// (the PPO update hot path), and Adam steps.
+#include <benchmark/benchmark.h>
+
+#include "core/networks.h"
+#include "nn/optim.h"
+
+namespace {
+
+using namespace rlbf;
+
+core::ObservationConfig obs_config() {
+  core::ObservationConfig cfg;
+  cfg.value_obsv_size = 32;
+  return cfg;
+}
+
+void BM_KernelPolicyForward(benchmark::State& state) {
+  util::Rng rng(1);
+  const core::KernelActorCritic model(obs_config(), core::NetworkConfig{}, rng);
+  const nn::Tensor obs = nn::Tensor::randn(static_cast<std::size_t>(state.range(0)),
+                                           core::ObservationConfig::kFeatures, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.policy_logits_nograd(obs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelPolicyForward)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ValueForward(benchmark::State& state) {
+  util::Rng rng(2);
+  const core::KernelActorCritic model(obs_config(), core::NetworkConfig{}, rng);
+  const nn::Tensor obs = nn::Tensor::randn(1, obs_config().value_feature_dim(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.value_nograd(obs));
+  }
+}
+BENCHMARK(BM_ValueForward);
+
+void BM_PolicyGradientStep(benchmark::State& state) {
+  // One PPO-style graph build + backward for a single decision.
+  util::Rng rng(3);
+  const core::KernelActorCritic model(obs_config(), core::NetworkConfig{}, rng);
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const nn::Tensor obs =
+      nn::Tensor::randn(rows, core::ObservationConfig::kFeatures, rng);
+  const std::vector<std::uint8_t> mask(rows, 1);
+  for (auto _ : state) {
+    const auto logits = model.policy_logits(obs);
+    const auto logp = nn::masked_log_softmax(logits, mask);
+    const auto ratio = nn::exp_act(nn::sub(nn::pick(logp, 0, 0), nn::scalar(-1.5)));
+    const auto loss = nn::neg(nn::minimum(nn::mul_scalar(ratio, 0.5),
+                                          nn::mul_scalar(nn::clamp(ratio, 0.8, 1.2), 0.5)));
+    nn::backward(loss);
+    for (const auto& p : model.policy_parameters()) p->zero_grad();
+    benchmark::DoNotOptimize(loss->value.item());
+  }
+}
+BENCHMARK(BM_PolicyGradientStep)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MatmulSquare(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const nn::Tensor a = nn::Tensor::randn(n, n, rng);
+  const nn::Tensor b = nn::Tensor::randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul(b));
+  }
+}
+BENCHMARK(BM_MatmulSquare)->Arg(32)->Arg(128);
+
+void BM_AdamStep(benchmark::State& state) {
+  util::Rng rng(5);
+  core::KernelActorCritic model(obs_config(), core::NetworkConfig{}, rng);
+  nn::Adam opt(model.policy_parameters(), 1e-3);
+  for (const auto& p : model.policy_parameters()) {
+    p->accumulate_grad(nn::Tensor::randn(p->value.rows(), p->value.cols(), rng, 0.01));
+  }
+  for (auto _ : state) {
+    opt.step();
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+}  // namespace

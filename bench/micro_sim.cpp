@@ -1,0 +1,85 @@
+// Micro-benchmarks for the simulation substrate: event loop throughput
+// with and without backfilling, reservation computation, trace
+// generation, and conservative backfilling's profile packing.
+#include <benchmark/benchmark.h>
+
+#include "sched/scheduler.h"
+#include "workload/presets.h"
+
+namespace {
+
+using namespace rlbf;
+
+const swf::Trace& shared_trace() {
+  static const swf::Trace trace = workload::sdsc_sp2_like(1, 4000);
+  return trace;
+}
+
+void BM_SimulateFcfsNoBackfill(benchmark::State& state) {
+  const swf::Trace seq = shared_trace().prefix(static_cast<std::size_t>(state.range(0)));
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(seq, fcfs, est, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateFcfsNoBackfill)->Arg(256)->Arg(1024)->Arg(4000);
+
+void BM_SimulateFcfsEasy(benchmark::State& state) {
+  const swf::Trace seq = shared_trace().prefix(static_cast<std::size_t>(state.range(0)));
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  for (auto _ : state) {
+    sched::EasyBackfillChooser easy;
+    benchmark::DoNotOptimize(sim::simulate(seq, fcfs, est, &easy));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateFcfsEasy)->Arg(256)->Arg(1024)->Arg(4000);
+
+void BM_SimulateSjfEasy(benchmark::State& state) {
+  const swf::Trace seq = shared_trace().prefix(1024);
+  sched::SjfPolicy sjf;
+  sched::RequestTimeEstimator est;
+  for (auto _ : state) {
+    sched::EasyBackfillChooser easy;
+    benchmark::DoNotOptimize(sim::simulate(seq, sjf, est, &easy));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulateSjfEasy);
+
+void BM_SimulateConservative(benchmark::State& state) {
+  const swf::Trace seq = shared_trace().prefix(512);
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  for (auto _ : state) {
+    sched::ConservativeBackfillChooser cons;
+    benchmark::DoNotOptimize(sim::simulate(seq, fcfs, est, &cons));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_SimulateConservative);
+
+void BM_LublinGenerate(benchmark::State& state) {
+  const workload::LublinGenerator gen{workload::LublinConfig{}};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        gen.generate("bench", static_cast<std::size_t>(state.range(0)), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LublinGenerate)->Arg(1000)->Arg(10000);
+
+void BM_TraceSample(benchmark::State& state) {
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shared_trace().sample(1024, rng));
+  }
+}
+BENCHMARK(BM_TraceSample);
+
+}  // namespace

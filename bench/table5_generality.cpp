@@ -1,0 +1,63 @@
+// Table 5: generality of learned backfilling — an agent trained on
+// trace X (RL-X) deployed on every other trace Y, for both FCFS and SJF
+// base scheduling policies, against the EASY and EASY-AR baselines.
+// Reuses the model cache written by table4_performance.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  util::set_log_level(util::LogLevel::Info);
+
+  const auto names = bench::paper_trace_names();
+  std::vector<swf::Trace> traces;
+  traces.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    traces.push_back(bench::trace_by_name(names[i], args.seed, args.trace_jobs));
+  }
+
+  std::vector<std::string> header = {"Job Trace", "EASY", "EASY-AR"};
+  for (const auto& n : names) header.push_back("RL-" + n);
+  util::Table table(header);
+
+  for (const std::string base_policy : {"FCFS", "SJF"}) {
+    // Agents trained on each trace X with this base policy (cached).
+    std::vector<core::Agent> agents;
+    agents.reserve(names.size());
+    for (const auto& trace : traces) {
+      agents.push_back(bench::get_or_train_agent(trace, base_policy, args));
+    }
+    table.add_row({"[" + base_policy + " base policy]", "", "", "", "", "", ""});
+    for (std::size_t y = 0; y < traces.size(); ++y) {
+      const swf::Trace& trace = traces[y];
+      const bool has_estimates = trace.stats().has_user_estimates;
+      std::vector<std::string> row = {trace.name()};
+      const sched::SchedulerSpec easy{base_policy, sched::BackfillKind::Easy,
+                                      sched::EstimateKind::RequestTime};
+      row.push_back(has_estimates
+                        ? util::Table::fmt(bench::eval_spec(trace, easy, args))
+                        : "-");
+      const sched::SchedulerSpec easy_ar{base_policy, sched::BackfillKind::Easy,
+                                         sched::EstimateKind::ActualRuntime};
+      row.push_back(util::Table::fmt(bench::eval_spec(trace, easy_ar, args)));
+      for (std::size_t x = 0; x < agents.size(); ++x) {
+        row.push_back(
+            util::Table::fmt(bench::eval_rlbf(trace, agents[x], base_policy, args)));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+
+  std::cout << "# Table 5: RL-X agents applied to trace Y, average bsld over "
+            << args.samples << " random " << args.sample_jobs << "-job sequences\n"
+            << "# (paper convention: synthetic traces lack user estimates, so"
+            << " their EASY column is '-' and EASY-AR uses actual runtimes)\n";
+  table.print(std::cout);
+  table.save_csv("table5_generality.csv");
+  std::cout << "# CSV: table5_generality.csv\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Train the same backfilling agent with three RL algorithms — PPO (the
+// paper's choice), Double-DQN, and REINFORCE — and compare convergence
+// and final scheduling quality. A runnable, small-budget version of
+// bench/ablation_rl_algorithm.
+//
+//   ./compare_rl_algorithms [n_jobs] [epochs]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/alt_trainers.h"
+#include "core/rl_backfill.h"
+#include "core/trainer.h"
+#include "sched/scheduler.h"
+#include "util/log.h"
+#include "workload/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  const std::size_t n_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+  const std::size_t epochs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 6;
+  util::set_log_level(util::LogLevel::Warn);
+
+  const swf::Trace trace = workload::sdsc_sp2_like(/*seed=*/1, n_jobs);
+  std::cout << "Trace: " << trace.name() << ", " << trace.size() << " jobs\n"
+            << "Budget: " << epochs << " epochs x 40 trajectories each\n\n";
+
+  // EASY reference on the whole trace.
+  const auto easy =
+      sched::ConfiguredScheduler({"FCFS", sched::BackfillKind::Easy,
+                                  sched::EstimateKind::RequestTime})
+          .run(trace);
+  std::cout << "FCFS+EASY reference bsld: " << std::fixed << std::setprecision(2)
+            << easy.metrics.avg_bounded_slowdown << "\n\n";
+
+  const auto deploy_bsld = [&](const core::Agent& agent) {
+    core::RlBackfillChooser chooser(agent);
+    sched::FcfsPolicy fcfs;
+    sched::RequestTimeEstimator estimator;
+    return sched::run_schedule(trace, fcfs, estimator, &chooser)
+        .metrics.avg_bounded_slowdown;
+  };
+
+  {
+    std::cout << "--- PPO (the paper's algorithm) ---\n";
+    core::TrainerConfig cfg;
+    cfg.epochs = epochs;
+    cfg.trajectories_per_epoch = 40;
+    cfg.ppo.train_iters = 40;
+    cfg.ppo.minibatch_size = 512;
+    cfg.eval_every = 1;
+    core::Trainer trainer(trace, cfg);
+    trainer.train([](const core::EpochStats& s) {
+      std::cout << "  epoch " << s.epoch << ": reward " << std::setprecision(3)
+                << s.mean_reward << ", greedy eval bsld " << std::setprecision(2)
+                << s.eval_bsld << "\n";
+    });
+    std::cout << "  deployed bsld: " << deploy_bsld(trainer.agent()) << "\n\n";
+  }
+  {
+    std::cout << "--- Double-DQN (the paper's rejected alternative) ---\n";
+    core::DqnTrainerConfig cfg;
+    cfg.epochs = epochs;
+    cfg.trajectories_per_epoch = 40;
+    cfg.dqn.epsilon_decay_epochs = std::max<std::size_t>(epochs / 2, 1);
+    cfg.eval_every = 1;
+    core::DqnTrainer trainer(trace, cfg);
+    trainer.train([](const core::AltEpochStats& s) {
+      std::cout << "  epoch " << s.epoch << ": epsilon " << std::setprecision(2)
+                << s.epsilon << ", TD loss " << std::setprecision(4) << s.loss
+                << ", greedy eval bsld " << std::setprecision(2) << s.eval_bsld
+                << "\n";
+    });
+    std::cout << "  deployed bsld: " << deploy_bsld(trainer.agent()) << "\n\n";
+  }
+  {
+    std::cout << "--- REINFORCE (the classic policy gradient) ---\n";
+    core::ReinforceTrainerConfig cfg;
+    cfg.epochs = epochs;
+    cfg.trajectories_per_epoch = 40;
+    cfg.reinforce.policy_lr = 3e-3;
+    cfg.eval_every = 1;
+    core::ReinforceTrainer trainer(trace, cfg);
+    trainer.train([](const core::AltEpochStats& s) {
+      std::cout << "  epoch " << s.epoch << ": policy loss " << std::setprecision(4)
+                << s.loss << ", greedy eval bsld " << std::setprecision(2)
+                << s.eval_bsld << "\n";
+    });
+    std::cout << "  deployed bsld: " << deploy_bsld(trainer.agent()) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Future-work demo (paper §3.1: "We plan to explore other optimization
+// goals"): train RLBackfilling agents against three different objectives
+// — bounded slowdown (the paper's), average wait time, and average
+// turnaround — and cross-evaluate every agent on every metric.
+//
+//   ./objective_comparison [n_jobs] [epochs]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/rl_backfill.h"
+#include "core/trainer.h"
+#include "sched/scheduler.h"
+#include "util/log.h"
+#include "util/table.h"
+#include "workload/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  const std::size_t n_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6000;
+  const std::size_t epochs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 15;
+  util::set_log_level(util::LogLevel::Warn);
+
+  const swf::Trace trace = workload::sdsc_sp2_like(1, n_jobs);
+
+  struct Objective {
+    const char* label;
+    core::RewardObjective objective;
+  };
+  const std::vector<Objective> objectives = {
+      {"bsld (paper)", core::RewardObjective::BoundedSlowdown},
+      {"avg wait", core::RewardObjective::AvgWaitTime},
+      {"avg turnaround", core::RewardObjective::AvgTurnaround},
+  };
+
+  // Cross-evaluation protocol: the same 6 held-out sequences for everyone.
+  const auto evaluate = [&](sim::BackfillChooser* chooser) {
+    sched::FcfsPolicy fcfs;
+    sched::RequestTimeEstimator est;
+    util::Rng rng(777);
+    double bsld = 0, wait = 0, turn = 0;
+    const int reps = 6;
+    for (int i = 0; i < reps; ++i) {
+      const swf::Trace seq = trace.sample(768, rng);
+      const auto out = sched::run_schedule(seq, fcfs, est, chooser);
+      bsld += out.metrics.avg_bounded_slowdown;
+      wait += out.metrics.avg_wait_time;
+      turn += out.metrics.avg_turnaround;
+    }
+    return std::array<double, 3>{bsld / reps, wait / reps, turn / reps};
+  };
+
+  util::Table table({"trained for", "bsld", "avg_wait(s)", "avg_turnaround(s)"});
+  sched::EasyBackfillChooser easy;
+  const auto base = evaluate(&easy);
+  table.add_row({"(FCFS+EASY baseline)", util::Table::fmt(base[0], 2),
+                 util::Table::fmt(base[1], 0), util::Table::fmt(base[2], 0)});
+
+  for (const auto& obj : objectives) {
+    core::TrainerConfig cfg;
+    cfg.epochs = epochs;
+    cfg.trajectories_per_epoch = 40;
+    cfg.jobs_per_trajectory = 256;
+    cfg.ppo.minibatch_size = 512;
+    cfg.env.objective = obj.objective;
+    cfg.seed = 7;
+    core::Trainer trainer(trace, cfg);
+    trainer.train();
+    core::RlBackfillChooser chooser(trainer.agent());
+    const auto m = evaluate(&chooser);
+    table.add_row({obj.label, util::Table::fmt(m[0], 2), util::Table::fmt(m[1], 0),
+                   util::Table::fmt(m[2], 0)});
+  }
+
+  std::cout << "RLBackfilling trained per objective, cross-evaluated on all"
+            << " metrics (" << trace.name() << ", FCFS base policy)\n\n";
+  table.print(std::cout);
+  return 0;
+}

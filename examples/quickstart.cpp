@@ -1,0 +1,65 @@
+// Quickstart: generate a workload, schedule it with FCFS + EASY
+// backfilling, train a small RLBackfilling agent, and compare.
+//
+//   ./quickstart [n_jobs] [epochs]
+//
+// This walks the full public API surface in ~80 lines: workload presets,
+// ConfiguredScheduler, Trainer, and RlBackfillChooser.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/rl_backfill.h"
+#include "core/trainer.h"
+#include "sched/scheduler.h"
+#include "util/log.h"
+#include "workload/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  const std::size_t n_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+  const std::size_t epochs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 5;
+  util::set_log_level(util::LogLevel::Info);
+
+  // 1. A synthetic SDSC-SP2-like trace, calibrated to the paper's
+  //    Table-2 statistics (see DESIGN.md for the substitution notes).
+  const swf::Trace trace = workload::sdsc_sp2_like(/*seed=*/1, n_jobs);
+  const swf::TraceStats stats = trace.stats();
+  std::cout << "Trace " << trace.name() << ": " << stats.job_count << " jobs, "
+            << stats.max_procs << " processors, mean interarrival "
+            << stats.mean_interarrival << " s\n";
+
+  // 2. Classic EASY backfilling with user-submitted request times.
+  const sched::SchedulerSpec easy_spec{"FCFS", sched::BackfillKind::Easy,
+                                       sched::EstimateKind::RequestTime};
+  const auto easy = sched::ConfiguredScheduler(easy_spec).run(trace);
+  std::cout << easy_spec.label() << ": avg bounded slowdown "
+            << easy.metrics.avg_bounded_slowdown << ", utilization "
+            << easy.metrics.utilization << ", backfilled "
+            << easy.metrics.backfilled_jobs << " jobs\n";
+
+  // 3. Train RLBackfilling on the same trace (short demo budget; see
+  //    examples/train_agent.cpp for paper-scale training).
+  core::TrainerConfig cfg;
+  cfg.epochs = epochs;
+  cfg.trajectories_per_epoch = 40;
+  cfg.jobs_per_trajectory = 256;
+  cfg.ppo.minibatch_size = 512;
+  cfg.ppo.train_iters = 40;
+  core::Trainer trainer(trace, cfg);
+  trainer.train();
+
+  // 4. Deploy the trained agent as a drop-in backfill policy.
+  core::RlBackfillChooser rlbf(trainer.agent());
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator estimator;
+  const auto rl = sched::run_schedule(trace, fcfs, estimator, &rlbf);
+  std::cout << "FCFS+RLBF: avg bounded slowdown "
+            << rl.metrics.avg_bounded_slowdown << ", backfilled "
+            << rl.metrics.backfilled_jobs << " jobs\n";
+
+  const double gain = (easy.metrics.avg_bounded_slowdown -
+                       rl.metrics.avg_bounded_slowdown) /
+                      easy.metrics.avg_bounded_slowdown;
+  std::cout << "RLBackfilling improvement over EASY: " << gain * 100.0 << "%\n";
+  return 0;
+}

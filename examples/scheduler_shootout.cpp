@@ -1,0 +1,57 @@
+// Compare every base scheduling policy crossed with every backfilling
+// strategy on a chosen workload — the paper's Table-3/4 machinery as an
+// interactive tool.
+//
+//   ./scheduler_shootout [trace] [n_jobs]
+//     trace: SDSC-SP2 (default) | HPC2N | Lublin-1 | Lublin-2
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sched/scheduler.h"
+#include "util/table.h"
+#include "workload/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  const std::string trace_name = argc > 1 ? argv[1] : "SDSC-SP2";
+  const std::size_t n_jobs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3000;
+
+  swf::Trace trace = [&]() -> swf::Trace {
+    for (const auto& targets : workload::all_targets()) {
+      if (targets.name == trace_name) {
+        return workload::make_preset(targets, n_jobs, 1);
+      }
+    }
+    std::cerr << "unknown trace: " << trace_name << "\n";
+    std::exit(2);
+  }();
+  const bool has_estimates = trace.stats().has_user_estimates;
+
+  util::Table table(
+      {"scheduler", "bsld", "avg_wait(s)", "utilization", "backfilled"});
+  for (const auto& policy : sched::all_policy_names()) {
+    std::vector<std::pair<sched::BackfillKind, sched::EstimateKind>> combos = {
+        {sched::BackfillKind::None, sched::EstimateKind::RequestTime},
+        {sched::BackfillKind::Easy, sched::EstimateKind::RequestTime},
+        {sched::BackfillKind::Conservative, sched::EstimateKind::RequestTime},
+    };
+    if (has_estimates) {
+      // EASY-AR only differs from EASY when RT != AR.
+      combos.push_back({sched::BackfillKind::Easy, sched::EstimateKind::ActualRuntime});
+    }
+    for (const auto& [backfill, estimate] : combos) {
+      const sched::SchedulerSpec spec{policy, backfill, estimate};
+      const auto out = sched::ConfiguredScheduler(spec).run(trace);
+      table.add_row({spec.label(),
+                     util::Table::fmt(out.metrics.avg_bounded_slowdown, 2),
+                     util::Table::fmt(out.metrics.avg_wait_time, 0),
+                     util::Table::fmt(out.metrics.utilization, 3),
+                     std::to_string(out.metrics.backfilled_jobs)});
+    }
+  }
+  std::cout << "Workload: " << trace.name() << " (" << trace.size() << " jobs, "
+            << trace.machine_procs() << " processors)\n\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Train an RLBackfilling agent on one of the paper's four workloads and
+// save the model for later deployment (the Table-4/5 benches load these
+// files when present).
+//
+//   ./train_agent <trace> [epochs] [out.model]
+//     trace  : SDSC-SP2 | HPC2N | Lublin-1 | Lublin-2
+//     epochs : default 50
+//
+// Uses the paper's training protocol: 100 trajectories per epoch, 256
+// consecutive jobs per trajectory, 80 PPO update iterations, lr 1e-3.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/trainer.h"
+#include "util/log.h"
+#include "util/table.h"
+#include "workload/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace rlbf;
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <SDSC-SP2|HPC2N|Lublin-1|Lublin-2>"
+              << " [epochs] [out.model]\n";
+    return 2;
+  }
+  const std::string trace_name = argv[1];
+  const std::size_t epochs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 50;
+  const std::string out_path =
+      argc > 3 ? argv[3] : ("rlbf-" + trace_name + ".model");
+  util::set_log_level(util::LogLevel::Info);
+
+  swf::Trace trace = [&]() -> swf::Trace {
+    for (const auto& targets : workload::all_targets()) {
+      if (targets.name == trace_name) return workload::make_preset(targets, 10000, 1);
+    }
+    std::cerr << "unknown trace: " << trace_name << "\n";
+    std::exit(2);  // no fall-through: exit terminates
+  }();
+
+  core::TrainerConfig cfg;
+  cfg.epochs = epochs;
+  cfg.trajectories_per_epoch = 100;  // paper protocol
+  cfg.jobs_per_trajectory = 256;
+  cfg.ppo.train_iters = 80;
+  cfg.ppo.policy_lr = 1e-3;
+  cfg.ppo.value_lr = 1e-3;
+  cfg.seed = 1;
+
+  core::Trainer trainer(std::move(trace), cfg);
+  util::Table curve({"epoch", "mean_reward", "mean_bsld", "baseline_bsld", "steps"});
+  trainer.train([&](const core::EpochStats& s) {
+    curve.add_row({std::to_string(s.epoch), util::Table::fmt(s.mean_reward, 4),
+                   util::Table::fmt(s.mean_bsld, 2),
+                   util::Table::fmt(s.mean_baseline_bsld, 2),
+                   std::to_string(s.steps)});
+  });
+  curve.print(std::cout);
+
+  if (!trainer.agent().save(out_path, {{"trace", trace_name},
+                                       {"epochs", std::to_string(epochs)},
+                                       {"base_policy", cfg.base_policy}})) {
+    std::cerr << "failed to save " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "saved agent to " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,276 @@
+#include "core/alt_trainers.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/rl_backfill.h"
+#include "sched/easy_backfill.h"
+#include "util/log.h"
+
+namespace rlbf::core {
+
+namespace {
+
+/// Same masking reconciliation as core::Trainer: the deployment action
+/// space must match the training action space.
+AgentConfig reconcile_masking(AgentConfig agent, const EnvConfig& env) {
+  if (env.mask_delaying()) {
+    agent.obs.mask_inadmissible = true;
+  } else {
+    agent.obs.stop_action = true;
+  }
+  return agent;
+}
+
+struct TrajResult {
+  rl::Episode episode;
+  double bsld = 0.0;
+  double baseline_bsld = 0.0;
+};
+
+/// One epoch's trajectory collection, identical to Trainer::run_epoch's:
+/// per trajectory, sample a sequence, compute the FCFS+SJF-backfill
+/// reward baseline on it, then schedule it with the TrainingEnv.
+/// Deterministic at a fixed seed regardless of worker interleaving.
+std::vector<TrajResult> collect_trajectories(
+    const swf::Trace& trace, const sim::PriorityPolicy& policy,
+    const sim::RuntimeEstimator& estimator, const Agent& agent,
+    const EnvConfig& env_config, util::ThreadPool& pool, util::Rng& rng,
+    std::size_t n_traj, std::size_t jobs_per_trajectory) {
+  std::vector<std::uint64_t> seeds(n_traj);
+  for (auto& s : seeds) s = rng();
+
+  std::vector<TrajResult> results(n_traj);
+  const std::size_t n_workers = std::min(pool.size(), n_traj);
+  std::vector<Agent> replicas;
+  replicas.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) replicas.push_back(agent.clone());
+
+  pool.parallel_for(n_traj, [&](std::size_t t) {
+    Agent& worker_agent = replicas[t % n_workers];
+    util::Rng traj_rng(seeds[t]);
+
+    const swf::Trace seq = trace.sample(jobs_per_trajectory, traj_rng);
+    sched::FcfsPolicy fcfs;
+    sched::EasyBackfillChooser sjf_bf(sched::BackfillOrder::ShortestFirst);
+    const auto baseline = sched::run_schedule(seq, fcfs, estimator, &sjf_bf);
+    const double baseline_bsld =
+        std::max(objective_value(env_config.objective, baseline.results), 1.0);
+
+    TrainingEnv env(worker_agent, env_config, traj_rng.split());
+    env.set_baseline_bsld(baseline_bsld);
+    (void)sched::run_schedule(seq, policy, estimator, &env);
+
+    results[t].episode = env.take_episode();
+    results[t].bsld = env.last_bsld();
+    results[t].baseline_bsld = baseline_bsld;
+  });
+  return results;
+}
+
+/// Greedy held-out evaluation, identical to Trainer::evaluate_greedy.
+double evaluate_greedy_impl(const swf::Trace& trace, const Agent& agent,
+                            const sim::PriorityPolicy& policy,
+                            RewardObjective objective, std::uint64_t seed,
+                            std::size_t samples, std::size_t sample_jobs) {
+  util::Rng eval_rng(seed ^ 0x6772656564790ull);
+  sched::RequestTimeEstimator estimator;
+  double sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t jobs = std::min(sample_jobs, trace.size());
+    const swf::Trace seq = trace.sample(jobs, eval_rng);
+    RlBackfillChooser chooser(agent);
+    const auto outcome = sched::run_schedule(seq, policy, estimator, &chooser);
+    sum += objective_value(objective, outcome.results);
+  }
+  return sum / static_cast<double>(std::max<std::size_t>(samples, 1));
+}
+
+void validate_loop_config(std::size_t trace_size, std::size_t jobs_per_trajectory,
+                          std::size_t trajectories_per_epoch, const char* who) {
+  if (trace_size < jobs_per_trajectory) {
+    throw std::invalid_argument(std::string(who) + ": trace shorter than one trajectory");
+  }
+  if (trajectories_per_epoch == 0) {
+    throw std::invalid_argument(std::string(who) + ": zero trajectories per epoch");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- DQN --
+
+DqnTrainer::DqnTrainer(swf::Trace trace, const DqnTrainerConfig& config)
+    : DqnTrainer(std::move(trace), config,
+                 Agent(reconcile_masking(config.agent, config.env), config.seed)) {}
+
+DqnTrainer::DqnTrainer(swf::Trace trace, const DqnTrainerConfig& config,
+                       const Agent& initial)
+    : trace_(std::move(trace)),
+      config_(config),
+      agent_(initial.clone()),
+      policy_(sched::make_policy(config.base_policy)),
+      pool_(config.threads),
+      dqn_(agent_.model(), config.dqn),
+      rng_(config.seed ^ 0x64716e2d74726eull) {
+  validate_loop_config(trace_.size(), config_.jobs_per_trajectory,
+                       config_.trajectories_per_epoch, "DqnTrainer");
+  config_.env.selection = ActionSelection::EpsilonGreedy;
+}
+
+AltEpochStats DqnTrainer::run_epoch() {
+  const auto t0 = std::chrono::steady_clock::now();
+  AltEpochStats stats;
+  stats.epoch = ++epoch_;
+  stats.epsilon = dqn_.epsilon(epoch_ - 1);
+
+  EnvConfig env = config_.env;
+  env.epsilon = stats.epsilon;
+  auto results =
+      collect_trajectories(trace_, *policy_, estimator_, agent_, env, pool_, rng_,
+                           config_.trajectories_per_epoch, config_.jobs_per_trajectory);
+
+  double sum_bsld = 0.0, sum_base = 0.0, sum_reward = 0.0;
+  for (auto& r : results) {
+    sum_bsld += r.bsld;
+    sum_base += r.baseline_bsld;
+    sum_reward += r.episode.total_reward();
+    stats.steps += r.episode.steps.size();
+    if (!r.episode.steps.empty()) dqn_.absorb(r.episode);
+  }
+  const auto n = static_cast<double>(results.size());
+  stats.mean_bsld = sum_bsld / n;
+  stats.mean_baseline_bsld = sum_base / n;
+  stats.mean_reward = sum_reward / n;
+
+  const rl::DqnStats d = dqn_.update(rng_);
+  stats.loss = d.loss;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return stats;
+}
+
+double DqnTrainer::evaluate_greedy() {
+  return evaluate_greedy_impl(trace_, agent_, *policy_, config_.env.objective,
+                              config_.seed, config_.eval_samples,
+                              config_.eval_sample_jobs);
+}
+
+std::vector<AltEpochStats> DqnTrainer::train(
+    const std::function<void(const AltEpochStats&)>& on_epoch) {
+  std::vector<AltEpochStats> history;
+  history.reserve(config_.epochs);
+  for (std::size_t e = 0; e < config_.epochs; ++e) {
+    history.push_back(run_epoch());
+    auto& s = history.back();
+    const bool last_epoch = (e + 1 == config_.epochs);
+    if (config_.eval_every > 0 && (s.epoch % config_.eval_every == 0 || last_epoch)) {
+      s.eval_bsld = evaluate_greedy();
+      if (config_.keep_best && s.eval_bsld < best_eval_bsld_) {
+        best_eval_bsld_ = s.eval_bsld;
+        best_model_ = agent_.model().clone();
+      }
+    }
+    util::log_info("dqn epoch ", s.epoch, " reward=", s.mean_reward,
+                   " bsld=", s.mean_bsld, " eps=", s.epsilon, " loss=", s.loss,
+                   " eval=", s.eval_bsld, " wall=", s.wall_seconds, "s");
+    if (on_epoch) on_epoch(s);
+  }
+  if (config_.keep_best && best_model_ != nullptr) {
+    agent_.model().sync_from(*best_model_);
+    util::log_info("dqn: restored best checkpoint (greedy eval bsld=",
+                   best_eval_bsld_, ")");
+  }
+  return history;
+}
+
+// ---------------------------------------------------------- REINFORCE --
+
+ReinforceTrainer::ReinforceTrainer(swf::Trace trace, const ReinforceTrainerConfig& config)
+    : ReinforceTrainer(std::move(trace), config,
+                       Agent(reconcile_masking(config.agent, config.env), config.seed)) {}
+
+ReinforceTrainer::ReinforceTrainer(swf::Trace trace,
+                                   const ReinforceTrainerConfig& config,
+                                   const Agent& initial)
+    : trace_(std::move(trace)),
+      config_(config),
+      agent_(initial.clone()),
+      policy_(sched::make_policy(config.base_policy)),
+      pool_(config.threads),
+      reinforce_(agent_.model(), config.reinforce),
+      rng_(config.seed ^ 0x7265696e66ull) {
+  validate_loop_config(trace_.size(), config_.jobs_per_trajectory,
+                       config_.trajectories_per_epoch, "ReinforceTrainer");
+  config_.env.selection = ActionSelection::SampleSoftmax;
+}
+
+AltEpochStats ReinforceTrainer::run_epoch() {
+  const auto t0 = std::chrono::steady_clock::now();
+  AltEpochStats stats;
+  stats.epoch = ++epoch_;
+
+  auto results = collect_trajectories(trace_, *policy_, estimator_, agent_,
+                                      config_.env, pool_, rng_,
+                                      config_.trajectories_per_epoch,
+                                      config_.jobs_per_trajectory);
+
+  rl::RolloutBuffer buffer;
+  double sum_bsld = 0.0, sum_base = 0.0, sum_reward = 0.0;
+  for (auto& r : results) {
+    sum_bsld += r.bsld;
+    sum_base += r.baseline_bsld;
+    sum_reward += r.episode.total_reward();
+    stats.steps += r.episode.steps.size();
+    if (!r.episode.steps.empty()) buffer.add_episode(std::move(r.episode));
+  }
+  const auto n = static_cast<double>(results.size());
+  stats.mean_bsld = sum_bsld / n;
+  stats.mean_baseline_bsld = sum_base / n;
+  stats.mean_reward = sum_reward / n;
+
+  if (buffer.episode_count() > 0) {
+    const rl::ReinforceStats r = reinforce_.update(buffer, rng_);
+    stats.loss = r.policy_loss;
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return stats;
+}
+
+double ReinforceTrainer::evaluate_greedy() {
+  return evaluate_greedy_impl(trace_, agent_, *policy_, config_.env.objective,
+                              config_.seed, config_.eval_samples,
+                              config_.eval_sample_jobs);
+}
+
+std::vector<AltEpochStats> ReinforceTrainer::train(
+    const std::function<void(const AltEpochStats&)>& on_epoch) {
+  std::vector<AltEpochStats> history;
+  history.reserve(config_.epochs);
+  for (std::size_t e = 0; e < config_.epochs; ++e) {
+    history.push_back(run_epoch());
+    auto& s = history.back();
+    const bool last_epoch = (e + 1 == config_.epochs);
+    if (config_.eval_every > 0 && (s.epoch % config_.eval_every == 0 || last_epoch)) {
+      s.eval_bsld = evaluate_greedy();
+      if (config_.keep_best && s.eval_bsld < best_eval_bsld_) {
+        best_eval_bsld_ = s.eval_bsld;
+        best_model_ = agent_.model().clone();
+      }
+    }
+    util::log_info("reinforce epoch ", s.epoch, " reward=", s.mean_reward,
+                   " bsld=", s.mean_bsld, " loss=", s.loss, " eval=", s.eval_bsld,
+                   " wall=", s.wall_seconds, "s");
+    if (on_epoch) on_epoch(s);
+  }
+  if (config_.keep_best && best_model_ != nullptr) {
+    agent_.model().sync_from(*best_model_);
+    util::log_info("reinforce: restored best checkpoint (greedy eval bsld=",
+                   best_eval_bsld_, ")");
+  }
+  return history;
+}
+
+}  // namespace rlbf::core

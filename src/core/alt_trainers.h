@@ -1,0 +1,141 @@
+// Training loops for the alternative RL algorithms (DQN, REINFORCE),
+// mirroring core::Trainer's protocol — per epoch, sample random
+// `jobs_per_trajectory`-job sequences, schedule each under the base
+// policy with the TrainingEnv collecting decisions, then run one
+// algorithm update — so bench/ablation_rl_algorithm compares PPO, DQN
+// and REINFORCE under identical data collection, reward shaping, and
+// greedy-evaluation checkpointing.
+//
+// Differences from the PPO loop:
+//   * DqnTrainer explores epsilon-greedily over Q-values with a linear
+//     epsilon decay, and retains experience across epochs in the replay
+//     buffer (PPO discards each epoch's rollouts after one update);
+//   * ReinforceTrainer is PPO's loop with the clipped multi-iteration
+//     update replaced by a single policy-gradient step.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/backfill_env.h"
+#include "rl/dqn.h"
+#include "rl/reinforce.h"
+#include "sched/scheduler.h"
+#include "util/thread_pool.h"
+
+namespace rlbf::core {
+
+/// Per-epoch progress common to the alternative algorithms.
+struct AltEpochStats {
+  std::size_t epoch = 0;
+  double mean_reward = 0.0;
+  double mean_bsld = 0.0;
+  double mean_baseline_bsld = 0.0;
+  std::size_t steps = 0;
+  double loss = 0.0;     // TD Huber loss (DQN) / policy loss (REINFORCE)
+  double epsilon = 0.0;  // exploration rate this epoch (DQN only)
+  double wall_seconds = 0.0;
+  /// Greedy held-out evaluation bsld; NaN on non-evaluation epochs.
+  double eval_bsld = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct DqnTrainerConfig {
+  std::string base_policy = "FCFS";
+  std::size_t epochs = 50;
+  std::size_t trajectories_per_epoch = 100;
+  std::size_t jobs_per_trajectory = 256;
+  rl::DqnConfig dqn;
+  EnvConfig env;  // selection is forced to EpsilonGreedy
+  AgentConfig agent;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+
+  std::size_t eval_every = 5;
+  std::size_t eval_samples = 6;
+  std::size_t eval_sample_jobs = 1024;
+  bool keep_best = true;
+};
+
+class DqnTrainer {
+ public:
+  DqnTrainer(swf::Trace trace, const DqnTrainerConfig& config);
+  /// Warm start: fine-tune `initial` (e.g. a model trained on another
+  /// trace) instead of a fresh agent. The initial agent's observation
+  /// and network configuration override config.agent.
+  DqnTrainer(swf::Trace trace, const DqnTrainerConfig& config, const Agent& initial);
+
+  AltEpochStats run_epoch();
+  std::vector<AltEpochStats> train(
+      const std::function<void(const AltEpochStats&)>& on_epoch = nullptr);
+  double evaluate_greedy();
+
+  Agent& agent() { return agent_; }
+  const Agent& agent() const { return agent_; }
+  const rl::Dqn& dqn() const { return dqn_; }
+  const DqnTrainerConfig& config() const { return config_; }
+
+ private:
+  swf::Trace trace_;
+  DqnTrainerConfig config_;
+  Agent agent_;
+  std::unique_ptr<sim::PriorityPolicy> policy_;
+  sched::RequestTimeEstimator estimator_;
+  util::ThreadPool pool_;
+  rl::Dqn dqn_;
+  util::Rng rng_;
+  std::size_t epoch_ = 0;
+  double best_eval_bsld_ = std::numeric_limits<double>::infinity();
+  std::unique_ptr<rl::ActorCritic> best_model_;
+};
+
+struct ReinforceTrainerConfig {
+  std::string base_policy = "FCFS";
+  std::size_t epochs = 50;
+  std::size_t trajectories_per_epoch = 100;
+  std::size_t jobs_per_trajectory = 256;
+  rl::ReinforceConfig reinforce;
+  EnvConfig env;  // selection is forced to SampleSoftmax
+  AgentConfig agent;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+
+  std::size_t eval_every = 5;
+  std::size_t eval_samples = 6;
+  std::size_t eval_sample_jobs = 1024;
+  bool keep_best = true;
+};
+
+class ReinforceTrainer {
+ public:
+  ReinforceTrainer(swf::Trace trace, const ReinforceTrainerConfig& config);
+  ReinforceTrainer(swf::Trace trace, const ReinforceTrainerConfig& config,
+                   const Agent& initial);
+
+  AltEpochStats run_epoch();
+  std::vector<AltEpochStats> train(
+      const std::function<void(const AltEpochStats&)>& on_epoch = nullptr);
+  double evaluate_greedy();
+
+  Agent& agent() { return agent_; }
+  const Agent& agent() const { return agent_; }
+  const ReinforceTrainerConfig& config() const { return config_; }
+
+ private:
+  swf::Trace trace_;
+  ReinforceTrainerConfig config_;
+  Agent agent_;
+  std::unique_ptr<sim::PriorityPolicy> policy_;
+  sched::RequestTimeEstimator estimator_;
+  util::ThreadPool pool_;
+  rl::Reinforce reinforce_;
+  util::Rng rng_;
+  std::size_t epoch_ = 0;
+  double best_eval_bsld_ = std::numeric_limits<double>::infinity();
+  std::unique_ptr<rl::ActorCritic> best_model_;
+};
+
+}  // namespace rlbf::core

@@ -1,0 +1,50 @@
+#include "core/evaluation.h"
+
+#include "core/rl_backfill.h"
+#include "util/stats.h"
+
+namespace rlbf::core {
+
+EvalResult evaluate(const swf::Trace& trace, const sim::PriorityPolicy& policy,
+                    const sim::RuntimeEstimator& estimator,
+                    sim::BackfillChooser* chooser, const EvalProtocol& protocol) {
+  // The sampling stream depends only on (seed): every configuration
+  // evaluated with the same protocol sees the same sequences.
+  util::Rng rng(protocol.seed ^ 0xe5a1e5a1e5a1ull);
+  EvalResult result;
+  result.samples.reserve(protocol.samples);
+  for (std::size_t s = 0; s < protocol.samples; ++s) {
+    const swf::Trace seq = trace.sample(protocol.sample_jobs, rng);
+    const auto outcome = sched::run_schedule(seq, policy, estimator, chooser);
+    result.samples.push_back(outcome.metrics.avg_bounded_slowdown);
+  }
+  result.mean = util::mean(result.samples);
+  if (result.samples.size() > 1) {
+    util::Rng boot(protocol.seed ^ 0xb0075742ull);
+    const util::BootstrapCi ci =
+        util::bootstrap_mean_ci(result.samples, boot, protocol.bootstrap_resamples);
+    result.ci_lo = ci.lo;
+    result.ci_hi = ci.hi;
+  } else {
+    result.ci_lo = result.ci_hi = result.mean;
+  }
+  return result;
+}
+
+EvalResult evaluate_spec(const swf::Trace& trace, const sched::SchedulerSpec& spec,
+                         const EvalProtocol& protocol) {
+  const sched::ConfiguredScheduler scheduler(spec);
+  return evaluate(trace, scheduler.policy(), scheduler.estimator(),
+                  scheduler.chooser(), protocol);
+}
+
+EvalResult evaluate_agent(const swf::Trace& trace, const Agent& agent,
+                          const std::string& base_policy,
+                          const EvalProtocol& protocol) {
+  const auto policy = sched::make_policy(base_policy);
+  sched::RequestTimeEstimator estimator;
+  RlBackfillChooser chooser(agent);
+  return evaluate(trace, *policy, estimator, &chooser, protocol);
+}
+
+}  // namespace rlbf::core

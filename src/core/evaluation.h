@@ -1,0 +1,50 @@
+// The paper's evaluation protocol as a library facility (§4.3): sample N
+// random `sample_jobs`-long contiguous sequences from a trace, schedule
+// every configuration on the *same* sequences, and report the mean
+// bounded slowdown with a percentile-bootstrap confidence interval.
+// Tables 4 and 5 and the ablation benches are all built on this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "sched/scheduler.h"
+
+namespace rlbf::core {
+
+struct EvalProtocol {
+  std::size_t samples = 10;       // paper: 10 repetitions
+  std::size_t sample_jobs = 1024; // paper: 1024-job sequences
+  std::uint64_t seed = 1;         // drives BOTH sampling and bootstrap
+  std::size_t bootstrap_resamples = 1000;
+};
+
+struct EvalResult {
+  double mean = 0.0;
+  double ci_lo = 0.0;  // 95% percentile bootstrap
+  double ci_hi = 0.0;
+  std::vector<double> samples;  // per-sequence bsld, sampling order
+};
+
+/// Generic form. `chooser` may be null (no backfilling) and must be
+/// stateless across schedules (every deployment chooser in this library
+/// is; the stateful TrainingEnv is a training-only construct). Sequences
+/// are identical for equal (trace, protocol) regardless of the
+/// configuration under test.
+EvalResult evaluate(const swf::Trace& trace, const sim::PriorityPolicy& policy,
+                    const sim::RuntimeEstimator& estimator,
+                    sim::BackfillChooser* chooser,
+                    const EvalProtocol& protocol = {});
+
+/// Evaluate a heuristic scheduler configuration.
+EvalResult evaluate_spec(const swf::Trace& trace, const sched::SchedulerSpec& spec,
+                         const EvalProtocol& protocol = {});
+
+/// Evaluate a trained RLBackfilling agent under `base_policy`, using the
+/// user-request-time estimator (the deployment configuration).
+EvalResult evaluate_agent(const swf::Trace& trace, const Agent& agent,
+                          const std::string& base_policy,
+                          const EvalProtocol& protocol = {});
+
+}  // namespace rlbf::core

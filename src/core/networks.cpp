@@ -1,0 +1,150 @@
+#include "core/networks.h"
+
+#include <stdexcept>
+
+namespace rlbf::core {
+
+namespace {
+
+std::vector<std::size_t> with_ends(std::size_t in, const std::vector<std::size_t>& hidden,
+                                   std::size_t out) {
+  std::vector<std::size_t> dims;
+  dims.reserve(hidden.size() + 2);
+  dims.push_back(in);
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  dims.push_back(out);
+  return dims;
+}
+
+void check_dims(const nn::Mlp& mlp, std::size_t in, std::size_t out, const char* what) {
+  if (mlp.in_features() != in || mlp.out_features() != out) {
+    throw std::invalid_argument(std::string(what) + ": dimension mismatch");
+  }
+}
+
+}  // namespace
+
+// ---------------- KernelActorCritic ----------------
+
+KernelActorCritic::KernelActorCritic(const ObservationConfig& obs,
+                                     const NetworkConfig& net, util::Rng& rng)
+    : obs_(obs),
+      policy_(with_ends(ObservationConfig::kFeatures, net.policy_hidden, 1),
+              net.activation, rng),
+      value_(with_ends(obs.value_feature_dim(), net.value_hidden, 1), net.activation,
+             rng) {
+  policy_.scale_output_layer(net.policy_output_scale);
+}
+
+KernelActorCritic::KernelActorCritic(const ObservationConfig& obs, nn::Mlp policy,
+                                     nn::Mlp value)
+    : obs_(obs), policy_(std::move(policy)), value_(std::move(value)) {
+  check_dims(policy_, ObservationConfig::kFeatures, 1, "kernel policy");
+  check_dims(value_, obs.value_feature_dim(), 1, "kernel value");
+}
+
+nn::VarPtr KernelActorCritic::policy_logits(const nn::Tensor& policy_obs) const {
+  // The kernel trick: one matmul applies the same per-job MLP to every
+  // row, yielding an N x 1 score column directly.
+  return policy_.forward(nn::constant(policy_obs));
+}
+
+nn::VarPtr KernelActorCritic::value(const nn::Tensor& value_obs) const {
+  return value_.forward(nn::constant(value_obs));
+}
+
+nn::Tensor KernelActorCritic::policy_logits_nograd(const nn::Tensor& policy_obs) const {
+  return policy_.forward_value(policy_obs);
+}
+
+double KernelActorCritic::value_nograd(const nn::Tensor& value_obs) const {
+  return value_.forward_value(value_obs).item();
+}
+
+std::vector<nn::VarPtr> KernelActorCritic::policy_parameters() const {
+  return policy_.parameters();
+}
+
+std::vector<nn::VarPtr> KernelActorCritic::value_parameters() const {
+  return value_.parameters();
+}
+
+std::unique_ptr<rl::ActorCritic> KernelActorCritic::clone() const {
+  return std::make_unique<KernelActorCritic>(obs_, policy_.clone(), value_.clone());
+}
+
+void KernelActorCritic::sync_from(const rl::ActorCritic& other) {
+  const auto* o = dynamic_cast<const KernelActorCritic*>(&other);
+  if (o == nullptr) throw std::invalid_argument("sync_from: model type mismatch");
+  policy_.copy_parameters_from(o->policy_);
+  value_.copy_parameters_from(o->value_);
+}
+
+// ---------------- FlatActorCritic ----------------
+
+FlatActorCritic::FlatActorCritic(const ObservationConfig& obs, const NetworkConfig& net,
+                                 util::Rng& rng)
+    : obs_(obs),
+      policy_(with_ends(obs.padded_policy_rows() * ObservationConfig::kFeatures,
+                        net.policy_hidden, obs.padded_policy_rows()),
+              net.activation, rng),
+      value_(with_ends(obs.value_feature_dim(), net.value_hidden, 1), net.activation,
+             rng) {
+  if (!obs.pad_policy_obs) {
+    throw std::invalid_argument(
+        "FlatActorCritic requires ObservationConfig::pad_policy_obs");
+  }
+  policy_.scale_output_layer(net.policy_output_scale);
+}
+
+FlatActorCritic::FlatActorCritic(const ObservationConfig& obs, nn::Mlp policy,
+                                 nn::Mlp value)
+    : obs_(obs), policy_(std::move(policy)), value_(std::move(value)) {
+  check_dims(policy_, obs.padded_policy_rows() * ObservationConfig::kFeatures,
+             obs.padded_policy_rows(), "flat policy");
+  check_dims(value_, obs.value_feature_dim(), 1, "flat value");
+}
+
+nn::VarPtr FlatActorCritic::policy_logits(const nn::Tensor& policy_obs) const {
+  if (policy_obs.rows() != obs_.padded_policy_rows()) {
+    throw std::invalid_argument("flat policy: observation must be padded");
+  }
+  const nn::VarPtr flat = nn::constant(
+      policy_obs.reshaped(1, policy_obs.rows() * policy_obs.cols()));
+  return nn::reshape(policy_.forward(flat), obs_.padded_policy_rows(), 1);
+}
+
+nn::VarPtr FlatActorCritic::value(const nn::Tensor& value_obs) const {
+  return value_.forward(nn::constant(value_obs));
+}
+
+nn::Tensor FlatActorCritic::policy_logits_nograd(const nn::Tensor& policy_obs) const {
+  const nn::Tensor flat =
+      policy_obs.reshaped(1, policy_obs.rows() * policy_obs.cols());
+  return policy_.forward_value(flat).reshaped(obs_.padded_policy_rows(), 1);
+}
+
+double FlatActorCritic::value_nograd(const nn::Tensor& value_obs) const {
+  return value_.forward_value(value_obs).item();
+}
+
+std::vector<nn::VarPtr> FlatActorCritic::policy_parameters() const {
+  return policy_.parameters();
+}
+
+std::vector<nn::VarPtr> FlatActorCritic::value_parameters() const {
+  return value_.parameters();
+}
+
+std::unique_ptr<rl::ActorCritic> FlatActorCritic::clone() const {
+  return std::make_unique<FlatActorCritic>(obs_, policy_.clone(), value_.clone());
+}
+
+void FlatActorCritic::sync_from(const rl::ActorCritic& other) {
+  const auto* o = dynamic_cast<const FlatActorCritic*>(&other);
+  if (o == nullptr) throw std::invalid_argument("sync_from: model type mismatch");
+  policy_.copy_parameters_from(o->policy_);
+  value_.copy_parameters_from(o->value_);
+}
+
+}  // namespace rlbf::core

@@ -1,0 +1,169 @@
+#include "core/trainer.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/rl_backfill.h"
+#include "sched/easy_backfill.h"
+#include "util/log.h"
+
+namespace rlbf::core {
+
+namespace {
+/// Keep the deployment action space identical to the training action
+/// space: a hard-masked agent must mask at deployment too (its policy
+/// has never scored an inadmissible candidate), and a penalty-trained
+/// agent needs the stop action so it can decline a delaying pick.
+AgentConfig reconcile_masking(const TrainerConfig& config) {
+  AgentConfig agent = config.agent;
+  if (config.env.mask_delaying()) {
+    agent.obs.mask_inadmissible = true;
+  } else {
+    agent.obs.stop_action = true;
+  }
+  return agent;
+}
+}  // namespace
+
+Trainer::Trainer(swf::Trace trace, const TrainerConfig& config)
+    : Trainer(std::move(trace), config, Agent(reconcile_masking(config), config.seed)) {}
+
+Trainer::Trainer(swf::Trace trace, const TrainerConfig& config, const Agent& initial)
+    : trace_(std::move(trace)),
+      config_(config),
+      agent_(initial.clone()),
+      policy_(sched::make_policy(config.base_policy)),
+      pool_(config.threads),
+      ppo_(agent_.model(), config.ppo, &pool_),
+      rng_(config.seed ^ 0x7261696e65722dull) {
+  if (trace_.size() < config_.jobs_per_trajectory) {
+    throw std::invalid_argument("trainer: trace shorter than one trajectory");
+  }
+  if (config_.trajectories_per_epoch == 0) {
+    throw std::invalid_argument("trainer: zero trajectories per epoch");
+  }
+}
+
+EpochStats Trainer::run_epoch() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n_traj = config_.trajectories_per_epoch;
+
+  // Pre-draw the per-trajectory seeds on the main thread so the epoch is
+  // deterministic regardless of worker interleaving.
+  std::vector<std::uint64_t> seeds(n_traj);
+  for (auto& s : seeds) s = rng_();
+
+  struct TrajResult {
+    rl::Episode episode;
+    double bsld = 0.0;
+    double baseline_bsld = 0.0;
+  };
+  std::vector<TrajResult> results(n_traj);
+
+  // Per-worker agent replicas: collection reads model parameters while
+  // PPO later writes them, so workers run on private copies synced once
+  // per epoch. Replicas are indexed by trajectory, grouped per worker.
+  const std::size_t n_workers = std::min(pool_.size(), n_traj);
+  std::vector<Agent> replicas;
+  replicas.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) replicas.push_back(agent_.clone());
+
+  pool_.parallel_for(n_traj, [&](std::size_t t) {
+    Agent& worker_agent = replicas[t % n_workers];
+    util::Rng traj_rng(seeds[t]);
+
+    // Sample the sequence and compute the reward baseline on it:
+    // FCFS base + shortest-first EASY backfilling (paper §3.4).
+    const swf::Trace seq = trace_.sample(config_.jobs_per_trajectory, traj_rng);
+    sched::FcfsPolicy fcfs;
+    sched::EasyBackfillChooser sjf_bf(sched::BackfillOrder::ShortestFirst);
+    const auto baseline = sched::run_schedule(seq, fcfs, estimator_, &sjf_bf);
+    const double baseline_bsld =
+        std::max(objective_value(config_.env.objective, baseline.results), 1.0);
+
+    TrainingEnv env(worker_agent, config_.env, traj_rng.split());
+    env.set_baseline_bsld(baseline_bsld);
+    const auto outcome = sched::run_schedule(seq, *policy_, estimator_, &env);
+    (void)outcome;
+
+    results[t].episode = env.take_episode();
+    results[t].bsld = env.last_bsld();
+    results[t].baseline_bsld = baseline_bsld;
+  });
+
+  // NOTE: a worker replica serves several trajectories sequentially
+  // (parallel_for hands tasks to pool threads round-robin by index, so
+  // two trajectories with the same replica may interleave across
+  // threads). Replica models are only *read* during collection, which
+  // makes that safe.
+
+  rl::RolloutBuffer buffer;
+  EpochStats stats;
+  stats.epoch = ++epoch_;
+  double sum_bsld = 0.0, sum_base = 0.0, sum_reward = 0.0;
+  for (auto& r : results) {
+    sum_bsld += r.bsld;
+    sum_base += r.baseline_bsld;
+    sum_reward += r.episode.total_reward();
+    stats.steps += r.episode.steps.size();
+    if (!r.episode.steps.empty()) buffer.add_episode(std::move(r.episode));
+  }
+  const auto n = static_cast<double>(n_traj);
+  stats.mean_bsld = sum_bsld / n;
+  stats.mean_baseline_bsld = sum_base / n;
+  stats.mean_reward = sum_reward / n;
+
+  if (buffer.episode_count() > 0) {
+    stats.ppo = ppo_.update(buffer, rng_);
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return stats;
+}
+
+double Trainer::evaluate_greedy() {
+  // Fixed seeds: every evaluation sees the same held-out sequences, so
+  // checkpoint comparisons are apples-to-apples.
+  util::Rng eval_rng(config_.seed ^ 0x6772656564790ull);
+  sched::RequestTimeEstimator estimator;
+  double sum = 0.0;
+  for (std::size_t s = 0; s < config_.eval_samples; ++s) {
+    const std::size_t jobs = std::min(config_.eval_sample_jobs, trace_.size());
+    const swf::Trace seq = trace_.sample(jobs, eval_rng);
+    RlBackfillChooser chooser(agent_);
+    const auto outcome = sched::run_schedule(seq, *policy_, estimator, &chooser);
+    sum += objective_value(config_.env.objective, outcome.results);
+  }
+  return sum / static_cast<double>(std::max<std::size_t>(config_.eval_samples, 1));
+}
+
+std::vector<EpochStats> Trainer::train(
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  std::vector<EpochStats> history;
+  history.reserve(config_.epochs);
+  for (std::size_t e = 0; e < config_.epochs; ++e) {
+    history.push_back(run_epoch());
+    auto& s = history.back();
+    const bool last_epoch = (e + 1 == config_.epochs);
+    if (config_.eval_every > 0 &&
+        (s.epoch % config_.eval_every == 0 || last_epoch)) {
+      s.eval_bsld = evaluate_greedy();
+      if (config_.keep_best && s.eval_bsld < best_eval_bsld_) {
+        best_eval_bsld_ = s.eval_bsld;
+        best_model_ = agent_.model().clone();
+      }
+    }
+    util::log_info("epoch ", s.epoch, " reward=", s.mean_reward,
+                   " bsld=", s.mean_bsld, " baseline=", s.mean_baseline_bsld,
+                   " steps=", s.steps, " kl=", s.ppo.approx_kl,
+                   " eval=", s.eval_bsld, " wall=", s.wall_seconds, "s");
+    if (on_epoch) on_epoch(s);
+  }
+  if (config_.keep_best && best_model_ != nullptr) {
+    agent_.model().sync_from(*best_model_);
+    util::log_info("restored best checkpoint (greedy eval bsld=", best_eval_bsld_, ")");
+  }
+  return history;
+}
+
+}  // namespace rlbf::core

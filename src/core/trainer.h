@@ -1,0 +1,102 @@
+// The RLBackfilling training loop (paper §4.1.1): per epoch, sample
+// `trajectories_per_epoch` random sequences of `jobs_per_trajectory`
+// consecutive jobs from the training trace, schedule each with the base
+// policy + the sampling TrainingEnv (collected in parallel across a
+// thread pool with per-worker model replicas), then run one PPO update
+// (80 policy/value iterations, lr 1e-3 by default).
+//
+// The reward baseline for every sequence — FCFS + SJF-ordered EASY
+// backfilling — is simulated once per sequence inside the worker.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/backfill_env.h"
+#include "rl/ppo.h"
+#include "sched/scheduler.h"
+#include "util/thread_pool.h"
+
+namespace rlbf::core {
+
+struct TrainerConfig {
+  std::string base_policy = "FCFS";
+  std::size_t epochs = 50;
+  std::size_t trajectories_per_epoch = 100;  // paper: 100
+  std::size_t jobs_per_trajectory = 256;     // paper: 256
+  rl::PpoConfig ppo;                         // paper: 80 iters, lr 1e-3
+  EnvConfig env;
+  AgentConfig agent;
+  std::uint64_t seed = 1;
+  /// Collection/update worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+
+  /// Every `eval_every` epochs, evaluate the *greedy* policy on held-out
+  /// sampled sequences; with keep_best the final agent is the best such
+  /// checkpoint (the sampled-policy training reward is a poor proxy for
+  /// greedy deployment quality). 0 disables evaluation.
+  std::size_t eval_every = 5;
+  std::size_t eval_samples = 6;
+  std::size_t eval_sample_jobs = 1024;
+  bool keep_best = true;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double mean_reward = 0.0;        // mean episode return (paper's Fig. 4 y-axis
+                                   // is equivalent information as bsld)
+  double mean_bsld = 0.0;          // mean agent bsld across trajectories
+  double mean_baseline_bsld = 0.0; // mean SJF-backfill baseline bsld
+  std::size_t steps = 0;           // decisions collected
+  rl::PpoStats ppo;
+  double wall_seconds = 0.0;
+  /// Greedy held-out evaluation bsld; NaN on non-evaluation epochs.
+  double eval_bsld = std::numeric_limits<double>::quiet_NaN();
+};
+
+class Trainer {
+ public:
+  /// `trace` is copied; training samples windows from it.
+  Trainer(swf::Trace trace, const TrainerConfig& config);
+  /// Warm start: fine-tune a copy of `initial` — e.g. a model trained on
+  /// another trace (the Table-5 transfer setting) — instead of a fresh
+  /// agent. The initial agent's observation/network configuration takes
+  /// precedence over config.agent, which is ignored.
+  Trainer(swf::Trace trace, const TrainerConfig& config, const Agent& initial);
+
+  /// Collect one epoch of trajectories and update the agent.
+  EpochStats run_epoch();
+
+  /// Run config.epochs epochs; `on_epoch` (optional) observes progress.
+  /// With keep_best, the agent is restored to the best greedy checkpoint
+  /// before returning.
+  std::vector<EpochStats> train(
+      const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+  /// Greedy evaluation of the current agent over eval_samples held-out
+  /// sequences (mean bsld).
+  double evaluate_greedy();
+
+  Agent& agent() { return agent_; }
+  const Agent& agent() const { return agent_; }
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  swf::Trace trace_;
+  TrainerConfig config_;
+  Agent agent_;
+  std::unique_ptr<sim::PriorityPolicy> policy_;
+  sched::RequestTimeEstimator estimator_;
+  util::ThreadPool pool_;
+  rl::Ppo ppo_;
+  util::Rng rng_;
+  std::size_t epoch_ = 0;
+  double best_eval_bsld_ = std::numeric_limits<double>::infinity();
+  std::unique_ptr<rl::ActorCritic> best_model_;
+};
+
+}  // namespace rlbf::core

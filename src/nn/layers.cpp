@@ -1,0 +1,120 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlbf::nn {
+
+VarPtr activate(const VarPtr& x, Activation act) {
+  switch (act) {
+    case Activation::None: return x;
+    case Activation::Relu: return relu(x);
+    case Activation::Tanh: return tanh_act(x);
+  }
+  throw std::logic_error("unknown activation");
+}
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng)
+    : in_(in_features), out_(out_features) {
+  if (in_ == 0 || out_ == 0) throw std::invalid_argument("Linear: zero dimension");
+  weight_ = make_var(Tensor::xavier(in_, out_, rng), /*requires_grad=*/true);
+  bias_ = make_var(Tensor::zeros(1, out_), /*requires_grad=*/true);
+}
+
+VarPtr Linear::forward(const VarPtr& x) const { return add(matmul(x, weight_), bias_); }
+
+Linear Linear::clone() const {
+  Linear copy;
+  copy.in_ = in_;
+  copy.out_ = out_;
+  copy.weight_ = make_var(weight_->value, true);
+  copy.bias_ = make_var(bias_->value, true);
+  return copy;
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden_activation,
+         util::Rng& rng)
+    : dims_(dims), act_(hidden_activation) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least in/out dims");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+VarPtr Mlp::forward(const VarPtr& x) const {
+  VarPtr h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(h);
+    if (i + 1 < layers_.size()) h = activate(h, act_);
+  }
+  return h;
+}
+
+Tensor Mlp::forward_value(const Tensor& x) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor out;
+    Tensor::matmul_into(h, layers_[i].weight()->value, out);
+    const Tensor& b = layers_[i].bias()->value;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) out.at(r, c) += b.at(0, c);
+    }
+    if (i + 1 < layers_.size()) {
+      for (auto& v : out.data()) {
+        v = (act_ == Activation::Relu) ? (v > 0.0 ? v : 0.0)
+            : (act_ == Activation::Tanh) ? std::tanh(v)
+                                         : v;
+      }
+    }
+    h = std::move(out);
+  }
+  return h;
+}
+
+std::size_t Mlp::in_features() const { return dims_.front(); }
+std::size_t Mlp::out_features() const { return dims_.back(); }
+
+std::vector<VarPtr> Mlp::parameters() const {
+  std::vector<VarPtr> params;
+  params.reserve(layers_.size() * 2);
+  for (const auto& l : layers_) {
+    for (auto& p : l.parameters()) params.push_back(std::move(p));
+  }
+  return params;
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p->value.size();
+  return n;
+}
+
+void Mlp::scale_output_layer(double factor) {
+  const Linear& last = layers_.back();
+  last.weight()->value.mul_(factor);
+  last.bias()->value.mul_(factor);
+}
+
+Mlp Mlp::clone() const {
+  Mlp copy = *this;
+  copy.layers_.clear();
+  for (const auto& l : layers_) copy.layers_.push_back(l.clone());
+  return copy;
+}
+
+void Mlp::copy_parameters_from(const Mlp& other) {
+  const auto mine = parameters();
+  const auto theirs = other.parameters();
+  if (mine.size() != theirs.size()) {
+    throw std::invalid_argument("copy_parameters_from: layer count mismatch");
+  }
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (!mine[i]->value.same_shape(theirs[i]->value)) {
+      throw std::invalid_argument("copy_parameters_from: shape mismatch");
+    }
+    mine[i]->value = theirs[i]->value;
+  }
+}
+
+}  // namespace rlbf::nn

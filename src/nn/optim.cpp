@@ -1,0 +1,76 @@
+#include "nn/optim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlbf::nn {
+
+Optimizer::Optimizer(std::vector<VarPtr> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    if (!p || !p->requires_grad) {
+      throw std::invalid_argument("Optimizer: parameter without requires_grad");
+    }
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (const auto& p : params_) p->zero_grad();
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    if (!p->has_grad()) continue;
+    const double n = p->grad.norm();
+    total += n * n;
+  }
+  total = std::sqrt(total);
+  if (total > max_norm && total > 0.0) {
+    const double scale = max_norm / total;
+    for (const auto& p : params_) {
+      if (p->has_grad()) p->grad.mul_(scale);
+    }
+  }
+  return total;
+}
+
+Sgd::Sgd(std::vector<VarPtr> params, double lr) : Optimizer(std::move(params)), lr_(lr) {}
+
+void Sgd::step() {
+  for (const auto& p : params_) {
+    if (!p->has_grad()) continue;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] -= lr_ * p->grad[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<VarPtr> params, double lr, double beta1, double beta2, double eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+    v_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    if (!p->has_grad()) continue;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad[i];
+      m_[k][i] = beta1_ * m_[k][i] + (1.0 - beta1_) * g;
+      v_[k][i] = beta2_ * v_[k][i] + (1.0 - beta2_) * g * g;
+      const double mhat = m_[k][i] / bc1;
+      const double vhat = v_[k][i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace rlbf::nn

@@ -1,0 +1,58 @@
+// Optimizers over parameter Variables. PPO uses Adam with the paper's
+// learning rate of 1e-3; plain SGD is kept for tests and ablations.
+#pragma once
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace rlbf::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<VarPtr> params);
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+  /// Zero every parameter's gradient accumulator.
+  void zero_grad();
+
+  const std::vector<VarPtr>& parameters() const { return params_; }
+
+  /// Global L2 gradient-norm clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<VarPtr> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<VarPtr> params, double lr);
+  void step() override;
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<VarPtr> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace rlbf::nn

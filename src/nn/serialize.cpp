@@ -1,0 +1,133 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlbf::nn {
+
+namespace {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::None: return "none";
+    case Activation::Relu: return "relu";
+    case Activation::Tanh: return "tanh";
+  }
+  return "?";
+}
+
+Activation activation_from(const std::string& s) {
+  if (s == "none") return Activation::None;
+  if (s == "relu") return Activation::Relu;
+  if (s == "tanh") return Activation::Tanh;
+  throw std::runtime_error("model: unknown activation '" + s + "'");
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out << "tensor " << t.rows() << ' ' << t.cols() << '\n';
+  out << std::hexfloat;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+      if (c) out << ' ';
+      out << t.at(r, c);
+    }
+    out << '\n';
+  }
+  out << std::defaultfloat;
+}
+
+Tensor read_tensor(std::istream& in) {
+  std::string tag;
+  std::size_t rows = 0, cols = 0;
+  if (!(in >> tag >> rows >> cols) || tag != "tensor") {
+    throw std::runtime_error("model: expected tensor header");
+  }
+  Tensor t(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // operator>> does not parse hexfloat portably; read a token and
+    // strtod it (strtod handles 0x1.8p+1 style).
+    std::string tok;
+    if (!(in >> tok)) throw std::runtime_error("model: truncated tensor");
+    t[i] = std::strtod(tok.c_str(), nullptr);
+  }
+  return t;
+}
+
+}  // namespace
+
+const Mlp* ModelBundle::find(const std::string& name) const {
+  for (const auto& [n, mlp] : mlps) {
+    if (n == name) return &mlp;
+  }
+  return nullptr;
+}
+
+void save_model(std::ostream& out, const ModelBundle& bundle) {
+  out << "rlbf-model v1\n";
+  for (const auto& [k, v] : bundle.meta) out << "meta " << k << ' ' << v << '\n';
+  for (const auto& [name, mlp] : bundle.mlps) {
+    out << "mlp " << name << ' ' << mlp.dims().size();
+    for (auto d : mlp.dims()) out << ' ' << d;
+    out << ' ' << activation_name(mlp.hidden_activation()) << '\n';
+    for (const auto& p : mlp.parameters()) write_tensor(out, p->value);
+  }
+}
+
+bool save_model_file(const std::string& path, const ModelBundle& bundle) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_model(out, bundle);
+  return static_cast<bool>(out);
+}
+
+ModelBundle load_model(std::istream& in) {
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "rlbf-model" || version != "v1") {
+    throw std::runtime_error("model: bad magic/version");
+  }
+  ModelBundle bundle;
+  std::string tag;
+  while (in >> tag) {
+    if (tag == "meta") {
+      std::string key, value;
+      in >> key;
+      std::getline(in, value);
+      const auto b = value.find_first_not_of(' ');
+      bundle.meta[key] = (b == std::string::npos) ? std::string{} : value.substr(b);
+    } else if (tag == "mlp") {
+      std::string name;
+      std::size_t ndims = 0;
+      if (!(in >> name >> ndims) || ndims < 2) {
+        throw std::runtime_error("model: bad mlp header");
+      }
+      std::vector<std::size_t> dims(ndims);
+      for (auto& d : dims) {
+        if (!(in >> d)) throw std::runtime_error("model: truncated dims");
+      }
+      std::string act_name;
+      in >> act_name;
+      util::Rng rng(0);  // values are overwritten below
+      Mlp mlp(dims, activation_from(act_name), rng);
+      for (const auto& p : mlp.parameters()) {
+        const Tensor t = read_tensor(in);
+        if (!t.same_shape(p->value)) {
+          throw std::runtime_error("model: tensor shape mismatch for " + name);
+        }
+        p->value = t;
+      }
+      bundle.mlps.emplace_back(name, std::move(mlp));
+    } else {
+      throw std::runtime_error("model: unknown tag '" + tag + "'");
+    }
+  }
+  return bundle;
+}
+
+ModelBundle load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model file: " + path);
+  return load_model(in);
+}
+
+}  // namespace rlbf::nn

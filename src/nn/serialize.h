@@ -1,0 +1,40 @@
+// Model (de)serialization: a small self-describing text format so
+// trained RLBackfilling agents can be saved by the trainer and reloaded
+// by benches and examples.
+//
+//   rlbf-model v1
+//   meta <key> <value>          (0+ lines, free-form metadata)
+//   mlp <name> <ndims> <dims...> <activation>
+//   tensor <rows> <cols>
+//   <values...>                  (row-major, one row per line)
+//
+// Values round-trip exactly via hexfloat.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace rlbf::nn {
+
+/// A named bundle of MLPs plus metadata (e.g. the RLBackfilling agent's
+/// policy + value networks, trace name, training epochs).
+struct ModelBundle {
+  std::map<std::string, std::string> meta;
+  std::vector<std::pair<std::string, Mlp>> mlps;
+
+  const Mlp* find(const std::string& name) const;
+};
+
+void save_model(std::ostream& out, const ModelBundle& bundle);
+bool save_model_file(const std::string& path, const ModelBundle& bundle);
+
+/// Throws std::runtime_error on format errors.
+ModelBundle load_model(std::istream& in);
+ModelBundle load_model_file(const std::string& path);
+
+}  // namespace rlbf::nn

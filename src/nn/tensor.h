@@ -1,0 +1,90 @@
+// Dense row-major 2-D tensor of doubles — the numeric substrate for the
+// autograd library. Networks in this project are tiny (a kernel MLP that
+// scores one job vector at a time), so clarity and testability win over
+// raw throughput; the matmul kernel still uses a cache-friendly i-k-j
+// loop so PPO updates stay fast enough to train in seconds.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rlbf::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// 2-D initializer: Tensor{{1,2},{3,4}}. All rows must be equal length.
+  Tensor(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Tensor zeros(std::size_t rows, std::size_t cols);
+  static Tensor ones(std::size_t rows, std::size_t cols);
+  static Tensor full(std::size_t rows, std::size_t cols, double v);
+  /// i.i.d. N(0, stddev^2).
+  static Tensor randn(std::size_t rows, std::size_t cols, util::Rng& rng,
+                      double stddev = 1.0);
+  /// Xavier/Glorot uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+  static Tensor xavier(std::size_t fan_in, std::size_t fan_out, util::Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool same_shape(const Tensor& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// The single element of a 1x1 tensor; throws otherwise.
+  double item() const;
+
+  // ---- value-level math (no autograd; used by op backward passes) ----
+
+  /// out (+)= op(A, B) with optional transposes; shapes must agree.
+  static void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
+                          bool trans_a = false, bool trans_b = false,
+                          bool accumulate = false);
+  Tensor matmul(const Tensor& other) const;
+  Tensor transpose() const;
+
+  Tensor& add_(const Tensor& other);       // elementwise +=
+  Tensor& sub_(const Tensor& other);       // elementwise -=
+  Tensor& mul_(double s);                  // scale
+  Tensor& hadamard_(const Tensor& other);  // elementwise *=
+  void fill(double v);
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// sqrt(sum of squares).
+  double norm() const;
+
+  /// Row `r` as a new 1 x cols tensor.
+  Tensor row(std::size_t r) const;
+  /// Copy with new shape (rows*cols must match).
+  Tensor reshaped(std::size_t rows, std::size_t cols) const;
+
+  bool operator==(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// Max |a - b| over elements; throws on shape mismatch.
+  static double max_abs_diff(const Tensor& a, const Tensor& b);
+
+  std::string shape_str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace rlbf::nn

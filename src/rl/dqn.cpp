@@ -1,0 +1,81 @@
+#include "rl/dqn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlbf::rl {
+
+Dqn::Dqn(ActorCritic& model, const DqnConfig& config)
+    : model_(model),
+      config_(config),
+      replay_(config.replay_capacity),
+      target_(model.clone()),
+      opt_(model.policy_parameters(), config.lr) {
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("Dqn: batch_size must be >= 1");
+  }
+}
+
+void Dqn::absorb(const Episode& episode) { replay_.add_episode(episode); }
+
+double Dqn::epsilon(std::size_t epoch) const {
+  if (config_.epsilon_decay_epochs == 0) return config_.epsilon_end;
+  const double f = std::min(1.0, static_cast<double>(epoch) /
+                                     static_cast<double>(config_.epsilon_decay_epochs));
+  return config_.epsilon_start + f * (config_.epsilon_end - config_.epsilon_start);
+}
+
+double Dqn::td_target(const Transition& t) const {
+  if (t.done) return t.reward;
+  const nn::Tensor target_q = target_->policy_logits_nograd(t.next_obs);
+  std::size_t best;
+  if (config_.double_dqn) {
+    // Action selection by the online net, evaluation by the target net —
+    // breaks the max-operator overestimation bias.
+    const nn::Tensor online_q = model_.policy_logits_nograd(t.next_obs);
+    best = argmax_masked(online_q, t.next_mask);
+  } else {
+    best = argmax_masked(target_q, t.next_mask);
+  }
+  return t.reward + config_.gamma * target_q.at(best, 0);
+}
+
+DqnStats Dqn::update(util::Rng& rng) {
+  DqnStats stats;
+  stats.replay_size = replay_.size();
+  if (replay_.size() < std::max<std::size_t>(config_.min_replay, 1)) return stats;
+
+  for (std::size_t step = 0; step < config_.updates_per_epoch; ++step) {
+    const auto batch = replay_.sample(config_.batch_size, rng);
+
+    opt_.zero_grad();
+    const double inv_n = 1.0 / static_cast<double>(batch.size());
+    double loss_sum = 0.0, q_sum = 0.0, y_sum = 0.0;
+    for (const Transition* t : batch) {
+      const double y = td_target(*t);
+      const nn::VarPtr q_all = model_.policy_logits(t->obs);
+      const nn::VarPtr q_a = nn::pick(q_all, t->action, 0);
+      nn::VarPtr loss = nn::huber(nn::sub(q_a, nn::scalar(y)), config_.huber_delta);
+      loss = nn::mul_scalar(loss, inv_n);
+      nn::backward(loss);
+      loss_sum += loss->value.item() / inv_n;
+      q_sum += q_a->value.item();
+      y_sum += y;
+    }
+    opt_.clip_grad_norm(config_.max_grad_norm);
+    opt_.step();
+    ++stats.gradient_steps;
+    stats.loss = loss_sum * inv_n;
+    stats.mean_q = q_sum * inv_n;
+    stats.mean_target = y_sum * inv_n;
+
+    if (++steps_since_sync_ >= config_.target_sync_every) {
+      target_->sync_from(model_);
+      steps_since_sync_ = 0;
+      ++stats.target_syncs;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rlbf::rl

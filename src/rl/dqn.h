@@ -1,0 +1,94 @@
+// Deep Q-Network (Mnih et al. 2015) over the backfilling decision space,
+// with the Double-DQN target correction (van Hasselt et al. 2016) on by
+// default. The paper explicitly prefers PPO over Deep-Q-Learning for its
+// convergence behavior (§2.2.1, citing policy-gradient convergence
+// assurances); this implementation exists to *measure* that choice —
+// bench/ablation_rl_algorithm trains PPO, DQN, and REINFORCE on the same
+// trace and compares their curves and final greedy bsld.
+//
+// The Q-function reuses the kernel scorer: an ActorCritic's policy head
+// maps each candidate row to a scalar, read here as Q(s, a) rather than
+// a logit. A trained Q-model therefore deploys through the exact same
+// greedy argmax path (core::Agent / RlBackfillChooser) as a PPO policy.
+// The critic head is unused.
+//
+// Fit: y = r                                  for terminal transitions,
+//      y = r + gamma * Q_target(s', a*)       otherwise, with
+//      a* = argmax_a Q_online(s', a)  (double DQN) or the target net's
+//      own argmax (vanilla). Loss is the Huber of (Q(s,a) - y).
+#pragma once
+
+#include <memory>
+
+#include "nn/optim.h"
+#include "rl/ppo.h"
+#include "rl/replay.h"
+#include "util/rng.h"
+
+namespace rlbf::rl {
+
+struct DqnConfig {
+  /// 1.0 (undiscounted) matches the episodic terminal-reward objective.
+  double gamma = 1.0;
+  double lr = 1e-3;
+  std::size_t batch_size = 64;
+  /// Gradient steps per update() call (one call per training epoch, so
+  /// this parallels PPO's 80 update iterations).
+  std::size_t updates_per_epoch = 80;
+  /// Copy online -> target every this many gradient steps.
+  std::size_t target_sync_every = 200;
+  std::size_t replay_capacity = 50000;
+  /// update() is a no-op until the replay holds this many transitions.
+  std::size_t min_replay = 512;
+  bool double_dqn = true;
+  double huber_delta = 1.0;
+  double max_grad_norm = 10.0;
+
+  // Epsilon-greedy exploration schedule, linear in the epoch index.
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::size_t epsilon_decay_epochs = 20;
+};
+
+struct DqnStats {
+  double loss = 0.0;           // mean Huber loss, last gradient step
+  double mean_q = 0.0;         // mean chosen-action Q, last gradient step
+  double mean_target = 0.0;    // mean TD target, last gradient step
+  std::size_t gradient_steps = 0;
+  std::size_t target_syncs = 0;
+  std::size_t replay_size = 0;
+};
+
+class Dqn {
+ public:
+  /// `model` is the online network (must outlive this instance); the
+  /// target network is cloned from it at construction.
+  Dqn(ActorCritic& model, const DqnConfig& config);
+
+  /// Store an episode's transitions in the replay buffer.
+  void absorb(const Episode& episode);
+
+  /// Run config.updates_per_epoch gradient steps over replay minibatches
+  /// (no-op while the replay is below min_replay).
+  DqnStats update(util::Rng& rng);
+
+  /// Exploration rate for a given training epoch under the linear decay.
+  double epsilon(std::size_t epoch) const;
+
+  const ReplayBuffer& replay() const { return replay_; }
+  const ActorCritic& target() const { return *target_; }
+  const DqnConfig& config() const { return config_; }
+
+ private:
+  /// TD target for one transition (no gradient).
+  double td_target(const Transition& t) const;
+
+  ActorCritic& model_;
+  DqnConfig config_;
+  ReplayBuffer replay_;
+  std::unique_ptr<ActorCritic> target_;
+  nn::Adam opt_;
+  std::size_t steps_since_sync_ = 0;
+};
+
+}  // namespace rlbf::rl

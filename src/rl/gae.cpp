@@ -1,0 +1,50 @@
+#include "rl/gae.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlbf::rl {
+
+GaeResult compute_gae(const std::vector<double>& rewards,
+                      const std::vector<double>& values, double gamma, double lambda) {
+  if (rewards.size() != values.size()) {
+    throw std::invalid_argument("compute_gae: rewards/values size mismatch");
+  }
+  const std::size_t n = rewards.size();
+  GaeResult out;
+  out.advantages.resize(n);
+  out.returns.resize(n);
+  double adv = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const double next_value = (i + 1 < n) ? values[i + 1] : 0.0;
+    const double delta = rewards[i] + gamma * next_value - values[i];
+    adv = delta + gamma * lambda * adv;
+    out.advantages[i] = adv;
+    out.returns[i] = adv + values[i];
+  }
+  return out;
+}
+
+std::vector<double> discounted_returns(const std::vector<double>& rewards, double gamma) {
+  std::vector<double> out(rewards.size());
+  double acc = 0.0;
+  for (std::size_t i = rewards.size(); i-- > 0;) {
+    acc = rewards[i] + gamma * acc;
+    out[i] = acc;
+  }
+  return out;
+}
+
+void normalize(std::vector<double>& xs) {
+  if (xs.empty()) return;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  const double stddev = std::sqrt(var) + 1e-8;
+  for (auto& x : xs) x = (x - mean) / stddev;
+}
+
+}  // namespace rlbf::rl

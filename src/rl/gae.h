@@ -1,0 +1,29 @@
+// Generalized Advantage Estimation (Schulman et al., 2016) as pure
+// functions over reward/value sequences — kept free of buffer plumbing
+// so the recurrences are directly unit-testable.
+#pragma once
+
+#include <vector>
+
+namespace rlbf::rl {
+
+struct GaeResult {
+  std::vector<double> advantages;
+  std::vector<double> returns;  // advantage + value (the TD(lambda) target)
+};
+
+/// Compute GAE(gamma, lambda) for one finished episode. `rewards[t]` is
+/// the reward received after taking the action at step t; `values[t]` is
+/// the critic's estimate at step t. The state after the last step is
+/// terminal (bootstrap value 0).
+GaeResult compute_gae(const std::vector<double>& rewards,
+                      const std::vector<double>& values, double gamma, double lambda);
+
+/// Plain discounted reward-to-go (GAE with lambda = 1 advantage base).
+std::vector<double> discounted_returns(const std::vector<double>& rewards, double gamma);
+
+/// In-place shift/scale to zero mean, unit std (std floor 1e-8). No-op
+/// on empty input; single elements normalize to 0.
+void normalize(std::vector<double>& xs);
+
+}  // namespace rlbf::rl

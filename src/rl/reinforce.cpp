@@ -1,0 +1,98 @@
+#include "rl/reinforce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlbf::rl {
+
+Reinforce::Reinforce(ActorCritic& model, const ReinforceConfig& config)
+    : model_(model),
+      config_(config),
+      policy_opt_(model.policy_parameters(), config.policy_lr),
+      value_opt_(model.value_parameters(), config.value_lr) {}
+
+ReinforceStats Reinforce::update(RolloutBuffer& buffer, util::Rng& rng) {
+  if (!buffer.finished()) {
+    // Advantage normalization is deferred: REINFORCE-without-baseline
+    // normalizes the raw returns instead, below.
+    buffer.finish(config_.gamma, config_.lambda, /*normalize_advantages=*/false);
+  }
+  const std::vector<Step*> steps = buffer.flat_steps();
+  if (steps.empty()) throw std::invalid_argument("Reinforce::update: empty buffer");
+
+  // Gradient weight per step: advantage (baseline on) or return.
+  std::vector<double> weights(steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    weights[i] = config_.use_baseline ? steps[i]->advantage : steps[i]->ret;
+  }
+  if (config_.normalize_weights && weights.size() > 1) {
+    double mean = 0.0;
+    for (double w : weights) mean += w;
+    mean /= static_cast<double>(weights.size());
+    double var = 0.0;
+    for (double w : weights) var += (w - mean) * (w - mean);
+    const double sd = std::sqrt(var / static_cast<double>(weights.size()));
+    for (double& w : weights) w = (w - mean) / (sd + 1e-8);
+  }
+
+  ReinforceStats stats;
+
+  // --- single policy-gradient step over the whole batch ---
+  policy_opt_.zero_grad();
+  const double inv_n = 1.0 / static_cast<double>(steps.size());
+  double loss_sum = 0.0, entropy_sum = 0.0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Step* s = steps[i];
+    const nn::VarPtr logits = model_.policy_logits(s->policy_obs);
+    const nn::VarPtr logp_all = nn::masked_log_softmax(logits, s->mask);
+    const nn::VarPtr logp_a = nn::pick(logp_all, s->action, 0);
+    nn::VarPtr loss = nn::neg(nn::mul_scalar(logp_a, weights[i]));
+    const nn::VarPtr entropy = nn::masked_entropy(logp_all, s->mask);
+    if (config_.entropy_coef > 0.0) {
+      loss = nn::sub(loss, nn::mul_scalar(entropy, config_.entropy_coef));
+    }
+    loss = nn::mul_scalar(loss, inv_n);
+    nn::backward(loss);
+    loss_sum += loss->value.item() / inv_n;
+    entropy_sum += entropy->value.item();
+  }
+  policy_opt_.clip_grad_norm(config_.max_grad_norm);
+  policy_opt_.step();
+  stats.policy_loss = loss_sum * inv_n;
+  stats.entropy = entropy_sum * inv_n;
+
+  // --- baseline fitting ---
+  if (config_.use_baseline) {
+    for (std::size_t iter = 0; iter < config_.value_iters; ++iter) {
+      // Minibatch sampling mirrors Ppo::sample_minibatch.
+      std::vector<const Step*> mb;
+      if (config_.minibatch_size == 0 || steps.size() <= config_.minibatch_size) {
+        mb.assign(steps.begin(), steps.end());
+      } else {
+        mb.reserve(config_.minibatch_size);
+        const auto n = static_cast<std::int64_t>(steps.size());
+        for (std::size_t i = 0; i < config_.minibatch_size; ++i) {
+          mb.push_back(steps[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+        }
+      }
+      value_opt_.zero_grad();
+      const double inv_mb = 1.0 / static_cast<double>(mb.size());
+      double vloss_sum = 0.0;
+      for (const Step* s : mb) {
+        const nn::VarPtr v = model_.value(s->value_obs);
+        nn::VarPtr loss = nn::square(nn::sub(v, nn::scalar(s->ret)));
+        loss = nn::mul_scalar(loss, inv_mb);
+        nn::backward(loss);
+        vloss_sum += loss->value.item() / inv_mb;
+      }
+      value_opt_.clip_grad_norm(config_.max_grad_norm);
+      value_opt_.step();
+      stats.value_loss = vloss_sum * inv_mb;
+      ++stats.value_iters;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rlbf::rl

@@ -1,0 +1,67 @@
+// REINFORCE (Williams 1992) with an optional learned value baseline —
+// the vanilla policy-gradient method PPO descends from. Kept as an
+// ablation baseline: the paper adopts PPO for its faster, more stable
+// convergence (citing Sutton et al.'s policy-gradient results), and
+// bench/ablation_rl_algorithm quantifies that choice on the backfilling
+// task.
+//
+// Differences from Ppo on the same RolloutBuffer:
+//   * one gradient step per collected batch (no ratio, no clipping —
+//     reusing a trajectory would be off-policy);
+//   * the policy loss is -mean(log pi(a|s) * weight), where weight is
+//     the GAE advantage when the baseline is on, or the raw return when
+//     off;
+//   * the value head is fitted with `value_iters` MSE steps only when
+//     the baseline is enabled.
+#pragma once
+
+#include "nn/optim.h"
+#include "rl/ppo.h"
+#include "rl/rollout.h"
+#include "util/rng.h"
+
+namespace rlbf::rl {
+
+struct ReinforceConfig {
+  double gamma = 1.0;  // undiscounted, like the paper's PPO setup
+  double lambda = 0.97;
+  double policy_lr = 1e-3;
+  double value_lr = 1e-3;
+  /// Fit a value baseline and weight by advantages; without it the raw
+  /// (normalized) return weights the gradient — higher variance, the
+  /// classic REINFORCE failure mode the ablation demonstrates.
+  bool use_baseline = true;
+  std::size_t value_iters = 40;
+  std::size_t minibatch_size = 1024;
+  double entropy_coef = 0.01;
+  double max_grad_norm = 10.0;
+  bool normalize_weights = true;
+};
+
+struct ReinforceStats {
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  std::size_t value_iters = 0;
+};
+
+class Reinforce {
+ public:
+  /// The model must outlive this instance. Only the policy parameters
+  /// are touched when use_baseline is false.
+  Reinforce(ActorCritic& model, const ReinforceConfig& config);
+
+  /// One policy-gradient step (plus baseline fitting) over a finished
+  /// buffer; finish() is called if the caller has not.
+  ReinforceStats update(RolloutBuffer& buffer, util::Rng& rng);
+
+  const ReinforceConfig& config() const { return config_; }
+
+ private:
+  ActorCritic& model_;
+  ReinforceConfig config_;
+  nn::Adam policy_opt_;
+  nn::Adam value_opt_;
+};
+
+}  // namespace rlbf::rl

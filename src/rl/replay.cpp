@@ -1,0 +1,57 @@
+#include "rl/replay.h"
+
+#include <stdexcept>
+
+namespace rlbf::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ReplayBuffer: capacity must be >= 1");
+  }
+  storage_.reserve(capacity);
+}
+
+void ReplayBuffer::add(Transition t) {
+  ++added_;
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(t));
+    return;
+  }
+  storage_[next_slot_] = std::move(t);
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+void ReplayBuffer::add_episode(const Episode& episode) {
+  const auto& steps = episode.steps;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    Transition t;
+    t.obs = steps[i].policy_obs;
+    t.mask = steps[i].mask;
+    t.action = steps[i].action;
+    t.reward = steps[i].reward;
+    if (i + 1 < steps.size()) {
+      t.next_obs = steps[i + 1].policy_obs;
+      t.next_mask = steps[i + 1].mask;
+      t.done = false;
+    } else {
+      t.done = true;
+    }
+    add(std::move(t));
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    util::Rng& rng) const {
+  if (storage_.empty()) {
+    throw std::invalid_argument("ReplayBuffer::sample: empty buffer");
+  }
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  const auto n = static_cast<std::int64_t>(storage_.size());
+  for (std::size_t i = 0; i < batch; ++i) {
+    out.push_back(&storage_[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+  }
+  return out;
+}
+
+}  // namespace rlbf::rl

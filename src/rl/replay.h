@@ -1,0 +1,66 @@
+// Experience replay for value-based RL (DQN). Where PPO's RolloutBuffer
+// holds whole on-policy episodes and is cleared after one update, the
+// replay buffer stores individual (s, a, r, s') transitions in a fixed-
+// capacity ring and samples them uniformly — the decorrelation trick
+// that makes Q-learning with function approximation stable (Mnih et al.
+// 2015).
+//
+// Transitions are derived from the same rl::Episode the PPO path
+// collects, so DQN and PPO train from byte-identical environment
+// interactions in the algorithm ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "rl/rollout.h"
+#include "util/rng.h"
+
+namespace rlbf::rl {
+
+/// One (s, a, r, s', done) tuple over the backfilling decision space.
+/// States are the per-candidate policy observations; the action space
+/// (rows + mask) differs between s and s', which is why the successor's
+/// observation and mask are stored explicitly.
+struct Transition {
+  nn::Tensor obs;                       // rows x F candidate matrix
+  std::vector<std::uint8_t> mask;       // valid rows of obs
+  std::size_t action = 0;               // chosen row
+  double reward = 0.0;
+  nn::Tensor next_obs;                  // empty when done
+  std::vector<std::uint8_t> next_mask;  // empty when done
+  bool done = false;
+};
+
+class ReplayBuffer {
+ public:
+  /// `capacity` must be >= 1; the oldest transition is evicted when full.
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void add(Transition t);
+  /// Split an episode into its steps' transitions (step i's successor is
+  /// step i+1; the final step is terminal) and add them all.
+  void add_episode(const Episode& episode);
+
+  std::size_t size() const { return storage_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return storage_.empty(); }
+  /// Total transitions ever added (diagnostic; >= size()).
+  std::size_t added() const { return added_; }
+
+  /// Uniform sample with replacement of `batch` stored transitions.
+  /// Throws if the buffer is empty. Pointers remain valid until the
+  /// next add() call.
+  std::vector<const Transition*> sample(std::size_t batch, util::Rng& rng) const;
+
+  const Transition& operator[](std::size_t i) const { return storage_[i]; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_slot_ = 0;  // ring cursor once at capacity
+  std::size_t added_ = 0;
+  std::vector<Transition> storage_;
+};
+
+}  // namespace rlbf::rl

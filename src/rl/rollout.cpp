@@ -1,0 +1,77 @@
+#include "rl/rollout.h"
+
+#include <stdexcept>
+
+namespace rlbf::rl {
+
+double Episode::total_reward() const {
+  double s = 0.0;
+  for (const auto& st : steps) s += st.reward;
+  return s;
+}
+
+void RolloutBuffer::add_episode(Episode episode) {
+  if (finished_) throw std::logic_error("RolloutBuffer: add after finish");
+  episodes_.push_back(std::move(episode));
+}
+
+void RolloutBuffer::clear() {
+  episodes_.clear();
+  finished_ = false;
+}
+
+std::size_t RolloutBuffer::step_count() const {
+  std::size_t n = 0;
+  for (const auto& e : episodes_) n += e.steps.size();
+  return n;
+}
+
+void RolloutBuffer::finish(double gamma, double lambda, bool normalize_advantages) {
+  if (finished_) throw std::logic_error("RolloutBuffer: finish twice");
+  for (auto& e : episodes_) {
+    std::vector<double> rewards, values;
+    rewards.reserve(e.steps.size());
+    values.reserve(e.steps.size());
+    for (const auto& s : e.steps) {
+      rewards.push_back(s.reward);
+      values.push_back(s.value);
+    }
+    const GaeResult gae = compute_gae(rewards, values, gamma, lambda);
+    for (std::size_t i = 0; i < e.steps.size(); ++i) {
+      e.steps[i].advantage = gae.advantages[i];
+      e.steps[i].ret = gae.returns[i];
+    }
+  }
+  if (normalize_advantages) {
+    std::vector<double> advs;
+    advs.reserve(step_count());
+    for (const auto& e : episodes_) {
+      for (const auto& s : e.steps) advs.push_back(s.advantage);
+    }
+    normalize(advs);
+    std::size_t i = 0;
+    for (auto& e : episodes_) {
+      for (auto& s : e.steps) s.advantage = advs[i++];
+    }
+  }
+  finished_ = true;
+}
+
+std::vector<Step*> RolloutBuffer::flat_steps() {
+  if (!finished_) throw std::logic_error("RolloutBuffer: flat_steps before finish");
+  std::vector<Step*> out;
+  out.reserve(step_count());
+  for (auto& e : episodes_) {
+    for (auto& s : e.steps) out.push_back(&s);
+  }
+  return out;
+}
+
+double RolloutBuffer::mean_episode_reward() const {
+  if (episodes_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& e : episodes_) s += e.total_reward();
+  return s / static_cast<double>(episodes_.size());
+}
+
+}  // namespace rlbf::rl

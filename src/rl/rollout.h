@@ -1,0 +1,71 @@
+// Trajectory storage for PPO. One Step per backfilling decision; one
+// Episode per scheduled job sequence (the paper: 256 consecutive jobs
+// per trajectory, 100 trajectories per epoch). The buffer computes
+// GAE(γ, λ) per episode and normalizes advantages across the epoch, as
+// SpinningUp's PPO does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "rl/gae.h"
+
+namespace rlbf::rl {
+
+/// One decision point.
+struct Step {
+  /// Per-candidate feature matrix the policy scored (rows = actions).
+  nn::Tensor policy_obs;
+  /// Valid-action mask over policy_obs rows (1 = selectable).
+  std::vector<std::uint8_t> mask;
+  /// Chosen row.
+  std::size_t action = 0;
+  /// Behavior-policy log-probability of `action` at collection time.
+  double log_prob = 0.0;
+  /// Fixed-size flattened observation for the value network.
+  nn::Tensor value_obs;
+  /// Critic estimate at collection time.
+  double value = 0.0;
+  /// Reward observed after this step (0 until the terminal step under
+  /// the paper's delayed bsld reward, minus any delay penalties).
+  double reward = 0.0;
+
+  // Filled by RolloutBuffer::finish():
+  double advantage = 0.0;
+  double ret = 0.0;
+};
+
+struct Episode {
+  std::vector<Step> steps;
+  /// Undiscounted sum of rewards (diagnostic).
+  double total_reward() const;
+};
+
+class RolloutBuffer {
+ public:
+  void add_episode(Episode episode);
+  void clear();
+
+  std::size_t episode_count() const { return episodes_.size(); }
+  std::size_t step_count() const;
+  bool finished() const { return finished_; }
+
+  const std::vector<Episode>& episodes() const { return episodes_; }
+
+  /// Compute GAE per episode and normalize advantages across all steps.
+  /// Must be called exactly once before flat_steps().
+  void finish(double gamma, double lambda, bool normalize_advantages = true);
+
+  /// Pointers to every step across episodes (stable once finished).
+  std::vector<Step*> flat_steps();
+
+  /// Mean per-episode total reward (diagnostic for training curves).
+  double mean_episode_reward() const;
+
+ private:
+  std::vector<Episode> episodes_;
+  bool finished_ = false;
+};
+
+}  // namespace rlbf::rl

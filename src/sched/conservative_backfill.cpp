@@ -1,0 +1,176 @@
+#include "sched/conservative_backfill.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace rlbf::sched {
+
+AvailabilityProfile::AvailabilityProfile(std::int64_t now, std::int64_t total)
+    : now_(now) {
+  if (total <= 0) throw std::invalid_argument("profile: total <= 0");
+  breakpoints_.push_back({now, total});
+}
+
+AvailabilityProfile AvailabilityProfile::from_cluster(
+    const sim::ClusterState& cluster, const swf::Trace& trace,
+    const sim::RuntimeEstimator& estimator, std::int64_t now) {
+  AvailabilityProfile profile(now, cluster.total_procs());
+  for (const auto& r : cluster.running_jobs()) {
+    const std::int64_t est_end =
+        std::max(r.start_time + estimator.estimate(trace[r.job_index]), now + 1);
+    profile.reserve(now, r.procs, est_end - now);
+  }
+  return profile;
+}
+
+std::size_t AvailabilityProfile::segment_index(std::int64_t t) const {
+  // Last breakpoint with time <= t; t >= now_ is a precondition.
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < breakpoints_.size(); ++i) {
+    if (breakpoints_[i].time <= t) lo = i;
+    else break;
+  }
+  return lo;
+}
+
+void AvailabilityProfile::insert_breakpoint(std::int64_t t) {
+  const std::size_t i = segment_index(t);
+  if (breakpoints_[i].time == t) return;
+  breakpoints_.insert(breakpoints_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                      {t, breakpoints_[i].free});
+}
+
+std::int64_t AvailabilityProfile::earliest_start(std::int64_t procs,
+                                                 std::int64_t duration) const {
+  if (duration <= 0) duration = 1;
+  // Only breakpoint times can be optimal starts: between breakpoints the
+  // free level is constant, so feasibility cannot improve. Try each in
+  // ascending order and verify every segment overlapping the window
+  // [start, start + duration) has enough capacity.
+  for (std::size_t i = 0; i < breakpoints_.size(); ++i) {
+    const std::int64_t start = std::max(breakpoints_[i].time, now_);
+    const std::int64_t end = start + duration;
+    bool ok = true;
+    for (std::size_t j = 0; j < breakpoints_.size(); ++j) {
+      const std::int64_t seg_start = breakpoints_[j].time;
+      const std::int64_t seg_end = (j + 1 < breakpoints_.size())
+                                       ? breakpoints_[j + 1].time
+                                       : std::numeric_limits<std::int64_t>::max();
+      if (seg_end <= start) continue;  // segment ends before the window
+      if (seg_start >= end) break;     // past the window; later ones too
+      if (breakpoints_[j].free < procs) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return start;
+  }
+  throw std::runtime_error("profile: no feasible start (job wider than machine?)");
+}
+
+void AvailabilityProfile::reserve(std::int64_t start, std::int64_t procs,
+                                  std::int64_t duration) {
+  if (duration <= 0) duration = 1;
+  const std::int64_t end = start + duration;
+  insert_breakpoint(start);
+  insert_breakpoint(end);
+  for (auto& seg : breakpoints_) {
+    if (seg.time >= start && seg.time < end) {
+      seg.free -= procs;
+      if (seg.free < 0) throw std::runtime_error("profile: negative capacity");
+    }
+  }
+}
+
+std::int64_t AvailabilityProfile::free_at(std::int64_t t) const {
+  return breakpoints_[segment_index(std::max(t, now_))].free;
+}
+
+std::vector<std::int64_t> plan_starts(AvailabilityProfile profile,
+                                      const std::vector<std::size_t>& order,
+                                      const sim::BackfillContext& ctx) {
+  std::vector<std::int64_t> starts;
+  starts.reserve(order.size());
+  for (const std::size_t idx : order) {
+    const auto& job = ctx.trace[idx];
+    const std::int64_t dur = ctx.estimator.estimate(job);
+    const std::int64_t s = profile.earliest_start(job.procs(), dur);
+    profile.reserve(s, job.procs(), dur);
+    starts.push_back(s);
+  }
+  return starts;
+}
+
+namespace {
+
+/// Shared plan-and-compare core: admit the first candidate that delays
+/// no queued job's planned start by more than its allowance.
+std::optional<std::size_t> choose_with_allowance(
+    const sim::BackfillContext& ctx,
+    const std::function<std::int64_t(const swf::Job&)>& allowance) {
+  const AvailabilityProfile base = AvailabilityProfile::from_cluster(
+      ctx.cluster, ctx.trace, ctx.estimator, ctx.now);
+
+  // Baseline plan: every queued job packed in priority order.
+  const std::vector<std::int64_t> baseline = plan_starts(base, ctx.queue, ctx);
+
+  for (std::size_t c = 0; c < ctx.candidates.size(); ++c) {
+    const std::size_t cand = ctx.candidates[c];
+    // Plan again with the candidate running *now*; the rest of the queue
+    // (minus the candidate) must stay within its delay allowance.
+    AvailabilityProfile with_cand = base;
+    const auto& cjob = ctx.trace[cand];
+    with_cand.reserve(ctx.now, cjob.procs(), ctx.estimator.estimate(cjob));
+
+    std::vector<std::size_t> rest;
+    std::vector<std::int64_t> rest_baseline;
+    for (std::size_t q = 0; q < ctx.queue.size(); ++q) {
+      if (ctx.queue[q] == cand) continue;
+      rest.push_back(ctx.queue[q]);
+      rest_baseline.push_back(baseline[q]);
+    }
+    const std::vector<std::int64_t> with_starts = plan_starts(with_cand, rest, ctx);
+    bool delays = false;
+    for (std::size_t q = 0; q < rest.size(); ++q) {
+      if (with_starts[q] > rest_baseline[q] + allowance(ctx.trace[rest[q]])) {
+        delays = true;
+        break;
+      }
+    }
+    if (!delays) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::size_t> ConservativeBackfillChooser::choose(
+    const sim::BackfillContext& ctx) {
+  return choose_with_allowance(ctx, [](const swf::Job&) { return 0; });
+}
+
+SlackBackfillChooser::SlackBackfillChooser(double slack_factor,
+                                           std::int64_t fixed_slack)
+    : slack_factor_(slack_factor), fixed_slack_(fixed_slack) {
+  if (slack_factor < 0.0 || fixed_slack < 0) {
+    throw std::invalid_argument("slack backfilling: negative slack");
+  }
+}
+
+std::int64_t SlackBackfillChooser::allowance(
+    const swf::Job& job, const sim::RuntimeEstimator& estimator) const {
+  const double proportional =
+      slack_factor_ * static_cast<double>(estimator.estimate(job));
+  return fixed_slack_ + static_cast<std::int64_t>(proportional);
+}
+
+std::optional<std::size_t> SlackBackfillChooser::choose(
+    const sim::BackfillContext& ctx) {
+  return choose_with_allowance(ctx, [&](const swf::Job& job) {
+    return allowance(job, ctx.estimator);
+  });
+}
+
+}  // namespace rlbf::sched

@@ -1,0 +1,95 @@
+// Conservative backfilling (Mu'alem & Feitelson, TPDS'01): a candidate
+// may run early only if it delays *no* queued job's planned start, not
+// just the head job's. Planned starts are computed by greedily packing
+// the whole queue (priority order) into the estimated future availability
+// profile. Included as the classic strict baseline the related-work
+// section contrasts EASY against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.h"
+
+namespace rlbf::sched {
+
+/// Step-function of free processors over future time. Built from the
+/// running set's *estimated* completion times; reservations carve
+/// capacity out of it.
+class AvailabilityProfile {
+ public:
+  /// Profile with `total` processors free from `now` onward.
+  AvailabilityProfile(std::int64_t now, std::int64_t total);
+
+  /// Build from the cluster's running set, using estimated end times
+  /// (elapsed estimates clamp to now + 1, as in compute_reservation).
+  static AvailabilityProfile from_cluster(const sim::ClusterState& cluster,
+                                          const swf::Trace& trace,
+                                          const sim::RuntimeEstimator& estimator,
+                                          std::int64_t now);
+
+  /// Earliest time >= now at which `procs` processors stay free for
+  /// `duration` seconds.
+  std::int64_t earliest_start(std::int64_t procs, std::int64_t duration) const;
+
+  /// Subtract `procs` over [start, start + duration). Throws if that
+  /// would drive any segment negative.
+  void reserve(std::int64_t start, std::int64_t procs, std::int64_t duration);
+
+  /// Free processors at an instant (for tests/debugging).
+  std::int64_t free_at(std::int64_t t) const;
+
+ private:
+  // breakpoints_[i] = {t_i, free from t_i until t_{i+1}} ; last segment
+  // extends to infinity. Invariant: t strictly increasing.
+  struct Segment {
+    std::int64_t time;
+    std::int64_t free;
+  };
+  std::vector<Segment> breakpoints_;
+  std::int64_t now_;
+
+  std::size_t segment_index(std::int64_t t) const;
+  void insert_breakpoint(std::int64_t t);
+};
+
+/// Planned start for each job of `order` when greedily packed into the
+/// profile in sequence (profile is consumed). Shared by the
+/// conservative and slack-based choosers.
+std::vector<std::int64_t> plan_starts(AvailabilityProfile profile,
+                                      const std::vector<std::size_t>& order,
+                                      const sim::BackfillContext& ctx);
+
+class ConservativeBackfillChooser final : public sim::BackfillChooser {
+ public:
+  std::optional<std::size_t> choose(const sim::BackfillContext& ctx) override;
+  std::string name() const override { return "CONS"; }
+};
+
+/// Slack-based backfilling (Talby & Feitelson, IPPS/SPDP'99, simplified):
+/// a candidate may run early as long as it pushes no queued job's planned
+/// start beyond that job's *slack allowance*. Conservative backfilling is
+/// the zero-slack special case; EASY is the everyone-but-the-head-job-has
+/// -infinite-slack extreme. The allowance here is
+///     slack(j) = slack_factor * estimated_runtime(j) + fixed_slack
+/// — longer jobs tolerate proportionally more queueing delay, which is
+/// the scheme's guiding heuristic.
+class SlackBackfillChooser final : public sim::BackfillChooser {
+ public:
+  explicit SlackBackfillChooser(double slack_factor = 0.5,
+                                std::int64_t fixed_slack = 600);
+
+  std::optional<std::size_t> choose(const sim::BackfillContext& ctx) override;
+  std::string name() const override { return "SLACK"; }
+
+  /// The delay allowance for one job.
+  std::int64_t allowance(const swf::Job& job,
+                         const sim::RuntimeEstimator& estimator) const;
+
+ private:
+  double slack_factor_;
+  std::int64_t fixed_slack_;
+};
+
+}  // namespace rlbf::sched

@@ -1,0 +1,47 @@
+#include "sched/policies.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlbf::sched {
+
+namespace {
+/// Request time with a floor of 1 s, so ratios and logs are defined.
+double safe_rt(const swf::Job& job) {
+  return static_cast<double>(std::max<std::int64_t>(job.request_time(), 1));
+}
+}  // namespace
+
+double FcfsPolicy::score(const swf::Job& job, std::int64_t /*now*/) const {
+  return static_cast<double>(job.submit_time);
+}
+
+double SjfPolicy::score(const swf::Job& job, std::int64_t /*now*/) const {
+  return safe_rt(job);
+}
+
+double Wfp3Policy::score(const swf::Job& job, std::int64_t now) const {
+  const double wt = static_cast<double>(std::max<std::int64_t>(now - job.submit_time, 0));
+  const double ratio = wt / safe_rt(job);
+  return -(ratio * ratio * ratio) * static_cast<double>(job.procs());
+}
+
+double F1Policy::score(const swf::Job& job, std::int64_t /*now*/) const {
+  // log10(st) is ill-defined for the trace's first job (st == 0); the
+  // published formula assumes epoch-style submit stamps, so clamp to 1.
+  const double st = static_cast<double>(std::max<std::int64_t>(job.submit_time, 1));
+  return std::log10(safe_rt(job)) * static_cast<double>(job.procs()) +
+         870.0 * std::log10(st);
+}
+
+std::unique_ptr<sim::PriorityPolicy> make_policy(const std::string& name) {
+  if (name == "FCFS") return std::make_unique<FcfsPolicy>();
+  if (name == "SJF") return std::make_unique<SjfPolicy>();
+  if (name == "WFP3") return std::make_unique<Wfp3Policy>();
+  if (name == "F1") return std::make_unique<F1Policy>();
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+std::vector<std::string> all_policy_names() { return {"FCFS", "SJF", "WFP3", "F1"}; }
+
+}  // namespace rlbf::sched

@@ -1,0 +1,174 @@
+#include "sched/predictors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rlbf::sched {
+
+namespace {
+
+/// Clamp a raw prediction to the deployable range [1, request time]: a
+/// system predictor never schedules past the kill limit.
+std::int64_t clamp_prediction(std::int64_t raw, const swf::Job& job) {
+  raw = std::max<std::int64_t>(raw, 1);
+  if (job.requested_time > 0) raw = std::min(raw, job.requested_time);
+  return raw;
+}
+
+}  // namespace
+
+RecentKEstimator::RecentKEstimator(const swf::Trace& trace, std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("RecentKEstimator: k must be >= 1");
+  std::unordered_map<std::int64_t, std::deque<std::int64_t>> history;
+  std::size_t predicted = 0;
+  for (const auto& job : trace.jobs()) {
+    auto& h = history[job.user_id];
+    std::int64_t prediction;
+    if (!h.empty()) {
+      double sum = 0.0;
+      for (std::int64_t r : h) sum += static_cast<double>(r);
+      prediction = static_cast<std::int64_t>(
+          std::llround(sum / static_cast<double>(h.size())));
+      ++predicted;
+    } else {
+      prediction = job.request_time();
+    }
+    predictions_.emplace(job.id, clamp_prediction(prediction, job));
+    h.push_front(std::max<std::int64_t>(job.run_time, 1));
+    if (h.size() > k_) h.pop_back();
+  }
+  coverage_ = trace.empty()
+                  ? 0.0
+                  : static_cast<double>(predicted) / static_cast<double>(trace.size());
+}
+
+std::int64_t RecentKEstimator::estimate(const swf::Job& job) const {
+  const auto it = predictions_.find(job.id);
+  if (it != predictions_.end()) return it->second;
+  return std::max<std::int64_t>(job.request_time(), 1);
+}
+
+std::string RecentKEstimator::name() const {
+  std::ostringstream os;
+  os << "Recent" << k_;
+  return os.str();
+}
+
+ClassAverageEstimator::ClassAverageEstimator(const swf::Trace& trace) {
+  struct RunningMean {
+    double sum = 0.0;
+    std::size_t n = 0;
+    bool any() const { return n > 0; }
+    std::int64_t mean() const {
+      return static_cast<std::int64_t>(std::llround(sum / static_cast<double>(n)));
+    }
+  };
+  // Class key packs (user, executable, log2 proc bucket) into one word.
+  // user/executable ids in SWF traces are small (< 2^24); the unknown
+  // sentinel -1 maps to its own bucket via the +1 shift.
+  const auto class_key = [](const swf::Job& job) -> std::int64_t {
+    const std::int64_t user = job.user_id + 1;
+    const std::int64_t exe = job.executable + 1;
+    std::int64_t bucket = 0;
+    for (std::int64_t p = job.procs(); p > 1; p >>= 1) ++bucket;
+    return (user << 32) | (exe << 8) | bucket;
+  };
+
+  std::unordered_map<std::int64_t, RunningMean> by_class;
+  std::unordered_map<std::int64_t, RunningMean> by_user;
+  std::size_t class_hits = 0;
+  for (const auto& job : trace.jobs()) {
+    RunningMean& cls = by_class[class_key(job)];
+    RunningMean& usr = by_user[job.user_id];
+    std::int64_t prediction;
+    if (cls.any()) {
+      prediction = cls.mean();
+      ++class_hits;
+    } else if (usr.any()) {
+      prediction = usr.mean();
+    } else {
+      prediction = job.request_time();
+    }
+    predictions_.emplace(job.id, clamp_prediction(prediction, job));
+    const auto run = static_cast<double>(std::max<std::int64_t>(job.run_time, 1));
+    cls.sum += run;
+    ++cls.n;
+    usr.sum += run;
+    ++usr.n;
+  }
+  class_coverage_ = trace.empty() ? 0.0
+                                  : static_cast<double>(class_hits) /
+                                        static_cast<double>(trace.size());
+}
+
+std::int64_t ClassAverageEstimator::estimate(const swf::Job& job) const {
+  const auto it = predictions_.find(job.id);
+  if (it != predictions_.end()) return it->second;
+  return std::max<std::int64_t>(job.request_time(), 1);
+}
+
+BlendEstimator::BlendEstimator(const sim::RuntimeEstimator& inner, double alpha)
+    : inner_(inner), alpha_(alpha) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("BlendEstimator: alpha must be in [0, 1]");
+  }
+}
+
+std::int64_t BlendEstimator::estimate(const swf::Job& job) const {
+  const auto inner = static_cast<double>(inner_.estimate(job));
+  const auto rt = static_cast<double>(std::max<std::int64_t>(job.request_time(), 1));
+  const auto blended =
+      static_cast<std::int64_t>(std::llround(alpha_ * inner + (1.0 - alpha_) * rt));
+  return clamp_prediction(blended, job);
+}
+
+std::string BlendEstimator::name() const {
+  std::ostringstream os;
+  os << "Blend(" << inner_.name() << "," << alpha_ << ")";
+  return os.str();
+}
+
+UnderNoisyEstimator::UnderNoisyEstimator(double noise_fraction, std::uint64_t seed)
+    : noise_fraction_(noise_fraction), seed_(seed) {
+  if (noise_fraction < 0.0 || noise_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "UnderNoisyEstimator: noise fraction must be in [0, 1)");
+  }
+}
+
+std::int64_t UnderNoisyEstimator::estimate(const swf::Job& job) const {
+  // Same deterministic per-job stream construction as NoisyEstimator,
+  // offset so the over- and under-prediction errors of one job are
+  // independent draws.
+  util::Rng rng(seed_ ^
+                (0xbf58476d1ce4e5b9ull * static_cast<std::uint64_t>(job.id + 1)));
+  const double factor = 1.0 - rng.uniform(0.0, noise_fraction_);
+  const double ar = static_cast<double>(std::max<std::int64_t>(job.run_time, 1));
+  const auto est = static_cast<std::int64_t>(std::llround(ar * factor));
+  return std::max<std::int64_t>(est, 1);
+}
+
+std::string UnderNoisyEstimator::name() const {
+  std::ostringstream os;
+  os << "Noisy-" << static_cast<int>(std::lround(noise_fraction_ * 100.0)) << "%";
+  return os.str();
+}
+
+double mean_relative_error(const sim::RuntimeEstimator& estimator,
+                           const swf::Trace& trace) {
+  if (trace.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& job : trace.jobs()) {
+    const auto ar = static_cast<double>(std::max<std::int64_t>(job.run_time, 1));
+    const auto est = static_cast<double>(estimator.estimate(job));
+    sum += std::abs(est - ar) / ar;
+  }
+  return sum / static_cast<double>(trace.size());
+}
+
+}  // namespace rlbf::sched

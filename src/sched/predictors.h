@@ -1,0 +1,122 @@
+// Extended runtime-prediction substrate beyond runtime_estimator.h's
+// paper-exact set. These predictors flesh out the design space the
+// paper's Figure 1 opens — "does more accurate runtime prediction always
+// lead to better scheduling?" — with the kinds of system-generated
+// predictors the related work ([11] Gaussier, [25] Tsafrir, [23] Tanash)
+// deploys:
+//
+//   RecentKEstimator     — mean of the user's K most recent runtimes
+//                          (Tsafrir's scheme generalized; K = 2 matches
+//                          TsafrirEstimator up to integer rounding).
+//   ClassAverageEstimator— running mean per job class, where a class is
+//                          (user, executable, requested-proc bucket);
+//                          falls back user -> request time while a class
+//                          has no history. The classic "similar jobs run
+//                          similarly" batch predictor.
+//   BlendEstimator       — convex combination of an inner predictor and
+//                          the user request time:
+//                              est = alpha * inner + (1 - alpha) * RT.
+//                          Sweeping alpha from 0 (pure EASY) to 1 (pure
+//                          predictor) traces the accuracy/backfilling
+//                          trade-off of Figure 2 with a continuous knob —
+//                          the ablation bench ablation_predictors uses it.
+//   UnderNoisyEstimator  — actual runtime deflated by a random -x% error,
+//                          the under-prediction mirror of NoisyEstimator.
+//                          Under-predictions make reservations optimistic
+//                          and exercise the simulator's expired-estimate
+//                          clamp; combined with kill_exceeding_request
+//                          they model prediction-driven kill risk.
+//
+// Like TsafrirEstimator, the history-based predictors precompute their
+// per-job predictions from the trace in submit order, which keeps them
+// deterministic and schedule-independent (DESIGN.md discusses the
+// approximation versus completion-order updates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/event_sim.h"
+
+namespace rlbf::sched {
+
+class RecentKEstimator final : public sim::RuntimeEstimator {
+ public:
+  /// predict(j) = mean(actual runtime of the user's previous <= k jobs),
+  /// clamped to [1, request time]; request-time fallback without history.
+  /// k must be >= 1.
+  RecentKEstimator(const swf::Trace& trace, std::size_t k);
+
+  std::int64_t estimate(const swf::Job& job) const override;
+  std::string name() const override;
+
+  std::size_t k() const { return k_; }
+  /// Fraction of jobs predicted from history (vs request-time fallback).
+  double coverage() const { return coverage_; }
+
+ private:
+  std::unordered_map<std::int64_t, std::int64_t> predictions_;
+  std::size_t k_;
+  double coverage_ = 0.0;
+};
+
+class ClassAverageEstimator final : public sim::RuntimeEstimator {
+ public:
+  /// Jobs are bucketed by (user, executable, floor(log2(procs))); each
+  /// prediction is the running mean of the class's previous runtimes,
+  /// falling back to the user's running mean, then the request time.
+  explicit ClassAverageEstimator(const swf::Trace& trace);
+
+  std::int64_t estimate(const swf::Job& job) const override;
+  std::string name() const override { return "ClassAverage"; }
+
+  /// Fraction of jobs predicted from class history (not fallbacks).
+  double class_coverage() const { return class_coverage_; }
+
+ private:
+  std::unordered_map<std::int64_t, std::int64_t> predictions_;
+  double class_coverage_ = 0.0;
+};
+
+class BlendEstimator final : public sim::RuntimeEstimator {
+ public:
+  /// `inner` must outlive this estimator. alpha in [0, 1]: 0 = request
+  /// time only, 1 = inner only. Estimates are clamped to [1, request
+  /// time] like every deployable predictor.
+  BlendEstimator(const sim::RuntimeEstimator& inner, double alpha);
+
+  std::int64_t estimate(const swf::Job& job) const override;
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  const sim::RuntimeEstimator& inner_;
+  double alpha_;
+};
+
+class UnderNoisyEstimator final : public sim::RuntimeEstimator {
+ public:
+  /// estimate = AR * (1 - U(0, noise_fraction)), floored at 1 second.
+  /// noise_fraction must lie in [0, 1). Deterministic per (seed, job id)
+  /// like NoisyEstimator.
+  UnderNoisyEstimator(double noise_fraction, std::uint64_t seed);
+
+  std::int64_t estimate(const swf::Job& job) const override;
+  std::string name() const override;
+
+  double noise_fraction() const { return noise_fraction_; }
+
+ private:
+  double noise_fraction_;
+  std::uint64_t seed_;
+};
+
+/// Mean absolute relative prediction error of an estimator over a trace:
+/// mean(|est - AR| / max(AR, 1)). The accuracy axis of the Figure-1
+/// style accuracy-vs-bsld plots.
+double mean_relative_error(const sim::RuntimeEstimator& estimator,
+                           const swf::Trace& trace);
+
+}  // namespace rlbf::sched

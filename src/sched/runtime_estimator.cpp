@@ -1,0 +1,85 @@
+#include "sched/runtime_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rlbf::sched {
+
+std::int64_t RequestTimeEstimator::estimate(const swf::Job& job) const {
+  return std::max<std::int64_t>(job.request_time(), 1);
+}
+
+std::int64_t ActualRuntimeEstimator::estimate(const swf::Job& job) const {
+  return std::max<std::int64_t>(job.run_time, 1);
+}
+
+NoisyEstimator::NoisyEstimator(double noise_fraction, std::uint64_t seed)
+    : noise_fraction_(noise_fraction), seed_(seed) {
+  if (noise_fraction < 0.0) {
+    throw std::invalid_argument("NoisyEstimator: negative noise fraction");
+  }
+}
+
+std::int64_t NoisyEstimator::estimate(const swf::Job& job) const {
+  // Deterministic per-job stream: same job -> same estimate, always.
+  util::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(job.id + 1)));
+  const double factor = 1.0 + rng.uniform(0.0, noise_fraction_);
+  const double ar = static_cast<double>(std::max<std::int64_t>(job.run_time, 1));
+  auto est = static_cast<std::int64_t>(std::llround(ar * factor));
+  if (job.requested_time > 0) {
+    // A deployed predictor is bounded above by the kill limit.
+    est = std::min(est, job.requested_time);
+  }
+  return std::max<std::int64_t>(est, 1);
+}
+
+std::string NoisyEstimator::name() const {
+  std::ostringstream os;
+  os << "Noisy+" << static_cast<int>(std::lround(noise_fraction_ * 100.0)) << "%";
+  return os.str();
+}
+
+TsafrirEstimator::TsafrirEstimator(const swf::Trace& trace) {
+  // Rolling last-two-runtimes window per user, walked in submit order.
+  struct History {
+    std::int64_t prev1 = -1;  // most recent
+    std::int64_t prev2 = -1;
+  };
+  std::unordered_map<std::int64_t, History> users;
+  std::size_t predicted = 0;
+  for (const auto& job : trace.jobs()) {
+    History& h = users[job.user_id];
+    std::int64_t prediction;
+    if (h.prev1 >= 0) {
+      prediction = (h.prev2 >= 0) ? (h.prev1 + h.prev2) / 2 : h.prev1;
+      ++predicted;
+    } else {
+      prediction = job.request_time();  // no history yet
+    }
+    prediction = std::max<std::int64_t>(prediction, 1);
+    if (job.requested_time > 0) {
+      // The original scheme caps at the user estimate (the kill limit).
+      prediction = std::min(prediction, job.requested_time);
+    }
+    predictions_.emplace(job.id, prediction);
+    h.prev2 = h.prev1;
+    h.prev1 = std::max<std::int64_t>(job.run_time, 1);
+  }
+  coverage_ = trace.empty()
+                  ? 0.0
+                  : static_cast<double>(predicted) / static_cast<double>(trace.size());
+}
+
+std::int64_t TsafrirEstimator::estimate(const swf::Job& job) const {
+  const auto it = predictions_.find(job.id);
+  if (it != predictions_.end()) return it->second;
+  // Unknown job (e.g. a trace slice re-numbered after construction):
+  // fall back to the request time rather than failing.
+  return std::max<std::int64_t>(job.request_time(), 1);
+}
+
+}  // namespace rlbf::sched

@@ -1,0 +1,81 @@
+// High-level convenience layer: run a (base policy, backfill strategy,
+// estimator) configuration over a trace and get metrics back. This is
+// the API the examples and benches use; the paper's named configurations
+// (FCFS+EASY, SJF+EASY-AR, ...) construct through SchedulerSpec.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sched/conservative_backfill.h"
+#include "sched/easy_backfill.h"
+#include "sched/policies.h"
+#include "sched/runtime_estimator.h"
+#include "sim/event_sim.h"
+
+namespace rlbf::sched {
+
+/// Per-job results plus the aggregate metrics of one scheduling run.
+struct ScheduleOutcome {
+  std::vector<sim::JobResult> results;
+  sim::ScheduleMetrics metrics;
+};
+
+/// Schedule `trace` and compute metrics. `chooser` may be null for a
+/// no-backfilling run.
+ScheduleOutcome run_schedule(const swf::Trace& trace, const sim::PriorityPolicy& policy,
+                             const sim::RuntimeEstimator& estimator,
+                             sim::BackfillChooser* chooser,
+                             const sim::SimulationOptions& options = {});
+
+/// Backfill strategy selector for SchedulerSpec.
+enum class BackfillKind {
+  None,          // base policy only
+  Easy,          // EASY in queue order (the paper's EASY)
+  EasySjf,       // EASY trying shortest candidates first
+  EasyBestFit,   // EASY trying widest candidates first
+  EasyWorstFit,  // EASY trying narrowest candidates first
+  Conservative,  // strict no-delay-for-anyone backfilling
+  Slack,         // Talby-Feitelson slack-based (bounded delays allowed)
+};
+
+/// Estimate source selector for SchedulerSpec.
+enum class EstimateKind {
+  RequestTime,   // user wall time (the paper's "EASY")
+  ActualRuntime, // oracle (the paper's "EASY-AR")
+  Noisy,         // AR * (1 + U(0, noise)) (Figure 1)
+};
+
+/// A named scheduler configuration, e.g. {"FCFS", Easy, RequestTime}.
+struct SchedulerSpec {
+  std::string policy = "FCFS";
+  BackfillKind backfill = BackfillKind::Easy;
+  EstimateKind estimate = EstimateKind::RequestTime;
+  double noise_fraction = 0.0;   // used when estimate == Noisy
+  std::uint64_t noise_seed = 0;  // used when estimate == Noisy
+
+  /// e.g. "FCFS+EASY", "SJF+EASY-AR", "FCFS+EASY+20%".
+  std::string label() const;
+};
+
+/// Owns the policy/estimator/chooser objects a spec describes.
+class ConfiguredScheduler {
+ public:
+  explicit ConfiguredScheduler(const SchedulerSpec& spec);
+
+  ScheduleOutcome run(const swf::Trace& trace) const;
+
+  const sim::PriorityPolicy& policy() const { return *policy_; }
+  const sim::RuntimeEstimator& estimator() const { return *estimator_; }
+  /// Null when the spec disables backfilling.
+  sim::BackfillChooser* chooser() const { return chooser_.get(); }
+  const SchedulerSpec& spec() const { return spec_; }
+
+ private:
+  SchedulerSpec spec_;
+  std::unique_ptr<sim::PriorityPolicy> policy_;
+  std::unique_ptr<sim::RuntimeEstimator> estimator_;
+  std::unique_ptr<sim::BackfillChooser> chooser_;
+};
+
+}  // namespace rlbf::sched

@@ -1,0 +1,48 @@
+#include "sim/cluster.h"
+
+namespace rlbf::sim {
+
+ClusterState::ClusterState(std::int64_t total_procs)
+    : total_procs_(total_procs), free_procs_(total_procs) {
+  if (total_procs <= 0) throw std::invalid_argument("cluster: total_procs <= 0");
+}
+
+void ClusterState::start(std::size_t job_index, std::int64_t procs, std::int64_t now,
+                         std::int64_t actual_runtime) {
+  if (procs <= 0) throw std::invalid_argument("cluster: job with procs <= 0");
+  if (actual_runtime < 0) throw std::invalid_argument("cluster: negative runtime");
+  if (procs > free_procs_) throw std::runtime_error("cluster: oversubscription");
+  free_procs_ -= procs;
+  running_.push(RunningJob{job_index, procs, now, now + actual_runtime});
+}
+
+std::int64_t ClusterState::next_completion_time() const {
+  if (running_.empty()) throw std::runtime_error("cluster: nothing running");
+  return running_.top().end_time;
+}
+
+std::vector<RunningJob> ClusterState::complete_until(std::int64_t now) {
+  std::vector<RunningJob> done;
+  while (!running_.empty() && running_.top().end_time <= now) {
+    done.push_back(running_.top());
+    running_.pop();
+    free_procs_ += done.back().procs;
+  }
+  return done;
+}
+
+std::vector<RunningJob> ClusterState::running_jobs() const {
+  // priority_queue has no iteration; copy and drain. Running sets are
+  // small (bounded by machine size), so this is cheap and keeps the
+  // invariant-holding heap untouched.
+  std::vector<RunningJob> out;
+  out.reserve(running_.size());
+  auto copy = running_;
+  while (!copy.empty()) {
+    out.push_back(copy.top());
+    copy.pop();
+  }
+  return out;
+}
+
+}  // namespace rlbf::sim

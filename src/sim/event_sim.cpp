@@ -1,0 +1,197 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rlbf::sim {
+
+Reservation compute_reservation(const ClusterState& cluster, const swf::Trace& trace,
+                                const swf::Job& rjob, const RuntimeEstimator& estimator,
+                                std::int64_t now) {
+  Reservation res;
+  const std::int64_t need = rjob.procs();
+  std::int64_t free_procs = cluster.free_procs();
+  if (free_procs >= need) {
+    res.shadow_time = now;
+    res.extra_procs = free_procs - need;
+    return res;
+  }
+  // Walk running jobs in estimated-end order, accumulating releases
+  // until the head job fits.
+  auto running = cluster.running_jobs();
+  for (auto& r : running) {
+    const auto& job = trace[r.job_index];
+    std::int64_t est_end = r.start_time + estimator.estimate(job);
+    // Under-predicted jobs whose estimate already elapsed count as "due
+    // immediately"; a real scheduler would see the estimate expired.
+    r.end_time = std::max(est_end, now + 1);
+  }
+  std::sort(running.begin(), running.end(),
+            [](const RunningJob& a, const RunningJob& b) { return a.end_time < b.end_time; });
+  for (const auto& r : running) {
+    free_procs += r.procs;
+    if (free_procs >= need) {
+      res.shadow_time = r.end_time;
+      res.extra_procs = free_procs - need;
+      return res;
+    }
+  }
+  // Unreachable for valid traces: all jobs fit an empty machine.
+  throw std::runtime_error("compute_reservation: job never fits machine");
+}
+
+namespace {
+
+class SimRunner {
+ public:
+  SimRunner(const swf::Trace& trace, const PriorityPolicy& policy,
+            const RuntimeEstimator& estimator, BackfillChooser* chooser,
+            const SimulationOptions& options)
+      : trace_(trace),
+        policy_(policy),
+        estimator_(estimator),
+        chooser_(chooser),
+        options_(options),
+        cluster_(trace.machine_procs()) {}
+
+  std::vector<JobResult> run() {
+    trace_.validate();
+    const std::size_t n = trace_.size();
+    results_.resize(n);
+    if (chooser_ != nullptr) chooser_->episode_begin(trace_);
+
+    std::int64_t now = n > 0 ? trace_[0].submit_time : 0;
+    while (started_ < n) {
+      admit_arrivals(now);
+      schedule_pass(now);
+      if (started_ == n) break;
+
+      // Advance to the next event: an arrival or an actual completion.
+      std::int64_t next = std::numeric_limits<std::int64_t>::max();
+      if (next_arrival_ < n) next = std::min(next, trace_[next_arrival_].submit_time);
+      if (cluster_.running_count() > 0) {
+        next = std::min(next, cluster_.next_completion_time());
+      }
+      if (next == std::numeric_limits<std::int64_t>::max()) {
+        throw std::runtime_error("simulate: deadlock (queued jobs, no events)");
+      }
+      now = std::max(now, next);
+      cluster_.complete_until(now);
+    }
+    if (chooser_ != nullptr) chooser_->episode_end(results_);
+    return std::move(results_);
+  }
+
+ private:
+  void admit_arrivals(std::int64_t now) {
+    while (next_arrival_ < trace_.size() &&
+           trace_[next_arrival_].submit_time <= now) {
+      queue_.push_back(next_arrival_++);
+    }
+  }
+
+  void start_job(std::size_t idx, std::int64_t now, bool backfilled) {
+    const auto& job = trace_[idx];
+    std::int64_t run = job.run_time;
+    bool killed = false;
+    if (options_.kill_exceeding_request && job.request_time() < run) {
+      run = job.request_time();
+      killed = true;
+    }
+    cluster_.start(idx, job.procs(), now, run);
+    JobResult r;
+    r.job_index = idx;
+    r.submit_time = job.submit_time;
+    r.start_time = now;
+    r.end_time = now + run;
+    r.procs = job.procs();
+    r.backfilled = backfilled;
+    r.killed = killed;
+    results_[idx] = r;
+    ++started_;
+  }
+
+  void sort_queue(std::int64_t now) {
+    std::stable_sort(queue_.begin(), queue_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const double sa = policy_.score(trace_[a], now);
+                       const double sb = policy_.score(trace_[b], now);
+                       if (sa != sb) return sa < sb;
+                       return a < b;  // deterministic tie-break: arrival order
+                     });
+  }
+
+  /// Start every head job that fits; on the first blocked head, open one
+  /// backfilling opportunity, then yield back to the event loop.
+  void schedule_pass(std::int64_t now) {
+    for (;;) {
+      if (queue_.empty()) return;
+      sort_queue(now);
+      const std::size_t head = queue_.front();
+      if (cluster_.can_fit(trace_[head].procs())) {
+        start_job(head, now, /*backfilled=*/false);
+        queue_.erase(queue_.begin());
+        continue;
+      }
+      if (chooser_ != nullptr && queue_.size() > 1) {
+        backfill_opportunity(now, head);
+      }
+      return;
+    }
+  }
+
+  void backfill_opportunity(std::int64_t now, std::size_t rjob) {
+    std::size_t backfilled = 0;
+    for (;;) {
+      if (options_.max_backfills_per_opportunity != 0 &&
+          backfilled >= options_.max_backfills_per_opportunity) {
+        return;
+      }
+      std::vector<std::size_t> candidates;
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (cluster_.can_fit(trace_[queue_[i]].procs())) {
+          candidates.push_back(queue_[i]);
+        }
+      }
+      if (candidates.empty()) return;
+      const Reservation res =
+          compute_reservation(cluster_, trace_, trace_[rjob], estimator_, now);
+      const BackfillContext ctx{trace_, cluster_, estimator_, now,
+                                rjob, res, queue_, candidates};
+      const auto pick = chooser_->choose(ctx);
+      if (!pick.has_value()) return;
+      if (*pick >= candidates.size()) {
+        throw std::runtime_error("backfill chooser returned out-of-range pick");
+      }
+      const std::size_t chosen = candidates[*pick];
+      start_job(chosen, now, /*backfilled=*/true);
+      queue_.erase(std::find(queue_.begin(), queue_.end(), chosen));
+      ++backfilled;
+    }
+  }
+
+  const swf::Trace& trace_;
+  const PriorityPolicy& policy_;
+  const RuntimeEstimator& estimator_;
+  BackfillChooser* chooser_;
+  SimulationOptions options_;
+
+  ClusterState cluster_;
+  std::vector<std::size_t> queue_;  // pending trace indices
+  std::vector<JobResult> results_;
+  std::size_t next_arrival_ = 0;
+  std::size_t started_ = 0;
+};
+
+}  // namespace
+
+std::vector<JobResult> simulate(const swf::Trace& trace, const PriorityPolicy& policy,
+                                const RuntimeEstimator& estimator,
+                                BackfillChooser* chooser,
+                                const SimulationOptions& options) {
+  SimRunner runner(trace, policy, estimator, chooser, options);
+  return runner.run();
+}
+
+}  // namespace rlbf::sim

@@ -1,0 +1,111 @@
+// Event-driven HPC scheduling simulation.
+//
+// Time advances between job arrivals and (actual) job completions; at
+// every event the base policy picks the highest-priority queued job. If
+// it fits, it starts; if not, a *backfilling opportunity* opens and the
+// installed BackfillChooser is consulted repeatedly — one candidate per
+// call — until it declines or no candidate fits. This is exactly the
+// decision structure RLBackfilling trains on: heuristic backfillers
+// (EASY, conservative) and the RL agent implement the same BackfillChooser
+// interface, so every strategy is evaluated under identical semantics.
+//
+// Two clocks coexist by design: resources release at the job's *actual*
+// runtime, while choosers only see *estimates* through the
+// RuntimeEstimator. The gap between the two is the paper's subject.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/metrics.h"
+#include "swf/trace.h"
+
+namespace rlbf::sim {
+
+/// Base scheduling policy: lower score = scheduled first (Table 3 of the
+/// paper: FCFS scores by submit time, SJF by request time, ...).
+class PriorityPolicy {
+ public:
+  virtual ~PriorityPolicy() = default;
+  virtual double score(const swf::Job& job, std::int64_t now) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Source of the runtime estimates schedulers plan with.
+class RuntimeEstimator {
+ public:
+  virtual ~RuntimeEstimator() = default;
+  /// Estimated runtime in seconds, always >= 1.
+  virtual std::int64_t estimate(const swf::Job& job) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// EASY-style reservation for the blocked head job: the shadow time at
+/// which, by the estimates, enough processors will have been released,
+/// and the processors spare at that moment beyond the head job's need.
+struct Reservation {
+  std::int64_t shadow_time = 0;
+  std::int64_t extra_procs = 0;
+};
+
+/// Compute the reservation for `rjob` against the current running set.
+/// Estimated ends that already elapsed (under-predictions) are treated as
+/// "due now" (clamped to now + 1).
+Reservation compute_reservation(const ClusterState& cluster, const swf::Trace& trace,
+                                const swf::Job& rjob, const RuntimeEstimator& estimator,
+                                std::int64_t now);
+
+/// Everything a chooser may inspect when picking a backfill candidate.
+struct BackfillContext {
+  const swf::Trace& trace;
+  const ClusterState& cluster;
+  const RuntimeEstimator& estimator;
+  std::int64_t now = 0;
+  std::size_t rjob = 0;            // blocked head job (trace index)
+  Reservation reservation;         // rjob's current EASY reservation
+  /// All pending jobs in base-policy priority order; front() == rjob.
+  const std::vector<std::size_t>& queue;
+  /// Jobs that fit the free processors right now, priority order,
+  /// excluding rjob. Never empty when choose() is called.
+  const std::vector<std::size_t>& candidates;
+};
+
+/// Strategy consulted at backfilling opportunities.
+class BackfillChooser {
+ public:
+  virtual ~BackfillChooser() = default;
+  /// Pick an index INTO ctx.candidates, or nullopt to end this
+  /// opportunity without (further) backfilling.
+  virtual std::optional<std::size_t> choose(const BackfillContext& ctx) = 0;
+  virtual std::string name() const = 0;
+  /// Episode hooks; RL choosers use them to delimit trajectories.
+  virtual void episode_begin(const swf::Trace& trace) { (void)trace; }
+  virtual void episode_end(const std::vector<JobResult>& results) { (void)results; }
+};
+
+struct SimulationOptions {
+  /// Safety cap on backfills per opportunity; 0 = unlimited.
+  std::size_t max_backfills_per_opportunity = 0;
+  /// Enforce the paper's §2.1.2 contract — "the scheduler will cancel or
+  /// kill jobs that surpass their Request Time": a job whose actual
+  /// runtime exceeds its request time runs only until the request time
+  /// and its JobResult is flagged killed. Off by default because archive
+  /// traces record AR <= RT for completed jobs; it matters for traces
+  /// with recorded overruns and for what-if studies that shrink request
+  /// times below the actual runtime.
+  bool kill_exceeding_request = false;
+};
+
+/// Run one trace to completion and return per-job results ordered by
+/// trace index. `chooser` may be null (no backfilling). Throws
+/// std::runtime_error if the trace is unschedulable (e.g. a job wider
+/// than the machine).
+std::vector<JobResult> simulate(const swf::Trace& trace, const PriorityPolicy& policy,
+                                const RuntimeEstimator& estimator,
+                                BackfillChooser* chooser,
+                                const SimulationOptions& options = {});
+
+}  // namespace rlbf::sim

@@ -1,0 +1,85 @@
+#include "sim/fairness.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace rlbf::sim {
+
+std::vector<UserMetrics> per_user_metrics(const std::vector<JobResult>& results,
+                                          const swf::Trace& trace) {
+  struct Accum {
+    std::size_t n = 0;
+    double bsld = 0.0;
+    double wait = 0.0;
+    double max_wait = 0.0;
+    std::size_t backfilled = 0;
+  };
+  std::map<std::int64_t, Accum> by_user;
+  for (const auto& r : results) {
+    if (r.job_index >= trace.size()) {
+      throw std::invalid_argument("per_user_metrics: result references a job "
+                                  "outside the trace");
+    }
+    Accum& a = by_user[trace[r.job_index].user_id];
+    ++a.n;
+    a.bsld += r.bounded_slowdown();
+    a.wait += static_cast<double>(r.wait_time());
+    a.max_wait = std::max(a.max_wait, static_cast<double>(r.wait_time()));
+    if (r.backfilled) ++a.backfilled;
+  }
+
+  std::vector<UserMetrics> out;
+  out.reserve(by_user.size());
+  for (const auto& [user, a] : by_user) {
+    UserMetrics m;
+    m.user_id = user;
+    m.job_count = a.n;
+    const auto n = static_cast<double>(a.n);
+    m.avg_bounded_slowdown = a.bsld / n;
+    m.avg_wait_time = a.wait / n;
+    m.max_wait_time = a.max_wait;
+    m.backfilled_jobs = a.backfilled;
+    out.push_back(m);
+  }
+  return out;
+}
+
+double jain_fairness_index(const std::vector<double>& values) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    if (v < 0.0) throw std::invalid_argument("jain_fairness_index: negative value");
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (values.empty() || sum_sq == 0.0) return 1.0;
+  const auto n = static_cast<double>(values.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+FairnessReport fairness_report(const std::vector<JobResult>& results,
+                               const swf::Trace& trace) {
+  FairnessReport report;
+  report.users = per_user_metrics(results, trace);
+  report.user_count = report.users.size();
+  if (report.users.empty()) return report;
+
+  std::vector<double> bslds, waits;
+  bslds.reserve(report.users.size());
+  waits.reserve(report.users.size());
+  double bsld_min = report.users.front().avg_bounded_slowdown;
+  double bsld_max = bsld_min;
+  for (const auto& u : report.users) {
+    bslds.push_back(u.avg_bounded_slowdown);
+    waits.push_back(u.avg_wait_time);
+    bsld_min = std::min(bsld_min, u.avg_bounded_slowdown);
+    bsld_max = std::max(bsld_max, u.avg_bounded_slowdown);
+  }
+  report.bsld_jain = jain_fairness_index(bslds);
+  report.wait_jain = jain_fairness_index(waits);
+  // bsld >= 1 by definition, so the ratio is well-defined.
+  report.bsld_spread = bsld_min > 0.0 ? bsld_max / bsld_min : 1.0;
+  return report;
+}
+
+}  // namespace rlbf::sim

@@ -1,0 +1,57 @@
+// Per-user scheduling-fairness analysis. Backfilling reshuffles who
+// waits: a strategy can lower the *average* bounded slowdown while
+// concentrating the remaining waiting on a few users (small jobs jump
+// the queue; wide jobs from other users absorb the delay). These helpers
+// quantify that redistribution so benches can report fairness alongside
+// the paper's headline bsld.
+//
+// Fairness is summarized with Jain's index over per-user mean bounded
+// slowdowns: 1.0 when every user experiences the same slowdown, 1/n in
+// the most skewed case. (Jain, Chiu, Hawe, DEC TR-301, 1984.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "swf/trace.h"
+
+namespace rlbf::sim {
+
+/// Aggregate outcome of one user's jobs within a scheduled sequence.
+struct UserMetrics {
+  std::int64_t user_id = swf::kUnknown;
+  std::size_t job_count = 0;
+  double avg_bounded_slowdown = 0.0;
+  double avg_wait_time = 0.0;
+  double max_wait_time = 0.0;
+  std::size_t backfilled_jobs = 0;
+};
+
+/// Group `results` by the owning job's SWF user id (kUnknown collects
+/// jobs without one) and aggregate per user. Sorted by user id.
+std::vector<UserMetrics> per_user_metrics(const std::vector<JobResult>& results,
+                                          const swf::Trace& trace);
+
+/// Jain's fairness index of non-negative values: (sum x)^2 / (n * sum x^2),
+/// in (0, 1]. Returns 1.0 for empty or all-zero input (nothing to be
+/// unfair about).
+double jain_fairness_index(const std::vector<double>& values);
+
+/// Fairness summary of one schedule.
+struct FairnessReport {
+  std::size_t user_count = 0;
+  /// Jain's index over per-user mean bounded slowdowns.
+  double bsld_jain = 1.0;
+  /// Jain's index over per-user mean wait times.
+  double wait_jain = 1.0;
+  /// Largest per-user mean bsld divided by the smallest (>= 1); the
+  /// spread a min/max summary makes visible that Jain's index compresses.
+  double bsld_spread = 1.0;
+  std::vector<UserMetrics> users;
+};
+
+FairnessReport fairness_report(const std::vector<JobResult>& results,
+                               const swf::Trace& trace);
+
+}  // namespace rlbf::sim

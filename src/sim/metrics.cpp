@@ -1,0 +1,60 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlbf::sim {
+
+double JobResult::bounded_slowdown(double threshold) const {
+  const double wait = static_cast<double>(wait_time());
+  const double run = static_cast<double>(run_time());
+  const double denom = std::max(run, threshold);
+  return std::max(1.0, (wait + run) / denom);
+}
+
+double JobResult::slowdown() const {
+  // turnaround / runtime, with the denominator clamped so zero-length
+  // archive jobs do not divide by zero.
+  const double turnaround_s = static_cast<double>(turnaround());
+  const double run = std::max<double>(static_cast<double>(run_time()), 1.0);
+  return turnaround_s / run;
+}
+
+ScheduleMetrics compute_metrics(const std::vector<JobResult>& results,
+                                std::int64_t total_procs) {
+  ScheduleMetrics m;
+  m.job_count = results.size();
+  if (results.empty() || total_procs <= 0) return m;
+
+  double sum_bsld = 0.0, sum_sld = 0.0, sum_wait = 0.0, sum_turn = 0.0;
+  double busy = 0.0;
+  std::int64_t first_submit = results.front().submit_time;
+  std::int64_t last_end = results.front().end_time;
+  for (const auto& r : results) {
+    sum_bsld += r.bounded_slowdown();
+    sum_sld += r.slowdown();
+    sum_wait += static_cast<double>(r.wait_time());
+    sum_turn += static_cast<double>(r.turnaround());
+    m.max_wait_time = std::max(m.max_wait_time, static_cast<double>(r.wait_time()));
+    busy += static_cast<double>(r.run_time()) * static_cast<double>(r.procs);
+    first_submit = std::min(first_submit, r.submit_time);
+    last_end = std::max(last_end, r.end_time);
+    if (r.backfilled) ++m.backfilled_jobs;
+    if (r.killed) ++m.killed_jobs;
+  }
+  const auto n = static_cast<double>(results.size());
+  m.avg_bounded_slowdown = sum_bsld / n;
+  m.avg_slowdown = sum_sld / n;
+  m.avg_wait_time = sum_wait / n;
+  m.avg_turnaround = sum_turn / n;
+  m.makespan = last_end - first_submit;
+  if (m.makespan > 0) {
+    busy = std::min(busy, static_cast<double>(m.makespan) *
+                              static_cast<double>(total_procs));
+    m.utilization = busy / (static_cast<double>(m.makespan) *
+                            static_cast<double>(total_procs));
+  }
+  return m;
+}
+
+}  // namespace rlbf::sim

@@ -1,0 +1,60 @@
+// Scheduling-quality metrics. The paper's headline metric is the average
+// bounded job slowdown (bsld, Feitelson & Rudolph JSSPP'98) with the
+// usual 10-second interactive threshold; wait time, turnaround, makespan
+// and utilization are also reported by the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlbf::sim {
+
+/// The bounded-slowdown interactive threshold, seconds.
+inline constexpr double kBsldThreshold = 10.0;
+
+/// Outcome of one job's scheduling.
+struct JobResult {
+  std::size_t job_index = 0;
+  std::int64_t submit_time = 0;
+  std::int64_t start_time = 0;
+  std::int64_t end_time = 0;    // start + actual runtime
+  std::int64_t procs = 0;
+  /// True if the job ran via a backfill decision rather than as the
+  /// base policy's selection.
+  bool backfilled = false;
+  /// True if the simulator killed the job at its request time because it
+  /// would have run longer (SimulationOptions::kill_exceeding_request).
+  /// end_time then reflects the truncated runtime.
+  bool killed = false;
+
+  std::int64_t wait_time() const { return start_time - submit_time; }
+  std::int64_t run_time() const { return end_time - start_time; }
+  std::int64_t turnaround() const { return end_time - submit_time; }
+
+  /// max(1, (wait + run) / max(run, threshold)).
+  double bounded_slowdown(double threshold = kBsldThreshold) const;
+  /// Unbounded slowdown (run time clamped to >= 1 s to avoid division
+  /// by zero on zero-length archive jobs).
+  double slowdown() const;
+};
+
+/// Aggregate over a scheduled sequence.
+struct ScheduleMetrics {
+  std::size_t job_count = 0;
+  double avg_bounded_slowdown = 0.0;
+  double avg_slowdown = 0.0;
+  double avg_wait_time = 0.0;
+  double avg_turnaround = 0.0;
+  double max_wait_time = 0.0;
+  std::int64_t makespan = 0;      // last end - first submit
+  double utilization = 0.0;       // busy proc-seconds / (procs * makespan)
+  std::size_t backfilled_jobs = 0;
+  std::size_t killed_jobs = 0;    // truncated at their request time
+};
+
+/// Compute the aggregate metrics. `total_procs` is the machine size (for
+/// utilization). Returns zeros for an empty result set.
+ScheduleMetrics compute_metrics(const std::vector<JobResult>& results,
+                                std::int64_t total_procs);
+
+}  // namespace rlbf::sim

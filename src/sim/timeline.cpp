@@ -1,0 +1,85 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace rlbf::sim {
+
+std::vector<TimelinePoint> usage_timeline(const std::vector<JobResult>& results) {
+  // Sweep line: +procs at start, -procs at end, then prefix-sum.
+  std::map<std::int64_t, std::int64_t> deltas;
+  for (const auto& r : results) {
+    if (r.run_time() == 0) continue;  // zero-length jobs occupy no interval
+    deltas[r.start_time] += r.procs;
+    deltas[r.end_time] -= r.procs;
+  }
+  std::vector<TimelinePoint> timeline;
+  timeline.reserve(deltas.size());
+  std::int64_t used = 0;
+  for (const auto& [time, delta] : deltas) {
+    used += delta;
+    if (!timeline.empty() && timeline.back().used == used) continue;  // merge
+    timeline.push_back({time, used});
+  }
+  // Trailing zero point is meaningful (usage returns to 0); keep it.
+  return timeline;
+}
+
+std::int64_t peak_usage(const std::vector<JobResult>& results) {
+  std::int64_t peak = 0;
+  for (const auto& p : usage_timeline(results)) peak = std::max(peak, p.used);
+  return peak;
+}
+
+std::vector<double> utilization_histogram(const std::vector<JobResult>& results,
+                                          std::int64_t total_procs,
+                                          std::int64_t bucket_seconds) {
+  if (total_procs <= 0) throw std::invalid_argument("histogram: total_procs <= 0");
+  if (bucket_seconds <= 0) throw std::invalid_argument("histogram: bucket <= 0");
+  if (results.empty()) return {};
+
+  std::int64_t span_start = results.front().start_time;
+  std::int64_t span_end = results.front().end_time;
+  for (const auto& r : results) {
+    span_start = std::min(span_start, r.start_time);
+    span_end = std::max(span_end, r.end_time);
+  }
+  if (span_end <= span_start) return {};
+  const auto buckets =
+      static_cast<std::size_t>((span_end - span_start + bucket_seconds - 1) /
+                               bucket_seconds);
+  std::vector<double> busy(buckets, 0.0);
+  for (const auto& r : results) {
+    // Distribute this job's proc-seconds over the buckets it overlaps.
+    std::int64_t t = r.start_time;
+    while (t < r.end_time) {
+      const auto b = static_cast<std::size_t>((t - span_start) / bucket_seconds);
+      const std::int64_t bucket_end = span_start +
+          static_cast<std::int64_t>(b + 1) * bucket_seconds;
+      const std::int64_t upto = std::min(bucket_end, r.end_time);
+      busy[b] += static_cast<double>((upto - t)) * static_cast<double>(r.procs);
+      t = upto;
+    }
+  }
+  const double capacity =
+      static_cast<double>(total_procs) * static_cast<double>(bucket_seconds);
+  for (auto& b : busy) b /= capacity;
+  return busy;
+}
+
+bool write_schedule_csv(const std::string& path,
+                        const std::vector<JobResult>& results) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "job,submit,start,end,procs,wait,bounded_slowdown,backfilled\n";
+  for (const auto& r : results) {
+    out << r.job_index << ',' << r.submit_time << ',' << r.start_time << ','
+        << r.end_time << ',' << r.procs << ',' << r.wait_time() << ','
+        << r.bounded_slowdown() << ',' << (r.backfilled ? 1 : 0) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace rlbf::sim

@@ -1,0 +1,42 @@
+// Post-scheduling analysis: turn a set of JobResults into a processor-
+// usage step function, per-interval utilization histograms, and a
+// per-job CSV (Gantt-style) export. Used by the swf_tools example and
+// handy when debugging why one backfilling strategy beats another.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace rlbf::sim {
+
+/// One breakpoint of the processors-in-use step function: `used` procs
+/// are busy from `time` until the next point's time.
+struct TimelinePoint {
+  std::int64_t time = 0;
+  std::int64_t used = 0;
+};
+
+/// Build the step function of processors in use over time. Points are
+/// strictly increasing in time; the function is 0 before the first and
+/// after the last point. Empty input yields an empty timeline.
+std::vector<TimelinePoint> usage_timeline(const std::vector<JobResult>& results);
+
+/// Highest simultaneous processor usage (0 for empty input).
+std::int64_t peak_usage(const std::vector<JobResult>& results);
+
+/// Mean utilization per fixed-width bucket across the schedule's span:
+/// bucket[i] = busy proc-seconds in [start + i*w, start + (i+1)*w) /
+/// (total_procs * w). Requires total_procs > 0 and bucket_seconds > 0.
+std::vector<double> utilization_histogram(const std::vector<JobResult>& results,
+                                          std::int64_t total_procs,
+                                          std::int64_t bucket_seconds);
+
+/// Write one CSV row per job: index, submit, start, end, procs, wait,
+/// bounded slowdown, backfilled. Returns false on I/O failure.
+bool write_schedule_csv(const std::string& path,
+                        const std::vector<JobResult>& results);
+
+}  // namespace rlbf::sim

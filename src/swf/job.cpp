@@ -1,0 +1,19 @@
+#include "swf/job.h"
+
+#include <sstream>
+
+namespace rlbf::swf {
+
+std::string to_swf_line(const Job& job) {
+  std::ostringstream os;
+  os << job.id << ' ' << job.submit_time << ' ' << job.wait_time << ' '
+     << job.run_time << ' ' << job.used_procs << ' ' << job.avg_cpu_time << ' '
+     << job.used_memory << ' ' << job.requested_procs << ' '
+     << job.requested_time << ' ' << job.requested_memory << ' ' << job.status
+     << ' ' << job.user_id << ' ' << job.group_id << ' ' << job.executable
+     << ' ' << job.queue << ' ' << job.partition << ' ' << job.preceding_job
+     << ' ' << job.think_time;
+  return os.str();
+}
+
+}  // namespace rlbf::swf

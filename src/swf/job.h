@@ -1,0 +1,58 @@
+// Batch job model following the Standard Workload Format (SWF v2,
+// Feitelson/Tsafrir/Krakov). A Job carries the static attributes read
+// from a trace; scheduling state (start time, etc.) lives in the
+// simulator, not here, so the same Trace can be scheduled many times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rlbf::swf {
+
+/// Times are seconds; SWF uses -1 for "unknown".
+inline constexpr std::int64_t kUnknown = -1;
+
+/// One batch job. Field order/names mirror the 18 SWF columns; the
+/// commonly used ones get first-class accessors with invariants.
+struct Job {
+  std::int64_t id = 0;                 // 1: job number
+  std::int64_t submit_time = 0;        // 2: seconds since trace start
+  std::int64_t wait_time = kUnknown;   // 3: as recorded in the trace (unused by sim)
+  std::int64_t run_time = kUnknown;    // 4: actual runtime (AR)
+  std::int64_t used_procs = kUnknown;  // 5: allocated processors
+  double avg_cpu_time = -1.0;          // 6
+  std::int64_t used_memory = kUnknown; // 7
+  std::int64_t requested_procs = kUnknown;   // 8
+  std::int64_t requested_time = kUnknown;    // 9: user estimate (RT / wall time)
+  std::int64_t requested_memory = kUnknown;  // 10
+  int status = 1;                      // 11: 1 = completed
+  std::int64_t user_id = kUnknown;     // 12
+  std::int64_t group_id = kUnknown;    // 13
+  std::int64_t executable = kUnknown;  // 14
+  std::int64_t queue = kUnknown;       // 15
+  std::int64_t partition = kUnknown;   // 16
+  std::int64_t preceding_job = kUnknown;     // 17
+  std::int64_t think_time = kUnknown;        // 18
+
+  /// Processors the scheduler must allocate: requested if present,
+  /// otherwise the used count. Always >= 1 for a valid job.
+  std::int64_t procs() const {
+    return requested_procs > 0 ? requested_procs : used_procs;
+  }
+
+  /// The user's runtime estimate the scheduler sees at submit time.
+  /// Falls back to the actual runtime when the trace has no estimates
+  /// (e.g. synthetic Lublin traces expose only AR).
+  std::int64_t request_time() const {
+    return requested_time > 0 ? requested_time : run_time;
+  }
+
+  /// True if the job is schedulable: positive size and actual runtime
+  /// known and non-negative.
+  bool valid() const { return procs() > 0 && run_time >= 0; }
+};
+
+/// Render the 18 SWF columns as one line (no trailing newline).
+std::string to_swf_line(const Job& job);
+
+}  // namespace rlbf::swf

@@ -1,0 +1,86 @@
+#include "swf/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlbf::swf {
+
+Trace::Trace(std::string name, std::int64_t machine_procs, std::vector<Job> jobs)
+    : name_(std::move(name)), machine_procs_(machine_procs), jobs_(std::move(jobs)) {}
+
+void Trace::normalize() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.submit_time < b.submit_time; });
+  std::int64_t next_id = 1;
+  for (auto& j : jobs_) j.id = next_id++;
+}
+
+void Trace::validate() const {
+  if (machine_procs_ <= 0) throw std::runtime_error("trace: machine_procs <= 0");
+  std::int64_t prev_submit = 0;
+  for (const auto& j : jobs_) {
+    std::ostringstream err;
+    if (j.procs() <= 0) {
+      err << "trace " << name_ << ": job " << j.id << " has non-positive size";
+    } else if (j.procs() > machine_procs_) {
+      err << "trace " << name_ << ": job " << j.id << " wider than machine ("
+          << j.procs() << " > " << machine_procs_ << ")";
+    } else if (j.run_time < 0) {
+      err << "trace " << name_ << ": job " << j.id << " has unknown runtime";
+    } else if (j.submit_time < prev_submit) {
+      err << "trace " << name_ << ": job " << j.id << " submit time out of order";
+    }
+    const std::string msg = err.str();
+    if (!msg.empty()) throw std::runtime_error(msg);
+    prev_submit = j.submit_time;
+  }
+}
+
+Trace Trace::prefix(std::size_t n) const { return window(0, std::min(n, jobs_.size())); }
+
+Trace Trace::window(std::size_t start, std::size_t count) const {
+  if (start > jobs_.size() || start + count > jobs_.size()) {
+    throw std::out_of_range("trace window out of range");
+  }
+  std::vector<Job> slice(jobs_.begin() + static_cast<std::ptrdiff_t>(start),
+                         jobs_.begin() + static_cast<std::ptrdiff_t>(start + count));
+  const std::int64_t base = slice.empty() ? 0 : slice.front().submit_time;
+  for (auto& j : slice) j.submit_time -= base;
+  return Trace(name_, machine_procs_, std::move(slice));
+}
+
+Trace Trace::sample(std::size_t count, util::Rng& rng) const {
+  if (jobs_.size() <= count) return window(0, jobs_.size());
+  const auto max_start = static_cast<std::int64_t>(jobs_.size() - count);
+  const auto start = static_cast<std::size_t>(rng.uniform_int(0, max_start));
+  return window(start, count);
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.job_count = jobs_.size();
+  s.max_procs = machine_procs_;
+  if (jobs_.empty()) return s;
+  double sum_rt = 0.0, sum_nt = 0.0, sum_ar = 0.0;
+  for (const auto& j : jobs_) {
+    sum_rt += static_cast<double>(j.request_time());
+    sum_nt += static_cast<double>(j.procs());
+    sum_ar += static_cast<double>(j.run_time);
+    if (j.requested_time > 0 && j.requested_time != j.run_time) {
+      s.has_user_estimates = true;
+    }
+  }
+  const auto n = static_cast<double>(jobs_.size());
+  s.mean_request_time = sum_rt / n;
+  s.mean_requested_procs = sum_nt / n;
+  s.mean_run_time = sum_ar / n;
+  if (jobs_.size() > 1) {
+    const double span =
+        static_cast<double>(jobs_.back().submit_time - jobs_.front().submit_time);
+    s.mean_interarrival = span / static_cast<double>(jobs_.size() - 1);
+  }
+  return s;
+}
+
+}  // namespace rlbf::swf

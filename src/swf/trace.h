@@ -1,0 +1,74 @@
+// Trace container: an ordered sequence of jobs plus the machine size it
+// was recorded on, with the sampling and statistics operations the paper's
+// evaluation protocol needs (first-10K prefix for Fig. 1, random 256-job
+// training sequences, random 1024-job test sequences for Tables 4/5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "swf/job.h"
+#include "util/rng.h"
+
+namespace rlbf::swf {
+
+/// Summary statistics matching the paper's Table 2 columns.
+struct TraceStats {
+  std::size_t job_count = 0;
+  std::int64_t max_procs = 0;        // "size": cluster processor count
+  double mean_interarrival = 0.0;    // "it" (seconds)
+  double mean_request_time = 0.0;    // "rt" (seconds)
+  double mean_requested_procs = 0.0; // "nt"
+  double mean_run_time = 0.0;        // AR mean (not in Table 2, useful)
+  bool has_user_estimates = false;   // distinct RT vs AR columns present
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  /// `machine_procs` is the total processor count of the cluster the trace
+  /// belongs to (SWF header "MaxProcs"). Jobs wider than the machine are
+  /// rejected by validate().
+  Trace(std::string name, std::int64_t machine_procs, std::vector<Job> jobs);
+
+  const std::string& name() const { return name_; }
+  std::int64_t machine_procs() const { return machine_procs_; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  /// Mutable access for trace transformations (overestimation model,
+  /// prediction-noise injection). Callers must keep jobs valid.
+  std::vector<Job>& mutable_jobs() { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  const Job& operator[](std::size_t i) const { return jobs_[i]; }
+
+  /// Sort jobs by submit time (stable; preserves id order within ties) and
+  /// renumber sequential ids starting at 1. Parser calls this; synthetic
+  /// generators produce sorted output already but call it for safety.
+  void normalize();
+
+  /// Throws std::runtime_error describing the first invalid job (non-
+  /// positive size, wider than machine, negative runtime, unsorted submit).
+  void validate() const;
+
+  /// First `n` jobs (or all if fewer), submit times re-based to 0.
+  Trace prefix(std::size_t n) const;
+
+  /// Contiguous window of `count` jobs starting at `start`, submit times
+  /// re-based so the first job arrives at 0. Throws if out of range.
+  Trace window(std::size_t start, std::size_t count) const;
+
+  /// Random contiguous window of `count` jobs (the paper's "randomly
+  /// sampled job sequence"). If the trace is shorter than count, returns
+  /// the whole trace.
+  Trace sample(std::size_t count, util::Rng& rng) const;
+
+  TraceStats stats() const;
+
+ private:
+  std::string name_;
+  std::int64_t machine_procs_ = 0;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace rlbf::swf

@@ -1,0 +1,24 @@
+#include "swf/writer.h"
+
+#include <fstream>
+
+namespace rlbf::swf {
+
+void write_swf(std::ostream& out, const Trace& trace) {
+  out << "; SWF trace written by rlbackfilling\n";
+  out << "; Computer: " << trace.name() << "\n";
+  out << "; MaxProcs: " << trace.machine_procs() << "\n";
+  out << "; MaxJobs: " << trace.size() << "\n";
+  for (const auto& j : trace.jobs()) {
+    out << to_swf_line(j) << '\n';
+  }
+}
+
+bool write_swf_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_swf(out, trace);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rlbf::swf

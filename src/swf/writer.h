@@ -1,0 +1,18 @@
+// SWF v2 writer: emits a header block plus 18-column job lines. Round-
+// trips with parser.h, letting synthetic traces be saved and shared.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "swf/trace.h"
+
+namespace rlbf::swf {
+
+/// Write the trace as SWF (header comments then one line per job).
+void write_swf(std::ostream& out, const Trace& trace);
+
+/// Write to a file path; returns false on I/O failure.
+bool write_swf_file(const std::string& path, const Trace& trace);
+
+}  // namespace rlbf::swf

@@ -1,0 +1,61 @@
+// Tiny leveled logger. Benches and the trainer use it for progress lines;
+// tests silence it by setting the level to Error.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rlbf::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level (default Info). Not thread-safe to *change*
+/// concurrently with logging; set it once at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a line to stderr if `level` >= the global level.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::Debug) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::Debug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::Info) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::Info, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::Warn) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::Warn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::Error) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::Error, os.str());
+}
+
+}  // namespace rlbf::util

@@ -1,0 +1,63 @@
+// Descriptive statistics helpers used by the metrics module, the benches
+// (mean bsld over seeded samples, bootstrap confidence intervals), and the
+// workload-model calibration tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlbf::util {
+class Rng;
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double variance(const std::vector<double>& xs);
+
+/// sqrt(variance).
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::vector<double> xs);
+
+/// Minimum / maximum. Throw on empty input.
+double min(const std::vector<double>& xs);
+double max(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+/// Throws if sizes differ or inputs are empty.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+struct BootstrapCi {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile-bootstrap confidence interval for the mean.
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& xs, Rng& rng,
+                              std::size_t resamples = 1000, double confidence = 0.95);
+
+/// Streaming accumulator (Welford) for mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // unbiased; 0 for n < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rlbf::util

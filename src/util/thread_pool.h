@@ -1,0 +1,49 @@
+// Fixed-size worker pool for parallel trajectory collection and bench
+// parameter sweeps.
+//
+// Workers share nothing mutable with each other; tasks capture their own
+// inputs (typically a split Rng and a private simulator) and write results
+// to slots the caller owns. parallel_for is the main entry point.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rlbf::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it finishes. Exceptions
+  /// propagate through the future.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n), distributed across the pool, and wait.
+  /// The first exception thrown by any task is rethrown here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace rlbf::util

@@ -1,0 +1,53 @@
+#include "workload/overestimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlbf::workload {
+
+OverestimateModel::OverestimateModel(OverestimateConfig config) : config_(config) {}
+
+const std::vector<std::int64_t>& OverestimateModel::menu() {
+  // Common wall-time menu values observed in archive traces, seconds.
+  static const std::vector<std::int64_t> kMenu = {
+      60,        300,       600,       900,       1800,      3600,
+      2 * 3600,  4 * 3600,  6 * 3600,  8 * 3600,  12 * 3600, 18 * 3600,
+      24 * 3600, 36 * 3600, 48 * 3600, 72 * 3600, 96 * 3600, 7 * 24 * 3600};
+  return kMenu;
+}
+
+std::int64_t OverestimateModel::sample_request(std::int64_t run_time,
+                                               util::Rng& rng) const {
+  run_time = std::max<std::int64_t>(run_time, 1);
+  if (rng.bernoulli(config_.exact_prob)) {
+    // Exact estimator: round up to a whole minute.
+    const std::int64_t minutes = (run_time + 59) / 60;
+    return std::max<std::int64_t>(minutes * 60, run_time);
+  }
+  double padded;
+  if (config_.mode == OverestimateMode::Additive) {
+    const double pad = rng.exponential(1.0 / std::max(config_.mean_pad_seconds, 1e-9));
+    padded = static_cast<double>(run_time) + pad;
+  } else {
+    const double mean_pad = std::max(config_.mean_factor - 1.0, 1e-9);
+    const double factor = 1.0 + rng.exponential(1.0 / mean_pad);
+    padded = static_cast<double>(run_time) * factor;
+  }
+  padded = std::min(padded, static_cast<double>(config_.max_request));
+  auto request = static_cast<std::int64_t>(std::ceil(padded));
+  if (config_.round_to_menu) {
+    const auto& m = menu();
+    const auto it = std::lower_bound(m.begin(), m.end(), request);
+    if (it != m.end()) request = *it;
+  }
+  request = std::min(request, config_.max_request);
+  return std::max(request, run_time);  // estimates never undercut AR
+}
+
+void OverestimateModel::apply(swf::Trace& trace, util::Rng& rng) const {
+  for (auto& job : trace.mutable_jobs()) {
+    job.requested_time = sample_request(job.run_time, rng);
+  }
+}
+
+}  // namespace rlbf::workload

@@ -1,0 +1,121 @@
+#include "workload/presets.h"
+
+#include <cmath>
+
+namespace rlbf::workload {
+
+namespace {
+
+/// Base Lublin parameters tuned per preset so the mean requested-processor
+/// count lands near the Table-2 `nt` target (analytic two-stage-uniform
+/// means; pow2 snapping perturbs them slightly, which is acceptable).
+LublinConfig base_config(const PresetTargets& t) {
+  LublinConfig cfg;
+  cfg.machine_procs = t.machine_procs;
+  cfg.mean_interarrival = t.mean_interarrival;
+  if (t.name == "SDSC-SP2") {
+    cfg.serial_prob = 0.30;
+    cfg.umed = 3.8;
+    cfg.uprob = 0.80;
+  } else if (t.name == "HPC2N") {
+    cfg.serial_prob = 0.42;
+    cfg.umed = 3.0;
+    cfg.uprob = 0.92;
+  } else if (t.name == "Lublin-1") {
+    cfg.serial_prob = 0.20;
+    cfg.umed = 5.0;
+    cfg.uprob = 0.82;
+  } else if (t.name == "Lublin-2") {
+    cfg.serial_prob = 0.08;
+    cfg.umed = 6.2;
+    cfg.uprob = 0.82;
+  }
+  return cfg;
+}
+
+OverestimateConfig overestimate_config(const PresetTargets& t) {
+  OverestimateConfig cfg;
+  // Additive pads keep the runtime mean (and thus the offered load)
+  // realistic while the calibration pins the *request* mean to Table 2:
+  // mean request ~= mean runtime + pad, so runtime lands near
+  // rt_target - pad. Pads are sized so both traces stay busy clusters.
+  cfg.mean_pad_seconds = (t.name == "HPC2N") ? 3600.0 : 2200.0;
+  return cfg;
+}
+
+}  // namespace
+
+PresetTargets sdsc_sp2_targets() {
+  return {"SDSC-SP2", 128, 1055.0, 6687.0, 11.0, true};
+}
+PresetTargets hpc2n_targets() { return {"HPC2N", 240, 538.0, 17024.0, 6.0, true}; }
+PresetTargets lublin1_targets() { return {"Lublin-1", 256, 771.0, 4862.0, 22.0, false}; }
+PresetTargets lublin2_targets() { return {"Lublin-2", 256, 460.0, 1695.0, 39.0, false}; }
+
+std::vector<PresetTargets> all_targets() {
+  return {sdsc_sp2_targets(), hpc2n_targets(), lublin1_targets(), lublin2_targets()};
+}
+
+swf::Trace make_preset(const PresetTargets& targets, std::size_t count,
+                       std::uint64_t seed) {
+  LublinConfig cfg = base_config(targets);
+  const OverestimateConfig ocfg = overestimate_config(targets);
+
+  // Iterative mean calibration against deterministic pilot batches. The
+  // interarrival response is exactly linear; the runtime response is
+  // multiplicative but perturbed by menu rounding and caps, so a few
+  // fixed-point iterations converge tightly.
+  constexpr std::size_t kPilotJobs = 6000;
+  constexpr int kIterations = 3;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const LublinGenerator gen(cfg);
+    util::Rng pilot_rng(seed ^ 0xc0ffee123456789ull);
+    swf::Trace pilot = gen.generate("pilot", kPilotJobs, pilot_rng);
+    if (targets.user_estimates) {
+      OverestimateModel(ocfg).apply(pilot, pilot_rng);
+    }
+    const swf::TraceStats s = pilot.stats();
+    const double achieved_rt =
+        targets.user_estimates ? s.mean_request_time : s.mean_run_time;
+    if (achieved_rt > 0.0) {
+      cfg.runtime_scale *= targets.mean_request_time / achieved_rt;
+    }
+    if (s.mean_interarrival > 0.0) {
+      cfg.mean_interarrival *= targets.mean_interarrival / s.mean_interarrival;
+    }
+  }
+
+  const LublinGenerator gen(cfg);
+  util::Rng rng(seed);
+  swf::Trace trace = gen.generate(targets.name, count, rng);
+  if (targets.user_estimates) {
+    OverestimateModel(ocfg).apply(trace, rng);
+  }
+  trace.validate();
+  return trace;
+}
+
+swf::Trace sdsc_sp2_like(std::uint64_t seed, std::size_t count) {
+  return make_preset(sdsc_sp2_targets(), count, seed);
+}
+swf::Trace hpc2n_like(std::uint64_t seed, std::size_t count) {
+  return make_preset(hpc2n_targets(), count, seed);
+}
+swf::Trace lublin_1(std::uint64_t seed, std::size_t count) {
+  return make_preset(lublin1_targets(), count, seed);
+}
+swf::Trace lublin_2(std::uint64_t seed, std::size_t count) {
+  return make_preset(lublin2_targets(), count, seed);
+}
+
+std::vector<swf::Trace> all_presets(std::uint64_t seed_base, std::size_t count) {
+  std::vector<swf::Trace> traces;
+  const auto targets = all_targets();
+  traces.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    traces.push_back(make_preset(targets[i], count, seed_base + i));
+  }
+  return traces;
+}
+
+}  // namespace rlbf::workload

@@ -1,0 +1,63 @@
+// Calibrated trace presets standing in for the paper's Table-2 workloads.
+//
+// The two archive traces (SDSC-SP2, HPC2N) are not redistributable inside
+// this repository, so we generate structurally equivalent traces with the
+// Lublin-Feitelson model calibrated to the published Table-2 statistics
+// (machine size, mean inter-arrival `it`, mean request time `rt`, mean
+// requested processors `nt`) and add user estimates with the
+// overestimation model. The two synthetic workloads (Lublin-1, Lublin-2)
+// are exactly what the paper used: Lublin-model traces with different
+// parameterizations, exposing actual runtimes only.
+//
+// Calibration: interarrival and runtime means are matched by iterative
+// rescaling against a pilot batch (deterministic given the seed); the
+// size mean is matched approximately by the preset's two-stage-uniform
+// parameters. See DESIGN.md §3 for why this substitution preserves the
+// paper's behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "swf/trace.h"
+#include "workload/lublin.h"
+#include "workload/overestimate.h"
+
+namespace rlbf::workload {
+
+/// Target statistics for a preset (the paper's Table 2 row).
+struct PresetTargets {
+  std::string name;
+  std::int64_t machine_procs = 0;
+  double mean_interarrival = 0.0;   // it, seconds
+  double mean_request_time = 0.0;   // rt, seconds (requested for real-like,
+                                    // actual for synthetic traces)
+  double mean_requested_procs = 0.0;  // nt
+  bool user_estimates = false;      // real-like traces carry RT != AR
+};
+
+/// The four Table-2 rows.
+PresetTargets sdsc_sp2_targets();
+PresetTargets hpc2n_targets();
+PresetTargets lublin1_targets();
+PresetTargets lublin2_targets();
+std::vector<PresetTargets> all_targets();
+
+/// Generate a calibrated trace of `count` jobs for the given targets.
+/// Deterministic in (targets, count, seed).
+swf::Trace make_preset(const PresetTargets& targets, std::size_t count,
+                       std::uint64_t seed);
+
+/// Convenience wrappers, default 10,000 jobs (the paper's evaluation
+/// uses the first 10K jobs of each trace).
+swf::Trace sdsc_sp2_like(std::uint64_t seed = 1, std::size_t count = 10000);
+swf::Trace hpc2n_like(std::uint64_t seed = 2, std::size_t count = 10000);
+swf::Trace lublin_1(std::uint64_t seed = 3, std::size_t count = 10000);
+swf::Trace lublin_2(std::uint64_t seed = 4, std::size_t count = 10000);
+
+/// All four presets in Table-2 order.
+std::vector<swf::Trace> all_presets(std::uint64_t seed_base = 1,
+                                    std::size_t count = 10000);
+
+}  // namespace rlbf::workload

@@ -1,0 +1,144 @@
+#include "workload/transforms.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rlbf::workload {
+
+swf::Trace scale_load(const swf::Trace& trace, double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("scale_load: factor <= 0");
+  std::vector<swf::Job> jobs = trace.jobs();
+  // Rescale the ORIGINAL gaps, accumulating in double to avoid drift.
+  const std::vector<swf::Job>& original = trace.jobs();
+  double t = jobs.empty() ? 0.0 : static_cast<double>(original.front().submit_time);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    const double gap = static_cast<double>(original[i].submit_time -
+                                           original[i - 1].submit_time);
+    t += gap / factor;
+    jobs[i].submit_time = static_cast<std::int64_t>(std::llround(t));
+  }
+  swf::Trace out(trace.name() + "-x" + std::to_string(factor), trace.machine_procs(),
+                 std::move(jobs));
+  out.normalize();
+  return out;
+}
+
+swf::Trace time_window(const swf::Trace& trace, std::int64_t start_second,
+                       std::int64_t end_second) {
+  if (start_second >= end_second) {
+    throw std::invalid_argument("time_window: start >= end");
+  }
+  std::vector<swf::Job> jobs;
+  for (const auto& j : trace.jobs()) {
+    if (j.submit_time >= start_second && j.submit_time < end_second) {
+      swf::Job copy = j;
+      copy.submit_time -= start_second;
+      jobs.push_back(copy);
+    }
+  }
+  swf::Trace out(trace.name() + "-window", trace.machine_procs(), std::move(jobs));
+  out.normalize();
+  return out;
+}
+
+swf::Trace filter_jobs(const swf::Trace& trace,
+                       const std::function<bool(const swf::Job&)>& keep) {
+  std::vector<swf::Job> jobs;
+  for (const auto& j : trace.jobs()) {
+    if (keep(j)) jobs.push_back(j);
+  }
+  swf::Trace out(trace.name() + "-filtered", trace.machine_procs(), std::move(jobs));
+  out.normalize();
+  return out;
+}
+
+swf::Trace remove_flurries(const swf::Trace& trace, const FlurryParams& params,
+                           FlurryReport* report) {
+  if (params.window_seconds <= 0) {
+    throw std::invalid_argument("remove_flurries: window must be positive");
+  }
+  if (params.max_jobs_per_window == 0) {
+    throw std::invalid_argument("remove_flurries: threshold must be >= 1");
+  }
+  // Per user, submit times are already in trace order (normalize() sorts
+  // by submit). Two-pointer sliding window over each user's submissions:
+  // whenever a window holds more than the threshold, every job in it is
+  // flagged.
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> by_user;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    by_user[trace[i].user_id].push_back(i);
+  }
+  std::vector<bool> flagged(trace.size(), false);
+  std::size_t flagged_users = 0;
+  for (const auto& [user, indices] : by_user) {
+    bool user_flagged = false;
+    std::size_t lo = 0;
+    for (std::size_t hi = 0; hi < indices.size(); ++hi) {
+      while (trace[indices[hi]].submit_time - trace[indices[lo]].submit_time >
+             params.window_seconds) {
+        ++lo;
+      }
+      if (hi - lo + 1 > params.max_jobs_per_window) {
+        user_flagged = true;
+        for (std::size_t k = lo; k <= hi; ++k) flagged[indices[k]] = true;
+      }
+    }
+    if (user_flagged) ++flagged_users;
+  }
+
+  std::vector<swf::Job> jobs;
+  jobs.reserve(trace.size());
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (flagged[i]) {
+      ++removed;
+    } else {
+      jobs.push_back(trace[i]);
+    }
+  }
+  if (report != nullptr) {
+    report->removed_jobs = removed;
+    report->flagged_users = flagged_users;
+  }
+  swf::Trace out(trace.name() + "-scrubbed", trace.machine_procs(), std::move(jobs));
+  out.normalize();
+  return out;
+}
+
+swf::Trace inject_flurry(const swf::Trace& trace, std::int64_t user_id,
+                         std::int64_t start_second, std::size_t count,
+                         std::int64_t gap_seconds, std::int64_t run_seconds) {
+  if (gap_seconds < 0 || run_seconds <= 0) {
+    throw std::invalid_argument("inject_flurry: bad gap/run");
+  }
+  std::vector<swf::Job> jobs = trace.jobs();
+  jobs.reserve(jobs.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    swf::Job j;
+    j.id = static_cast<std::int64_t>(trace.size() + i + 1);
+    j.user_id = user_id;
+    j.submit_time = start_second + static_cast<std::int64_t>(i) * gap_seconds;
+    j.run_time = run_seconds;
+    j.requested_time = run_seconds * 2;  // typical overestimate
+    j.requested_procs = 1;
+    jobs.push_back(j);
+  }
+  swf::Trace out(trace.name() + "-flurry", trace.machine_procs(), std::move(jobs));
+  out.normalize();
+  return out;
+}
+
+double offered_load(const swf::Trace& trace) {
+  if (trace.size() < 2) return 0.0;
+  double work = 0.0;
+  for (const auto& j : trace.jobs()) {
+    work += static_cast<double>(j.run_time) * static_cast<double>(j.procs());
+  }
+  work /= static_cast<double>(trace.size());
+  const double it = trace.stats().mean_interarrival;
+  if (it <= 0.0) return 0.0;
+  return work / (it * static_cast<double>(trace.machine_procs()));
+}
+
+}  // namespace rlbf::workload

@@ -1,0 +1,69 @@
+// Trace transformations for sensitivity studies: compress/stretch the
+// arrival process to change offered load, slice by time window, and
+// filter by job shape. All return new traces; inputs are untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "swf/trace.h"
+
+namespace rlbf::workload {
+
+/// Scale offered load by `factor` by dividing every inter-arrival gap by
+/// it (factor 2 = twice the arrival rate = twice the load; factor 0.5 =
+/// half). Job bodies are unchanged. Requires factor > 0.
+swf::Trace scale_load(const swf::Trace& trace, double factor);
+
+/// Jobs submitted in [start_second, end_second), submit times re-based
+/// to 0. Requires start < end.
+swf::Trace time_window(const swf::Trace& trace, std::int64_t start_second,
+                       std::int64_t end_second);
+
+/// Keep jobs satisfying `keep`; submit times are preserved (not re-based)
+/// so inter-arrival structure of the survivors is intact.
+swf::Trace filter_jobs(const swf::Trace& trace,
+                       const std::function<bool(const swf::Job&)>& keep);
+
+/// Offered load: mean(run * procs) / (mean interarrival * machine size).
+/// 0 for traces with fewer than two jobs.
+double offered_load(const swf::Trace& trace);
+
+/// Parameters for flurry scrubbing (see remove_flurries).
+struct FlurryParams {
+  /// Sliding window width in seconds.
+  std::int64_t window_seconds = 3600;
+  /// A user submitting more than this many jobs within one window is
+  /// flagged as a flurry; the archive's cleaned traces use thresholds of
+  /// this order for single-user bursts.
+  std::size_t max_jobs_per_window = 50;
+};
+
+/// Statistics of one scrub, returned alongside the cleaned trace.
+struct FlurryReport {
+  std::size_t removed_jobs = 0;
+  std::size_t flagged_users = 0;
+};
+
+/// Remove workload flurries — huge bursts of near-identical submissions
+/// from a single user that the Parallel Workloads Archive's experience
+/// paper (the paper's reference [10]) identifies as non-representative
+/// anomalies which can dominate aggregate metrics like the mean bounded
+/// slowdown. A job is removed when more than `max_jobs_per_window` jobs
+/// of the same user fall inside any `window_seconds`-wide window
+/// containing it. Survivor submit times are preserved. `report` (if
+/// non-null) receives what was cut.
+swf::Trace remove_flurries(const swf::Trace& trace, const FlurryParams& params = {},
+                           FlurryReport* report = nullptr);
+
+/// Inject a synthetic flurry: `count` copies of a 1-processor,
+/// `run_seconds`-long job from `user_id`, submitted `gap_seconds` apart
+/// starting at `start_second`. The stress-test generator for
+/// remove_flurries and for robustness studies of trained agents under
+/// anomalous bursts.
+swf::Trace inject_flurry(const swf::Trace& trace, std::int64_t user_id,
+                         std::int64_t start_second, std::size_t count,
+                         std::int64_t gap_seconds = 5,
+                         std::int64_t run_seconds = 60);
+
+}  // namespace rlbf::workload

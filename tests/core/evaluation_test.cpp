@@ -1,0 +1,105 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rl_backfill.h"
+#include "workload/presets.h"
+
+namespace rlbf::core {
+namespace {
+
+EvalProtocol small_protocol() {
+  EvalProtocol p;
+  p.samples = 5;
+  p.sample_jobs = 256;
+  p.seed = 9;
+  return p;
+}
+
+TEST(Evaluation, SpecEvaluationProducesOneValuePerSample) {
+  const swf::Trace trace = workload::sdsc_sp2_like(21, 1500);
+  const sched::SchedulerSpec spec{"FCFS", sched::BackfillKind::Easy,
+                                  sched::EstimateKind::RequestTime};
+  const EvalResult r = evaluate_spec(trace, spec, small_protocol());
+  ASSERT_EQ(r.samples.size(), 5u);
+  for (double s : r.samples) EXPECT_GE(s, 1.0);
+  EXPECT_GE(r.mean, 1.0);
+  EXPECT_LE(r.ci_lo, r.mean);
+  EXPECT_GE(r.ci_hi, r.mean);
+}
+
+TEST(Evaluation, IsDeterministicInProtocolSeed) {
+  const swf::Trace trace = workload::sdsc_sp2_like(21, 1500);
+  const sched::SchedulerSpec spec{"SJF", sched::BackfillKind::Easy,
+                                  sched::EstimateKind::RequestTime};
+  const EvalResult a = evaluate_spec(trace, spec, small_protocol());
+  const EvalResult b = evaluate_spec(trace, spec, small_protocol());
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.ci_lo, b.ci_lo);
+  EXPECT_DOUBLE_EQ(a.ci_hi, b.ci_hi);
+}
+
+TEST(Evaluation, AllConfigurationsSeeTheSameSequences) {
+  // A configuration that cannot affect sampling (no backfilling) and one
+  // that can (EASY) must still draw identical sequences: the EASY run's
+  // bsld can only differ because of scheduling, and with a no-op run on
+  // the same seed the sample count and determinism checks above pin the
+  // stream. Here we verify via the no-backfill spec twice under
+  // different labels.
+  const swf::Trace trace = workload::lublin_1(22, 1500);
+  const sched::SchedulerSpec a{"FCFS", sched::BackfillKind::None,
+                               sched::EstimateKind::RequestTime};
+  const sched::SchedulerSpec b{"FCFS", sched::BackfillKind::None,
+                               sched::EstimateKind::ActualRuntime};
+  // Without backfilling, the estimator is never consulted: identical.
+  const EvalResult ra = evaluate_spec(trace, a, small_protocol());
+  const EvalResult rb = evaluate_spec(trace, b, small_protocol());
+  EXPECT_EQ(ra.samples, rb.samples);
+}
+
+TEST(Evaluation, AgentEvaluationMatchesManualLoop) {
+  const swf::Trace trace = workload::sdsc_sp2_like(23, 1500);
+  AgentConfig cfg;
+  cfg.obs.value_obsv_size = 8;
+  const Agent agent(cfg, 3);
+  const EvalProtocol protocol = small_protocol();
+  const EvalResult via_api = evaluate_agent(trace, agent, "FCFS", protocol);
+
+  // Manual replication of the documented protocol.
+  util::Rng rng(protocol.seed ^ 0xe5a1e5a1e5a1ull);
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  for (std::size_t s = 0; s < protocol.samples; ++s) {
+    const swf::Trace seq = trace.sample(protocol.sample_jobs, rng);
+    RlBackfillChooser chooser(agent);
+    const auto out = sched::run_schedule(seq, fcfs, est, &chooser);
+    EXPECT_DOUBLE_EQ(via_api.samples[s], out.metrics.avg_bounded_slowdown);
+  }
+}
+
+TEST(Evaluation, SingleSampleHasDegenerateCi) {
+  const swf::Trace trace = workload::lublin_2(24, 800);
+  EvalProtocol p = small_protocol();
+  p.samples = 1;
+  const sched::SchedulerSpec spec{"FCFS", sched::BackfillKind::Easy,
+                                  sched::EstimateKind::RequestTime};
+  const EvalResult r = evaluate_spec(trace, spec, p);
+  EXPECT_DOUBLE_EQ(r.ci_lo, r.mean);
+  EXPECT_DOUBLE_EQ(r.ci_hi, r.mean);
+}
+
+TEST(Evaluation, BackfillKindsRankSensibly) {
+  // On a congested trace: EASY <= no-backfill in mean bsld (property of
+  // these workloads, checked with matched sequences).
+  const swf::Trace trace = workload::sdsc_sp2_like(25, 2000);
+  const sched::SchedulerSpec none{"FCFS", sched::BackfillKind::None,
+                                  sched::EstimateKind::RequestTime};
+  const sched::SchedulerSpec easy{"FCFS", sched::BackfillKind::Easy,
+                                  sched::EstimateKind::RequestTime};
+  const double none_bsld = evaluate_spec(trace, none, small_protocol()).mean;
+  const double easy_bsld = evaluate_spec(trace, easy, small_protocol()).mean;
+  EXPECT_LT(easy_bsld, none_bsld);
+}
+
+}  // namespace
+}  // namespace rlbf::core

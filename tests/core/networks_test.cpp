@@ -1,0 +1,150 @@
+#include "core/networks.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbf::core {
+namespace {
+
+ObservationConfig small_obs(bool padded = false) {
+  ObservationConfig cfg;
+  cfg.max_obsv_size = 8;
+  cfg.value_obsv_size = 4;
+  cfg.pad_policy_obs = padded;
+  return cfg;
+}
+
+TEST(KernelNet, LogitsShapeFollowsRows) {
+  util::Rng rng(1);
+  KernelActorCritic model(small_obs(), NetworkConfig{}, rng);
+  for (std::size_t rows : {1u, 3u, 8u, 20u}) {
+    const nn::Tensor obs = nn::Tensor::randn(rows, ObservationConfig::kFeatures, rng);
+    const nn::Tensor logits = model.policy_logits_nograd(obs);
+    EXPECT_EQ(logits.rows(), rows);
+    EXPECT_EQ(logits.cols(), 1u);
+  }
+}
+
+TEST(KernelNet, ScoresAreRowIndependent) {
+  // The kernel property: permuting observation rows permutes the scores.
+  util::Rng rng(2);
+  KernelActorCritic model(small_obs(), NetworkConfig{}, rng);
+  const nn::Tensor obs = nn::Tensor::randn(5, ObservationConfig::kFeatures, rng);
+  const nn::Tensor logits = model.policy_logits_nograd(obs);
+
+  nn::Tensor reversed(5, ObservationConfig::kFeatures);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < obs.cols(); ++c) {
+      reversed.at(r, c) = obs.at(4 - r, c);
+    }
+  }
+  const nn::Tensor rev_logits = model.policy_logits_nograd(reversed);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(rev_logits.at(r, 0), logits.at(4 - r, 0), 1e-12);
+  }
+}
+
+TEST(KernelNet, GraphAndNogradAgree) {
+  util::Rng rng(3);
+  KernelActorCritic model(small_obs(), NetworkConfig{}, rng);
+  const nn::Tensor obs = nn::Tensor::randn(6, ObservationConfig::kFeatures, rng);
+  EXPECT_LT(nn::Tensor::max_abs_diff(model.policy_logits(obs)->value,
+                                     model.policy_logits_nograd(obs)),
+            1e-12);
+  const nn::Tensor vobs = nn::Tensor::randn(1, small_obs().value_feature_dim(), rng);
+  EXPECT_NEAR(model.value(vobs)->value.item(), model.value_nograd(vobs), 1e-12);
+}
+
+TEST(KernelNet, PolicyAndValueParametersAreDisjoint) {
+  util::Rng rng(4);
+  KernelActorCritic model(small_obs(), NetworkConfig{}, rng);
+  const auto p = model.policy_parameters();
+  const auto v = model.value_parameters();
+  EXPECT_FALSE(p.empty());
+  EXPECT_FALSE(v.empty());
+  for (const auto& a : p) {
+    for (const auto& b : v) EXPECT_NE(a.get(), b.get());
+  }
+}
+
+TEST(KernelNet, CloneAndSyncRoundTrip) {
+  util::Rng rng(5);
+  KernelActorCritic model(small_obs(), NetworkConfig{}, rng);
+  auto copy = model.clone();
+  const nn::Tensor obs = nn::Tensor::randn(4, ObservationConfig::kFeatures, rng);
+  EXPECT_LT(nn::Tensor::max_abs_diff(copy->policy_logits_nograd(obs),
+                                     model.policy_logits_nograd(obs)),
+            1e-15);
+  // Perturb the clone, then sync back from the original.
+  copy->policy_parameters()[0]->value.fill(0.77);
+  EXPECT_GT(nn::Tensor::max_abs_diff(copy->policy_logits_nograd(obs),
+                                     model.policy_logits_nograd(obs)),
+            1e-9);
+  copy->sync_from(model);
+  EXPECT_LT(nn::Tensor::max_abs_diff(copy->policy_logits_nograd(obs),
+                                     model.policy_logits_nograd(obs)),
+            1e-15);
+}
+
+TEST(KernelNet, RejectsMismatchedLoadedNetworks) {
+  util::Rng rng(6);
+  nn::Mlp wrong_policy({5, 4, 1}, nn::Activation::Relu, rng);  // wrong input dim
+  nn::Mlp value({small_obs().value_feature_dim(), 8, 1}, nn::Activation::Relu, rng);
+  EXPECT_THROW(KernelActorCritic(small_obs(), std::move(wrong_policy), std::move(value)),
+               std::invalid_argument);
+}
+
+TEST(FlatNet, RequiresPaddedObservations) {
+  util::Rng rng(7);
+  EXPECT_THROW(FlatActorCritic(small_obs(false), NetworkConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(FlatNet, EmitsMaxObsvLogits) {
+  util::Rng rng(8);
+  const ObservationConfig cfg = small_obs(true);
+  FlatActorCritic model(cfg, NetworkConfig{}, rng);
+  const nn::Tensor obs =
+      nn::Tensor::randn(cfg.max_obsv_size, ObservationConfig::kFeatures, rng);
+  const nn::Tensor logits = model.policy_logits_nograd(obs);
+  EXPECT_EQ(logits.rows(), cfg.max_obsv_size);
+  EXPECT_EQ(logits.cols(), 1u);
+  EXPECT_LT(nn::Tensor::max_abs_diff(model.policy_logits(obs)->value, logits), 1e-12);
+}
+
+TEST(FlatNet, RejectsUnpaddedInput) {
+  util::Rng rng(9);
+  const ObservationConfig cfg = small_obs(true);
+  FlatActorCritic model(cfg, NetworkConfig{}, rng);
+  const nn::Tensor obs = nn::Tensor::randn(3, ObservationConfig::kFeatures, rng);
+  EXPECT_THROW(model.policy_logits(obs), std::invalid_argument);
+}
+
+TEST(FlatNet, IsOrderSensitiveUnlikeKernel) {
+  // The flat MLP reads absolute positions, so permuting rows does NOT
+  // simply permute scores — this is exactly what ablation A1 probes.
+  util::Rng rng(10);
+  const ObservationConfig cfg = small_obs(true);
+  FlatActorCritic model(cfg, NetworkConfig{}, rng);
+  nn::Tensor obs =
+      nn::Tensor::randn(cfg.max_obsv_size, ObservationConfig::kFeatures, rng);
+  const nn::Tensor logits = model.policy_logits_nograd(obs);
+  nn::Tensor swapped = obs;
+  for (std::size_t c = 0; c < obs.cols(); ++c) {
+    std::swap(swapped.at(0, c), swapped.at(1, c));
+  }
+  const nn::Tensor swapped_logits = model.policy_logits_nograd(swapped);
+  double permuted_diff = std::abs(swapped_logits.at(0, 0) - logits.at(1, 0)) +
+                         std::abs(swapped_logits.at(1, 0) - logits.at(0, 0));
+  EXPECT_GT(permuted_diff, 1e-9);
+}
+
+TEST(Networks, SyncFromWrongTypeThrows) {
+  util::Rng rng(11);
+  KernelActorCritic kernel(small_obs(), NetworkConfig{}, rng);
+  FlatActorCritic flat(small_obs(true), NetworkConfig{}, rng);
+  EXPECT_THROW(kernel.sync_from(flat), std::invalid_argument);
+  EXPECT_THROW(flat.sync_from(kernel), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlbf::core

@@ -1,0 +1,114 @@
+// Integration sweep for the kill-at-request-time semantics crossed with
+// estimate sources — including the under-predicting estimators that make
+// reservations optimistic — on every Table-2 workload. Invariants:
+// schedules stay complete and deterministic, killed jobs are truncated
+// exactly at their request time, and honest traces (AR <= RT) see no
+// kills at all.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "sched/easy_backfill.h"
+#include "sched/predictors.h"
+#include "sched/scheduler.h"
+#include "workload/presets.h"
+
+namespace rlbf {
+namespace {
+
+struct KillCase {
+  std::string trace;
+  std::string estimator;  // "RT" | "AR" | "UNDER" | "RECENT4"
+  bool shrink_requests;   // rewrite RT := AR/2 to force overruns
+};
+
+const swf::Trace& cached_trace(const std::string& name) {
+  static std::map<std::string, swf::Trace>* traces = [] {
+    auto* m = new std::map<std::string, swf::Trace>();
+    for (const auto& t : workload::all_targets()) {
+      m->emplace(t.name, workload::make_preset(t, 300, 77));
+    }
+    return m;
+  }();
+  return traces->at(name);
+}
+
+std::unique_ptr<sim::RuntimeEstimator> make_estimator(const std::string& kind,
+                                                      const swf::Trace& trace) {
+  if (kind == "RT") return std::make_unique<sched::RequestTimeEstimator>();
+  if (kind == "AR") return std::make_unique<sched::ActualRuntimeEstimator>();
+  if (kind == "UNDER") return std::make_unique<sched::UnderNoisyEstimator>(0.5, 3);
+  return std::make_unique<sched::RecentKEstimator>(trace, 4);
+}
+
+class KillMatrixTest : public ::testing::TestWithParam<KillCase> {};
+
+TEST_P(KillMatrixTest, KilledSchedulesStayCompleteAndExact) {
+  const KillCase& c = GetParam();
+  swf::Trace trace = cached_trace(c.trace);
+  if (c.shrink_requests) {
+    for (auto& j : trace.mutable_jobs()) {
+      if (j.run_time > 1) {
+        j.requested_time = std::max<std::int64_t>(j.run_time / 2, 1);
+      }
+    }
+  }
+
+  const auto estimator = make_estimator(c.estimator, trace);
+  sched::FcfsPolicy fcfs;
+  sched::EasyBackfillChooser easy;
+  sim::SimulationOptions opt;
+  opt.kill_exceeding_request = true;
+
+  const auto results = sim::simulate(trace, fcfs, *estimator, &easy, opt);
+  const auto again = sim::simulate(trace, fcfs, *estimator, &easy, opt);
+  ASSERT_EQ(results.size(), trace.size());
+
+  std::size_t kills = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    EXPECT_GE(r.start_time, trace[i].submit_time);
+    if (r.killed) {
+      ++kills;
+      EXPECT_EQ(r.run_time(), trace[i].request_time());
+      EXPECT_LT(trace[i].request_time(), trace[i].run_time);
+    } else {
+      EXPECT_EQ(r.run_time(), trace[i].run_time);
+    }
+    // Determinism.
+    EXPECT_EQ(r.start_time, again[i].start_time);
+    EXPECT_EQ(r.killed, again[i].killed);
+  }
+  if (c.shrink_requests) {
+    EXPECT_GT(kills, 0u) << "shrunken requests must force kills";
+  } else {
+    EXPECT_EQ(kills, 0u) << "honest traces must see no kills";
+  }
+}
+
+std::vector<KillCase> all_cases() {
+  std::vector<KillCase> cases;
+  for (const auto& trace : {"SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2"}) {
+    for (const auto& est : {"RT", "AR", "UNDER", "RECENT4"}) {
+      for (const bool shrink : {false, true}) {
+        cases.push_back({trace, est, shrink});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(KillMatrix, KillMatrixTest, ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           const KillCase& c = info.param;
+                           std::string name = c.trace + "_" + c.estimator +
+                                              (c.shrink_requests ? "_SHRUNK" : "_HONEST");
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rlbf

@@ -1,0 +1,120 @@
+// Exhaustive configuration sweep: every Table-2 workload crossed with
+// every base policy, backfill strategy, and estimate source must produce
+// a complete, consistent, deterministic schedule. One parameterized test
+// generates the full matrix (4 traces x 4 policies x 4 backfills x 3
+// estimators = 192 instances); invariants are the simulator's contract.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/scheduler.h"
+#include "workload/presets.h"
+
+namespace rlbf {
+namespace {
+
+struct MatrixCase {
+  std::string trace;
+  std::string policy;
+  sched::BackfillKind backfill;
+  sched::EstimateKind estimate;
+};
+
+std::string backfill_name(sched::BackfillKind k) {
+  switch (k) {
+    case sched::BackfillKind::None: return "NOBF";
+    case sched::BackfillKind::Easy: return "EASY";
+    case sched::BackfillKind::EasySjf: return "EASYSJF";
+    case sched::BackfillKind::EasyBestFit: return "EASYBF";
+    case sched::BackfillKind::EasyWorstFit: return "EASYWF";
+    case sched::BackfillKind::Conservative: return "CONS";
+    case sched::BackfillKind::Slack: return "SLACK";
+  }
+  return "?";
+}
+
+std::string estimate_name(sched::EstimateKind k) {
+  switch (k) {
+    case sched::EstimateKind::RequestTime: return "RT";
+    case sched::EstimateKind::ActualRuntime: return "AR";
+    case sched::EstimateKind::Noisy: return "NOISY";
+  }
+  return "?";
+}
+
+/// Shared trace cache: generating each preset once keeps the 192-case
+/// sweep fast (generation dominates otherwise).
+const swf::Trace& cached_trace(const std::string& name) {
+  static std::map<std::string, swf::Trace>* traces = [] {
+    auto* m = new std::map<std::string, swf::Trace>();
+    for (const auto& t : workload::all_targets()) {
+      m->emplace(t.name, workload::make_preset(t, 400, 99));
+    }
+    return m;
+  }();
+  return traces->at(name);
+}
+
+class SchedulingMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(SchedulingMatrixTest, ScheduleIsCompleteConsistentAndDeterministic) {
+  const MatrixCase& c = GetParam();
+  const swf::Trace& trace = cached_trace(c.trace);
+
+  sched::SchedulerSpec spec{c.policy, c.backfill, c.estimate};
+  spec.noise_fraction = 0.2;
+  spec.noise_seed = 5;
+  const sched::ConfiguredScheduler scheduler(spec);
+  const auto first = scheduler.run(trace);
+  const auto second = scheduler.run(trace);
+
+  ASSERT_EQ(first.results.size(), trace.size());
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    const auto& r = first.results[i];
+    // Completeness and consistency invariants.
+    EXPECT_EQ(r.job_index, i);
+    EXPECT_GE(r.start_time, trace[i].submit_time) << spec.label();
+    EXPECT_EQ(r.run_time(), trace[i].run_time) << spec.label();
+    EXPECT_EQ(r.procs, trace[i].procs()) << spec.label();
+    // Determinism: bit-identical schedules run-to-run.
+    EXPECT_EQ(r.start_time, second.results[i].start_time) << spec.label();
+    EXPECT_EQ(r.backfilled, second.results[i].backfilled) << spec.label();
+  }
+  EXPECT_GE(first.metrics.avg_bounded_slowdown, 1.0);
+  EXPECT_LE(first.metrics.utilization, 1.0 + 1e-9);
+}
+
+std::vector<MatrixCase> all_cases() {
+  std::vector<MatrixCase> cases;
+  for (const auto& trace : {"SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2"}) {
+    for (const auto& policy : sched::all_policy_names()) {
+      for (const auto backfill :
+           {sched::BackfillKind::None, sched::BackfillKind::Easy,
+            sched::BackfillKind::EasyBestFit, sched::BackfillKind::EasyWorstFit,
+            sched::BackfillKind::Conservative, sched::BackfillKind::Slack}) {
+        for (const auto estimate :
+             {sched::EstimateKind::RequestTime, sched::EstimateKind::ActualRuntime,
+              sched::EstimateKind::Noisy}) {
+          cases.push_back({trace, policy, backfill, estimate});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FullMatrix, SchedulingMatrixTest,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           const MatrixCase& c = info.param;
+                           std::string name = c.trace + "_" + c.policy + "_" +
+                                              backfill_name(c.backfill) + "_" +
+                                              estimate_name(c.estimate);
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rlbf

@@ -1,0 +1,151 @@
+// End-to-end integration: the full RLBackfilling pipeline from trace
+// generation through training, persistence, and deployment against the
+// heuristic baselines — a miniature version of the paper's Table-4
+// protocol.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/rl_backfill.h"
+#include "core/trainer.h"
+#include "sched/scheduler.h"
+#include "util/log.h"
+#include "workload/presets.h"
+
+namespace rlbf {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::set_log_level(util::LogLevel::Warn); }
+  void TearDown() override { util::set_log_level(util::LogLevel::Info); }
+};
+
+TEST_F(PipelineTest, TrainSaveLoadDeployMatchesInMemoryAgent) {
+  const swf::Trace trace = workload::sdsc_sp2_like(11, 2000);
+
+  core::TrainerConfig cfg;
+  cfg.epochs = 2;
+  cfg.trajectories_per_epoch = 10;
+  cfg.jobs_per_trajectory = 128;
+  cfg.ppo.train_iters = 10;
+  cfg.ppo.minibatch_size = 256;
+  cfg.agent.obs.value_obsv_size = 8;
+  cfg.threads = 4;
+  core::Trainer trainer(trace, cfg);
+  trainer.train();
+
+  const std::string path = ::testing::TempDir() + "/pipeline_agent.model";
+  ASSERT_TRUE(trainer.agent().save(path, {{"trace", trace.name()}}));
+  const core::Agent loaded = core::Agent::load(path);
+  std::remove(path.c_str());
+
+  // Deploy both agents on an unseen sequence: identical schedules.
+  util::Rng rng(77);
+  const swf::Trace seq = trace.sample(512, rng);
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  core::RlBackfillChooser chooser_mem(trainer.agent());
+  core::RlBackfillChooser chooser_disk(loaded);
+  const auto mem = sched::run_schedule(seq, fcfs, est, &chooser_mem);
+  const auto disk = sched::run_schedule(seq, fcfs, est, &chooser_disk);
+  EXPECT_DOUBLE_EQ(mem.metrics.avg_bounded_slowdown,
+                   disk.metrics.avg_bounded_slowdown);
+  EXPECT_GT(mem.metrics.backfilled_jobs, 0u);
+}
+
+TEST_F(PipelineTest, RlbfChooserRunsUnderEveryBasePolicy) {
+  const swf::Trace trace = workload::lublin_1(12, 1500);
+  const core::Agent agent(core::AgentConfig{}, 5);  // untrained: still valid
+  sched::RequestTimeEstimator est;
+  util::Rng rng(3);
+  const swf::Trace seq = trace.sample(256, rng);
+  for (const auto& name : sched::all_policy_names()) {
+    const auto policy = sched::make_policy(name);
+    core::RlBackfillChooser chooser(agent);
+    const auto out = sched::run_schedule(seq, *policy, est, &chooser);
+    EXPECT_EQ(out.results.size(), seq.size()) << name;
+    EXPECT_GE(out.metrics.avg_bounded_slowdown, 1.0) << name;
+  }
+}
+
+TEST_F(PipelineTest, TrainedAgentBeatsUntrainedOnTrainingDistribution) {
+  // A coarse learning signal: after a short budget, the trained agent
+  // should not be (much) worse than the untrained one on sequences from
+  // the training trace. Seeds are fixed; the margin is generous to stay
+  // robust while still catching sign errors in rewards/advantages.
+  const swf::Trace trace = workload::sdsc_sp2_like(13, 2500);
+  core::TrainerConfig cfg;
+  cfg.epochs = 6;
+  cfg.trajectories_per_epoch = 24;
+  cfg.jobs_per_trajectory = 160;
+  cfg.ppo.train_iters = 20;
+  cfg.ppo.minibatch_size = 512;
+  cfg.agent.obs.value_obsv_size = 8;
+  cfg.threads = 8;
+  cfg.seed = 21;
+  core::Trainer trainer(trace, cfg);
+  const core::Agent untrained = trainer.agent().clone();
+  trainer.train();
+
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  util::Rng rng(99);
+  double trained_sum = 0.0, untrained_sum = 0.0;
+  for (int rep = 0; rep < 6; ++rep) {
+    const swf::Trace seq = trace.sample(512, rng);
+    core::RlBackfillChooser trained_chooser(trainer.agent());
+    core::RlBackfillChooser untrained_chooser(untrained);
+    trained_sum +=
+        sched::run_schedule(seq, fcfs, est, &trained_chooser).metrics.avg_bounded_slowdown;
+    untrained_sum += sched::run_schedule(seq, fcfs, est, &untrained_chooser)
+                         .metrics.avg_bounded_slowdown;
+  }
+  EXPECT_LT(trained_sum, untrained_sum * 1.3);
+}
+
+TEST_F(PipelineTest, Table4StyleComparisonProducesAllCells) {
+  const swf::Trace trace = workload::hpc2n_like(14, 1500);
+  util::Rng rng(5);
+  const swf::Trace seq = trace.sample(384, rng);
+
+  const std::vector<sched::SchedulerSpec> specs = {
+      {"FCFS", sched::BackfillKind::Easy, sched::EstimateKind::RequestTime},
+      {"FCFS", sched::BackfillKind::Easy, sched::EstimateKind::ActualRuntime},
+      {"SJF", sched::BackfillKind::Easy, sched::EstimateKind::RequestTime},
+      {"SJF", sched::BackfillKind::Easy, sched::EstimateKind::ActualRuntime},
+      {"WFP3", sched::BackfillKind::Easy, sched::EstimateKind::RequestTime},
+      {"F1", sched::BackfillKind::Easy, sched::EstimateKind::RequestTime},
+  };
+  for (const auto& spec : specs) {
+    const auto out = sched::ConfiguredScheduler(spec).run(seq);
+    EXPECT_GE(out.metrics.avg_bounded_slowdown, 1.0) << spec.label();
+    EXPECT_EQ(out.results.size(), seq.size()) << spec.label();
+  }
+}
+
+TEST_F(PipelineTest, CrossTraceDeploymentWorks) {
+  // Table-5 mechanics: an agent trained on X applied to trace Y.
+  const swf::Trace train_trace = workload::lublin_2(15, 1500);
+  core::TrainerConfig cfg;
+  cfg.epochs = 1;
+  cfg.trajectories_per_epoch = 8;
+  cfg.jobs_per_trajectory = 128;
+  cfg.ppo.train_iters = 5;
+  cfg.agent.obs.value_obsv_size = 8;
+  cfg.threads = 4;
+  core::Trainer trainer(train_trace, cfg);
+  trainer.train();
+
+  const swf::Trace other = workload::sdsc_sp2_like(16, 1000);
+  util::Rng rng(8);
+  const swf::Trace seq = other.sample(256, rng);
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  core::RlBackfillChooser chooser(trainer.agent());
+  const auto out = sched::run_schedule(seq, fcfs, est, &chooser);
+  EXPECT_EQ(out.results.size(), seq.size());
+}
+
+}  // namespace
+}  // namespace rlbf

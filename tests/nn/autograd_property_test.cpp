@@ -1,0 +1,209 @@
+// Randomized finite-difference property sweeps over the autograd op set.
+// Where autograd_test.cpp checks each op's gradient at hand-picked
+// points, this suite drives every differentiable op (and random deep
+// compositions of them) through central-difference checks at many random
+// inputs and shapes — the strongest guarantee a from-scratch autograd
+// substrate can offer PPO/DQN training on top of it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/autograd.h"
+#include "util/rng.h"
+
+namespace rlbf::nn {
+namespace {
+
+/// Scalar-valued function of one leaf tensor.
+using ScalarFn = std::function<VarPtr(const VarPtr&)>;
+
+/// Central-difference check of d(f)/d(x) against backward() at every
+/// element of x. `h` trades truncation against cancellation error.
+void check_gradient(const ScalarFn& f, Tensor x, double tol = 2e-5,
+                    double h = 1e-5) {
+  const VarPtr leaf = make_var(x, /*requires_grad=*/true);
+  const VarPtr y = f(leaf);
+  ASSERT_EQ(y->value.size(), 1u) << "loss must be scalar";
+  backward(y);
+  ASSERT_TRUE(leaf->has_grad());
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    const double fp = f(make_var(xp))->value.item();
+    const double fm = f(make_var(xm))->value.item();
+    const double numeric = (fp - fm) / (2.0 * h);
+    EXPECT_NEAR(leaf->grad[i], numeric, tol)
+        << "element " << i << " of " << x.shape_str();
+  }
+}
+
+struct OpCase {
+  std::string name;
+  ScalarFn fn;
+  /// Inputs are drawn uniform from this range (avoids kink points for
+  /// piecewise ops when margin > 0).
+  double lo = -2.0, hi = 2.0;
+};
+
+std::vector<OpCase> unary_cases() {
+  return {
+      {"sum", [](const VarPtr& x) { return sum(x); }},
+      {"mean", [](const VarPtr& x) { return mean(x); }},
+      {"neg_sum", [](const VarPtr& x) { return sum(neg(x)); }},
+      {"tanh", [](const VarPtr& x) { return sum(tanh_act(x)); }},
+      {"exp", [](const VarPtr& x) { return sum(exp_act(x)); }},
+      {"square", [](const VarPtr& x) { return sum(square(x)); }},
+      // Piecewise ops sampled away from their kinks: relu on (0.1, 2),
+      // clamp interior, huber away from |x| = delta.
+      {"relu_positive", [](const VarPtr& x) { return sum(relu(x)); }, 0.1, 2.0},
+      {"clamp_interior",
+       [](const VarPtr& x) { return sum(clamp(x, -10.0, 10.0)); }},
+      {"huber_quadratic",
+       [](const VarPtr& x) { return sum(huber(x, 5.0)); }, -2.0, 2.0},
+      {"huber_linear",
+       [](const VarPtr& x) { return sum(huber(x, 0.05)); }, 0.5, 2.0},
+      {"mul_scalar",
+       [](const VarPtr& x) { return sum(mul_scalar(x, -3.7)); }},
+      {"reshape",
+       [](const VarPtr& x) {
+         return sum(square(reshape(x, x->value.size(), 1)));
+       }},
+  };
+}
+
+class UnaryOpGradientSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(UnaryOpGradientSweep, MatchesFiniteDifferencesAtRandomInputs) {
+  const auto& [case_index, seed] = GetParam();
+  const OpCase c = unary_cases()[case_index];
+  util::Rng rng(seed * 7919 + case_index);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto rows = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    const auto cols = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    Tensor x(rows, cols);
+    for (auto& v : x.data()) v = rng.uniform(c.lo, c.hi);
+    check_gradient(c.fn, x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, UnaryOpGradientSweep,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 12),
+                       ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      return unary_cases()[std::get<0>(info.param)].name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BinaryOpGradientSweep, MatmulBothSidesAtRandomShapes) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    Tensor a(m, k), b(k, n);
+    for (auto& v : a.data()) v = rng.uniform(-1.5, 1.5);
+    for (auto& v : b.data()) v = rng.uniform(-1.5, 1.5);
+    // Gradient wrt the left operand (right held constant)...
+    check_gradient(
+        [&](const VarPtr& x) { return sum(square(matmul(x, constant(b)))); }, a);
+    // ...and wrt the right operand.
+    check_gradient(
+        [&](const VarPtr& x) { return sum(square(matmul(constant(a), x))); }, b);
+  }
+}
+
+TEST(BinaryOpGradientSweep, MulAndSubAndMinimumAtRandomInputs) {
+  util::Rng rng(47);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto rows = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const auto cols = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    Tensor a(rows, cols), b(rows, cols);
+    for (auto& v : a.data()) v = rng.uniform(-2.0, 2.0);
+    // Keep b clear of a so minimum() has no ties (non-differentiable).
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = a[i] + (rng.bernoulli(0.5) ? 0.5 : -0.5) + rng.uniform(0.0, 0.3);
+    }
+    check_gradient([&](const VarPtr& x) { return sum(mul(x, constant(b))); }, a);
+    check_gradient([&](const VarPtr& x) { return sum(sub(x, constant(b))); }, a);
+    check_gradient(
+        [&](const VarPtr& x) { return sum(minimum(x, constant(b))); }, a);
+  }
+}
+
+TEST(CompositionGradientSweep, RandomDeepChainsMatchFiniteDifferences) {
+  // Random 4-op chains over smooth ops: if any op mis-scattered its
+  // gradient, deep compositions would drift from the numeric value.
+  util::Rng rng(59);
+  const std::vector<std::function<VarPtr(const VarPtr&)>> smooth = {
+      [](const VarPtr& x) { return tanh_act(x); },
+      [](const VarPtr& x) { return mul_scalar(x, 0.7); },
+      [](const VarPtr& x) { return square(x); },
+      [](const VarPtr& x) { return add(x, scalar(0.3)); },
+      [](const VarPtr& x) { return neg(x); },
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::size_t> chain;
+    for (int d = 0; d < 4; ++d) {
+      chain.push_back(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(smooth.size()) - 1)));
+    }
+    Tensor x(2, 3);
+    for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+    check_gradient(
+        [&](const VarPtr& in) {
+          VarPtr v = in;
+          for (const std::size_t op : chain) v = smooth[op](v);
+          return mean(v);
+        },
+        x, /*tol=*/5e-5);
+  }
+}
+
+TEST(CompositionGradientSweep, MaskedPolicyLossPipelineMatches) {
+  // The exact op pipeline PPO differentiates: logits -> masked
+  // log-softmax -> pick -> scaled loss (+ entropy bonus).
+  util::Rng rng(67);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    Tensor logits(n, 1);
+    for (auto& v : logits.data()) v = rng.uniform(-2.0, 2.0);
+    std::vector<std::uint8_t> mask(n, 0);
+    std::size_t valid = 0;
+    for (auto& m : mask) {
+      m = rng.bernoulli(0.7) ? 1 : 0;
+      valid += m;
+    }
+    if (valid == 0) mask[0] = 1, valid = 1;
+    // Pick a valid action.
+    std::size_t action = 0;
+    while (!mask[action]) ++action;
+
+    check_gradient(
+        [&](const VarPtr& x) {
+          const VarPtr logp = masked_log_softmax(x, mask);
+          const VarPtr logp_a = pick(logp, action, 0);
+          const VarPtr entropy = masked_entropy(logp, mask);
+          return sub(neg(mul_scalar(logp_a, 1.7)), mul_scalar(entropy, 0.01));
+        },
+        logits, /*tol=*/5e-5);
+  }
+}
+
+TEST(CompositionGradientSweep, SharedLeafAccumulatesBothPaths) {
+  // x appears twice in the graph: grad must be the sum of both paths'
+  // contributions (d/dx [sum(x*x) + sum(tanh x)]).
+  util::Rng rng(71);
+  Tensor x(3, 2);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  check_gradient(
+      [](const VarPtr& in) { return add(sum(mul(in, in)), sum(tanh_act(in))); },
+      x);
+}
+
+}  // namespace
+}  // namespace rlbf::nn

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/autograd.h"
+
+namespace rlbf::nn {
+namespace {
+
+TEST(Huber, QuadraticInsideDelta) {
+  Tensor x(1, 3);
+  x.at(0, 0) = 0.5;
+  x.at(0, 1) = -0.5;
+  x.at(0, 2) = 0.0;
+  const VarPtr v = huber(make_var(x), 1.0);
+  EXPECT_DOUBLE_EQ(v->value.at(0, 0), 0.125);
+  EXPECT_DOUBLE_EQ(v->value.at(0, 1), 0.125);
+  EXPECT_DOUBLE_EQ(v->value.at(0, 2), 0.0);
+}
+
+TEST(Huber, LinearOutsideDelta) {
+  Tensor x(1, 2);
+  x.at(0, 0) = 3.0;
+  x.at(0, 1) = -3.0;
+  const VarPtr v = huber(make_var(x), 1.0);
+  // delta * (|x| - delta/2) = 1 * (3 - 0.5) = 2.5
+  EXPECT_DOUBLE_EQ(v->value.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(v->value.at(0, 1), 2.5);
+}
+
+TEST(Huber, ContinuousAtDelta) {
+  const double delta = 1.5;
+  for (const double eps : {1e-6, -1e-6}) {
+    Tensor lo(1, 1, delta - std::abs(eps));
+    Tensor hi(1, 1, delta + std::abs(eps));
+    const double vlo = huber(make_var(lo), delta)->value.item();
+    const double vhi = huber(make_var(hi), delta)->value.item();
+    EXPECT_NEAR(vlo, vhi, 1e-5);
+  }
+}
+
+TEST(Huber, RejectsNonPositiveDelta) {
+  const VarPtr x = make_var(Tensor(1, 1, 0.0));
+  EXPECT_THROW(huber(x, 0.0), std::invalid_argument);
+  EXPECT_THROW(huber(x, -1.0), std::invalid_argument);
+}
+
+TEST(Huber, GradientMatchesFiniteDifferences) {
+  // Check d/dx huber(x) at points inside, outside, and near delta.
+  const double delta = 1.0;
+  for (const double x0 : {-2.5, -0.7, 0.0, 0.3, 0.99, 1.01, 4.0}) {
+    const VarPtr x = make_var(Tensor(1, 1, x0), /*requires_grad=*/true);
+    const VarPtr y = huber(x, delta);
+    backward(y);
+    const double analytic = x->grad.item();
+
+    const double h = 1e-6;
+    const double f_plus = huber(make_var(Tensor(1, 1, x0 + h)), delta)->value.item();
+    const double f_minus = huber(make_var(Tensor(1, 1, x0 - h)), delta)->value.item();
+    const double numeric = (f_plus - f_minus) / (2.0 * h);
+    EXPECT_NEAR(analytic, numeric, 1e-4) << "x0=" << x0;
+  }
+}
+
+TEST(Huber, GradientClampsAtDelta) {
+  // Outliers contribute bounded gradient — the robustness property DQN
+  // relies on when TD targets spike.
+  const VarPtr x = make_var(Tensor(1, 1, 100.0), /*requires_grad=*/true);
+  const VarPtr y = huber(x, 2.0);
+  backward(y);
+  EXPECT_DOUBLE_EQ(x->grad.item(), 2.0);
+}
+
+TEST(Huber, ComposesIntoScalarLoss) {
+  // mean(huber(pred - target)) backpropagates into pred.
+  Tensor pred_t(3, 1);
+  pred_t.at(0, 0) = 1.0;
+  pred_t.at(1, 0) = 2.0;
+  pred_t.at(2, 0) = 3.0;
+  const VarPtr pred = make_var(pred_t, /*requires_grad=*/true);
+  Tensor target_t(3, 1);
+  target_t.at(0, 0) = 1.0;
+  target_t.at(1, 0) = 0.0;
+  target_t.at(2, 0) = 3.5;
+  const VarPtr loss = mean(huber(sub(pred, constant(target_t)), 1.0));
+  backward(loss);
+  // Residuals: 0, 2 (linear region), -0.5 (quadratic region).
+  EXPECT_NEAR(loss->value.item(), (0.0 + 1.5 + 0.125) / 3.0, 1e-12);
+  EXPECT_NEAR(pred->grad.at(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(pred->grad.at(1, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pred->grad.at(2, 0), -0.5 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rlbf::nn

@@ -1,0 +1,139 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbf::nn {
+namespace {
+
+TEST(Linear, ForwardComputesXwPlusB) {
+  util::Rng rng(1);
+  Linear layer(2, 3, rng);
+  // Overwrite parameters with known values.
+  layer.weight()->value = Tensor{{1.0, 0.0, 2.0}, {0.0, 1.0, 3.0}};
+  layer.bias()->value = Tensor{{10.0, 20.0, 30.0}};
+  const auto y = layer.forward(make_var(Tensor{{2.0, 5.0}}));
+  EXPECT_DOUBLE_EQ(y->value.at(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(y->value.at(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(y->value.at(0, 2), 2.0 * 2.0 + 5.0 * 3.0 + 30.0);
+}
+
+TEST(Linear, BatchedForwardAppliesRowwise) {
+  util::Rng rng(2);
+  Linear layer(2, 1, rng);
+  const auto y = layer.forward(make_var(Tensor{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}}));
+  EXPECT_EQ(y->value.rows(), 3u);
+  EXPECT_EQ(y->value.cols(), 1u);
+}
+
+TEST(Linear, RejectsZeroDimensions) {
+  util::Rng rng(1);
+  EXPECT_THROW(Linear(0, 3, rng), std::invalid_argument);
+  EXPECT_THROW(Linear(3, 0, rng), std::invalid_argument);
+}
+
+TEST(Linear, CloneIsIndependent) {
+  util::Rng rng(3);
+  Linear a(2, 2, rng);
+  Linear b = a.clone();
+  EXPECT_LT(Tensor::max_abs_diff(a.weight()->value, b.weight()->value), 1e-15);
+  b.weight()->value.fill(99.0);
+  EXPECT_GT(Tensor::max_abs_diff(a.weight()->value, b.weight()->value), 1.0);
+}
+
+TEST(Mlp, RequiresAtLeastTwoDims) {
+  util::Rng rng(1);
+  EXPECT_THROW(Mlp({5}, Activation::Relu, rng), std::invalid_argument);
+}
+
+TEST(Mlp, DimsAccessors) {
+  util::Rng rng(1);
+  Mlp mlp({8, 32, 16, 1}, Activation::Tanh, rng);
+  EXPECT_EQ(mlp.in_features(), 8u);
+  EXPECT_EQ(mlp.out_features(), 1u);
+  EXPECT_EQ(mlp.parameters().size(), 6u);  // 3 layers x (W, b)
+  EXPECT_EQ(mlp.parameter_count(), 8u * 32 + 32 + 32u * 16 + 16 + 16u * 1 + 1);
+}
+
+class MlpActivationTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(MlpActivationTest, GraphAndValueForwardAgree) {
+  util::Rng rng(7);
+  Mlp mlp({4, 8, 3}, GetParam(), rng);
+  const Tensor x = Tensor::randn(5, 4, rng);
+  const Tensor via_graph = mlp.forward(make_var(x))->value;
+  const Tensor via_value = mlp.forward_value(x);
+  EXPECT_LT(Tensor::max_abs_diff(via_graph, via_value), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, MlpActivationTest,
+                         ::testing::Values(Activation::None, Activation::Relu,
+                                           Activation::Tanh));
+
+TEST(Mlp, HiddenActivationIsNotAppliedToOutput) {
+  util::Rng rng(9);
+  Mlp mlp({2, 4, 1}, Activation::Relu, rng);
+  // Push weights negative so a final ReLU would zero the output.
+  for (const auto& p : mlp.parameters()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] = -std::abs(p->value[i]) - 0.1;
+    }
+  }
+  const Tensor y = mlp.forward_value(Tensor{{1.0, 1.0}});
+  EXPECT_LT(y.item(), 0.0);  // output stayed negative: no output ReLU
+}
+
+TEST(Mlp, CloneSharesNothing) {
+  util::Rng rng(11);
+  Mlp a({3, 4, 1}, Activation::Tanh, rng);
+  Mlp b = a.clone();
+  const Tensor x = Tensor::randn(1, 3, rng);
+  EXPECT_LT(Tensor::max_abs_diff(a.forward_value(x), b.forward_value(x)), 1e-15);
+  b.parameters()[0]->value.fill(0.5);
+  EXPECT_GT(Tensor::max_abs_diff(a.forward_value(x), b.forward_value(x)), 1e-12);
+}
+
+TEST(Mlp, CopyParametersFrom) {
+  util::Rng rng(13);
+  Mlp a({3, 4, 1}, Activation::Tanh, rng);
+  Mlp b({3, 4, 1}, Activation::Tanh, rng);
+  const Tensor x = Tensor::randn(1, 3, rng);
+  ASSERT_GT(Tensor::max_abs_diff(a.forward_value(x), b.forward_value(x)), 1e-12);
+  b.copy_parameters_from(a);
+  EXPECT_LT(Tensor::max_abs_diff(a.forward_value(x), b.forward_value(x)), 1e-15);
+}
+
+TEST(Mlp, CopyParametersShapeMismatchThrows) {
+  util::Rng rng(13);
+  Mlp a({3, 4, 1}, Activation::Tanh, rng);
+  Mlp b({3, 5, 1}, Activation::Tanh, rng);
+  EXPECT_THROW(b.copy_parameters_from(a), std::invalid_argument);
+}
+
+TEST(Mlp, ScaleOutputLayerShrinksOutputsOnly) {
+  util::Rng rng(19);
+  Mlp mlp({3, 8, 2}, Activation::Tanh, rng);
+  const Tensor x = Tensor::randn(4, 3, rng);
+  const Tensor before = mlp.forward_value(x);
+  mlp.scale_output_layer(0.01);
+  const Tensor after = mlp.forward_value(x);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] * 0.01, 1e-12);
+  }
+  // Hidden layers untouched: rescaling back restores the original.
+  mlp.scale_output_layer(100.0);
+  EXPECT_LT(Tensor::max_abs_diff(mlp.forward_value(x), before), 1e-9);
+}
+
+TEST(Mlp, BackwardReachesAllParameters) {
+  util::Rng rng(17);
+  Mlp mlp({3, 4, 2, 1}, Activation::Tanh, rng);
+  const auto y = mlp.forward(make_var(Tensor::randn(2, 3, rng)));
+  backward(sum(y));
+  for (const auto& p : mlp.parameters()) {
+    ASSERT_TRUE(p->has_grad());
+    EXPECT_GT(p->grad.norm(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rlbf::nn

@@ -1,0 +1,111 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace rlbf::nn {
+namespace {
+
+ModelBundle make_bundle() {
+  util::Rng rng(3);
+  ModelBundle bundle;
+  bundle.meta["trace"] = "SDSC-SP2";
+  bundle.meta["epochs"] = "50";
+  bundle.mlps.emplace_back("policy", Mlp({8, 32, 16, 8, 1}, Activation::Relu, rng));
+  bundle.mlps.emplace_back("value", Mlp({256, 64, 32, 1}, Activation::Relu, rng));
+  return bundle;
+}
+
+TEST(Serialize, RoundTripIsExact) {
+  const ModelBundle original = make_bundle();
+  std::stringstream buf;
+  save_model(buf, original);
+  const ModelBundle loaded = load_model(buf);
+
+  EXPECT_EQ(loaded.meta.at("trace"), "SDSC-SP2");
+  EXPECT_EQ(loaded.meta.at("epochs"), "50");
+  ASSERT_EQ(loaded.mlps.size(), 2u);
+  for (std::size_t m = 0; m < original.mlps.size(); ++m) {
+    EXPECT_EQ(loaded.mlps[m].first, original.mlps[m].first);
+    const auto orig_params = original.mlps[m].second.parameters();
+    const auto load_params = loaded.mlps[m].second.parameters();
+    ASSERT_EQ(orig_params.size(), load_params.size());
+    for (std::size_t p = 0; p < orig_params.size(); ++p) {
+      // hexfloat serialization: bit-exact round trip.
+      EXPECT_EQ(orig_params[p]->value, load_params[p]->value);
+    }
+  }
+}
+
+TEST(Serialize, PreservesActivationAndDims) {
+  util::Rng rng(1);
+  ModelBundle bundle;
+  bundle.mlps.emplace_back("m", Mlp({4, 7, 2}, Activation::Tanh, rng));
+  std::stringstream buf;
+  save_model(buf, bundle);
+  const ModelBundle loaded = load_model(buf);
+  const Mlp* m = loaded.find("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->dims(), (std::vector<std::size_t>{4, 7, 2}));
+  EXPECT_EQ(m->hidden_activation(), Activation::Tanh);
+}
+
+TEST(Serialize, LoadedModelPredictsIdentically) {
+  const ModelBundle original = make_bundle();
+  std::stringstream buf;
+  save_model(buf, original);
+  const ModelBundle loaded = load_model(buf);
+  util::Rng rng(9);
+  const Tensor x = Tensor::randn(3, 8, rng);
+  EXPECT_EQ(original.mlps[0].second.forward_value(x),
+            loaded.mlps[0].second.forward_value(x));
+}
+
+TEST(Serialize, FindReturnsNullForUnknownName) {
+  const ModelBundle bundle = make_bundle();
+  EXPECT_EQ(bundle.find("nonexistent"), nullptr);
+  EXPECT_NE(bundle.find("policy"), nullptr);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buf("not-a-model v1\n");
+  EXPECT_THROW(load_model(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::stringstream buf("rlbf-model v9\n");
+  EXPECT_THROW(load_model(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedTensor) {
+  ModelBundle bundle = make_bundle();
+  std::stringstream buf;
+  save_model(buf, bundle);
+  std::string text = buf.str();
+  text.resize(text.size() / 2);
+  std::stringstream cut(text);
+  EXPECT_THROW(load_model(cut), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownTag) {
+  std::stringstream buf("rlbf-model v1\nbogus stuff\n");
+  EXPECT_THROW(load_model(buf), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rlbf_model_test.txt";
+  const ModelBundle original = make_bundle();
+  ASSERT_TRUE(save_model_file(path, original));
+  const ModelBundle loaded = load_model_file(path);
+  EXPECT_EQ(loaded.mlps.size(), original.mlps.size());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/model.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlbf::nn

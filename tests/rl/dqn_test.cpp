@@ -1,0 +1,223 @@
+#include "rl/dqn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bandit_fixture.h"
+
+namespace rlbf::rl {
+namespace {
+
+using rlbf::rl::testing::TestActorCritic;
+using rlbf::rl::testing::bandit_accuracy;
+using rlbf::rl::testing::collect_bandit_eps;
+
+TEST(Dqn, RejectsZeroBatchSize) {
+  TestActorCritic model(1);
+  DqnConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW(Dqn(model, cfg), std::invalid_argument);
+}
+
+TEST(Dqn, EpsilonDecaysLinearlyToFloor) {
+  TestActorCritic model(1);
+  DqnConfig cfg;
+  cfg.epsilon_start = 1.0;
+  cfg.epsilon_end = 0.1;
+  cfg.epsilon_decay_epochs = 10;
+  Dqn dqn(model, cfg);
+  EXPECT_DOUBLE_EQ(dqn.epsilon(0), 1.0);
+  EXPECT_NEAR(dqn.epsilon(5), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(dqn.epsilon(10), 0.1);
+  EXPECT_DOUBLE_EQ(dqn.epsilon(100), 0.1);  // clamped at the floor
+}
+
+TEST(Dqn, ZeroDecayEpochsMeansConstantFloor) {
+  TestActorCritic model(1);
+  DqnConfig cfg;
+  cfg.epsilon_decay_epochs = 0;
+  cfg.epsilon_end = 0.07;
+  Dqn dqn(model, cfg);
+  EXPECT_DOUBLE_EQ(dqn.epsilon(0), 0.07);
+}
+
+TEST(Dqn, UpdateIsNoOpBelowMinReplay) {
+  TestActorCritic model(2);
+  DqnConfig cfg;
+  cfg.min_replay = 100;
+  Dqn dqn(model, cfg);
+  util::Rng rng(3);
+  RolloutBuffer buf = collect_bandit_eps(model, rng, 10, 1.0);
+  for (const auto& ep : buf.episodes()) dqn.absorb(ep);
+  const DqnStats stats = dqn.update(rng);
+  EXPECT_EQ(stats.gradient_steps, 0u);
+  EXPECT_EQ(stats.replay_size, 10u);
+}
+
+TEST(Dqn, LearnsContextualBandit) {
+  TestActorCritic model(7);
+  DqnConfig cfg;
+  cfg.batch_size = 64;
+  cfg.updates_per_epoch = 60;
+  cfg.min_replay = 64;
+  cfg.target_sync_every = 50;
+  cfg.lr = 3e-3;
+  Dqn dqn(model, cfg);
+  util::Rng rng(11);
+
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    const double eps = dqn.epsilon(static_cast<std::size_t>(epoch));
+    RolloutBuffer buf = collect_bandit_eps(model, rng, 128, eps);
+    for (const auto& ep : buf.episodes()) dqn.absorb(ep);
+    dqn.update(rng);
+  }
+  EXPECT_GT(bandit_accuracy(model, rng, 500), 0.9);
+}
+
+TEST(Dqn, QValuesApproachBanditRewards) {
+  // On the bandit, Q(s, good) -> 1 and Q(s, other) -> 0 (terminal
+  // one-step episodes, so no bootstrapping is involved).
+  TestActorCritic model(5);
+  DqnConfig cfg;
+  cfg.batch_size = 64;
+  cfg.updates_per_epoch = 80;
+  cfg.min_replay = 64;
+  cfg.lr = 3e-3;
+  Dqn dqn(model, cfg);
+  util::Rng rng(17);
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    RolloutBuffer buf = collect_bandit_eps(model, rng, 128, 0.5);
+    for (const auto& ep : buf.episodes()) dqn.absorb(ep);
+    dqn.update(rng);
+  }
+  std::size_t good;
+  const nn::Tensor obs = rlbf::rl::testing::bandit_obs(rng, good);
+  const nn::Tensor q = model.policy_logits_nograd(obs);
+  EXPECT_NEAR(q.at(good, 0), 1.0, 0.35);
+  for (std::size_t r = 0; r < 4; ++r) {
+    if (r != good) EXPECT_NEAR(q.at(r, 0), 0.0, 0.35);
+  }
+}
+
+TEST(Dqn, BootstrapsThroughMultiStepEpisodes) {
+  // Two-step chain: step 1 (obs A) has reward 0, step 2 (obs B) is
+  // terminal with reward 1 regardless of action. With gamma = 1 the
+  // Q-values at A must rise toward 1 purely through bootstrapping —
+  // A's immediate reward is always 0.
+  TestActorCritic model(9);
+  DqnConfig cfg;
+  cfg.batch_size = 32;
+  cfg.updates_per_epoch = 50;
+  cfg.min_replay = 32;
+  cfg.target_sync_every = 25;
+  cfg.lr = 3e-3;
+  cfg.gamma = 1.0;
+  Dqn dqn(model, cfg);
+  util::Rng rng(23);
+
+  const nn::Tensor obs_a(4, 2, 0.3);
+  const nn::Tensor obs_b(4, 2, -0.7);
+  for (int e = 0; e < 200; ++e) {
+    Episode ep;
+    Step s1;
+    s1.policy_obs = obs_a;
+    s1.mask = {1, 1, 1, 1};
+    s1.action = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    s1.reward = 0.0;
+    Step s2;
+    s2.policy_obs = obs_b;
+    s2.mask = {1, 1, 1, 1};
+    s2.action = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    s2.reward = 1.0;
+    ep.steps.push_back(std::move(s1));
+    ep.steps.push_back(std::move(s2));
+    dqn.absorb(ep);
+  }
+  for (int epoch = 0; epoch < 12; ++epoch) dqn.update(rng);
+
+  const nn::Tensor q_a = model.policy_logits_nograd(obs_a);
+  double best = q_a.at(0, 0);
+  for (std::size_t r = 1; r < 4; ++r) best = std::max(best, q_a.at(r, 0));
+  EXPECT_NEAR(best, 1.0, 0.4);
+}
+
+TEST(Dqn, TargetNetworkSyncsOnSchedule) {
+  TestActorCritic model(2);
+  DqnConfig cfg;
+  cfg.batch_size = 8;
+  cfg.updates_per_epoch = 10;
+  cfg.min_replay = 8;
+  cfg.target_sync_every = 4;
+  Dqn dqn(model, cfg);
+  util::Rng rng(5);
+  RolloutBuffer buf = collect_bandit_eps(model, rng, 32, 1.0);
+  for (const auto& ep : buf.episodes()) dqn.absorb(ep);
+  const DqnStats stats = dqn.update(rng);
+  EXPECT_EQ(stats.gradient_steps, 10u);
+  EXPECT_EQ(stats.target_syncs, 2u);  // steps 4 and 8
+}
+
+TEST(Dqn, StatsAreFiniteAfterUpdate) {
+  TestActorCritic model(3);
+  DqnConfig cfg;
+  cfg.batch_size = 16;
+  cfg.updates_per_epoch = 5;
+  cfg.min_replay = 16;
+  Dqn dqn(model, cfg);
+  util::Rng rng(7);
+  RolloutBuffer buf = collect_bandit_eps(model, rng, 32, 1.0);
+  for (const auto& ep : buf.episodes()) dqn.absorb(ep);
+  const DqnStats stats = dqn.update(rng);
+  EXPECT_TRUE(std::isfinite(stats.loss));
+  EXPECT_TRUE(std::isfinite(stats.mean_q));
+  EXPECT_TRUE(std::isfinite(stats.mean_target));
+  EXPECT_EQ(stats.replay_size, 32u);
+}
+
+TEST(Dqn, VanillaAndDoubleTargetsBothLearn) {
+  for (const bool double_dqn : {false, true}) {
+    TestActorCritic model(31);
+    DqnConfig cfg;
+    cfg.double_dqn = double_dqn;
+    cfg.batch_size = 64;
+    cfg.updates_per_epoch = 60;
+    cfg.min_replay = 64;
+    cfg.lr = 3e-3;
+    Dqn dqn(model, cfg);
+    util::Rng rng(13);
+    for (int epoch = 0; epoch < 12; ++epoch) {
+      RolloutBuffer buf =
+          collect_bandit_eps(model, rng, 128, dqn.epsilon(static_cast<std::size_t>(epoch)));
+      for (const auto& ep : buf.episodes()) dqn.absorb(ep);
+      dqn.update(rng);
+    }
+    EXPECT_GT(bandit_accuracy(model, rng, 500), 0.85)
+        << "double_dqn=" << double_dqn;
+  }
+}
+
+TEST(Dqn, DeterministicAtFixedSeeds) {
+  std::vector<nn::Tensor> finals[2];
+  for (int run = 0; run < 2; ++run) {
+    TestActorCritic model(41);
+    DqnConfig cfg;
+    cfg.batch_size = 16;
+    cfg.updates_per_epoch = 8;
+    cfg.min_replay = 16;
+    Dqn dqn(model, cfg);
+    util::Rng collect_rng(42);
+    RolloutBuffer buf = collect_bandit_eps(model, collect_rng, 64, 0.7);
+    for (const auto& ep : buf.episodes()) dqn.absorb(ep);
+    util::Rng update_rng(43);
+    dqn.update(update_rng);
+    for (const auto& p : model.policy_parameters()) finals[run].push_back(p->value);
+  }
+  ASSERT_EQ(finals[0].size(), finals[1].size());
+  for (std::size_t i = 0; i < finals[0].size(); ++i) {
+    EXPECT_EQ(finals[0][i], finals[1][i]) << "parameter " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rlbf::rl

@@ -1,0 +1,99 @@
+#include "rl/gae.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlbf::rl {
+namespace {
+
+TEST(Gae, RejectsMismatchedLengths) {
+  EXPECT_THROW(compute_gae({1.0}, {1.0, 2.0}, 0.99, 0.95), std::invalid_argument);
+}
+
+TEST(Gae, EmptySequences) {
+  const GaeResult r = compute_gae({}, {}, 0.99, 0.95);
+  EXPECT_TRUE(r.advantages.empty());
+  EXPECT_TRUE(r.returns.empty());
+}
+
+TEST(Gae, SingleStepIsDelta) {
+  // Terminal after one step: adv = r - V(s).
+  const GaeResult r = compute_gae({2.0}, {0.5}, 0.99, 0.95);
+  EXPECT_DOUBLE_EQ(r.advantages[0], 1.5);
+  EXPECT_DOUBLE_EQ(r.returns[0], 2.0);
+}
+
+TEST(Gae, LambdaOneGivesMonteCarloAdvantage) {
+  // With lambda = 1 and gamma = 1, advantage = sum(future rewards) - V.
+  const std::vector<double> rewards = {1.0, 2.0, 3.0};
+  const std::vector<double> values = {0.5, 0.25, 0.125};
+  const GaeResult r = compute_gae(rewards, values, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.advantages[0], 6.0 - 0.5);
+  EXPECT_DOUBLE_EQ(r.advantages[1], 5.0 - 0.25);
+  EXPECT_DOUBLE_EQ(r.advantages[2], 3.0 - 0.125);
+  EXPECT_DOUBLE_EQ(r.returns[0], 6.0);
+}
+
+TEST(Gae, LambdaZeroGivesOneStepTd) {
+  const std::vector<double> rewards = {1.0, 1.0};
+  const std::vector<double> values = {2.0, 3.0};
+  const GaeResult r = compute_gae(rewards, values, 0.9, 0.0);
+  EXPECT_DOUBLE_EQ(r.advantages[0], 1.0 + 0.9 * 3.0 - 2.0);
+  EXPECT_DOUBLE_EQ(r.advantages[1], 1.0 - 3.0);
+}
+
+TEST(Gae, RecurrenceMatchesHandComputation) {
+  const double gamma = 0.9, lambda = 0.8;
+  const std::vector<double> rewards = {0.0, 0.0, 10.0};
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const double d2 = 10.0 - 3.0;
+  const double d1 = 0.0 + gamma * 3.0 - 2.0;
+  const double d0 = 0.0 + gamma * 2.0 - 1.0;
+  const double a2 = d2;
+  const double a1 = d1 + gamma * lambda * a2;
+  const double a0 = d0 + gamma * lambda * a1;
+  const GaeResult r = compute_gae(rewards, values, gamma, lambda);
+  EXPECT_NEAR(r.advantages[0], a0, 1e-12);
+  EXPECT_NEAR(r.advantages[1], a1, 1e-12);
+  EXPECT_NEAR(r.advantages[2], a2, 1e-12);
+  EXPECT_NEAR(r.returns[1], a1 + 2.0, 1e-12);
+}
+
+TEST(Gae, TerminalOnlyRewardPropagatesBackUndiscounted) {
+  // The paper's setting: zero rewards until the last step, gamma = 1.
+  const std::vector<double> rewards = {0.0, 0.0, 0.0, 0.8};
+  const std::vector<double> values = {0.0, 0.0, 0.0, 0.0};
+  const GaeResult r = compute_gae(rewards, values, 1.0, 1.0);
+  for (double a : r.advantages) EXPECT_DOUBLE_EQ(a, 0.8);
+}
+
+TEST(DiscountedReturns, KnownValues) {
+  const auto r = discounted_returns({1.0, 2.0, 4.0}, 0.5);
+  EXPECT_DOUBLE_EQ(r[2], 4.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0 + 0.5 * 4.0);
+  EXPECT_DOUBLE_EQ(r[0], 1.0 + 0.5 * 4.0);
+}
+
+TEST(Normalize, ZeroMeanUnitStd) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  normalize(xs);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  double var = 0.0;
+  for (double x : xs) var += x * x;
+  EXPECT_NEAR(var / static_cast<double>(xs.size()), 1.0, 1e-6);
+}
+
+TEST(Normalize, HandlesDegenerateInputs) {
+  std::vector<double> empty;
+  normalize(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<double> constant = {5.0, 5.0, 5.0};
+  normalize(constant);
+  for (double x : constant) EXPECT_NEAR(x, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rlbf::rl

@@ -1,0 +1,235 @@
+#include "rl/ppo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+
+#include "bandit_fixture.h"
+
+namespace rlbf::rl {
+namespace {
+
+TEST(MaskedCategorical, SampleRespectsMask) {
+  nn::Tensor logits(3, 1);
+  logits.at(0, 0) = 100.0;  // masked out: must never be sampled
+  logits.at(1, 0) = 0.0;
+  logits.at(2, 0) = 0.0;
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = sample_masked(logits, {0, 1, 1}, rng);
+    EXPECT_NE(s.action, 0u);
+    EXPECT_NEAR(s.log_prob, std::log(0.5), 1e-9);
+  }
+}
+
+TEST(MaskedCategorical, SampleFrequenciesFollowSoftmax) {
+  nn::Tensor logits(2, 1);
+  logits.at(0, 0) = std::log(3.0);
+  logits.at(1, 0) = 0.0;  // p = [0.75, 0.25]
+  util::Rng rng(2);
+  int zero = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    zero += sample_masked(logits, {1, 1}, rng).action == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(zero / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(MaskedCategorical, SampleThrowsWhenAllMasked) {
+  nn::Tensor logits(2, 1);
+  util::Rng rng(1);
+  EXPECT_THROW(sample_masked(logits, {0, 0}, rng), std::invalid_argument);
+}
+
+TEST(MaskedCategorical, ArgmaxSkipsMasked) {
+  nn::Tensor logits(3, 1);
+  logits.at(0, 0) = 10.0;
+  logits.at(1, 0) = 5.0;
+  logits.at(2, 0) = 1.0;
+  EXPECT_EQ(argmax_masked(logits, {1, 1, 1}), 0u);
+  EXPECT_EQ(argmax_masked(logits, {0, 1, 1}), 1u);
+  EXPECT_THROW(argmax_masked(logits, {0, 0, 0}), std::invalid_argument);
+}
+
+TEST(MaskedCategorical, ShapeMismatchThrows) {
+  nn::Tensor logits(3, 1);
+  util::Rng rng(1);
+  EXPECT_THROW(sample_masked(logits, {1, 1}, rng), std::invalid_argument);
+  EXPECT_THROW(argmax_masked(logits, {1, 1}), std::invalid_argument);
+}
+
+using rlbf::rl::testing::TestActorCritic;
+using rlbf::rl::testing::bandit_accuracy;
+using rlbf::rl::testing::collect_bandit;
+
+TEST(Ppo, LearnsContextualBandit) {
+  TestActorCritic model(7);
+  PpoConfig cfg;
+  cfg.train_iters = 20;
+  cfg.minibatch_size = 0;  // full batch
+  cfg.target_kl = 0.0;     // run all iterations
+  Ppo ppo(model, cfg);
+  util::Rng rng(11);
+
+  const double before = bandit_accuracy(model, rng, 500);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    RolloutBuffer buf = collect_bandit(model, rng, 256);
+    ppo.update(buf, rng);
+  }
+  const double after = bandit_accuracy(model, rng, 500);
+  EXPECT_GT(after, 0.9) << "before=" << before;
+}
+
+TEST(Ppo, ParallelUpdateAlsoLearns) {
+  TestActorCritic model(7);
+  PpoConfig cfg;
+  cfg.train_iters = 20;
+  cfg.minibatch_size = 0;
+  cfg.target_kl = 0.0;
+  util::ThreadPool pool(4);
+  Ppo ppo(model, cfg, &pool);
+  util::Rng rng(13);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    RolloutBuffer buf = collect_bandit(model, rng, 256);
+    ppo.update(buf, rng);
+  }
+  EXPECT_GT(bandit_accuracy(model, rng, 500), 0.9);
+}
+
+TEST(Ppo, UpdateReportsStats) {
+  TestActorCritic model(3);
+  PpoConfig cfg;
+  cfg.train_iters = 5;
+  cfg.target_kl = 0.0;
+  Ppo ppo(model, cfg);
+  util::Rng rng(5);
+  RolloutBuffer buf = collect_bandit(model, rng, 64);
+  const PpoStats stats = ppo.update(buf, rng);
+  EXPECT_EQ(stats.policy_iters, 5u);
+  EXPECT_EQ(stats.value_iters, 5u);
+  EXPECT_GT(stats.entropy, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+  EXPECT_TRUE(std::isfinite(stats.value_loss));
+}
+
+TEST(Ppo, KlEarlyStoppingLimitsPolicyIterations) {
+  TestActorCritic model(3);
+  PpoConfig cfg;
+  cfg.train_iters = 80;
+  cfg.target_kl = 1e-7;  // absurdly tight: stop almost immediately
+  cfg.policy_lr = 0.05;  // move fast so KL blows through the target
+  Ppo ppo(model, cfg);
+  util::Rng rng(5);
+  RolloutBuffer buf = collect_bandit(model, rng, 128);
+  const PpoStats stats = ppo.update(buf, rng);
+  EXPECT_LT(stats.policy_iters, 80u);
+  EXPECT_EQ(stats.value_iters, 80u);  // value loop unaffected
+}
+
+TEST(Ppo, ValueLossDecreasesOnFixedTargets) {
+  TestActorCritic model(9);
+  PpoConfig cfg;
+  cfg.train_iters = 40;
+  cfg.target_kl = 0.0;
+  Ppo ppo(model, cfg);
+  util::Rng rng(21);
+  RolloutBuffer first = collect_bandit(model, rng, 128);
+  const double initial_loss = ppo.update(first, rng).value_loss;
+  // Re-collect with the (slightly) trained critic: loss should be lower
+  // after another pass over similar targets.
+  RolloutBuffer second = collect_bandit(model, rng, 128);
+  const double later_loss = ppo.update(second, rng).value_loss;
+  EXPECT_LT(later_loss, initial_loss * 1.5);
+}
+
+TEST(Ppo, UpdateIsDeterministicAtFixedSeeds) {
+  // Two identical models + identical buffers + identical rngs must end
+  // with bitwise-identical parameters (serial path).
+  PpoConfig cfg;
+  cfg.train_iters = 8;
+  cfg.minibatch_size = 64;
+  cfg.target_kl = 0.0;
+
+  std::vector<nn::Tensor> finals[2];
+  for (int run = 0; run < 2; ++run) {
+    TestActorCritic model(33);
+    Ppo ppo(model, cfg);
+    util::Rng collect_rng(44);
+    RolloutBuffer buf = collect_bandit(model, collect_rng, 128);
+    util::Rng update_rng(55);
+    ppo.update(buf, update_rng);
+    for (const auto& p : model.policy_parameters()) finals[run].push_back(p->value);
+    for (const auto& p : model.value_parameters()) finals[run].push_back(p->value);
+  }
+  ASSERT_EQ(finals[0].size(), finals[1].size());
+  for (std::size_t i = 0; i < finals[0].size(); ++i) {
+    EXPECT_EQ(finals[0][i], finals[1][i]) << "parameter " << i;
+  }
+}
+
+TEST(Ppo, CriticLearnsStateDependentValues) {
+  // Feed the critic observations whose target is a deterministic
+  // function of the input; after training, predictions must correlate.
+  TestActorCritic model(17);
+  PpoConfig cfg;
+  cfg.train_iters = 60;
+  cfg.target_kl = 0.0;
+  cfg.value_lr = 3e-3;
+  Ppo ppo(model, cfg);
+  util::Rng rng(18);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    RolloutBuffer buf;
+    for (int e = 0; e < 128; ++e) {
+      Step s;
+      s.policy_obs = nn::Tensor(2, 2);
+      s.mask = {1, 1};
+      s.action = 0;
+      s.log_prob = std::log(0.5);
+      const double x = rng.uniform(-1.0, 1.0);
+      s.value_obs = nn::Tensor(1, 4, x);
+      s.value = model.value_nograd(s.value_obs);
+      s.reward = 2.0 * x;  // target value = 2x
+      Episode ep;
+      ep.steps.push_back(std::move(s));
+      buf.add_episode(std::move(ep));
+    }
+    ppo.update(buf, rng);
+  }
+  const double lo = model.value_nograd(nn::Tensor(1, 4, -0.8));
+  const double hi = model.value_nograd(nn::Tensor(1, 4, 0.8));
+  EXPECT_GT(hi - lo, 1.0);  // monotone response approximating 2x
+  EXPECT_NEAR(hi, 1.6, 0.8);
+}
+
+TEST(Ppo, MinibatchSamplingRespectsConfiguredSize) {
+  // With a minibatch smaller than the buffer, stats.n per iteration is
+  // bounded by the configured size; we can observe this indirectly via a
+  // one-iteration update on a large buffer not exploding in time, and
+  // directly by the entropy being finite (sanity).
+  TestActorCritic model(3);
+  PpoConfig cfg;
+  cfg.train_iters = 1;
+  cfg.minibatch_size = 32;
+  cfg.target_kl = 0.0;
+  Ppo ppo(model, cfg);
+  util::Rng rng(9);
+  RolloutBuffer buf = collect_bandit(model, rng, 512);
+  const PpoStats stats = ppo.update(buf, rng);
+  EXPECT_TRUE(std::isfinite(stats.entropy));
+  EXPECT_EQ(stats.policy_iters, 1u);
+}
+
+TEST(Ppo, EmptyBufferThrows) {
+  TestActorCritic model(1);
+  PpoConfig cfg;
+  Ppo ppo(model, cfg);
+  util::Rng rng(1);
+  RolloutBuffer buf;
+  buf.finish(1.0, 1.0);
+  EXPECT_THROW(ppo.update(buf, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlbf::rl

@@ -1,0 +1,154 @@
+#include "rl/reinforce.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bandit_fixture.h"
+
+namespace rlbf::rl {
+namespace {
+
+using rlbf::rl::testing::TestActorCritic;
+using rlbf::rl::testing::bandit_accuracy;
+using rlbf::rl::testing::collect_bandit;
+
+// REINFORCE takes exactly one gradient step per collected batch (unlike
+// PPO's 20+ reuse iterations), so the bandit tests compensate with a
+// higher learning rate — at PPO's 1e-3 the policy cannot flip an
+// unluckily-initialized score ordering within a test-sized budget.
+TEST(Reinforce, LearnsContextualBanditWithBaseline) {
+  TestActorCritic model(7);
+  ReinforceConfig cfg;
+  cfg.use_baseline = true;
+  cfg.policy_lr = 1e-2;
+  cfg.value_lr = 3e-3;
+  Reinforce reinforce(model, cfg);
+  util::Rng rng(11);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    RolloutBuffer buf = collect_bandit(model, rng, 256);
+    reinforce.update(buf, rng);
+  }
+  EXPECT_GT(bandit_accuracy(model, rng, 500), 0.85);
+}
+
+TEST(Reinforce, LearnsContextualBanditWithoutBaseline) {
+  // Raw-return REINFORCE is higher variance but the normalized weights
+  // still solve the bandit, just needing more epochs than with-baseline.
+  TestActorCritic model(7);
+  ReinforceConfig cfg;
+  cfg.use_baseline = false;
+  cfg.policy_lr = 1e-2;
+  Reinforce reinforce(model, cfg);
+  util::Rng rng(13);
+  for (int epoch = 0; epoch < 80; ++epoch) {
+    RolloutBuffer buf = collect_bandit(model, rng, 256);
+    reinforce.update(buf, rng);
+  }
+  EXPECT_GT(bandit_accuracy(model, rng, 500), 0.8);
+}
+
+TEST(Reinforce, EmptyBufferThrows) {
+  TestActorCritic model(1);
+  Reinforce reinforce(model, ReinforceConfig{});
+  util::Rng rng(1);
+  RolloutBuffer buf;
+  buf.finish(1.0, 1.0);
+  EXPECT_THROW(reinforce.update(buf, rng), std::invalid_argument);
+}
+
+TEST(Reinforce, StatsReportValueFittingOnlyWithBaseline) {
+  util::Rng rng(5);
+  {
+    TestActorCritic model(3);
+    ReinforceConfig cfg;
+    cfg.use_baseline = true;
+    cfg.value_iters = 7;
+    Reinforce reinforce(model, cfg);
+    RolloutBuffer buf = collect_bandit(model, rng, 64);
+    const ReinforceStats stats = reinforce.update(buf, rng);
+    EXPECT_EQ(stats.value_iters, 7u);
+    EXPECT_TRUE(std::isfinite(stats.value_loss));
+  }
+  {
+    TestActorCritic model(3);
+    ReinforceConfig cfg;
+    cfg.use_baseline = false;
+    Reinforce reinforce(model, cfg);
+    RolloutBuffer buf = collect_bandit(model, rng, 64);
+    const ReinforceStats stats = reinforce.update(buf, rng);
+    EXPECT_EQ(stats.value_iters, 0u);
+    EXPECT_EQ(stats.value_loss, 0.0);
+  }
+}
+
+TEST(Reinforce, StatsAreFinite) {
+  TestActorCritic model(9);
+  Reinforce reinforce(model, ReinforceConfig{});
+  util::Rng rng(21);
+  RolloutBuffer buf = collect_bandit(model, rng, 128);
+  const ReinforceStats stats = reinforce.update(buf, rng);
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+  EXPECT_GT(stats.entropy, 0.0);
+}
+
+TEST(Reinforce, WithoutBaselineValueParametersAreUntouched) {
+  TestActorCritic model(15);
+  ReinforceConfig cfg;
+  cfg.use_baseline = false;
+  Reinforce reinforce(model, cfg);
+  util::Rng rng(8);
+  std::vector<nn::Tensor> before;
+  for (const auto& p : model.value_parameters()) before.push_back(p->value);
+  RolloutBuffer buf = collect_bandit(model, rng, 64);
+  reinforce.update(buf, rng);
+  const auto params = model.value_parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i]->value, before[i]) << "value parameter " << i;
+  }
+}
+
+TEST(Reinforce, DeterministicAtFixedSeeds) {
+  std::vector<nn::Tensor> finals[2];
+  for (int run = 0; run < 2; ++run) {
+    TestActorCritic model(33);
+    Reinforce reinforce(model, ReinforceConfig{});
+    util::Rng collect_rng(44);
+    RolloutBuffer buf = collect_bandit(model, collect_rng, 128);
+    util::Rng update_rng(55);
+    reinforce.update(buf, update_rng);
+    for (const auto& p : model.policy_parameters()) finals[run].push_back(p->value);
+    for (const auto& p : model.value_parameters()) finals[run].push_back(p->value);
+  }
+  ASSERT_EQ(finals[0].size(), finals[1].size());
+  for (std::size_t i = 0; i < finals[0].size(); ++i) {
+    EXPECT_EQ(finals[0][i], finals[1][i]) << "parameter " << i;
+  }
+}
+
+TEST(Reinforce, BaselineReducesWeightVarianceProxy) {
+  // Indirect check that the two weighting modes differ: train two
+  // identical models one epoch each and confirm the resulting policy
+  // parameters diverge (the advantage and raw-return weights disagree).
+  TestActorCritic with(3), without(3);
+  ReinforceConfig cfg_with;
+  cfg_with.use_baseline = true;
+  ReinforceConfig cfg_without;
+  cfg_without.use_baseline = false;
+  Reinforce r1(with, cfg_with), r2(without, cfg_without);
+  util::Rng rng1(71), rng2(71);
+  RolloutBuffer b1 = collect_bandit(with, rng1, 128);
+  RolloutBuffer b2 = collect_bandit(without, rng2, 128);
+  r1.update(b1, rng1);
+  r2.update(b2, rng2);
+  double diff = 0.0;
+  const auto p1 = with.policy_parameters();
+  const auto p2 = without.policy_parameters();
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    diff = std::max(diff, nn::Tensor::max_abs_diff(p1[i]->value, p2[i]->value));
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+}  // namespace
+}  // namespace rlbf::rl

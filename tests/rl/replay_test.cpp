@@ -1,0 +1,111 @@
+#include "rl/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rlbf::rl {
+namespace {
+
+Transition make_transition(double reward, bool done = false) {
+  Transition t;
+  t.obs = nn::Tensor(2, 2, reward);
+  t.mask = {1, 1};
+  t.action = 0;
+  t.reward = reward;
+  if (!done) {
+    t.next_obs = nn::Tensor(2, 2, reward + 1.0);
+    t.next_mask = {1, 1};
+  }
+  t.done = done;
+  return t;
+}
+
+TEST(ReplayBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+}
+
+TEST(ReplayBuffer, StartsEmpty) {
+  ReplayBuffer buf(8);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 8u);
+}
+
+TEST(ReplayBuffer, GrowsUntilCapacity) {
+  ReplayBuffer buf(4);
+  for (int i = 0; i < 3; ++i) buf.add(make_transition(i));
+  EXPECT_EQ(buf.size(), 3u);
+  buf.add(make_transition(3));
+  buf.add(make_transition(4));
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.added(), 5u);
+}
+
+TEST(ReplayBuffer, RingEvictsOldestFirst) {
+  ReplayBuffer buf(3);
+  for (int i = 0; i < 5; ++i) buf.add(make_transition(i));
+  // Slots held rewards {0,1,2}; adds 3 and 4 overwrite slots 0 and 1.
+  std::set<double> rewards;
+  for (std::size_t i = 0; i < buf.size(); ++i) rewards.insert(buf[i].reward);
+  EXPECT_EQ(rewards, (std::set<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(ReplayBuffer, SampleFromEmptyThrows) {
+  ReplayBuffer buf(4);
+  util::Rng rng(1);
+  EXPECT_THROW(buf.sample(2, rng), std::invalid_argument);
+}
+
+TEST(ReplayBuffer, SampleReturnsRequestedCount) {
+  ReplayBuffer buf(16);
+  for (int i = 0; i < 5; ++i) buf.add(make_transition(i));
+  util::Rng rng(2);
+  EXPECT_EQ(buf.sample(64, rng).size(), 64u);  // with replacement
+}
+
+TEST(ReplayBuffer, SampleCoversTheWholeBuffer) {
+  ReplayBuffer buf(8);
+  for (int i = 0; i < 8; ++i) buf.add(make_transition(i));
+  util::Rng rng(3);
+  std::set<double> seen;
+  for (const Transition* t : buf.sample(400, rng)) seen.insert(t->reward);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ReplayBuffer, EpisodeSplitsIntoChainedTransitions) {
+  Episode ep;
+  for (int i = 0; i < 3; ++i) {
+    Step s;
+    s.policy_obs = nn::Tensor(2, 2, static_cast<double>(i));
+    s.mask = {1, 1};
+    s.action = static_cast<std::size_t>(i % 2);
+    s.reward = static_cast<double>(i) * 10.0;
+    ep.steps.push_back(std::move(s));
+  }
+  ReplayBuffer buf(16);
+  buf.add_episode(ep);
+  ASSERT_EQ(buf.size(), 3u);
+
+  // Step i's successor observation is step i+1's observation.
+  EXPECT_FALSE(buf[0].done);
+  EXPECT_EQ(buf[0].next_obs.at(0, 0), 1.0);
+  EXPECT_FALSE(buf[1].done);
+  EXPECT_EQ(buf[1].next_obs.at(0, 0), 2.0);
+  // The final step is terminal with no successor.
+  EXPECT_TRUE(buf[2].done);
+  EXPECT_EQ(buf[2].next_obs.size(), 0u);
+  EXPECT_TRUE(buf[2].next_mask.empty());
+  // Rewards and actions carry through.
+  EXPECT_EQ(buf[1].reward, 10.0);
+  EXPECT_EQ(buf[1].action, 1u);
+}
+
+TEST(ReplayBuffer, EmptyEpisodeAddsNothing) {
+  ReplayBuffer buf(4);
+  buf.add_episode(Episode{});
+  EXPECT_TRUE(buf.empty());
+}
+
+}  // namespace
+}  // namespace rlbf::rl

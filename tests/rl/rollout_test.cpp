@@ -1,0 +1,101 @@
+#include "rl/rollout.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbf::rl {
+namespace {
+
+Step make_step(double reward, double value) {
+  Step s;
+  s.policy_obs = nn::Tensor(2, 3);
+  s.mask = {1, 1};
+  s.value_obs = nn::Tensor(1, 6);
+  s.reward = reward;
+  s.value = value;
+  return s;
+}
+
+Episode make_episode(std::initializer_list<double> rewards) {
+  Episode e;
+  for (double r : rewards) e.steps.push_back(make_step(r, 0.1));
+  return e;
+}
+
+TEST(Rollout, EpisodeTotalReward) {
+  EXPECT_DOUBLE_EQ(make_episode({0.0, -2.0, 0.5}).total_reward(), -1.5);
+  EXPECT_DOUBLE_EQ(Episode{}.total_reward(), 0.0);
+}
+
+TEST(Rollout, CountsEpisodesAndSteps) {
+  RolloutBuffer buf;
+  buf.add_episode(make_episode({0.0, 1.0}));
+  buf.add_episode(make_episode({0.5}));
+  EXPECT_EQ(buf.episode_count(), 2u);
+  EXPECT_EQ(buf.step_count(), 3u);
+  EXPECT_FALSE(buf.finished());
+}
+
+TEST(Rollout, FinishComputesGaePerEpisode) {
+  RolloutBuffer buf;
+  buf.add_episode(make_episode({0.0, 1.0}));
+  buf.finish(1.0, 1.0, /*normalize_advantages=*/false);
+  const auto& steps = buf.episodes()[0].steps;
+  // gamma=lambda=1: adv_t = future rewards - value.
+  EXPECT_DOUBLE_EQ(steps[0].advantage, 1.0 - 0.1);
+  EXPECT_DOUBLE_EQ(steps[1].advantage, 1.0 - 0.1);
+  EXPECT_DOUBLE_EQ(steps[0].ret, 1.0);
+}
+
+TEST(Rollout, NormalizationSpansEpisodes) {
+  RolloutBuffer buf;
+  buf.add_episode(make_episode({1.0}));
+  buf.add_episode(make_episode({-1.0}));
+  buf.finish(1.0, 1.0, /*normalize_advantages=*/true);
+  double sum = 0.0;
+  for (const auto& e : buf.episodes()) {
+    for (const auto& s : e.steps) sum += s.advantage;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Rollout, FlatStepsSpanAllEpisodesInOrder) {
+  RolloutBuffer buf;
+  buf.add_episode(make_episode({1.0, 2.0}));
+  buf.add_episode(make_episode({3.0}));
+  buf.finish(1.0, 1.0);
+  const auto flat = buf.flat_steps();
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_DOUBLE_EQ(flat[0]->reward, 1.0);
+  EXPECT_DOUBLE_EQ(flat[2]->reward, 3.0);
+}
+
+TEST(Rollout, LifecycleGuards) {
+  RolloutBuffer buf;
+  EXPECT_THROW(buf.flat_steps(), std::logic_error);
+  buf.add_episode(make_episode({1.0}));
+  buf.finish(1.0, 1.0);
+  EXPECT_THROW(buf.finish(1.0, 1.0), std::logic_error);
+  EXPECT_THROW(buf.add_episode(make_episode({1.0})), std::logic_error);
+}
+
+TEST(Rollout, ClearResetsEverything) {
+  RolloutBuffer buf;
+  buf.add_episode(make_episode({1.0}));
+  buf.finish(1.0, 1.0);
+  buf.clear();
+  EXPECT_EQ(buf.episode_count(), 0u);
+  EXPECT_FALSE(buf.finished());
+  buf.add_episode(make_episode({2.0}));  // usable again
+  EXPECT_EQ(buf.step_count(), 1u);
+}
+
+TEST(Rollout, MeanEpisodeReward) {
+  RolloutBuffer buf;
+  EXPECT_DOUBLE_EQ(buf.mean_episode_reward(), 0.0);
+  buf.add_episode(make_episode({1.0, 1.0}));
+  buf.add_episode(make_episode({-4.0}));
+  EXPECT_DOUBLE_EQ(buf.mean_episode_reward(), (2.0 - 4.0) / 2.0);
+}
+
+}  // namespace
+}  // namespace rlbf::rl

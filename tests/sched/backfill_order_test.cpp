@@ -1,0 +1,126 @@
+// The BestFit / WorstFit EASY orderings (ablation A10's fixed rules).
+#include <gtest/gtest.h>
+
+#include "sched/easy_backfill.h"
+#include "sched/policies.h"
+#include "sched/runtime_estimator.h"
+#include "sched/scheduler.h"
+#include "workload/presets.h"
+
+namespace rlbf::sched {
+namespace {
+
+swf::Job make_job(std::int64_t id, std::int64_t submit, std::int64_t run,
+                  std::int64_t procs, std::int64_t request) {
+  swf::Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.run_time = run;
+  j.requested_procs = procs;
+  j.requested_time = request;
+  return j;
+}
+
+// A scenario with a clear ordering decision: job 1 occupies most of the
+// machine, job 2 (wide) blocks, and jobs 3 and 4 (narrow vs wide) arrive
+// TOGETHER at t=2 — the simulator opens a backfilling opportunity at each
+// event, so simultaneous arrival is what puts both in one candidate set.
+// Both are admissible (they finish before J1's end at t=100) but cannot
+// run side by side (6 + 1 + 4 > 10 processors).
+//   machine: 10 procs. J1: 6 procs 100 s. J2: 10 procs (blocked).
+//   J3: 1 proc, 30 s. J4: 4 procs, 90 s.
+swf::Trace ordering_trace() {
+  return swf::Trace("order", 10,
+                    {make_job(1, 0, 100, 6, 100), make_job(2, 1, 50, 10, 50),
+                     make_job(3, 2, 30, 1, 30), make_job(4, 2, 90, 4, 90)});
+}
+
+TEST(BackfillOrder, WidestFirstPicksTheWideJob) {
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  EasyBackfillChooser chooser(BackfillOrder::WidestFirst);
+  const auto results = sim::simulate(ordering_trace(), fcfs, rt, &chooser);
+  // J4 (4 procs) backfills at t=2; J3 (1 proc) no longer fits beside it
+  // (6 + 4 + 1 > 10) and must wait.
+  EXPECT_TRUE(results[3].backfilled);
+  EXPECT_EQ(results[3].start_time, 2);
+  EXPECT_GT(results[2].start_time, 2);
+}
+
+TEST(BackfillOrder, NarrowestFirstPicksTheNarrowJob) {
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  EasyBackfillChooser chooser(BackfillOrder::NarrowestFirst);
+  const auto results = sim::simulate(ordering_trace(), fcfs, rt, &chooser);
+  // J3 (1 proc) backfills first; J4 (4 procs, 6 + 1 + 4 > 10) waits.
+  EXPECT_TRUE(results[2].backfilled);
+  EXPECT_EQ(results[2].start_time, 2);
+  EXPECT_GT(results[3].start_time, 2);
+}
+
+TEST(BackfillOrder, NamesIdentifyTheOrdering) {
+  EXPECT_EQ(EasyBackfillChooser(BackfillOrder::WidestFirst).name(), "EASY-BestFit");
+  EXPECT_EQ(EasyBackfillChooser(BackfillOrder::NarrowestFirst).name(),
+            "EASY-WorstFit");
+}
+
+TEST(BackfillOrder, SpecLabelsIncludeOrdering) {
+  EXPECT_EQ(SchedulerSpec({"FCFS", BackfillKind::EasyBestFit,
+                           EstimateKind::RequestTime})
+                .label(),
+            "FCFS+EASY-BF");
+  EXPECT_EQ(SchedulerSpec({"FCFS", BackfillKind::EasyWorstFit,
+                           EstimateKind::RequestTime})
+                .label(),
+            "FCFS+EASY-WF");
+}
+
+TEST(BackfillOrder, AllOrderingsRespectAdmissibility) {
+  // Whatever the ordering, no backfilled job may delay the blocked head
+  // job under the estimates: with request-time estimates equal to actual
+  // runtimes, the head's start must never exceed its EASY reservation.
+  const swf::Trace trace = workload::sdsc_sp2_like(31, 600);
+  FcfsPolicy fcfs;
+  ActualRuntimeEstimator ar;
+  for (const auto order :
+       {BackfillOrder::QueueOrder, BackfillOrder::ShortestFirst,
+        BackfillOrder::WidestFirst, BackfillOrder::NarrowestFirst}) {
+    EasyBackfillChooser chooser(order);
+    const auto results = sim::simulate(trace, fcfs, ar, &chooser);
+    ASSERT_EQ(results.size(), trace.size());
+    for (const auto& r : results) {
+      EXPECT_GE(r.start_time, r.submit_time);
+    }
+  }
+}
+
+class OrderingMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, BackfillOrder>> {};
+
+TEST_P(OrderingMatrix, EveryOrderingBeatsNoBackfillingOnEveryTrace) {
+  const auto& [trace_name, order] = GetParam();
+  swf::Trace trace;
+  if (trace_name == "sdsc") trace = workload::sdsc_sp2_like(13, 800);
+  else if (trace_name == "hpc2n") trace = workload::hpc2n_like(13, 800);
+  else trace = workload::lublin_1(13, 800);
+
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto no_bf = run_schedule(trace, fcfs, rt, nullptr);
+  EasyBackfillChooser chooser(order);
+  const auto with_bf = run_schedule(trace, fcfs, rt, &chooser);
+  EXPECT_LT(with_bf.metrics.avg_bounded_slowdown,
+            no_bf.metrics.avg_bounded_slowdown);
+  EXPECT_GE(with_bf.metrics.backfilled_jobs, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TracesAndOrders, OrderingMatrix,
+    ::testing::Combine(::testing::Values("sdsc", "hpc2n", "lublin"),
+                       ::testing::Values(BackfillOrder::QueueOrder,
+                                         BackfillOrder::ShortestFirst,
+                                         BackfillOrder::WidestFirst,
+                                         BackfillOrder::NarrowestFirst)));
+
+}  // namespace
+}  // namespace rlbf::sched

@@ -1,0 +1,143 @@
+// Cross-cutting contracts every RuntimeEstimator in the library must
+// honor, swept over the full estimator family x multiple workloads:
+//
+//   P1 estimates are always >= 1 second (the sim's RuntimeEstimator
+//      contract);
+//   P2 estimates are deterministic — the same job queried twice yields
+//      the same value (reservations computed at different times must
+//      agree);
+//   P3 *deployable* predictors (everything except the raw request time
+//      and the deliberately deflating UnderNoisy) never exceed the user
+//      request time, the kill limit a real system enforces;
+//   P4 the oracle lower-bounds every AR-derived estimator's error.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "sched/easy_backfill.h"
+#include "sched/policies.h"
+#include "sched/predictors.h"
+#include "sched/runtime_estimator.h"
+#include "workload/presets.h"
+
+namespace rlbf::sched {
+namespace {
+
+struct EstimatorCase {
+  std::string name;
+  /// Builds the estimator over a trace (history predictors need it).
+  std::function<std::unique_ptr<sim::RuntimeEstimator>(const swf::Trace&)> make;
+  bool capped_at_request;  // participates in P3
+};
+
+std::vector<EstimatorCase> estimator_cases() {
+  return {
+      {"RequestTime",
+       [](const swf::Trace&) { return std::make_unique<RequestTimeEstimator>(); },
+       true},  // trivially equal to the request time
+      {"ActualRuntime",
+       [](const swf::Trace&) { return std::make_unique<ActualRuntimeEstimator>(); },
+       false},  // archive AR <= RT holds, but not by construction
+      {"Noisy20",
+       [](const swf::Trace&) { return std::make_unique<NoisyEstimator>(0.2, 7); },
+       true},
+      {"Noisy100",
+       [](const swf::Trace&) { return std::make_unique<NoisyEstimator>(1.0, 7); },
+       true},
+      {"Under50",
+       [](const swf::Trace&) { return std::make_unique<UnderNoisyEstimator>(0.5, 7); },
+       false},
+      {"Tsafrir",
+       [](const swf::Trace& t) { return std::make_unique<TsafrirEstimator>(t); },
+       true},
+      {"Recent1",
+       [](const swf::Trace& t) { return std::make_unique<RecentKEstimator>(t, 1); },
+       true},
+      {"Recent8",
+       [](const swf::Trace& t) { return std::make_unique<RecentKEstimator>(t, 8); },
+       true},
+      {"ClassAverage",
+       [](const swf::Trace& t) { return std::make_unique<ClassAverageEstimator>(t); },
+       true},
+  };
+}
+
+class EstimatorContractTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ protected:
+  static const EstimatorCase& find_case(const std::string& name) {
+    static const auto cases = estimator_cases();
+    for (const auto& c : cases) {
+      if (c.name == name) return c;
+    }
+    throw std::logic_error("unknown estimator case " + name);
+  }
+};
+
+TEST_P(EstimatorContractTest, PositiveDeterministicAndCapped) {
+  const auto& [name, seed] = GetParam();
+  const EstimatorCase& c = find_case(name);
+  const swf::Trace trace = workload::sdsc_sp2_like(seed, 1000);
+  const auto estimator = c.make(trace);
+  for (const auto& job : trace.jobs()) {
+    const std::int64_t est = estimator->estimate(job);
+    EXPECT_GE(est, 1) << name << " job " << job.id;                       // P1
+    EXPECT_EQ(estimator->estimate(job), est) << name << " job " << job.id;  // P2
+    if (c.capped_at_request && job.requested_time > 0) {
+      EXPECT_LE(est, job.requested_time) << name << " job " << job.id;    // P3
+    }
+  }
+}
+
+TEST_P(EstimatorContractTest, OracleErrorIsALowerBound) {
+  const auto& [name, seed] = GetParam();
+  const EstimatorCase& c = find_case(name);
+  const swf::Trace trace = workload::hpc2n_like(seed, 800);
+  const auto estimator = c.make(trace);
+  ActualRuntimeEstimator oracle;
+  EXPECT_GE(mean_relative_error(*estimator, trace) + 1e-12,
+            mean_relative_error(oracle, trace));  // P4
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEstimators, EstimatorContractTest,
+    ::testing::Combine(
+        ::testing::Values("RequestTime", "ActualRuntime", "Noisy20", "Noisy100",
+                          "Under50", "Tsafrir", "Recent1", "Recent8",
+                          "ClassAverage"),
+        ::testing::Values(11u, 42u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The estimator a schedule plans with is the one choosers see: a smoke
+// sweep that every estimator produces a complete EASY schedule on every
+// preset (the simulator clamps expired under-predictions internally).
+class EstimatorScheduleTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EstimatorScheduleTest, EveryEstimatorDrivesACompleteEasySchedule) {
+  const swf::Trace trace = workload::lublin_1(5, 500);
+  const auto cases = estimator_cases();
+  for (const auto& c : cases) {
+    if (c.name != GetParam()) continue;
+    const auto estimator = c.make(trace);
+    FcfsPolicy fcfs;
+    EasyBackfillChooser easy;
+    const auto results = sim::simulate(trace, fcfs, *estimator, &easy);
+    ASSERT_EQ(results.size(), trace.size()) << c.name;
+    for (const auto& r : results) {
+      EXPECT_GE(r.start_time, r.submit_time) << c.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimators, EstimatorScheduleTest,
+                         ::testing::Values("RequestTime", "ActualRuntime",
+                                           "Noisy20", "Noisy100", "Under50",
+                                           "Tsafrir", "Recent1", "Recent8",
+                                           "ClassAverage"));
+
+}  // namespace
+}  // namespace rlbf::sched

@@ -1,0 +1,191 @@
+#include "sched/runtime_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/presets.h"
+
+namespace rlbf::sched {
+namespace {
+
+swf::Job make_job(std::int64_t id, std::int64_t run, std::int64_t request) {
+  swf::Job j;
+  j.id = id;
+  j.run_time = run;
+  j.requested_time = request;
+  j.requested_procs = 1;
+  return j;
+}
+
+TEST(Estimators, RequestTimeUsesUserEstimate) {
+  RequestTimeEstimator e;
+  EXPECT_EQ(e.estimate(make_job(1, 100, 3600)), 3600);
+}
+
+TEST(Estimators, RequestTimeFallsBackToRuntime) {
+  RequestTimeEstimator e;
+  EXPECT_EQ(e.estimate(make_job(1, 100, swf::kUnknown)), 100);
+}
+
+TEST(Estimators, RequestTimeFloorsAtOneSecond) {
+  RequestTimeEstimator e;
+  EXPECT_EQ(e.estimate(make_job(1, 0, swf::kUnknown)), 1);
+}
+
+TEST(Estimators, ActualRuntimeIsOracle) {
+  ActualRuntimeEstimator e;
+  EXPECT_EQ(e.estimate(make_job(1, 123, 99999)), 123);
+  EXPECT_EQ(e.estimate(make_job(1, 0, 99999)), 1);
+}
+
+TEST(Estimators, NoisyRejectsNegativeFraction) {
+  EXPECT_THROW(NoisyEstimator(-0.1, 1), std::invalid_argument);
+}
+
+TEST(Estimators, NoisyZeroFractionEqualsOracle) {
+  NoisyEstimator e(0.0, 7);
+  ActualRuntimeEstimator ar;
+  for (int id = 1; id <= 50; ++id) {
+    const auto j = make_job(id, 1000 + id, 1'000'000);
+    EXPECT_EQ(e.estimate(j), ar.estimate(j));
+  }
+}
+
+class NoisyFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoisyFractionTest, EstimateWithinConfiguredBand) {
+  const double frac = GetParam();
+  NoisyEstimator e(frac, 13);
+  for (int id = 1; id <= 500; ++id) {
+    const auto j = make_job(id, 10000, 1'000'000);
+    const auto est = e.estimate(j);
+    EXPECT_GE(est, 10000);
+    EXPECT_LE(est, static_cast<std::int64_t>(10000 * (1.0 + frac)) + 1);
+  }
+}
+
+TEST_P(NoisyFractionTest, MeanInflationIsHalfTheBand) {
+  const double frac = GetParam();
+  NoisyEstimator e(frac, 29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int id = 1; id <= n; ++id) {
+    sum += static_cast<double>(e.estimate(make_job(id, 10000, 10'000'000)));
+  }
+  EXPECT_NEAR(sum / n, 10000.0 * (1.0 + frac / 2.0), 10000.0 * 0.01 + 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperNoiseLevels, NoisyFractionTest,
+                         ::testing::Values(0.05, 0.10, 0.20, 0.40, 1.00));
+
+TEST(Estimators, NoisyIsDeterministicPerJob) {
+  NoisyEstimator e(0.4, 99);
+  const auto j = make_job(17, 5000, 1'000'000);
+  const auto first = e.estimate(j);
+  for (int rep = 0; rep < 10; ++rep) EXPECT_EQ(e.estimate(j), first);
+}
+
+TEST(Estimators, NoisyDiffersAcrossJobs) {
+  NoisyEstimator e(0.4, 99);
+  int distinct = 0;
+  std::int64_t prev = -1;
+  for (int id = 1; id <= 100; ++id) {
+    const auto est = e.estimate(make_job(id, 5000, 1'000'000));
+    if (est != prev) ++distinct;
+    prev = est;
+  }
+  EXPECT_GT(distinct, 50);
+}
+
+TEST(Estimators, NoisyClampsToRequestTime) {
+  // Predictions never exceed the kill limit the user declared.
+  NoisyEstimator e(1.0, 5);
+  for (int id = 1; id <= 200; ++id) {
+    const auto j = make_job(id, 5000, 6000);
+    EXPECT_LE(e.estimate(j), 6000);
+  }
+}
+
+TEST(Estimators, NoisyNamesIncludePercentage) {
+  EXPECT_EQ(NoisyEstimator(0.2, 1).name(), "Noisy+20%");
+  EXPECT_EQ(NoisyEstimator(1.0, 1).name(), "Noisy+100%");
+}
+
+namespace tsafrir {
+
+swf::Job user_job(std::int64_t id, std::int64_t user, std::int64_t run,
+                  std::int64_t request) {
+  swf::Job j;
+  j.id = id;
+  j.submit_time = id * 10;
+  j.user_id = user;
+  j.run_time = run;
+  j.requested_time = request;
+  j.requested_procs = 1;
+  return j;
+}
+
+swf::Trace history_trace() {
+  // User 1 submits runs 100, 200, 400; user 2 submits one job.
+  return swf::Trace("t", 8,
+                    {user_job(1, 1, 100, 3600), user_job(2, 1, 200, 3600),
+                     user_job(3, 1, 400, 3600), user_job(4, 2, 50, 600)});
+}
+
+TEST(TsafrirEstimator, FirstJobFallsBackToRequestTime) {
+  const TsafrirEstimator e{history_trace()};
+  EXPECT_EQ(e.estimate(history_trace()[0]), 3600);
+  EXPECT_EQ(e.estimate(history_trace()[3]), 600);  // user 2's first job
+}
+
+TEST(TsafrirEstimator, SecondJobUsesSinglePreviousRuntime) {
+  const TsafrirEstimator e{history_trace()};
+  EXPECT_EQ(e.estimate(history_trace()[1]), 100);
+}
+
+TEST(TsafrirEstimator, ThirdJobAveragesLastTwo) {
+  const TsafrirEstimator e{history_trace()};
+  EXPECT_EQ(e.estimate(history_trace()[2]), (100 + 200) / 2);
+}
+
+TEST(TsafrirEstimator, PredictionsCappedAtRequestTime) {
+  swf::Trace t("t", 8,
+               {user_job(1, 1, 5000, 9000), user_job(2, 1, 5000, 9000),
+                user_job(3, 1, 100, 1000)});  // history mean 5000 > request 1000
+  const TsafrirEstimator e(t);
+  EXPECT_EQ(e.estimate(t[2]), 1000);
+}
+
+TEST(TsafrirEstimator, CoverageCountsHistoryPredictions) {
+  const TsafrirEstimator e{history_trace()};
+  // Jobs 2 and 3 predicted from history out of 4 total.
+  EXPECT_DOUBLE_EQ(e.coverage(), 0.5);
+}
+
+TEST(TsafrirEstimator, UnknownJobFallsBackGracefully) {
+  const TsafrirEstimator e{history_trace()};
+  const swf::Job stranger = user_job(999, 9, 70, 450);
+  EXPECT_EQ(e.estimate(stranger), 450);
+}
+
+TEST(TsafrirEstimator, PredictsCloserThanRequestsOnRealisticTrace) {
+  // On a synthetic archive-like trace, history predictions should have a
+  // smaller mean absolute error vs actual runtimes than the (padded)
+  // user requests do.
+  const swf::Trace trace = workload::sdsc_sp2_like(55, 3000);
+  const TsafrirEstimator tsafrir(trace);
+  RequestTimeEstimator request;
+  double err_tsafrir = 0.0, err_request = 0.0;
+  for (const auto& j : trace.jobs()) {
+    err_tsafrir += std::abs(static_cast<double>(tsafrir.estimate(j) - j.run_time));
+    err_request += std::abs(static_cast<double>(request.estimate(j) - j.run_time));
+  }
+  EXPECT_LT(err_tsafrir, err_request);
+  EXPECT_GT(tsafrir.coverage(), 0.9);  // 64 users over 3000 jobs
+}
+
+}  // namespace tsafrir
+
+}  // namespace
+}  // namespace rlbf::sched

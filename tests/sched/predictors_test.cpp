@@ -1,0 +1,275 @@
+#include "sched/predictors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/runtime_estimator.h"
+#include "workload/presets.h"
+
+namespace rlbf::sched {
+namespace {
+
+swf::Job user_job(std::int64_t id, std::int64_t user, std::int64_t run,
+                  std::int64_t request, std::int64_t exe = 1,
+                  std::int64_t procs = 1) {
+  swf::Job j;
+  j.id = id;
+  j.submit_time = id * 10;
+  j.user_id = user;
+  j.run_time = run;
+  j.requested_time = request;
+  j.requested_procs = procs;
+  j.executable = exe;
+  return j;
+}
+
+// ------------------------------------------------------------ RecentK --
+
+TEST(RecentK, RejectsZeroK) {
+  const swf::Trace t("t", 8, {user_job(1, 1, 100, 3600)});
+  EXPECT_THROW(RecentKEstimator(t, 0), std::invalid_argument);
+}
+
+TEST(RecentK, FirstJobFallsBackToRequestTime) {
+  const swf::Trace t("t", 8, {user_job(1, 1, 100, 3600)});
+  const RecentKEstimator e(t, 3);
+  EXPECT_EQ(e.estimate(t[0]), 3600);
+  EXPECT_DOUBLE_EQ(e.coverage(), 0.0);
+}
+
+TEST(RecentK, AveragesUpToKPreviousRuntimes) {
+  const swf::Trace t("t", 8,
+                     {user_job(1, 1, 100, 9000), user_job(2, 1, 200, 9000),
+                      user_job(3, 1, 400, 9000), user_job(4, 1, 800, 9000)});
+  const RecentKEstimator e(t, 3);
+  EXPECT_EQ(e.estimate(t[1]), 100);
+  EXPECT_EQ(e.estimate(t[2]), 150);             // (100+200)/2
+  EXPECT_EQ(e.estimate(t[3]), (100 + 200 + 400) / 3);
+}
+
+TEST(RecentK, WindowSlidesPastOldRuntimes) {
+  const swf::Trace t("t", 8,
+                     {user_job(1, 1, 1000, 9000), user_job(2, 1, 10, 9000),
+                      user_job(3, 1, 10, 9000), user_job(4, 1, 10, 9000)});
+  const RecentKEstimator e(t, 2);
+  // Job 4 sees only runs {10, 10}: the 1000 has left the window.
+  EXPECT_EQ(e.estimate(t[3]), 10);
+}
+
+TEST(RecentK, KOf2MatchesTsafrirOnSharedHistory) {
+  const swf::Trace t = workload::sdsc_sp2_like(77, 800);
+  const RecentKEstimator recent2(t, 2);
+  const TsafrirEstimator tsafrir(t);
+  std::size_t close = 0;
+  for (const auto& j : t.jobs()) {
+    // Integer rounding differs ((a+b)/2 truncation vs llround), so allow
+    // one second of slack.
+    if (std::llabs(recent2.estimate(j) - tsafrir.estimate(j)) <= 1) ++close;
+  }
+  EXPECT_EQ(close, t.size());
+}
+
+TEST(RecentK, UsersDoNotShareHistory) {
+  const swf::Trace t("t", 8,
+                     {user_job(1, 1, 100, 9000), user_job(2, 2, 7000, 9000),
+                      user_job(3, 1, 100, 9000)});
+  const RecentKEstimator e(t, 4);
+  EXPECT_EQ(e.estimate(t[2]), 100);  // unaffected by user 2's 7000s job
+}
+
+TEST(RecentK, PredictionsCappedAtRequestTime) {
+  const swf::Trace t("t", 8,
+                     {user_job(1, 1, 5000, 9000), user_job(2, 1, 100, 600)});
+  const RecentKEstimator e(t, 2);
+  EXPECT_EQ(e.estimate(t[1]), 600);
+}
+
+TEST(RecentK, UnknownJobFallsBackGracefully) {
+  const swf::Trace t("t", 8, {user_job(1, 1, 100, 3600)});
+  const RecentKEstimator e(t, 2);
+  EXPECT_EQ(e.estimate(user_job(999, 5, 70, 450)), 450);
+}
+
+class RecentKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RecentKSweep, LargerWindowsNeverLoseToRequestsOnArchiveLikeTrace) {
+  const std::size_t k = GetParam();
+  const swf::Trace trace = workload::sdsc_sp2_like(55, 2000);
+  const RecentKEstimator recent(trace, k);
+  RequestTimeEstimator request;
+  EXPECT_LT(mean_relative_error(recent, trace),
+            mean_relative_error(request, trace));
+  EXPECT_GT(recent.coverage(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, RecentKSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+// ------------------------------------------------------- ClassAverage --
+
+TEST(ClassAverage, FallsBackRequestThenUserThenClass) {
+  const swf::Trace t("t", 8,
+                     {user_job(1, 1, 100, 3600, /*exe=*/1),
+                      user_job(2, 1, 200, 3600, /*exe=*/2),   // new exe: user mean
+                      user_job(3, 1, 400, 3600, /*exe=*/1)}); // class history
+  const ClassAverageEstimator e(t);
+  EXPECT_EQ(e.estimate(t[0]), 3600);  // nothing known
+  EXPECT_EQ(e.estimate(t[1]), 100);   // user mean of {100}
+  EXPECT_EQ(e.estimate(t[2]), 100);   // class (user1, exe1, 1p) mean {100}
+}
+
+TEST(ClassAverage, ClassMeansAccumulate) {
+  const swf::Trace t("t", 8,
+                     {user_job(1, 1, 100, 9000), user_job(2, 1, 300, 9000),
+                      user_job(3, 1, 500, 9000)});
+  const ClassAverageEstimator e(t);
+  EXPECT_EQ(e.estimate(t[2]), 200);  // (100+300)/2
+}
+
+TEST(ClassAverage, DistinguishesProcBuckets) {
+  // Same user+exe but widths 1 and 16 land in different buckets.
+  const swf::Trace t("t", 32,
+                     {user_job(1, 1, 100, 9000, 1, 1),
+                      user_job(2, 1, 7000, 9000, 1, 16),
+                      user_job(3, 1, 100, 9000, 1, 1)});
+  const ClassAverageEstimator e(t);
+  EXPECT_EQ(e.estimate(t[2]), 100);  // 1-proc class unpolluted by the 16-proc job
+}
+
+TEST(ClassAverage, CoverageGrowsWithRepetition) {
+  const swf::Trace trace = workload::sdsc_sp2_like(91, 3000);
+  const ClassAverageEstimator e(trace);
+  EXPECT_GT(e.class_coverage(), 0.5);
+  EXPECT_LT(mean_relative_error(e, trace),
+            mean_relative_error(RequestTimeEstimator{}, trace));
+}
+
+// -------------------------------------------------------------- Blend --
+
+TEST(Blend, RejectsAlphaOutsideUnitInterval) {
+  ActualRuntimeEstimator ar;
+  EXPECT_THROW(BlendEstimator(ar, -0.1), std::invalid_argument);
+  EXPECT_THROW(BlendEstimator(ar, 1.1), std::invalid_argument);
+}
+
+TEST(Blend, AlphaZeroIsRequestTime) {
+  ActualRuntimeEstimator ar;
+  const BlendEstimator e(ar, 0.0);
+  EXPECT_EQ(e.estimate(user_job(1, 1, 100, 3600)), 3600);
+}
+
+TEST(Blend, AlphaOneIsInnerEstimator) {
+  ActualRuntimeEstimator ar;
+  const BlendEstimator e(ar, 1.0);
+  EXPECT_EQ(e.estimate(user_job(1, 1, 100, 3600)), 100);
+}
+
+TEST(Blend, InterpolatesLinearly) {
+  ActualRuntimeEstimator ar;
+  const BlendEstimator e(ar, 0.25);
+  // 0.25 * 100 + 0.75 * 3600 = 2725
+  EXPECT_EQ(e.estimate(user_job(1, 1, 100, 3600)), 2725);
+}
+
+TEST(Blend, NameMentionsInnerAndAlpha) {
+  ActualRuntimeEstimator ar;
+  const BlendEstimator e(ar, 0.5);
+  EXPECT_EQ(e.name(), "Blend(ActualRuntime,0.5)");
+}
+
+class BlendSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlendSweep, ErrorDecreasesMonotonicallyTowardOracle) {
+  // With the oracle inside, prediction error must shrink as alpha grows —
+  // the continuous accuracy knob the predictor ablation sweeps.
+  const double alpha = GetParam();
+  const swf::Trace trace = workload::sdsc_sp2_like(12, 1000);
+  ActualRuntimeEstimator ar;
+  const BlendEstimator mid(ar, alpha);
+  const BlendEstimator more(ar, std::min(1.0, alpha + 0.25));
+  EXPECT_GE(mean_relative_error(mid, trace),
+            mean_relative_error(more, trace) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, BlendSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75));
+
+// --------------------------------------------------------- UnderNoisy --
+
+TEST(UnderNoisy, RejectsFractionOutsideRange) {
+  EXPECT_THROW(UnderNoisyEstimator(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(UnderNoisyEstimator(1.0, 1), std::invalid_argument);
+}
+
+TEST(UnderNoisy, ZeroFractionEqualsOracle) {
+  UnderNoisyEstimator e(0.0, 7);
+  EXPECT_EQ(e.estimate(user_job(1, 1, 1000, 9000)), 1000);
+}
+
+TEST(UnderNoisy, EstimatesNeverExceedActualRuntime) {
+  UnderNoisyEstimator e(0.5, 3);
+  for (int id = 1; id <= 300; ++id) {
+    const auto j = user_job(id, 1, 10000, 1'000'000);
+    const auto est = e.estimate(j);
+    EXPECT_LE(est, 10000);
+    EXPECT_GE(est, 5000 - 1);
+  }
+}
+
+TEST(UnderNoisy, DeterministicPerJob) {
+  UnderNoisyEstimator e(0.4, 99);
+  const auto j = user_job(17, 1, 5000, 9000);
+  const auto first = e.estimate(j);
+  for (int rep = 0; rep < 10; ++rep) EXPECT_EQ(e.estimate(j), first);
+}
+
+TEST(UnderNoisy, IndependentOfOverpredictionStream) {
+  // The + and - noise streams of the same job must not mirror each
+  // other (they use different hash constants).
+  NoisyEstimator over(0.4, 7);
+  UnderNoisyEstimator under(0.4, 7);
+  int mirrored = 0;
+  for (int id = 1; id <= 100; ++id) {
+    const auto j = user_job(id, 1, 10000, 10'000'000);
+    const auto above = over.estimate(j) - 10000;
+    const auto below = 10000 - under.estimate(j);
+    if (std::llabs(above - below) <= 1) ++mirrored;
+  }
+  EXPECT_LT(mirrored, 20);
+}
+
+TEST(UnderNoisy, FloorsAtOneSecond) {
+  UnderNoisyEstimator e(0.99, 5);
+  for (int id = 1; id <= 50; ++id) {
+    EXPECT_GE(e.estimate(user_job(id, 1, 1, 9000)), 1);
+  }
+}
+
+TEST(UnderNoisy, NameIncludesPercentage) {
+  EXPECT_EQ(UnderNoisyEstimator(0.2, 1).name(), "Noisy-20%");
+}
+
+// -------------------------------------------------- mean_relative_error --
+
+TEST(MeanRelativeError, ZeroForOracle) {
+  const swf::Trace trace = workload::sdsc_sp2_like(5, 300);
+  ActualRuntimeEstimator ar;
+  EXPECT_NEAR(mean_relative_error(ar, trace), 0.0, 1e-12);
+}
+
+TEST(MeanRelativeError, EmptyTraceIsZero) {
+  ActualRuntimeEstimator ar;
+  EXPECT_EQ(mean_relative_error(ar, swf::Trace("e", 8, {})), 0.0);
+}
+
+TEST(MeanRelativeError, MatchesHandComputedValue) {
+  const swf::Trace t("t", 8,
+                     {user_job(1, 1, 100, 200), user_job(2, 1, 100, 400)});
+  RequestTimeEstimator rt;
+  // |200-100|/100 = 1, |400-100|/100 = 3 -> mean 2.
+  EXPECT_DOUBLE_EQ(mean_relative_error(rt, t), 2.0);
+}
+
+}  // namespace
+}  // namespace rlbf::sched

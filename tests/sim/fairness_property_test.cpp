@@ -1,0 +1,123 @@
+// Property sweeps on the fairness metrics: Jain's index bounds and
+// invariances over randomized inputs, and conservation properties of the
+// per-user aggregation over simulated schedules.
+#include <gtest/gtest.h>
+
+#include "sched/easy_backfill.h"
+#include "sched/policies.h"
+#include "sched/runtime_estimator.h"
+#include "sim/fairness.h"
+#include "util/rng.h"
+#include "workload/presets.h"
+
+namespace rlbf::sim {
+namespace {
+
+class JainPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JainPropertyTest, BoundedBetweenOneOverNAndOne) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 50));
+    std::vector<double> values(n);
+    bool any_positive = false;
+    for (auto& v : values) {
+      v = rng.uniform(0.0, 100.0);
+      any_positive |= v > 0.0;
+    }
+    const double j = jain_fairness_index(values);
+    EXPECT_LE(j, 1.0 + 1e-12);
+    if (any_positive) {
+      EXPECT_GE(j, 1.0 / static_cast<double>(n) - 1e-12);
+    }
+  }
+}
+
+TEST_P(JainPropertyTest, ScaleInvariant) {
+  util::Rng rng(GetParam() ^ 0xf00d);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 20));
+    std::vector<double> values(n), scaled(n);
+    const double factor = rng.uniform(0.1, 50.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = rng.uniform(0.0, 10.0);
+      scaled[i] = values[i] * factor;
+    }
+    EXPECT_NEAR(jain_fairness_index(values), jain_fairness_index(scaled), 1e-9);
+  }
+}
+
+TEST_P(JainPropertyTest, PermutationInvariant) {
+  util::Rng rng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 20));
+    std::vector<double> values(n);
+    for (auto& v : values) v = rng.uniform(0.0, 10.0);
+    const double before = jain_fairness_index(values);
+    const auto perm = rng.permutation(n);
+    std::vector<double> shuffled(n);
+    for (std::size_t i = 0; i < n; ++i) shuffled[i] = values[perm[i]];
+    EXPECT_NEAR(jain_fairness_index(shuffled), before, 1e-12);
+  }
+}
+
+TEST_P(JainPropertyTest, EqualizingTransferNeverDecreasesTheIndex) {
+  // Pigou-Dalton-style property: moving value from a larger entry to a
+  // smaller one (without overshooting) cannot make the index worse.
+  util::Rng rng(GetParam() ^ 0xcafe);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    std::vector<double> values(n);
+    for (auto& v : values) v = rng.uniform(1.0, 10.0);
+    std::size_t hi = 0, lo = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (values[i] > values[hi]) hi = i;
+      if (values[i] < values[lo]) lo = i;
+    }
+    if (hi == lo) continue;
+    const double before = jain_fairness_index(values);
+    const double delta = (values[hi] - values[lo]) * rng.uniform(0.0, 0.5);
+    values[hi] -= delta;
+    values[lo] += delta;
+    EXPECT_GE(jain_fairness_index(values), before - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JainPropertyTest, ::testing::Values(1u, 2u, 3u));
+
+class FairnessScheduleSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FairnessScheduleSweep, UserPartitionConservesJobsAndBackfills) {
+  swf::Trace trace;
+  if (GetParam() == "SDSC-SP2") trace = workload::sdsc_sp2_like(17, 700);
+  else if (GetParam() == "HPC2N") trace = workload::hpc2n_like(17, 700);
+  else trace = workload::lublin_2(17, 700);
+
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator rt;
+  sched::EasyBackfillChooser easy;
+  const auto results = simulate(trace, fcfs, rt, &easy);
+  const auto metrics = compute_metrics(results, trace.machine_procs());
+  const auto report = fairness_report(results, trace);
+
+  std::size_t jobs = 0, backfills = 0;
+  double bsld_weighted = 0.0;
+  for (const auto& u : report.users) {
+    jobs += u.job_count;
+    backfills += u.backfilled_jobs;
+    bsld_weighted += u.avg_bounded_slowdown * static_cast<double>(u.job_count);
+  }
+  EXPECT_EQ(jobs, results.size());
+  EXPECT_EQ(backfills, metrics.backfilled_jobs);
+  // Per-user means, job-weighted, recompose into the global mean.
+  EXPECT_NEAR(bsld_weighted / static_cast<double>(results.size()),
+              metrics.avg_bounded_slowdown, 1e-9);
+  EXPECT_GT(report.bsld_jain, 0.0);
+  EXPECT_LE(report.bsld_jain, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, FairnessScheduleSweep,
+                         ::testing::Values("SDSC-SP2", "HPC2N", "Lublin-2"));
+
+}  // namespace
+}  // namespace rlbf::sim

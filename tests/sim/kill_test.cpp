@@ -1,0 +1,159 @@
+// Kill-at-request-time semantics (SimulationOptions::kill_exceeding_request),
+// the paper's §2.1.2 contract: "The scheduler will cancel or kill jobs
+// that surpass their Request Time."
+#include <gtest/gtest.h>
+
+#include "sched/easy_backfill.h"
+#include "sched/policies.h"
+#include "sched/predictors.h"
+#include "sched/runtime_estimator.h"
+#include "sim/event_sim.h"
+#include "workload/presets.h"
+
+namespace rlbf::sim {
+namespace {
+
+using sched::FcfsPolicy;
+using sched::RequestTimeEstimator;
+
+swf::Job make_job(std::int64_t id, std::int64_t submit, std::int64_t run,
+                  std::int64_t procs, std::int64_t request = swf::kUnknown) {
+  swf::Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.run_time = run;
+  j.requested_procs = procs;
+  j.requested_time = request;
+  return j;
+}
+
+SimulationOptions kill_on() {
+  SimulationOptions opt;
+  opt.kill_exceeding_request = true;
+  return opt;
+}
+
+TEST(KillSemantics, OverrunningJobIsTruncatedAtRequestTime) {
+  // Actual runtime 500 but the user requested 200: the job dies at 200.
+  swf::Trace t("t", 8, {make_job(1, 0, 500, 4, 200)});
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(t, fcfs, rt, nullptr, kill_on());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].killed);
+  EXPECT_EQ(results[0].end_time, 200);
+  EXPECT_EQ(results[0].run_time(), 200);
+}
+
+TEST(KillSemantics, CompliantJobRunsToCompletion) {
+  swf::Trace t("t", 8, {make_job(1, 0, 100, 4, 200)});
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(t, fcfs, rt, nullptr, kill_on());
+  EXPECT_FALSE(results[0].killed);
+  EXPECT_EQ(results[0].end_time, 100);
+}
+
+TEST(KillSemantics, ExactBoundaryIsNotAKill) {
+  swf::Trace t("t", 8, {make_job(1, 0, 200, 4, 200)});
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(t, fcfs, rt, nullptr, kill_on());
+  EXPECT_FALSE(results[0].killed);
+  EXPECT_EQ(results[0].end_time, 200);
+}
+
+TEST(KillSemantics, DisabledByDefault) {
+  swf::Trace t("t", 8, {make_job(1, 0, 500, 4, 200)});
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(t, fcfs, rt, nullptr);
+  EXPECT_FALSE(results[0].killed);
+  EXPECT_EQ(results[0].end_time, 500);  // runs past its request unharmed
+}
+
+TEST(KillSemantics, KillReleasesResourcesEarlier) {
+  // Job 1 would hold the machine 500s, but is killed at 200; job 2 can
+  // then start at 200 instead of 500.
+  swf::Trace t("t", 8,
+               {make_job(1, 0, 500, 8, 200), make_job(2, 10, 50, 8, 100)});
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(t, fcfs, rt, nullptr, kill_on());
+  EXPECT_TRUE(results[0].killed);
+  EXPECT_EQ(results[1].start_time, 200);
+  EXPECT_FALSE(results[1].killed);
+}
+
+TEST(KillSemantics, MetricsCountKilledJobs) {
+  swf::Trace t("t", 8,
+               {make_job(1, 0, 500, 4, 200), make_job(2, 0, 100, 4, 200)});
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(t, fcfs, rt, nullptr, kill_on());
+  const auto m = compute_metrics(results, 8);
+  EXPECT_EQ(m.killed_jobs, 1u);
+}
+
+TEST(KillSemantics, JobWithoutRequestTimeIsNeverKilled) {
+  // request_time() falls back to the actual runtime, so no overrun is
+  // possible.
+  swf::Trace t("t", 8, {make_job(1, 0, 500, 4)});
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(t, fcfs, rt, nullptr, kill_on());
+  EXPECT_FALSE(results[0].killed);
+  EXPECT_EQ(results[0].end_time, 500);
+}
+
+TEST(KillSemantics, UnderPredictionWithKillStillCompletesSchedule) {
+  // Deflated predictions make reservations optimistic; with kills on,
+  // every job still gets scheduled exactly once and the cluster is never
+  // oversubscribed (validated inside the simulator).
+  const swf::Trace trace = workload::sdsc_sp2_like(7, 400);
+  FcfsPolicy fcfs;
+  sched::UnderNoisyEstimator under(0.5, 11);
+  sched::EasyBackfillChooser easy;
+  const auto results = simulate(trace, fcfs, under, &easy, kill_on());
+  ASSERT_EQ(results.size(), trace.size());
+  for (const auto& r : results) {
+    EXPECT_GE(r.start_time, r.submit_time);
+    EXPECT_GE(r.end_time, r.start_time);
+  }
+}
+
+TEST(KillSemantics, ArchiveLikeTraceHasNoKillsWithHonestRequests) {
+  // The synthetic archive presets generate AR <= RT, so kills must not
+  // fire spuriously.
+  const swf::Trace trace = workload::sdsc_sp2_like(21, 500);
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(trace, fcfs, rt, nullptr, kill_on());
+  for (const auto& r : results) EXPECT_FALSE(r.killed);
+}
+
+TEST(KillSemantics, ShrunkenRequestsKillProportionally) {
+  // Halve every request time below the actual runtime: every such job
+  // must be killed, and none other.
+  swf::Trace trace = workload::sdsc_sp2_like(33, 300);
+  std::size_t expected_kills = 0;
+  for (auto& j : trace.mutable_jobs()) {
+    if (j.requested_time > 0 && j.run_time > 1) {
+      j.requested_time = std::max<std::int64_t>(j.run_time / 2, 1);
+      ++expected_kills;
+    }
+  }
+  FcfsPolicy fcfs;
+  RequestTimeEstimator rt;
+  const auto results = simulate(trace, fcfs, rt, nullptr, kill_on());
+  std::size_t kills = 0;
+  for (const auto& r : results) {
+    if (r.killed) ++kills;
+  }
+  // Jobs with run_time/2 == run_time (run <= 1) aside, the counts match.
+  EXPECT_GT(kills, 0u);
+  EXPECT_LE(kills, expected_kills);
+}
+
+}  // namespace
+}  // namespace rlbf::sim

@@ -1,0 +1,94 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbf::sim {
+namespace {
+
+JobResult make_result(std::int64_t submit, std::int64_t start, std::int64_t run,
+                      std::int64_t procs = 1) {
+  JobResult r;
+  r.submit_time = submit;
+  r.start_time = start;
+  r.end_time = start + run;
+  r.procs = procs;
+  return r;
+}
+
+TEST(Metrics, DerivedTimes) {
+  const JobResult r = make_result(10, 30, 100, 4);
+  EXPECT_EQ(r.wait_time(), 20);
+  EXPECT_EQ(r.run_time(), 100);
+  EXPECT_EQ(r.turnaround(), 120);
+}
+
+TEST(Metrics, BoundedSlowdownNoWaitIsOne) {
+  EXPECT_DOUBLE_EQ(make_result(0, 0, 100).bounded_slowdown(), 1.0);
+}
+
+TEST(Metrics, BoundedSlowdownLongJob) {
+  // wait 100, run 100 -> (100+100)/100 = 2.
+  EXPECT_DOUBLE_EQ(make_result(0, 100, 100).bounded_slowdown(), 2.0);
+}
+
+TEST(Metrics, BoundedSlowdownShortJobUsesThreshold) {
+  // run 1 s, wait 9 s: unbounded slowdown would be 10; bounded uses the
+  // 10 s threshold: (9 + 1) / 10 = 1.
+  EXPECT_DOUBLE_EQ(make_result(0, 9, 1).bounded_slowdown(), 1.0);
+  // wait 99 s: (99 + 1) / 10 = 10, not 100.
+  EXPECT_DOUBLE_EQ(make_result(0, 99, 1).bounded_slowdown(), 10.0);
+}
+
+TEST(Metrics, BoundedSlowdownCustomThreshold) {
+  EXPECT_DOUBLE_EQ(make_result(0, 99, 1).bounded_slowdown(1.0), 100.0);
+}
+
+TEST(Metrics, UnboundedSlowdownGuardsZeroRuntime) {
+  const JobResult r = make_result(0, 50, 0);
+  EXPECT_DOUBLE_EQ(r.slowdown(), 50.0);  // clamped run 1
+}
+
+TEST(Metrics, AggregateAverages) {
+  std::vector<JobResult> rs = {make_result(0, 0, 100), make_result(0, 100, 100)};
+  const ScheduleMetrics m = compute_metrics(rs, 16);
+  EXPECT_EQ(m.job_count, 2u);
+  EXPECT_DOUBLE_EQ(m.avg_bounded_slowdown, (1.0 + 2.0) / 2.0);
+  EXPECT_DOUBLE_EQ(m.avg_wait_time, 50.0);
+  EXPECT_DOUBLE_EQ(m.avg_turnaround, 150.0);
+  EXPECT_DOUBLE_EQ(m.max_wait_time, 100.0);
+  EXPECT_EQ(m.makespan, 200);
+}
+
+TEST(Metrics, UtilizationSingleJobFullMachine) {
+  std::vector<JobResult> rs = {make_result(0, 0, 100, 16)};
+  const ScheduleMetrics m = compute_metrics(rs, 16);
+  EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+}
+
+TEST(Metrics, UtilizationHalfMachine) {
+  std::vector<JobResult> rs = {make_result(0, 0, 100, 8)};
+  EXPECT_DOUBLE_EQ(compute_metrics(rs, 16).utilization, 0.5);
+}
+
+TEST(Metrics, UtilizationNeverExceedsOne) {
+  std::vector<JobResult> rs = {make_result(0, 0, 100, 16), make_result(0, 0, 100, 16)};
+  EXPECT_LE(compute_metrics(rs, 16).utilization, 1.0);
+}
+
+TEST(Metrics, BackfilledJobsCounted) {
+  auto a = make_result(0, 0, 10);
+  auto b = make_result(0, 0, 10);
+  b.backfilled = true;
+  const ScheduleMetrics m = compute_metrics({a, b}, 8);
+  EXPECT_EQ(m.backfilled_jobs, 1u);
+}
+
+TEST(Metrics, EmptyResultsGiveZeros) {
+  const ScheduleMetrics m = compute_metrics({}, 8);
+  EXPECT_EQ(m.job_count, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_bounded_slowdown, 0.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace rlbf::sim

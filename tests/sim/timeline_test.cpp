@@ -1,0 +1,138 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sched/easy_backfill.h"
+#include "sched/policies.h"
+#include "sched/runtime_estimator.h"
+#include "workload/presets.h"
+
+namespace rlbf::sim {
+namespace {
+
+JobResult make_result(std::int64_t start, std::int64_t run, std::int64_t procs,
+                      std::size_t idx = 0) {
+  JobResult r;
+  r.job_index = idx;
+  r.submit_time = start;
+  r.start_time = start;
+  r.end_time = start + run;
+  r.procs = procs;
+  return r;
+}
+
+TEST(Timeline, EmptyResults) {
+  EXPECT_TRUE(usage_timeline({}).empty());
+  EXPECT_EQ(peak_usage({}), 0);
+  EXPECT_TRUE(utilization_histogram({}, 8, 10).empty());
+}
+
+TEST(Timeline, SingleJobStepFunction) {
+  const auto tl = usage_timeline({make_result(10, 100, 4)});
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].time, 10);
+  EXPECT_EQ(tl[0].used, 4);
+  EXPECT_EQ(tl[1].time, 110);
+  EXPECT_EQ(tl[1].used, 0);
+}
+
+TEST(Timeline, OverlappingJobsStack) {
+  const auto tl = usage_timeline({make_result(0, 100, 4), make_result(50, 100, 2)});
+  ASSERT_EQ(tl.size(), 4u);
+  EXPECT_EQ(tl[0].used, 4);   // [0, 50)
+  EXPECT_EQ(tl[1].used, 6);   // [50, 100)
+  EXPECT_EQ(tl[2].used, 2);   // [100, 150)
+  EXPECT_EQ(tl[3].used, 0);
+  EXPECT_EQ(peak_usage({make_result(0, 100, 4), make_result(50, 100, 2)}), 6);
+}
+
+TEST(Timeline, AdjacentJobsMergeCleanly) {
+  // Same procs back-to-back: usage is constant across the boundary, so
+  // the boundary point is merged away.
+  const auto tl = usage_timeline({make_result(0, 50, 4), make_result(50, 50, 4)});
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].used, 4);
+  EXPECT_EQ(tl[1].time, 100);
+}
+
+TEST(Timeline, ZeroLengthJobsIgnored) {
+  EXPECT_TRUE(usage_timeline({make_result(5, 0, 4)}).empty());
+}
+
+TEST(Timeline, TimesStrictlyIncreasing) {
+  const swf::Trace trace = workload::lublin_1(5, 400);
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  sched::EasyBackfillChooser easy;
+  const auto results = simulate(trace, fcfs, est, &easy);
+  const auto tl = usage_timeline(results);
+  ASSERT_FALSE(tl.empty());
+  for (std::size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_LT(tl[i - 1].time, tl[i].time);
+  }
+}
+
+TEST(Timeline, UsageNeverExceedsMachineOnRealSchedule) {
+  const swf::Trace trace = workload::sdsc_sp2_like(6, 500);
+  sched::FcfsPolicy fcfs;
+  sched::RequestTimeEstimator est;
+  sched::EasyBackfillChooser easy;
+  const auto results = simulate(trace, fcfs, est, &easy);
+  EXPECT_LE(peak_usage(results), trace.machine_procs());
+  for (const auto& p : usage_timeline(results)) EXPECT_GE(p.used, 0);
+}
+
+TEST(Timeline, HistogramConservesWork) {
+  const std::vector<JobResult> rs = {make_result(0, 100, 4), make_result(30, 50, 2)};
+  const auto hist = utilization_histogram(rs, 8, 10);
+  double busy = 0.0;
+  for (double h : hist) busy += h * 8.0 * 10.0;
+  EXPECT_NEAR(busy, 100.0 * 4 + 50.0 * 2, 1e-9);
+}
+
+TEST(Timeline, HistogramBucketValues) {
+  // One job, 4 of 8 procs, [0, 20); buckets of 10 s.
+  const auto hist = utilization_histogram({make_result(0, 20, 4)}, 8, 10);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_DOUBLE_EQ(hist[0], 0.5);
+  EXPECT_DOUBLE_EQ(hist[1], 0.5);
+}
+
+TEST(Timeline, HistogramPartialBucket) {
+  // 15 s of 8/8 procs with 10 s buckets: second bucket half full.
+  const auto hist = utilization_histogram({make_result(0, 15, 8)}, 8, 10);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_DOUBLE_EQ(hist[0], 1.0);
+  EXPECT_DOUBLE_EQ(hist[1], 0.5);
+}
+
+TEST(Timeline, HistogramRejectsBadArgs) {
+  EXPECT_THROW(utilization_histogram({make_result(0, 1, 1)}, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(utilization_histogram({make_result(0, 1, 1)}, 8, 0),
+               std::invalid_argument);
+}
+
+TEST(Timeline, CsvExportRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/rlbf_timeline.csv";
+  auto r = make_result(10, 100, 4, 7);
+  r.backfilled = true;
+  ASSERT_TRUE(write_schedule_csv(path, {r}));
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "job,submit,start,end,procs,wait,bounded_slowdown,backfilled");
+  EXPECT_EQ(row, "7,10,10,110,4,0,1,1");
+  std::remove(path.c_str());
+}
+
+TEST(Timeline, CsvExportFailsOnBadPath) {
+  EXPECT_FALSE(write_schedule_csv("/nonexistent-dir/x.csv", {}));
+}
+
+}  // namespace
+}  // namespace rlbf::sim

@@ -1,0 +1,91 @@
+#include "swf/job.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rlbf::swf {
+namespace {
+
+TEST(Job, ProcsPrefersRequested) {
+  Job j;
+  j.requested_procs = 8;
+  j.used_procs = 4;
+  EXPECT_EQ(j.procs(), 8);
+}
+
+TEST(Job, ProcsFallsBackToUsed) {
+  Job j;
+  j.requested_procs = kUnknown;
+  j.used_procs = 4;
+  EXPECT_EQ(j.procs(), 4);
+}
+
+TEST(Job, RequestTimePrefersUserEstimate) {
+  Job j;
+  j.requested_time = 3600;
+  j.run_time = 100;
+  EXPECT_EQ(j.request_time(), 3600);
+}
+
+TEST(Job, RequestTimeFallsBackToActualRuntime) {
+  Job j;
+  j.requested_time = kUnknown;
+  j.run_time = 100;
+  EXPECT_EQ(j.request_time(), 100);
+}
+
+TEST(Job, ValidRequiresSizeAndRuntime) {
+  Job j;
+  j.requested_procs = 2;
+  j.run_time = 10;
+  EXPECT_TRUE(j.valid());
+  j.run_time = kUnknown;
+  EXPECT_FALSE(j.valid());
+  j.run_time = 10;
+  j.requested_procs = kUnknown;
+  j.used_procs = kUnknown;
+  EXPECT_FALSE(j.valid());
+}
+
+TEST(Job, ZeroRuntimeJobIsValid) {
+  // Archive traces contain zero-second jobs; they must schedule.
+  Job j;
+  j.requested_procs = 1;
+  j.run_time = 0;
+  EXPECT_TRUE(j.valid());
+}
+
+TEST(Job, SwfLineHasEighteenFields) {
+  Job j;
+  j.id = 7;
+  j.submit_time = 100;
+  j.run_time = 50;
+  j.requested_procs = 4;
+  j.requested_time = 60;
+  const std::string line = to_swf_line(j);
+  std::istringstream is(line);
+  int fields = 0;
+  std::string tok;
+  while (is >> tok) ++fields;
+  EXPECT_EQ(fields, 18);
+}
+
+TEST(Job, SwfLineEncodesValues) {
+  Job j;
+  j.id = 3;
+  j.submit_time = 42;
+  j.run_time = 17;
+  j.requested_procs = 5;
+  j.requested_time = 99;
+  std::istringstream is(to_swf_line(j));
+  std::int64_t id, submit, wait, run;
+  is >> id >> submit >> wait >> run;
+  EXPECT_EQ(id, 3);
+  EXPECT_EQ(submit, 42);
+  EXPECT_EQ(wait, kUnknown);
+  EXPECT_EQ(run, 17);
+}
+
+}  // namespace
+}  // namespace rlbf::swf

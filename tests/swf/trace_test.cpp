@@ -1,0 +1,151 @@
+#include "swf/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbf::swf {
+namespace {
+
+Job make_job(std::int64_t id, std::int64_t submit, std::int64_t run,
+             std::int64_t procs, std::int64_t request = kUnknown) {
+  Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.run_time = run;
+  j.requested_procs = procs;
+  j.used_procs = procs;
+  j.requested_time = request;
+  return j;
+}
+
+Trace small_trace() {
+  return Trace("test", 16,
+               {make_job(1, 0, 100, 4, 200), make_job(2, 10, 50, 2, 60),
+                make_job(3, 20, 300, 8, 400), make_job(4, 30, 10, 1, 20),
+                make_job(5, 40, 80, 16, 100)});
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = small_trace();
+  EXPECT_EQ(t.name(), "test");
+  EXPECT_EQ(t.machine_procs(), 16);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t[2].id, 3);
+}
+
+TEST(Trace, NormalizeSortsAndRenumbers) {
+  Trace t("x", 16,
+          {make_job(9, 50, 10, 1), make_job(7, 5, 10, 1), make_job(8, 25, 10, 1)});
+  t.normalize();
+  EXPECT_EQ(t[0].submit_time, 5);
+  EXPECT_EQ(t[1].submit_time, 25);
+  EXPECT_EQ(t[2].submit_time, 50);
+  EXPECT_EQ(t[0].id, 1);
+  EXPECT_EQ(t[2].id, 3);
+}
+
+TEST(Trace, NormalizeIsStableForTies) {
+  Trace t("x", 16, {make_job(1, 10, 1, 1), make_job(2, 10, 2, 1)});
+  t.normalize();
+  EXPECT_EQ(t[0].run_time, 1);
+  EXPECT_EQ(t[1].run_time, 2);
+}
+
+TEST(Trace, ValidatePassesOnGoodTrace) {
+  EXPECT_NO_THROW(small_trace().validate());
+}
+
+TEST(Trace, ValidateRejectsWideJob) {
+  Trace t("x", 4, {make_job(1, 0, 10, 8)});
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Trace, ValidateRejectsUnknownRuntime) {
+  Trace t("x", 4, {make_job(1, 0, kUnknown, 2)});
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Trace, ValidateRejectsUnsortedSubmits) {
+  Trace t("x", 4, {make_job(1, 100, 10, 1), make_job(2, 50, 10, 1)});
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Trace, ValidateRejectsBadMachine) {
+  Trace t("x", 0, {});
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Trace, PrefixTakesFirstJobsRebased) {
+  const Trace t = small_trace();
+  const Trace p = t.prefix(3);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0].submit_time, 0);
+  EXPECT_EQ(p[2].submit_time, 20);
+  EXPECT_EQ(p.machine_procs(), 16);
+}
+
+TEST(Trace, PrefixLargerThanTraceReturnsAll) {
+  EXPECT_EQ(small_trace().prefix(100).size(), 5u);
+}
+
+TEST(Trace, WindowRebasesSubmitTimes) {
+  const Trace w = small_trace().window(2, 2);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0].submit_time, 0);   // was 20
+  EXPECT_EQ(w[1].submit_time, 10);  // was 30
+}
+
+TEST(Trace, WindowOutOfRangeThrows) {
+  EXPECT_THROW(small_trace().window(4, 3), std::out_of_range);
+  EXPECT_THROW(small_trace().window(6, 1), std::out_of_range);
+}
+
+TEST(Trace, SampleReturnsRequestedCount) {
+  util::Rng rng(1);
+  const Trace s = small_trace().sample(3, rng);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].submit_time, 0);
+}
+
+TEST(Trace, SampleWholeTraceWhenShort) {
+  util::Rng rng(1);
+  EXPECT_EQ(small_trace().sample(10, rng).size(), 5u);
+}
+
+TEST(Trace, SampleIsContiguous) {
+  util::Rng rng(3);
+  const Trace t = small_trace();
+  for (int rep = 0; rep < 20; ++rep) {
+    const Trace s = t.sample(2, rng);
+    ASSERT_EQ(s.size(), 2u);
+    // Gap between the two jobs must match some adjacent pair in t.
+    const std::int64_t gap = s[1].submit_time - s[0].submit_time;
+    EXPECT_EQ(gap, 10);
+  }
+}
+
+TEST(Trace, StatsMatchHandComputation) {
+  const TraceStats s = small_trace().stats();
+  EXPECT_EQ(s.job_count, 5u);
+  EXPECT_EQ(s.max_procs, 16);
+  // Interarrivals: 10,10,10,10 -> mean 10.
+  EXPECT_DOUBLE_EQ(s.mean_interarrival, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean_requested_procs, (4 + 2 + 8 + 1 + 16) / 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_request_time, (200 + 60 + 400 + 20 + 100) / 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_run_time, (100 + 50 + 300 + 10 + 80) / 5.0);
+  EXPECT_TRUE(s.has_user_estimates);
+}
+
+TEST(Trace, StatsDetectsMissingEstimates) {
+  Trace t("x", 8, {make_job(1, 0, 10, 1), make_job(2, 5, 20, 2)});
+  EXPECT_FALSE(t.stats().has_user_estimates);
+}
+
+TEST(Trace, StatsOnEmptyTrace) {
+  const TraceStats s = Trace("e", 8, {}).stats();
+  EXPECT_EQ(s.job_count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival, 0.0);
+}
+
+}  // namespace
+}  // namespace rlbf::swf

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace rlbf::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(GnuplotScript, RejectsZeroSeries) {
+  EXPECT_THROW(write_gnuplot_script(temp_path("g0.gnuplot"), "x.csv", "t", "x",
+                                    "y", 0),
+               std::invalid_argument);
+}
+
+TEST(GnuplotScript, EmitsOnePlotClausePerSeries) {
+  const std::string script = temp_path("g1.gnuplot");
+  ASSERT_TRUE(write_gnuplot_script(script, "data.csv", "Title", "X", "Y", 3));
+  const std::string body = slurp(script);
+  // Series read CSV columns 2, 3, 4 with x tick labels from column 1.
+  EXPECT_NE(body.find("using 2:xtic(1)"), std::string::npos);
+  EXPECT_NE(body.find("using 3:xtic(1)"), std::string::npos);
+  EXPECT_NE(body.find("using 4:xtic(1)"), std::string::npos);
+  EXPECT_EQ(body.find("using 5"), std::string::npos);
+  std::filesystem::remove(script);
+}
+
+TEST(GnuplotScript, OutputPngDerivesFromCsvName) {
+  const std::string script = temp_path("g2.gnuplot");
+  ASSERT_TRUE(write_gnuplot_script(script, "results/fig.csv", "t", "x", "y", 1));
+  const std::string body = slurp(script);
+  EXPECT_NE(body.find("set output 'results/fig.png'"), std::string::npos);
+  std::filesystem::remove(script);
+}
+
+TEST(GnuplotScript, TitleAndAxesAppearVerbatim) {
+  const std::string script = temp_path("g3.gnuplot");
+  ASSERT_TRUE(write_gnuplot_script(script, "d.csv", "My Figure", "epochs",
+                                   "bsld", 2));
+  const std::string body = slurp(script);
+  EXPECT_NE(body.find("set title 'My Figure'"), std::string::npos);
+  EXPECT_NE(body.find("set xlabel 'epochs'"), std::string::npos);
+  EXPECT_NE(body.find("set ylabel 'bsld'"), std::string::npos);
+  EXPECT_EQ(body.find("logscale"), std::string::npos);  // default linear
+  std::filesystem::remove(script);
+}
+
+TEST(GnuplotScript, LogScaleIsOptIn) {
+  const std::string script = temp_path("g4.gnuplot");
+  ASSERT_TRUE(write_gnuplot_script(script, "d.csv", "t", "x", "y", 1,
+                                   /*log_y=*/true));
+  EXPECT_NE(slurp(script).find("set logscale y"), std::string::npos);
+  std::filesystem::remove(script);
+}
+
+TEST(GnuplotScript, MissingCellsAreDeclared) {
+  // Tables emit "-" for NaN; the script must tell gnuplot to skip them.
+  const std::string script = temp_path("g5.gnuplot");
+  ASSERT_TRUE(write_gnuplot_script(script, "d.csv", "t", "x", "y", 1));
+  EXPECT_NE(slurp(script).find("set datafile missing '-'"), std::string::npos);
+  std::filesystem::remove(script);
+}
+
+TEST(GnuplotScript, UnwritablePathReturnsFalse) {
+  EXPECT_FALSE(write_gnuplot_script("/nonexistent-dir/x.gnuplot", "d.csv", "t",
+                                    "x", "y", 1));
+}
+
+}  // namespace
+}  // namespace rlbf::util

@@ -1,0 +1,50 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbf::util {
+namespace {
+
+/// RAII guard restoring the global level after each test.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, LevelRoundTrips) {
+  LevelGuard guard;
+  for (LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, EmittingBelowLevelIsSilentAndSafe) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Off);
+  // No observable output assertions possible on stderr without capture;
+  // the contract under test is "does not crash and does not evaluate
+  // into the sink" for every level.
+  log_debug("dropped ", 1);
+  log_info("dropped ", 2.5);
+  log_warn("dropped ", "three");
+  log_error("dropped ", 'x');
+}
+
+TEST(Log, VariadicFormattingConcatenates) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Off);  // keep test output clean
+  // Exercise the template expansion across mixed types.
+  log_info("a=", 1, " b=", 2.5, " c=", std::string("str"), " d=", true);
+}
+
+TEST(Log, LevelOrdering) {
+  EXPECT_LT(static_cast<int>(LogLevel::Debug), static_cast<int>(LogLevel::Info));
+  EXPECT_LT(static_cast<int>(LogLevel::Info), static_cast<int>(LogLevel::Warn));
+  EXPECT_LT(static_cast<int>(LogLevel::Warn), static_cast<int>(LogLevel::Error));
+  EXPECT_LT(static_cast<int>(LogLevel::Error), static_cast<int>(LogLevel::Off));
+}
+
+}  // namespace
+}  // namespace rlbf::util

@@ -1,0 +1,214 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rlbf::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 9.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 9.25);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntThrowsOnInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(4, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntUnbiasedAcrossSmallRange) {
+  Rng rng(17);
+  std::vector<int> counts(4, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(5);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(9);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+struct GammaParams {
+  double alpha;
+  double theta;
+};
+
+class RngGammaTest : public ::testing::TestWithParam<GammaParams> {};
+
+TEST_P(RngGammaTest, MomentsMatchShapeScale) {
+  const auto [alpha, theta] = GetParam();
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(alpha, theta);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, alpha * theta, 0.03 * alpha * theta + 0.01);
+  EXPECT_NEAR(var, alpha * theta * theta, 0.10 * alpha * theta * theta + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RngGammaTest,
+                         ::testing::Values(GammaParams{0.45, 2.0},
+                                           GammaParams{1.0, 1.0},
+                                           GammaParams{4.2, 0.94},
+                                           GammaParams{312.0, 0.03}));
+
+TEST(Rng, GammaRejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(rng.gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.gamma(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalRejectsDegenerateWeights) {
+  Rng rng(31);
+  std::vector<double> zero = {0.0, 0.0};
+  std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(zero), std::invalid_argument);
+  EXPECT_THROW(rng.categorical(negative), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(41);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(41);
+  const auto p = rng.permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) fixed += (p[i] == i) ? 1 : 0;
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1(), child2());
+  // Child differs from the parent's continued stream.
+  Rng parent3(99);
+  Rng child3 = parent3.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child3() == parent3()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace rlbf::util

@@ -1,0 +1,115 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace rlbf::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+  // {1,2,3,4}: mean 2.5, ss = 5, var = 5/3.
+  EXPECT_NEAR(variance({1.0, 2.0, 3.0, 4.0}), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev({1.0, 2.0, 3.0, 4.0}), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 100.0), 4.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(max({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_THROW(min({}), std::invalid_argument);
+  EXPECT_THROW(max({}), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = ys;
+  for (auto& y : neg) y = -y;
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, PearsonRejectsMismatch) {
+  EXPECT_THROW(pearson({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(pearson({}, {}), std::invalid_argument);
+}
+
+TEST(Stats, BootstrapCiCoversTrueMean) {
+  Rng rng(77);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  Rng boot(78);
+  const auto ci = bootstrap_mean_ci(xs, boot, 2000, 0.95);
+  EXPECT_LT(ci.lo, 10.0 + 0.6);
+  EXPECT_GT(ci.hi, 10.0 - 0.6);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(Stats, BootstrapRejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_THROW(bootstrap_mean_ci({}, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, rng, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, rng, 10, 1.0), std::invalid_argument);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max(xs));
+}
+
+TEST(Stats, RunningStatsEdgeCases) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(4.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+}
+
+}  // namespace
+}  // namespace rlbf::util

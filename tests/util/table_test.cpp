@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rlbf::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "123456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header and row present, header padded at least as wide as the data.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  const auto header_end = out.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  EXPECT_GE(header_end, std::string("name  123456").size() - 1);
+}
+
+TEST(Table, FmtFormatsNumbers) {
+  EXPECT_EQ(Table::fmt(292.8249, 2), "292.82");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+  EXPECT_EQ(Table::fmt(std::nan(""), 2), "-");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripThroughFile) {
+  Table t({"trace", "bsld"});
+  t.add_row({"SDSC-SP2", "292.82"});
+  const std::string path = ::testing::TempDir() + "/rlbf_table_test.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "trace,bsld");
+  EXPECT_EQ(line2, "SDSC-SP2,292.82");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.save_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace rlbf::util

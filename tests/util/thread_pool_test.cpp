@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rlbf::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> x{0};
+  pool.submit([&] { x = 42; }).get();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "should not run"; });
+}
+
+TEST(ThreadPool, ParallelForAggregatesIntoCallerSlots) {
+  ThreadPool pool(8);
+  std::vector<std::size_t> out(1000);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::logic_error("bad index");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ActuallyRunsConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    const int now = ++in_flight;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    --in_flight;
+  });
+  EXPECT_GE(peak, 2);
+}
+
+TEST(ThreadPool, ManySmallTasksComplete) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(10000, [&](std::size_t i) { sum += static_cast<std::int64_t>(i); });
+  EXPECT_EQ(sum, 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace rlbf::util

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "workload/presets.h"
+#include "workload/transforms.h"
+
+namespace rlbf::workload {
+namespace {
+
+swf::Job make_job(std::int64_t id, std::int64_t user, std::int64_t submit) {
+  swf::Job j;
+  j.id = id;
+  j.user_id = user;
+  j.submit_time = submit;
+  j.run_time = 60;
+  j.requested_time = 120;
+  j.requested_procs = 1;
+  return j;
+}
+
+swf::Trace sparse_trace(std::size_t n, std::int64_t user = 1,
+                        std::int64_t gap = 7200) {
+  std::vector<swf::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(make_job(static_cast<std::int64_t>(i + 1), user,
+                            static_cast<std::int64_t>(i) * gap));
+  }
+  return swf::Trace("sparse", 8, std::move(jobs));
+}
+
+// -------------------------------------------------------- remove_flurries --
+
+TEST(RemoveFlurries, RejectsDegenerateParams) {
+  const swf::Trace t = sparse_trace(3);
+  FlurryParams p;
+  p.window_seconds = 0;
+  EXPECT_THROW(remove_flurries(t, p), std::invalid_argument);
+  p = FlurryParams{};
+  p.max_jobs_per_window = 0;
+  EXPECT_THROW(remove_flurries(t, p), std::invalid_argument);
+}
+
+TEST(RemoveFlurries, SparseSubmissionsSurviveIntact) {
+  const swf::Trace t = sparse_trace(20);
+  FlurryReport report;
+  const swf::Trace cleaned = remove_flurries(t, {}, &report);
+  EXPECT_EQ(cleaned.size(), 20u);
+  EXPECT_EQ(report.removed_jobs, 0u);
+  EXPECT_EQ(report.flagged_users, 0u);
+}
+
+TEST(RemoveFlurries, DenseBurstFromOneUserIsCut) {
+  // 100 jobs, 5 s apart (all inside one hour) — well past the default
+  // 50-per-hour threshold.
+  const swf::Trace burst = inject_flurry(sparse_trace(10), /*user=*/99,
+                                         /*start=*/1000, /*count=*/100);
+  FlurryReport report;
+  const swf::Trace cleaned = remove_flurries(burst, {}, &report);
+  EXPECT_EQ(report.flagged_users, 1u);
+  EXPECT_EQ(report.removed_jobs, 100u);
+  EXPECT_EQ(cleaned.size(), 10u);
+  for (const auto& j : cleaned.jobs()) EXPECT_NE(j.user_id, 99);
+}
+
+TEST(RemoveFlurries, ThresholdIsPerUserNotGlobal)  {
+  // 30 users each submit 3 jobs in the same hour: 90 jobs/hour globally,
+  // but no single user crosses the threshold.
+  std::vector<swf::Job> jobs;
+  std::int64_t id = 1;
+  for (std::int64_t u = 1; u <= 30; ++u) {
+    for (int k = 0; k < 3; ++k) {
+      jobs.push_back(make_job(id++, u, 100 + id));
+    }
+  }
+  const swf::Trace t("busy-hour", 8, std::move(jobs));
+  FlurryReport report;
+  const swf::Trace cleaned = remove_flurries(t, {}, &report);
+  EXPECT_EQ(report.removed_jobs, 0u);
+  EXPECT_EQ(cleaned.size(), 90u);
+}
+
+TEST(RemoveFlurries, TighterThresholdCutsMore) {
+  const swf::Trace burst = inject_flurry(sparse_trace(10, /*user=*/1, /*gap=*/600),
+                                         /*user=*/99, 1000, 30);
+  FlurryParams loose;  // default threshold 50: the 30-job burst survives
+  FlurryReport loose_report;
+  remove_flurries(burst, loose, &loose_report);
+  EXPECT_EQ(loose_report.removed_jobs, 0u);
+
+  FlurryParams tight;
+  tight.max_jobs_per_window = 10;
+  FlurryReport tight_report;
+  const swf::Trace cleaned = remove_flurries(burst, tight, &tight_report);
+  EXPECT_EQ(tight_report.removed_jobs, 30u);
+  EXPECT_EQ(cleaned.size(), 10u);
+}
+
+TEST(RemoveFlurries, SurvivorsKeepSubmitTimes) {
+  const swf::Trace t = sparse_trace(5);
+  const swf::Trace burst = inject_flurry(t, 99, 500, 60);
+  const swf::Trace cleaned = remove_flurries(burst);
+  ASSERT_EQ(cleaned.size(), 5u);
+  // normalize() renumbers ids but preserves the submit times.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(cleaned[i].submit_time, t[i].submit_time);
+  }
+}
+
+TEST(RemoveFlurries, NullReportIsAccepted) {
+  EXPECT_NO_THROW(remove_flurries(sparse_trace(5)));
+}
+
+TEST(RemoveFlurries, WindowBoundaryIsInclusive) {
+  // Jobs exactly window_seconds apart are in the SAME window (diff <=
+  // window), so 3 jobs with threshold 2 get flagged.
+  std::vector<swf::Job> jobs = {make_job(1, 1, 0), make_job(2, 1, 1800),
+                                make_job(3, 1, 3600)};
+  const swf::Trace t("edge", 8, std::move(jobs));
+  FlurryParams p;
+  p.max_jobs_per_window = 2;
+  FlurryReport report;
+  remove_flurries(t, p, &report);
+  EXPECT_EQ(report.removed_jobs, 3u);
+}
+
+// --------------------------------------------------------- inject_flurry --
+
+TEST(InjectFlurry, AddsExactlyCountJobs) {
+  const swf::Trace t = sparse_trace(10);
+  const swf::Trace burst = inject_flurry(t, 42, 777, 25);
+  EXPECT_EQ(burst.size(), 35u);
+  std::size_t from_42 = 0;
+  for (const auto& j : burst.jobs()) {
+    if (j.user_id == 42) ++from_42;
+  }
+  EXPECT_EQ(from_42, 25u);
+}
+
+TEST(InjectFlurry, JobsArriveAtConfiguredGap) {
+  const swf::Trace burst =
+      inject_flurry(swf::Trace("empty", 8, {}), 1, 1000, 4, /*gap=*/30);
+  ASSERT_EQ(burst.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(burst[i].submit_time, 1000 + static_cast<std::int64_t>(i) * 30);
+  }
+}
+
+TEST(InjectFlurry, RejectsBadGapOrRuntime) {
+  const swf::Trace t = sparse_trace(2);
+  EXPECT_THROW(inject_flurry(t, 1, 0, 3, -1), std::invalid_argument);
+  EXPECT_THROW(inject_flurry(t, 1, 0, 3, 5, 0), std::invalid_argument);
+}
+
+TEST(InjectFlurry, RoundTripWithScrubRestoresOriginalSize) {
+  const swf::Trace base = hpc2n_like(17, 400);
+  const swf::Trace burst = inject_flurry(base, /*user=*/9999, 5000, 200);
+  FlurryReport report;
+  const swf::Trace cleaned = remove_flurries(burst, {}, &report);
+  EXPECT_EQ(report.removed_jobs, 200u);
+  EXPECT_EQ(cleaned.size(), base.size());
+}
+
+TEST(InjectFlurry, FlurryDistortsMeanBsldScrubRestoresIt) {
+  // The archive's rationale for cleaning: one user's burst dominates the
+  // aggregate. We only check the trace-level statistics here (the
+  // scheduling effect is covered by the benches): the flurry shifts the
+  // mean interarrival sharply; scrubbing restores it.
+  const swf::Trace base = sdsc_sp2_like(3, 500);
+  const double base_it = base.stats().mean_interarrival;
+  const swf::Trace burst = inject_flurry(base, 9999, 10000, 400, 2);
+  EXPECT_LT(burst.stats().mean_interarrival, base_it * 0.75);
+  const swf::Trace cleaned = remove_flurries(burst);
+  EXPECT_NEAR(cleaned.stats().mean_interarrival, base_it, base_it * 0.01);
+}
+
+}  // namespace
+}  // namespace rlbf::workload

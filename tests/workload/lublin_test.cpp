@@ -1,0 +1,188 @@
+#include "workload/lublin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace rlbf::workload {
+namespace {
+
+TEST(DailyCycle, ZeroStrengthIsFlat) {
+  const auto w = daily_cycle_weights(0.0);
+  for (double x : w) EXPECT_NEAR(x, 1.0, 1e-12);
+}
+
+TEST(DailyCycle, HarmonicMeanIsOne) {
+  for (double strength : {0.2, 0.5, 0.8, 1.0}) {
+    const auto w = daily_cycle_weights(strength);
+    double inv = 0.0;
+    for (double x : w) {
+      ASSERT_GT(x, 0.0);
+      inv += 1.0 / x;
+    }
+    EXPECT_NEAR(inv / static_cast<double>(w.size()), 1.0, 1e-9) << strength;
+  }
+}
+
+TEST(DailyCycle, WorkHoursBusierThanNight) {
+  const auto w = daily_cycle_weights(0.8);
+  const double at_2pm = w[28];  // 14:00
+  const double at_4am = w[8];   // 04:00
+  EXPECT_GT(at_2pm, 1.5 * at_4am);
+}
+
+TEST(Lublin, SizesWithinMachineBounds) {
+  LublinConfig cfg;
+  cfg.machine_procs = 256;
+  const LublinGenerator gen(cfg);
+  util::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = gen.sample_size(rng);
+    ASSERT_GE(s, 1);
+    ASSERT_LE(s, 256);
+  }
+}
+
+TEST(Lublin, SerialFractionMatchesConfig) {
+  LublinConfig cfg;
+  cfg.serial_prob = 0.35;
+  const LublinGenerator gen(cfg);
+  util::Rng rng(2);
+  int serial = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) serial += gen.sample_size(rng) == 1 ? 1 : 0;
+  // Some non-serial draws can also land on 1 after rounding, so >=.
+  EXPECT_GE(serial / static_cast<double>(n), 0.33);
+  EXPECT_LE(serial / static_cast<double>(n), 0.45);
+}
+
+TEST(Lublin, PowerOfTwoEmphasis) {
+  LublinConfig cfg;
+  cfg.pow2_prob = 0.576;
+  cfg.serial_prob = 0.0;
+  const LublinGenerator gen(cfg);
+  util::Rng rng(3);
+  int pow2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = gen.sample_size(rng);
+    if ((s & (s - 1)) == 0) ++pow2;
+  }
+  // At least the snapped fraction should be powers of two.
+  EXPECT_GT(pow2 / static_cast<double>(n), 0.55);
+}
+
+TEST(Lublin, RuntimesWithinCaps) {
+  LublinConfig cfg;
+  cfg.min_runtime = 5;
+  cfg.max_runtime = 50000;
+  const LublinGenerator gen(cfg);
+  util::Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const auto rt = gen.sample_runtime(8, rng);
+    ASSERT_GE(rt, 5);
+    ASSERT_LE(rt, 50000);
+  }
+}
+
+TEST(Lublin, RuntimeScaleIsMultiplicative) {
+  LublinConfig a;
+  LublinConfig b = a;
+  b.runtime_scale = 2.0;
+  b.max_runtime = a.max_runtime * 2;
+  const LublinGenerator ga(a);
+  const LublinGenerator gb(b);
+  util::Rng r1(5), r2(5);
+  double sa = 0.0, sb = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    sa += static_cast<double>(ga.sample_runtime(4, r1));
+    sb += static_cast<double>(gb.sample_runtime(4, r2));
+  }
+  EXPECT_NEAR(sb / sa, 2.0, 0.05);
+}
+
+TEST(Lublin, WideJobsRunLongerOnAverage) {
+  // pa < 0 shrinks the short-gamma weight as size grows, so mean runtime
+  // should increase with size (the paper's size-runtime correlation).
+  LublinConfig cfg;
+  const LublinGenerator gen(cfg);
+  util::Rng rng(6);
+  double narrow = 0.0, wide = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) narrow += static_cast<double>(gen.sample_runtime(1, rng));
+  for (int i = 0; i < n; ++i) wide += static_cast<double>(gen.sample_runtime(128, rng));
+  EXPECT_GT(wide, 1.2 * narrow);
+}
+
+TEST(Lublin, GapsArePositiveWithConfiguredMean) {
+  LublinConfig cfg;
+  cfg.mean_interarrival = 600.0;
+  cfg.daily_cycle_strength = 0.0;  // isolate the gamma mean
+  const LublinGenerator gen(cfg);
+  util::Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = gen.sample_gap(12 * 3600.0, rng);
+    ASSERT_GT(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / n, 600.0, 15.0);
+}
+
+TEST(Lublin, GapsShorterDuringPeakHours) {
+  LublinConfig cfg;
+  cfg.daily_cycle_strength = 0.9;
+  const LublinGenerator gen(cfg);
+  util::Rng rng(8);
+  double day = 0.0, night = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) day += gen.sample_gap(14 * 3600.0, rng);
+  for (int i = 0; i < n; ++i) night += gen.sample_gap(4 * 3600.0, rng);
+  EXPECT_LT(day, night);
+}
+
+TEST(Lublin, GenerateProducesValidSortedTrace) {
+  LublinConfig cfg;
+  const LublinGenerator gen(cfg);
+  util::Rng rng(9);
+  const swf::Trace t = gen.generate("gen", 2000, rng);
+  EXPECT_EQ(t.size(), 2000u);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t[0].id, 1);
+  // Synthetic traces expose AR only.
+  EXPECT_EQ(t[0].requested_time, swf::kUnknown);
+  EXPECT_FALSE(t.stats().has_user_estimates);
+}
+
+TEST(Lublin, GenerateIsDeterministicInSeed) {
+  LublinConfig cfg;
+  const LublinGenerator gen(cfg);
+  util::Rng r1(10), r2(10);
+  const swf::Trace a = gen.generate("a", 500, r1);
+  const swf::Trace b = gen.generate("b", 500, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].run_time, b[i].run_time);
+    EXPECT_EQ(a[i].requested_procs, b[i].requested_procs);
+  }
+}
+
+TEST(Lublin, SizeRuntimeCorrelationInGeneratedTrace) {
+  LublinConfig cfg;
+  const LublinGenerator gen(cfg);
+  util::Rng rng(11);
+  const swf::Trace t = gen.generate("corr", 20000, rng);
+  std::vector<double> sizes, runtimes;
+  for (const auto& j : t.jobs()) {
+    sizes.push_back(static_cast<double>(j.procs()));
+    runtimes.push_back(std::log(static_cast<double>(std::max<std::int64_t>(j.run_time, 1))));
+  }
+  EXPECT_GT(util::pearson(sizes, runtimes), 0.02);
+}
+
+}  // namespace
+}  // namespace rlbf::workload

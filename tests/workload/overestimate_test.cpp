@@ -1,0 +1,129 @@
+#include "workload/overestimate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/lublin.h"
+
+namespace rlbf::workload {
+namespace {
+
+TEST(Overestimate, RequestNeverBelowRuntime) {
+  const OverestimateModel model{OverestimateConfig{}};
+  util::Rng rng(1);
+  for (std::int64_t ar : {0LL, 1LL, 59LL, 60LL, 3600LL, 100000LL, 700000LL}) {
+    for (int rep = 0; rep < 200; ++rep) {
+      EXPECT_GE(model.sample_request(ar, rng), std::max<std::int64_t>(ar, 1));
+    }
+  }
+}
+
+TEST(Overestimate, MenuIsSortedAscending) {
+  const auto& m = OverestimateModel::menu();
+  EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+  EXPECT_GT(m.size(), 5u);
+}
+
+TEST(Overestimate, RoundedRequestsLandOnMenu) {
+  OverestimateConfig cfg;
+  cfg.exact_prob = 0.0;
+  cfg.round_to_menu = true;
+  const OverestimateModel model(cfg);
+  util::Rng rng(2);
+  const auto& menu = OverestimateModel::menu();
+  for (int rep = 0; rep < 500; ++rep) {
+    const auto req = model.sample_request(500, rng);
+    EXPECT_TRUE(std::binary_search(menu.begin(), menu.end(), req))
+        << "request " << req << " not a menu value";
+  }
+}
+
+TEST(Overestimate, ExactEstimatorsRoundUpToMinute) {
+  OverestimateConfig cfg;
+  cfg.exact_prob = 1.0;
+  const OverestimateModel model(cfg);
+  util::Rng rng(3);
+  EXPECT_EQ(model.sample_request(61, rng), 120);
+  EXPECT_EQ(model.sample_request(60, rng), 60);
+  EXPECT_EQ(model.sample_request(1, rng), 60);
+}
+
+TEST(Overestimate, CapIsRespected) {
+  OverestimateConfig cfg;
+  cfg.exact_prob = 0.0;
+  cfg.max_request = 7200;
+  cfg.mean_pad_seconds = 1e9;  // force the cap
+  const OverestimateModel model(cfg);
+  util::Rng rng(4);
+  for (int rep = 0; rep < 100; ++rep) {
+    EXPECT_LE(model.sample_request(100, rng), 7200);
+  }
+}
+
+TEST(Overestimate, CapNeverUndercutsRuntime) {
+  OverestimateConfig cfg;
+  cfg.max_request = 100;
+  const OverestimateModel model(cfg);
+  util::Rng rng(5);
+  // Runtime exceeds the cap: the estimate must still cover the runtime.
+  EXPECT_GE(model.sample_request(5000, rng), 5000);
+}
+
+TEST(Overestimate, AdditiveMeanApproximatesRuntimePlusPad) {
+  OverestimateConfig cfg;
+  cfg.exact_prob = 0.0;
+  cfg.mean_pad_seconds = 3000.0;
+  cfg.round_to_menu = false;
+  const OverestimateModel model(cfg);
+  util::Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(model.sample_request(2000, rng));
+  EXPECT_NEAR(sum / n, 5000.0, 60.0);
+}
+
+TEST(Overestimate, AdditiveFactorShrinksWithRuntime) {
+  OverestimateConfig cfg;
+  cfg.exact_prob = 0.0;
+  const OverestimateModel model(cfg);
+  util::Rng rng(7);
+  double short_factor = 0.0, long_factor = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    short_factor += static_cast<double>(model.sample_request(120, rng)) / 120.0;
+    long_factor += static_cast<double>(model.sample_request(40000, rng)) / 40000.0;
+  }
+  EXPECT_GT(short_factor / n, 5.0);   // minutes-long jobs overestimate wildly
+  EXPECT_LT(long_factor / n, 2.0);    // half-day jobs are close to honest
+}
+
+TEST(Overestimate, MultiplicativeModeScalesWithRuntime) {
+  OverestimateConfig cfg;
+  cfg.mode = OverestimateMode::Multiplicative;
+  cfg.exact_prob = 0.0;
+  cfg.mean_factor = 3.0;
+  cfg.round_to_menu = false;
+  const OverestimateModel model(cfg);
+  util::Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(model.sample_request(1000, rng));
+  EXPECT_NEAR(sum / n, 3000.0, 100.0);
+}
+
+TEST(Overestimate, ApplyFillsEveryJob) {
+  LublinConfig lcfg;
+  const LublinGenerator gen(lcfg);
+  util::Rng rng(9);
+  swf::Trace trace = gen.generate("t", 500, rng);
+  const OverestimateModel model{OverestimateConfig{}};
+  model.apply(trace, rng);
+  for (const auto& j : trace.jobs()) {
+    EXPECT_GE(j.requested_time, std::max<std::int64_t>(j.run_time, 1));
+  }
+  EXPECT_TRUE(trace.stats().has_user_estimates);
+}
+
+}  // namespace
+}  // namespace rlbf::workload

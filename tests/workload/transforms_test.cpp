@@ -1,0 +1,112 @@
+#include "workload/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/presets.h"
+
+namespace rlbf::workload {
+namespace {
+
+swf::Job make_job(std::int64_t id, std::int64_t submit, std::int64_t run,
+                  std::int64_t procs) {
+  swf::Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.run_time = run;
+  j.requested_procs = procs;
+  return j;
+}
+
+swf::Trace small_trace() {
+  return swf::Trace("t", 16,
+                    {make_job(1, 0, 100, 4), make_job(2, 100, 50, 2),
+                     make_job(3, 300, 10, 8), make_job(4, 600, 200, 1)});
+}
+
+TEST(ScaleLoad, DoubleRateHalvesGaps) {
+  const swf::Trace scaled = scale_load(small_trace(), 2.0);
+  ASSERT_EQ(scaled.size(), 4u);
+  EXPECT_EQ(scaled[0].submit_time, 0);
+  EXPECT_EQ(scaled[1].submit_time, 50);
+  EXPECT_EQ(scaled[2].submit_time, 150);
+  EXPECT_EQ(scaled[3].submit_time, 300);
+}
+
+TEST(ScaleLoad, HalfRateDoublesGaps) {
+  const swf::Trace scaled = scale_load(small_trace(), 0.5);
+  EXPECT_EQ(scaled[3].submit_time, 1200);
+}
+
+TEST(ScaleLoad, JobBodiesUnchanged) {
+  const swf::Trace scaled = scale_load(small_trace(), 3.0);
+  const swf::Trace original = small_trace();
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    EXPECT_EQ(scaled[i].run_time, original[i].run_time);
+    EXPECT_EQ(scaled[i].procs(), original[i].procs());
+  }
+}
+
+TEST(ScaleLoad, FactorOneIsIdentity) {
+  const swf::Trace scaled = scale_load(small_trace(), 1.0);
+  const swf::Trace original = small_trace();
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    EXPECT_EQ(scaled[i].submit_time, original[i].submit_time);
+  }
+}
+
+TEST(ScaleLoad, RejectsNonPositiveFactor) {
+  EXPECT_THROW(scale_load(small_trace(), 0.0), std::invalid_argument);
+  EXPECT_THROW(scale_load(small_trace(), -1.0), std::invalid_argument);
+}
+
+TEST(ScaleLoad, ScalesOfferedLoadProportionally) {
+  const swf::Trace trace = sdsc_sp2_like(3, 2000);
+  const double base = offered_load(trace);
+  const double doubled = offered_load(scale_load(trace, 2.0));
+  EXPECT_NEAR(doubled / base, 2.0, 0.05);
+}
+
+TEST(TimeWindow, SelectsAndRebases) {
+  const swf::Trace w = time_window(small_trace(), 100, 400);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0].submit_time, 0);    // was 100
+  EXPECT_EQ(w[1].submit_time, 200);  // was 300
+}
+
+TEST(TimeWindow, HalfOpenBoundaries) {
+  const swf::Trace w = time_window(small_trace(), 0, 100);
+  ASSERT_EQ(w.size(), 1u);  // job at 100 excluded
+}
+
+TEST(TimeWindow, RejectsInvertedWindow) {
+  EXPECT_THROW(time_window(small_trace(), 400, 100), std::invalid_argument);
+}
+
+TEST(FilterJobs, KeepsMatchingJobs) {
+  const swf::Trace narrow =
+      filter_jobs(small_trace(), [](const swf::Job& j) { return j.procs() <= 2; });
+  ASSERT_EQ(narrow.size(), 2u);
+  for (const auto& j : narrow.jobs()) EXPECT_LE(j.procs(), 2);
+  // Submit times preserved (then ids renumbered by normalize).
+  EXPECT_EQ(narrow[0].submit_time, 100);
+  EXPECT_EQ(narrow[1].submit_time, 600);
+}
+
+TEST(FilterJobs, EmptyResultIsValid) {
+  const swf::Trace none =
+      filter_jobs(small_trace(), [](const swf::Job&) { return false; });
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(OfferedLoad, HandComputedValue) {
+  // work/job = (100*4 + 50*2 + 10*8 + 200*1)/4 = 195; it = 200; size 16.
+  EXPECT_NEAR(offered_load(small_trace()), 195.0 / (200.0 * 16.0), 1e-12);
+}
+
+TEST(OfferedLoad, DegenerateTraces) {
+  EXPECT_DOUBLE_EQ(offered_load(swf::Trace("e", 8, {})), 0.0);
+  EXPECT_DOUBLE_EQ(offered_load(swf::Trace("one", 8, {make_job(1, 0, 10, 1)})), 0.0);
+}
+
+}  // namespace
+}  // namespace rlbf::workload
