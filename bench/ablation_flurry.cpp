@@ -7,33 +7,37 @@
 // (workload::remove_flurries) undoes.
 //
 // The agent was trained on the clean trace, so the flurry is genuinely
-// out-of-distribution for it.
+// out-of-distribution for it. The three trace variants are the
+// registered scenarios "sdsc-easy", "sdsc-flurry", and
+// "sdsc-flurry-scrubbed"; the EASY arm is exactly run_scenario on them.
 #include <iostream>
 
 #include "bench_common.h"
+#include "exp/scenario.h"
 #include "util/log.h"
 #include "util/table.h"
-#include "workload/transforms.h"
 
 int main(int argc, char** argv) {
   using namespace rlbf;
   bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   util::set_log_level(util::LogLevel::Warn);
 
-  const swf::Trace clean = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
-  // Inject a 500-job, 2-second-interarrival burst one day in.
-  const swf::Trace flurried = workload::inject_flurry(
-      clean, /*user_id=*/424242, /*start_second=*/86400, /*count=*/500,
-      /*gap_seconds=*/2, /*run_seconds=*/120);
-  workload::FlurryReport report;
-  const swf::Trace scrubbed = workload::remove_flurries(flurried, {}, &report);
+  const auto variant = [&](const std::string& scenario) {
+    exp::ScenarioSpec spec = exp::find_scenario(scenario);
+    spec.trace_jobs = args.trace_jobs;
+    return spec;
+  };
+  const exp::ScenarioSpec clean = variant("sdsc-easy");
+  const exp::ScenarioSpec flurried = variant("sdsc-flurry");
+  const exp::ScenarioSpec scrubbed = variant("sdsc-flurry-scrubbed");
 
-  const core::Agent agent = bench::get_or_train_agent(clean, "FCFS", args);
+  const core::Agent agent =
+      bench::get_or_train_agent(exp::build_trace(clean, args.seed), "FCFS", args);
 
-  const auto easy_bsld = [&](const swf::Trace& t) {
-    return sched::ConfiguredScheduler({"FCFS", sched::BackfillKind::Easy,
-                                       sched::EstimateKind::RequestTime})
-        .run(t)
+  const auto easy_bsld = [&](const exp::ScenarioSpec& spec, const swf::Trace& t) {
+    const sched::ConfiguredScheduler scheduler(spec.scheduler);
+    return sched::run_schedule(t, scheduler.policy(), scheduler.estimator(),
+                               scheduler.chooser(), exp::sim_options(spec))
         .metrics.avg_bounded_slowdown;
   };
   const auto rlbf_bsld = [&](const swf::Trace& t) {
@@ -44,21 +48,21 @@ int main(int argc, char** argv) {
         .metrics.avg_bounded_slowdown;
   };
 
+  exp::TraceBuildInfo scrub_info;
   util::Table table({"trace variant", "jobs", "FCFS+EASY bsld", "FCFS+RLBF bsld"});
-  table.add_row({"clean", std::to_string(clean.size()),
-                 util::Table::fmt(easy_bsld(clean), 2),
-                 util::Table::fmt(rlbf_bsld(clean), 2)});
-  table.add_row({"with flurry", std::to_string(flurried.size()),
-                 util::Table::fmt(easy_bsld(flurried), 2),
-                 util::Table::fmt(rlbf_bsld(flurried), 2)});
-  table.add_row({"scrubbed", std::to_string(scrubbed.size()),
-                 util::Table::fmt(easy_bsld(scrubbed), 2),
-                 util::Table::fmt(rlbf_bsld(scrubbed), 2)});
+  const std::pair<const char*, const exp::ScenarioSpec*> variants[] = {
+      {"clean", &clean}, {"with flurry", &flurried}, {"scrubbed", &scrubbed}};
+  for (const auto& [title, spec] : variants) {
+    const swf::Trace trace = exp::build_trace(*spec, args.seed, &scrub_info);
+    table.add_row({title, std::to_string(trace.size()),
+                   util::Table::fmt(easy_bsld(*spec, trace), 2),
+                   util::Table::fmt(rlbf_bsld(trace), 2)});
+  }
 
   std::cout << "# Ablation A11: flurry robustness, SDSC-SP2 + injected 500-job "
             << "single-user burst\n"
-            << "# remove_flurries cut " << report.removed_jobs << " jobs from "
-            << report.flagged_users << " user(s).\n"
+            << "# remove_flurries cut " << scrub_info.flurry.removed_jobs
+            << " jobs from " << scrub_info.flurry.flagged_users << " user(s).\n"
             << "# Scrubbed rows should return close to the clean rows; the "
             << "flurry rows show each strategy's sensitivity.\n";
   table.print(std::cout);

@@ -3,9 +3,15 @@
 // and compared against EASY / EASY-AR at each level — does the learned
 // strategy survive a shifted operating point (the deployment reality on
 // production clusters)?
+//
+// The heuristic arms run through the experiment engine: the load x
+// estimate grid expands from the registered "sdsc-easy" scenario and
+// each point evaluates under the paper's sampled-sequences protocol.
 #include <iostream>
 
 #include "bench_common.h"
+#include "exp/scenario.h"
+#include "exp/sweep.h"
 #include "util/log.h"
 #include "util/table.h"
 #include "workload/transforms.h"
@@ -15,23 +21,36 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   util::set_log_level(util::LogLevel::Info);
 
-  const swf::Trace base = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
-  // Reuses the Table-4/5 cached agent (trained at the native load).
-  const core::Agent agent = bench::get_or_train_agent(base, "FCFS", args);
+  exp::ScenarioSpec base = exp::find_scenario("sdsc-easy");
+  base.trace_jobs = args.trace_jobs;
 
+  // Reuses the Table-4/5 cached agent (trained at the native load).
+  const swf::Trace native = exp::build_trace(base, args.seed);
+  const core::Agent agent = bench::get_or_train_agent(native, "FCFS", args);
+
+  core::EvalProtocol protocol;
+  protocol.samples = args.samples;
+  protocol.sample_jobs = args.sample_jobs;
+  protocol.seed = args.seed;
+
+  const std::vector<exp::SweepAxis> axes =
+      exp::parse_sweep("load=0.5,0.75,1.0,1.25,1.5");
   util::Table table({"load_factor", "offered_load", "FCFS+EASY", "FCFS+EASY-AR",
                      "FCFS+RLBF", "RLBF_vs_EASY"});
-  for (const double factor : {0.5, 0.75, 1.0, 1.25, 1.5}) {
-    const swf::Trace trace = workload::scale_load(base, factor);
-    const sched::SchedulerSpec easy{"FCFS", sched::BackfillKind::Easy,
-                                    sched::EstimateKind::RequestTime};
-    const sched::SchedulerSpec easy_ar{"FCFS", sched::BackfillKind::Easy,
-                                       sched::EstimateKind::ActualRuntime};
-    const double easy_bsld = bench::eval_spec(trace, easy, args);
-    const double easy_ar_bsld = bench::eval_spec(trace, easy_ar, args);
+  for (const exp::ScenarioSpec& point : exp::expand_grid(base, axes)) {
+    // One trace per grid point; the estimate variant doesn't affect it.
+    const swf::Trace trace = exp::build_trace(point, args.seed);
+    sched::SchedulerSpec easy_ar = point.scheduler;
+    easy_ar.estimate = sched::EstimateKind::ActualRuntime;
+    core::EvalProtocol point_protocol = protocol;
+    point_protocol.options = exp::sim_options(point);
+    const double easy_bsld =
+        core::evaluate_spec(trace, point.scheduler, point_protocol).mean;
+    const double easy_ar_bsld =
+        core::evaluate_spec(trace, easy_ar, point_protocol).mean;
     const double rlbf_bsld = bench::eval_rlbf(trace, agent, "FCFS", args);
     const double gain = (easy_bsld - rlbf_bsld) / easy_bsld * 100.0;
-    table.add_row({util::Table::fmt(factor, 2),
+    table.add_row({util::Table::fmt(point.load_factor, 2),
                    util::Table::fmt(workload::offered_load(trace), 3),
                    util::Table::fmt(easy_bsld), util::Table::fmt(easy_ar_bsld),
                    util::Table::fmt(rlbf_bsld),

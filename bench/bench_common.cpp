@@ -5,6 +5,7 @@
 #include <functional>
 #include <iostream>
 
+#include "exp/config.h"
 #include "util/log.h"
 #include "util/stats.h"
 
@@ -12,43 +13,18 @@ namespace rlbf::bench {
 
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs args;
-  auto value_of = [](const std::string& arg, const std::string& flag,
-                     std::string* out) {
-    if (arg.rfind(flag + "=", 0) != 0) return false;
-    *out = arg.substr(flag.size() + 1);
-    return true;
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::string v;
-    if (value_of(arg, "--trace-jobs", &v)) {
-      args.trace_jobs = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (value_of(arg, "--epochs", &v)) {
-      args.epochs = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (value_of(arg, "--trajectories", &v)) {
-      args.trajectories = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (value_of(arg, "--traj-jobs", &v)) {
-      args.jobs_per_trajectory = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (value_of(arg, "--samples", &v)) {
-      args.samples = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (value_of(arg, "--sample-jobs", &v)) {
-      args.sample_jobs = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (value_of(arg, "--seed", &v)) {
-      args.seed = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (value_of(arg, "--model-dir", &v)) {
-      args.model_dir = v;
-    } else if (arg == "--retrain") {
-      args.retrain = true;
-    } else if (arg == "--quick") {
-      args.quick = true;
-    } else {
-      std::cerr << "unknown flag: " << arg << "\n"
-                << "flags: --trace-jobs=N --epochs=N --trajectories=N"
-                << " --traj-jobs=N --samples=N --sample-jobs=N --seed=N"
-                << " --model-dir=DIR --retrain --quick\n";
-      std::exit(2);
-    }
-  }
+  exp::ArgParser parser("bench", "Shared bench flags (paper protocol defaults).");
+  parser.add("--trace-jobs", &args.trace_jobs, "jobs taken from each trace");
+  parser.add("--epochs", &args.epochs, "training epochs per agent");
+  parser.add("--trajectories", &args.trajectories, "trajectories per epoch");
+  parser.add("--traj-jobs", &args.jobs_per_trajectory, "jobs per trajectory");
+  parser.add("--samples", &args.samples, "evaluation repetitions");
+  parser.add("--sample-jobs", &args.sample_jobs, "jobs per evaluation sequence");
+  parser.add("--seed", &args.seed, "master seed");
+  parser.add("--model-dir", &args.model_dir, "trained-agent cache directory");
+  parser.add_flag("--retrain", &args.retrain, "ignore cached models");
+  parser.add_flag("--quick", &args.quick, "tiny budgets for smoke runs");
+  parser.parse_or_exit(argc, argv);
   if (args.quick) {
     args.trace_jobs = std::min<std::size_t>(args.trace_jobs, 3000);
     args.epochs = std::min<std::size_t>(args.epochs, 3);

@@ -1,35 +1,64 @@
 // Compare every base scheduling policy crossed with every backfilling
 // strategy on a chosen workload — the paper's Table-3/4 machinery as an
-// interactive tool.
+// interactive tool, expressed as a sweep over the experiment engine so
+// the combinations run in parallel.
 //
-//   ./scheduler_shootout [trace] [n_jobs]
-//     trace: SDSC-SP2 (default) | HPC2N | Lublin-1 | Lublin-2
-#include <cstdlib>
+//   ./scheduler_shootout [trace] [n_jobs]          (legacy positional form)
+//   ./scheduler_shootout --trace=HPC2N --jobs=3000 --seed=1 --threads=8
+#include <algorithm>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "exp/config.h"
+#include "exp/scenario.h"
+#include "exp/sink.h"
+#include "exp/sweep.h"
 #include "sched/scheduler.h"
 #include "util/table.h"
 #include "workload/presets.h"
 
 int main(int argc, char** argv) {
   using namespace rlbf;
-  const std::string trace_name = argc > 1 ? argv[1] : "SDSC-SP2";
-  const std::size_t n_jobs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3000;
+  std::string trace_name = "SDSC-SP2";
+  std::string jobs_text = "3000";
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
 
-  swf::Trace trace = [&]() -> swf::Trace {
-    for (const auto& targets : workload::all_targets()) {
-      if (targets.name == trace_name) {
-        return workload::make_preset(targets, n_jobs, 1);
-      }
-    }
+  exp::ArgParser parser("scheduler_shootout",
+                        "Cross every base policy with every backfill strategy.");
+  parser.add_positional("trace", &trace_name, "workload preset name");
+  parser.add_positional("n_jobs", &jobs_text, "jobs to simulate");
+  parser.add("--trace", &trace_name, "workload preset name");
+  parser.add("--jobs", &jobs_text, "jobs to simulate");
+  parser.add("--seed", &seed, "trace-construction seed");
+  parser.add("--threads", &threads, "worker threads (0 = hardware)");
+  parser.parse_or_exit(argc, argv);
+
+  std::size_t n_jobs = 0;
+  if (!exp::parse_number(jobs_text, &n_jobs) || n_jobs == 0) {
+    std::cerr << "bad job count: " << jobs_text << "\n";
+    return 2;
+  }
+
+  const auto targets = workload::all_targets();
+  const auto target =
+      std::find_if(targets.begin(), targets.end(),
+                   [&](const auto& t) { return t.name == trace_name; });
+  if (target == targets.end()) {
     std::cerr << "unknown trace: " << trace_name << "\n";
-    std::exit(2);
-  }();
-  const bool has_estimates = trace.stats().has_user_estimates;
+    return 2;
+  }
+  const bool has_estimates = target->user_estimates;
 
-  util::Table table(
-      {"scheduler", "bsld", "avg_wait(s)", "utilization", "backfilled"});
+  // One scenario instance per (policy, backfill, estimate) combination;
+  // every instance rebuilds the same trace from (workload, jobs, seed).
+  exp::ScenarioSpec base;
+  base.name = "shootout";
+  base.workload = trace_name;
+  base.trace_jobs = n_jobs;
+  std::vector<exp::ScenarioSpec> specs;
   for (const auto& policy : sched::all_policy_names()) {
     std::vector<std::pair<sched::BackfillKind, sched::EstimateKind>> combos = {
         {sched::BackfillKind::None, sched::EstimateKind::RequestTime},
@@ -41,17 +70,28 @@ int main(int argc, char** argv) {
       combos.push_back({sched::BackfillKind::Easy, sched::EstimateKind::ActualRuntime});
     }
     for (const auto& [backfill, estimate] : combos) {
-      const sched::SchedulerSpec spec{policy, backfill, estimate};
-      const auto out = sched::ConfiguredScheduler(spec).run(trace);
-      table.add_row({spec.label(),
-                     util::Table::fmt(out.metrics.avg_bounded_slowdown, 2),
-                     util::Table::fmt(out.metrics.avg_wait_time, 0),
-                     util::Table::fmt(out.metrics.utilization, 3),
-                     std::to_string(out.metrics.backfilled_jobs)});
+      exp::ScenarioSpec spec = base;
+      spec.scheduler = {policy, backfill, estimate};
+      spec.name = spec.scheduler.label();
+      specs.push_back(std::move(spec));
     }
   }
-  std::cout << "Workload: " << trace.name() << " (" << trace.size() << " jobs, "
-            << trace.machine_procs() << " processors)\n\n";
+
+  exp::SweepOptions options;
+  options.seed = seed;
+  options.threads = threads;
+  const std::vector<exp::ScenarioRun> runs = exp::run_sweep(specs, options);
+
+  util::Table table(
+      {"scheduler", "bsld", "avg_wait(s)", "utilization", "backfilled"});
+  for (const exp::ScenarioRun& run : runs) {
+    table.add_row({run.scenario, util::Table::fmt(run.metrics.avg_bounded_slowdown, 2),
+                   util::Table::fmt(run.metrics.avg_wait_time, 0),
+                   util::Table::fmt(run.metrics.utilization, 3),
+                   std::to_string(run.metrics.backfilled_jobs)});
+  }
+  std::cout << "Workload: " << trace_name << " (" << runs.front().jobs
+            << " jobs, " << target->machine_procs << " processors)\n\n";
   table.print(std::cout);
   return 0;
 }

@@ -15,7 +15,8 @@ EvalResult evaluate(const swf::Trace& trace, const sim::PriorityPolicy& policy,
   result.samples.reserve(protocol.samples);
   for (std::size_t s = 0; s < protocol.samples; ++s) {
     const swf::Trace seq = trace.sample(protocol.sample_jobs, rng);
-    const auto outcome = sched::run_schedule(seq, policy, estimator, chooser);
+    const auto outcome =
+        sched::run_schedule(seq, policy, estimator, chooser, protocol.options);
     result.samples.push_back(outcome.metrics.avg_bounded_slowdown);
   }
   result.mean = util::mean(result.samples);

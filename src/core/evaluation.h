@@ -18,6 +18,9 @@ struct EvalProtocol {
   std::size_t sample_jobs = 1024; // paper: 1024-job sequences
   std::uint64_t seed = 1;         // drives BOTH sampling and bootstrap
   std::size_t bootstrap_resamples = 1000;
+  /// Simulator options each sampled sequence runs under (kill-on-overrun
+  /// studies etc.); the default reproduces the paper's protocol.
+  sim::SimulationOptions options;
 };
 
 struct EvalResult {

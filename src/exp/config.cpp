@@ -1,0 +1,212 @@
+#include "exp/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace rlbf::exp {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+bool parse_number(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int64(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool parse_uint64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_bool(const std::string& text, bool* out) {
+  const std::string t = lower(text);
+  if (t == "1" || t == "true" || t == "yes" || t == "on") {
+    *out = true;
+    return true;
+  }
+  if (t == "0" || t == "false" || t == "no" || t == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+ArgParser::ArgParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void ArgParser::add_typed(const std::string& name, const std::string& help,
+                          std::string default_value, bool is_switch,
+                          std::function<bool(const std::string&)> assign) {
+  Flag flag;
+  flag.name = name.rfind("--", 0) == 0 ? name : "--" + name;
+  flag.help = help;
+  flag.default_value = std::move(default_value);
+  flag.is_switch = is_switch;
+  flag.assign = std::move(assign);
+  flags_.push_back(std::move(flag));
+}
+
+void ArgParser::add(const std::string& name, std::string* value,
+                    const std::string& help) {
+  add_typed(name, help, *value, false, [value](const std::string& v) {
+    *value = v;
+    return true;
+  });
+}
+
+void ArgParser::add(const std::string& name, bool* value, const std::string& help) {
+  add_typed(name, help, *value ? "true" : "false", false,
+            [value](const std::string& v) { return parse_bool(v, value); });
+}
+
+void ArgParser::add_flag(const std::string& name, bool* value,
+                         const std::string& help) {
+  add_typed(name, help, *value ? "true" : "false", true,
+            [value](const std::string& v) { return parse_bool(v, value); });
+}
+
+void ArgParser::add(const std::string& name, double* value, const std::string& help) {
+  std::ostringstream os;
+  os << *value;
+  add_typed(name, help, os.str(), false,
+            [value](const std::string& v) { return parse_number(v, value); });
+}
+
+void ArgParser::add_positional(const std::string& name, std::string* value,
+                               const std::string& help) {
+  positionals_.push_back({name, help, value});
+}
+
+namespace {
+
+// "--sample-jobs" and "--sample_jobs" are the same flag: the repo's
+// binaries historically mixed both spellings, so the parser folds them.
+bool same_flag_name(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char x = a[i] == '_' ? '-' : a[i];
+    const char y = b[i] == '_' ? '-' : b[i];
+    if (x != y) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const ArgParser::Flag* ArgParser::find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (same_flag_name(flag.name, name)) return &flag;
+  }
+  return nullptr;
+}
+
+bool ArgParser::parse(int argc, char** argv, std::string* error) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<std::size_t>(argc) - 1 : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args, error);
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args, std::string* error) {
+  help_requested_ = false;
+  const auto fail = [error](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  std::size_t next_positional = 0;
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      if (next_positional >= positionals_.size()) {
+        return fail("unexpected argument: " + arg);
+      }
+      *positionals_[next_positional++].value = arg;
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const Flag* flag = find(name);
+    if (flag == nullptr) return fail("unknown flag: " + name);
+    if (eq == std::string::npos) {
+      if (!flag->is_switch) return fail("flag needs a value: " + name + "=...");
+      flag->assign("true");
+      continue;
+    }
+    const std::string value = arg.substr(eq + 1);
+    if (!flag->assign(value)) {
+      return fail("bad value for " + name + ": '" + value + "'");
+    }
+  }
+  return true;
+}
+
+void ArgParser::parse_or_exit(int argc, char** argv) {
+  std::string error;
+  if (!parse(argc, argv, &error)) {
+    std::cerr << program_ << ": " << error << "\n\n" << usage();
+    std::exit(2);
+  }
+  if (help_requested_) {
+    std::cout << usage();
+    std::exit(0);
+  }
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_;
+  for (const auto& pos : positionals_) os << " [" << pos.name << "]";
+  if (!flags_.empty()) os << " [flags]";
+  os << "\n";
+  if (!summary_.empty()) os << summary_ << "\n";
+  std::size_t width = 0;
+  for (const auto& flag : flags_) {
+    width = std::max(width, flag.name.size() + (flag.is_switch ? 0 : 2));
+  }
+  for (const auto& pos : positionals_) {
+    os << "  " << pos.name << std::string(width > pos.name.size() ? width - pos.name.size() : 0, ' ')
+       << "    " << pos.help << "\n";
+  }
+  for (const auto& flag : flags_) {
+    const std::string shown = flag.is_switch ? flag.name : flag.name + "=X";
+    os << "  " << shown << std::string(width - shown.size(), ' ') << "    "
+       << flag.help << " (default: " << flag.default_value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace rlbf::exp

@@ -1,0 +1,321 @@
+#include "exp/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/presets.h"
+
+namespace rlbf::exp {
+
+namespace {
+
+// Decorrelates the heavy-tail injection stream from the workload
+// generator, which consumes the raw seed.
+constexpr std::uint64_t kHeavyTailSalt = 0x7ea11f00dull;
+
+}  // namespace
+
+std::string ScenarioSpec::label() const {
+  std::ostringstream os;
+  os << workload << " " << scheduler.label();
+  if (machine_procs > 0) os << " p" << machine_procs;
+  if (load_factor != 1.0) os << " x" << load_factor;
+  if (heavy_tail_prob > 0.0) os << " heavytail";
+  if (inject_flurry) os << " flurry";
+  if (scrub_flurries) os << " scrubbed";
+  if (kill_exceeding_request) os << " kill";
+  return os.str();
+}
+
+swf::Trace build_trace(const ScenarioSpec& spec, std::uint64_t seed,
+                       TraceBuildInfo* info) {
+  const auto targets = workload::all_targets();
+  const auto it = std::find_if(
+      targets.begin(), targets.end(),
+      [&](const workload::PresetTargets& t) { return t.name == spec.workload; });
+  if (it == targets.end()) {
+    std::string known;
+    for (const auto& t : targets) known += (known.empty() ? "" : ", ") + t.name;
+    throw std::invalid_argument("unknown workload '" + spec.workload +
+                                "' (known: " + known + ")");
+  }
+  workload::PresetTargets targets_used = *it;
+  if (spec.machine_procs > 0) targets_used.machine_procs = spec.machine_procs;
+  swf::Trace trace = workload::make_preset(targets_used, spec.trace_jobs, seed);
+  if (spec.load_factor != 1.0) {
+    trace = workload::scale_load(trace, spec.load_factor);
+  }
+  if (spec.heavy_tail_prob > 0.0) {
+    workload::HeavyTailParams params;
+    params.prob = spec.heavy_tail_prob;
+    params.alpha = spec.heavy_tail_alpha;
+    trace = workload::inject_heavy_tail(trace, params, seed ^ kHeavyTailSalt);
+  }
+  if (spec.inject_flurry) {
+    trace = workload::inject_flurry(trace, spec.flurry_user, spec.flurry_start,
+                                    spec.flurry_count, spec.flurry_gap,
+                                    spec.flurry_run);
+  }
+  if (spec.scrub_flurries) {
+    trace = workload::remove_flurries(trace, {}, info ? &info->flurry : nullptr);
+  }
+  return trace;
+}
+
+sim::SimulationOptions sim_options(const ScenarioSpec& spec) {
+  sim::SimulationOptions options;
+  options.kill_exceeding_request = spec.kill_exceeding_request;
+  options.max_backfills_per_opportunity = spec.max_backfills;
+  return options;
+}
+
+namespace {
+
+sched::SchedulerSpec scheduler_for_seed(const ScenarioSpec& spec,
+                                        std::uint64_t seed) {
+  sched::SchedulerSpec scheduler = spec.scheduler;
+  if (scheduler.estimate == sched::EstimateKind::Noisy &&
+      scheduler.noise_seed == 0) {
+    scheduler.noise_seed = seed;
+  }
+  return scheduler;
+}
+
+}  // namespace
+
+ScenarioRun run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  const swf::Trace trace = build_trace(spec, seed);
+  const sched::ConfiguredScheduler scheduler(scheduler_for_seed(spec, seed));
+  sched::ScheduleOutcome outcome =
+      sched::run_schedule(trace, scheduler.policy(), scheduler.estimator(),
+                          scheduler.chooser(), sim_options(spec));
+  ScenarioRun run;
+  run.scenario = spec.name;
+  run.label = spec.label();
+  run.seed = seed;
+  run.jobs = trace.size();
+  run.metrics = outcome.metrics;
+  run.results = std::move(outcome.results);
+  return run;
+}
+
+core::EvalResult evaluate_scenario(const ScenarioSpec& spec,
+                                   const core::EvalProtocol& protocol) {
+  const swf::Trace trace = build_trace(spec, protocol.seed);
+  core::EvalProtocol effective = protocol;
+  effective.options = sim_options(spec);
+  return core::evaluate_spec(trace, scheduler_for_seed(spec, protocol.seed),
+                             effective);
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("scenario name must be non-empty");
+  }
+  if (contains(spec.name)) {
+    throw std::invalid_argument("duplicate scenario name: " + spec.name);
+  }
+  specs_.push_back(std::move(spec));
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return std::any_of(specs_.begin(), specs_.end(),
+                     [&](const ScenarioSpec& s) { return s.name == name; });
+}
+
+const ScenarioSpec& ScenarioRegistry::get(const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return spec;
+  }
+  std::string known;
+  for (const auto& spec : specs_) {
+    known += (known.empty() ? "" : ", ") + spec.name;
+  }
+  throw std::invalid_argument("unknown scenario '" + name +
+                              "' (known: " + known + ")");
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) out.push_back(spec.name);
+  return out;
+}
+
+namespace {
+
+ScenarioSpec base_scenario(std::string name, std::string description) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.scheduler = {"FCFS", sched::BackfillKind::Easy,
+                    sched::EstimateKind::RequestTime};
+  return spec;
+}
+
+// The built-in catalog, seeded from the repo's bench/example programs so
+// every previously hard-coded study is now one `--scenario=` away.
+void register_builtins(ScenarioRegistry& registry) {
+  {
+    auto s = base_scenario("sdsc-easy",
+                           "Paper baseline: FCFS+EASY on the SDSC-SP2-like trace");
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario("sdsc-easy-ar",
+                           "Oracle estimates: FCFS+EASY-AR on SDSC-SP2");
+    s.scheduler.estimate = sched::EstimateKind::ActualRuntime;
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario("sdsc-conservative",
+                           "Strict no-delay backfilling: FCFS+CONS on SDSC-SP2");
+    s.scheduler.backfill = sched::BackfillKind::Conservative;
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario("sdsc-sjf-easy",
+                           "Shortest-job-first base policy: SJF+EASY on SDSC-SP2");
+    s.scheduler.policy = "SJF";
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario("hpc2n-easy", "FCFS+EASY on the HPC2N-like trace");
+    s.workload = "HPC2N";
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario("lublin1-easy",
+                           "FCFS+EASY on the synthetic Lublin-1 trace (AR only)");
+    s.workload = "Lublin-1";
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario("lublin2-f1-easy",
+                           "Learned-priority base policy: F1+EASY on Lublin-2");
+    s.workload = "Lublin-2";
+    s.scheduler.policy = "F1";
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-lowload", "ablation_load's 0.5x arrival-rate operating point");
+    s.load_factor = 0.5;
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-highload", "ablation_load's 1.5x arrival-rate operating point");
+    s.load_factor = 1.5;
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-flurry",
+        "ablation_flurry's injected 500-job single-user burst on SDSC-SP2");
+    s.inject_flurry = true;
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-flurry-scrubbed",
+        "sdsc-flurry after archive-style flurry scrubbing (remove_flurries)");
+    s.inject_flurry = true;
+    s.scrub_flurries = true;
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-noisy20", "Figure-1 style +20% noisy runtime predictions");
+    s.scheduler.estimate = sched::EstimateKind::Noisy;
+    s.scheduler.noise_fraction = 0.2;
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-heavytail",
+        "5% of runtimes stretched by Pareto(1.5) factors (requests kept)");
+    s.heavy_tail_prob = 0.05;
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-heavytail-kill",
+        "Heavy-tail overruns under the paper's kill-at-request contract");
+    s.heavy_tail_prob = 0.05;
+    s.kill_exceeding_request = true;
+    registry.add(s);
+  }
+}
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+const ScenarioSpec& find_scenario(const std::string& name) {
+  return ScenarioRegistry::instance().get(name);
+}
+
+std::vector<std::string> scenario_names() {
+  return ScenarioRegistry::instance().names();
+}
+
+sched::BackfillKind parse_backfill_kind(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (n == "none" || n == "nobf") return sched::BackfillKind::None;
+  if (n == "easy") return sched::BackfillKind::Easy;
+  if (n == "easy-sjf") return sched::BackfillKind::EasySjf;
+  if (n == "easy-bf") return sched::BackfillKind::EasyBestFit;
+  if (n == "easy-wf") return sched::BackfillKind::EasyWorstFit;
+  if (n == "cons" || n == "conservative") return sched::BackfillKind::Conservative;
+  if (n == "slack") return sched::BackfillKind::Slack;
+  throw std::invalid_argument(
+      "unknown backfill kind '" + name +
+      "' (known: none, easy, easy-sjf, easy-bf, easy-wf, conservative, slack)");
+}
+
+std::string backfill_kind_name(sched::BackfillKind kind) {
+  switch (kind) {
+    case sched::BackfillKind::None: return "none";
+    case sched::BackfillKind::Easy: return "easy";
+    case sched::BackfillKind::EasySjf: return "easy-sjf";
+    case sched::BackfillKind::EasyBestFit: return "easy-bf";
+    case sched::BackfillKind::EasyWorstFit: return "easy-wf";
+    case sched::BackfillKind::Conservative: return "conservative";
+    case sched::BackfillKind::Slack: return "slack";
+  }
+  return "?";
+}
+
+sched::EstimateKind parse_estimate_kind(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (n == "request" || n == "rt") return sched::EstimateKind::RequestTime;
+  if (n == "actual" || n == "ar") return sched::EstimateKind::ActualRuntime;
+  if (n == "noisy") return sched::EstimateKind::Noisy;
+  throw std::invalid_argument("unknown estimate kind '" + name +
+                              "' (known: request, actual, noisy)");
+}
+
+std::string estimate_kind_name(sched::EstimateKind kind) {
+  switch (kind) {
+    case sched::EstimateKind::RequestTime: return "request";
+    case sched::EstimateKind::ActualRuntime: return "actual";
+    case sched::EstimateKind::Noisy: return "noisy";
+  }
+  return "?";
+}
+
+}  // namespace rlbf::exp

@@ -1,0 +1,159 @@
+#include "exp/sink.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace rlbf::exp {
+
+SummaryRow summarize(const ScenarioRun& run) {
+  SummaryRow row;
+  row.scenario = run.scenario;
+  row.label = run.label;
+  row.seed = run.seed;
+  row.jobs = run.jobs;
+  row.bsld = run.metrics.avg_bounded_slowdown;
+  row.avg_wait = run.metrics.avg_wait_time;
+  row.utilization = run.metrics.utilization;
+  row.backfilled = static_cast<double>(run.metrics.backfilled_jobs);
+  row.killed = static_cast<double>(run.metrics.killed_jobs);
+  return row;
+}
+
+SummaryRow summarize(const ScenarioSpec& spec, const core::EvalResult& result,
+                     std::uint64_t seed) {
+  SummaryRow row;
+  row.scenario = spec.name;
+  row.label = spec.label();
+  row.seed = seed;
+  row.jobs = spec.trace_jobs;  // trace length, as in full-run rows
+  row.bsld = result.mean;
+  row.ci_lo = result.ci_lo;
+  row.ci_hi = result.ci_hi;
+  return row;
+}
+
+std::string format_metric(double value) {
+  if (std::isnan(value)) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string format_count(double value) {
+  if (std::isnan(value)) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", value);
+  return buf;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& field) {
+  std::string out;
+  for (const char c : field) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  return std::isnan(value) ? "null" : format_metric(value);
+}
+
+}  // namespace
+
+void write_summary_csv(std::ostream& os, const std::vector<SummaryRow>& rows) {
+  os << "scenario,label,seed,jobs,bsld,avg_wait,utilization,backfilled,"
+        "killed,ci_lo,ci_hi\n";
+  for (const SummaryRow& row : rows) {
+    os << csv_escape(row.scenario) << ',' << csv_escape(row.label) << ','
+       << row.seed << ',' << row.jobs << ',' << format_metric(row.bsld) << ','
+       << format_metric(row.avg_wait) << ',' << format_metric(row.utilization)
+       << ',' << format_count(row.backfilled) << ',' << format_count(row.killed)
+       << ',' << format_metric(row.ci_lo) << ',' << format_metric(row.ci_hi)
+       << '\n';
+  }
+}
+
+void write_summary_json(std::ostream& os, const std::vector<SummaryRow>& rows) {
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SummaryRow& row = rows[i];
+    os << "  {\"scenario\": \"" << json_escape(row.scenario) << "\", \"label\": \""
+       << json_escape(row.label) << "\", \"seed\": " << row.seed
+       << ", \"jobs\": " << row.jobs;
+    os << ", \"bsld\": " << json_number(row.bsld)
+       << ", \"avg_wait\": " << json_number(row.avg_wait)
+       << ", \"utilization\": " << json_number(row.utilization)
+       << ", \"backfilled\": "
+       << (std::isnan(row.backfilled) ? "null" : format_count(row.backfilled))
+       << ", \"killed\": "
+       << (std::isnan(row.killed) ? "null" : format_count(row.killed));
+    if (!std::isnan(row.ci_lo)) {
+      os << ", \"ci_lo\": " << json_number(row.ci_lo)
+         << ", \"ci_hi\": " << json_number(row.ci_hi);
+    }
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+void write_per_job_csv(std::ostream& os, const ScenarioRun& run) {
+  os << "job_index,submit,start,end,procs,wait,run,bsld,backfilled,killed\n";
+  for (const sim::JobResult& r : run.results) {
+    os << r.job_index << ',' << r.submit_time << ',' << r.start_time << ','
+       << r.end_time << ',' << r.procs << ',' << r.wait_time() << ','
+       << r.run_time() << ',' << format_metric(r.bounded_slowdown()) << ','
+       << (r.backfilled ? 1 : 0) << ',' << (r.killed ? 1 : 0) << '\n';
+  }
+}
+
+namespace {
+
+template <typename Fn>
+bool save(const std::string& path, const Fn& write) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+bool save_summary_csv(const std::string& path, const std::vector<SummaryRow>& rows) {
+  return save(path, [&](std::ostream& os) { write_summary_csv(os, rows); });
+}
+
+bool save_summary_json(const std::string& path,
+                       const std::vector<SummaryRow>& rows) {
+  return save(path, [&](std::ostream& os) { write_summary_json(os, rows); });
+}
+
+bool save_per_job_csv(const std::string& path, const ScenarioRun& run) {
+  return save(path, [&](std::ostream& os) { write_per_job_csv(os, run); });
+}
+
+std::string sanitize_filename(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace rlbf::exp

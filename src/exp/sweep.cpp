@@ -1,0 +1,182 @@
+#include "exp/sweep.h"
+
+#include <stdexcept>
+
+#include "exp/config.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rlbf::exp {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+double require_double(const std::string& param, const std::string& value) {
+  double v = 0.0;
+  if (!parse_number(value, &v)) {
+    throw std::invalid_argument("sweep: bad numeric value for " + param + ": '" +
+                                value + "'");
+  }
+  return v;
+}
+
+std::size_t require_size(const std::string& param, const std::string& value) {
+  std::size_t v = 0;
+  if (!parse_number(value, &v)) {
+    throw std::invalid_argument("sweep: bad integer value for " + param + ": '" +
+                                value + "'");
+  }
+  return v;
+}
+
+bool require_bool(const std::string& param, const std::string& value) {
+  bool v = false;
+  if (!parse_bool(value, &v)) {
+    throw std::invalid_argument("sweep: bad boolean value for " + param + ": '" +
+                                value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<SweepAxis> parse_sweep(const std::string& text) {
+  std::vector<SweepAxis> axes;
+  if (trim(text).empty()) return axes;
+  for (const std::string& chunk : split(text, ';')) {
+    if (trim(chunk).empty()) continue;
+    const std::size_t eq = chunk.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("sweep: missing '=' in axis '" + chunk + "'");
+    }
+    SweepAxis axis;
+    axis.param = trim(chunk.substr(0, eq));
+    if (axis.param.empty()) {
+      throw std::invalid_argument("sweep: empty parameter name in '" + chunk + "'");
+    }
+    for (const std::string& value : split(chunk.substr(eq + 1), ',')) {
+      const std::string v = trim(value);
+      if (v.empty()) {
+        throw std::invalid_argument("sweep: empty value in axis '" + chunk + "'");
+      }
+      axis.values.push_back(v);
+    }
+    if (axis.values.empty()) {
+      throw std::invalid_argument("sweep: axis '" + axis.param + "' has no values");
+    }
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
+void apply_param(ScenarioSpec& spec, const std::string& param,
+                 const std::string& value) {
+  if (param == "workload") {
+    spec.workload = value;
+  } else if (param == "jobs") {
+    spec.trace_jobs = require_size(param, value);
+  } else if (param == "procs") {
+    std::int64_t procs = 0;
+    if (!parse_number(value, &procs) || procs < 0) {
+      throw std::invalid_argument("sweep: bad cluster size for procs: '" +
+                                  value + "'");
+    }
+    spec.machine_procs = procs;
+  } else if (param == "load") {
+    spec.load_factor = require_double(param, value);
+  } else if (param == "tail") {
+    spec.heavy_tail_prob = require_double(param, value);
+  } else if (param == "tail_alpha") {
+    spec.heavy_tail_alpha = require_double(param, value);
+  } else if (param == "flurry") {
+    spec.inject_flurry = require_bool(param, value);
+  } else if (param == "flurry_count") {
+    spec.flurry_count = require_size(param, value);
+    spec.inject_flurry = spec.flurry_count > 0;
+  } else if (param == "scrub") {
+    spec.scrub_flurries = require_bool(param, value);
+  } else if (param == "policy") {
+    spec.scheduler.policy = value;
+  } else if (param == "backfill") {
+    spec.scheduler.backfill = parse_backfill_kind(value);
+  } else if (param == "estimate") {
+    spec.scheduler.estimate = parse_estimate_kind(value);
+  } else if (param == "noise") {
+    spec.scheduler.noise_fraction = require_double(param, value);
+    if (spec.scheduler.noise_fraction > 0.0) {
+      spec.scheduler.estimate = sched::EstimateKind::Noisy;
+    }
+  } else if (param == "kill") {
+    spec.kill_exceeding_request = require_bool(param, value);
+  } else if (param == "max_backfills") {
+    spec.max_backfills = require_size(param, value);
+  } else {
+    throw std::invalid_argument(
+        "sweep: unknown parameter '" + param +
+        "' (known: workload, jobs, procs, load, tail, tail_alpha, flurry, "
+        "flurry_count, scrub, policy, backfill, estimate, noise, kill, "
+        "max_backfills)");
+  }
+}
+
+std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
+                                      const std::vector<SweepAxis>& axes) {
+  std::vector<ScenarioSpec> specs = {base};
+  bool first_axis = true;
+  for (const SweepAxis& axis : axes) {
+    std::vector<ScenarioSpec> next;
+    next.reserve(specs.size() * axis.values.size());
+    for (const ScenarioSpec& spec : specs) {
+      for (const std::string& value : axis.values) {
+        ScenarioSpec instance = spec;
+        apply_param(instance, axis.param, value);
+        instance.name +=
+            std::string(first_axis ? "/" : ",") + axis.param + "=" + value;
+        next.push_back(std::move(instance));
+      }
+    }
+    specs = std::move(next);
+    first_axis = false;
+  }
+  return specs;
+}
+
+std::vector<ScenarioRun> run_sweep(const std::vector<ScenarioSpec>& specs,
+                                   const SweepOptions& options) {
+  const std::size_t reps = options.replications == 0 ? 1 : options.replications;
+  // Fix every seed up front on the calling thread: replication r > 0 gets
+  // the first output of the r-th stream split from Rng(options.seed).
+  std::vector<std::uint64_t> seeds(reps);
+  seeds[0] = options.seed;
+  util::Rng root(options.seed);
+  for (std::size_t r = 1; r < reps; ++r) seeds[r] = root.split()();
+
+  std::vector<ScenarioRun> runs(specs.size() * reps);
+  util::ThreadPool pool(options.threads);
+  pool.parallel_for(runs.size(), [&](std::size_t i) {
+    const std::size_t spec_index = i / reps;
+    const std::size_t rep = i % reps;
+    runs[i] = run_scenario(specs[spec_index], seeds[rep]);
+  });
+  return runs;
+}
+
+}  // namespace rlbf::exp

@@ -1,8 +1,11 @@
 #include "workload/transforms.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "util/rng.h"
 
 namespace rlbf::workload {
 
@@ -102,6 +105,38 @@ swf::Trace remove_flurries(const swf::Trace& trace, const FlurryParams& params,
     report->flagged_users = flagged_users;
   }
   swf::Trace out(trace.name() + "-scrubbed", trace.machine_procs(), std::move(jobs));
+  out.normalize();
+  return out;
+}
+
+swf::Trace inject_heavy_tail(const swf::Trace& trace, const HeavyTailParams& params,
+                             std::uint64_t seed) {
+  if (params.prob < 0.0 || params.prob > 1.0) {
+    throw std::invalid_argument("inject_heavy_tail: prob outside [0, 1]");
+  }
+  if (params.alpha <= 0.0) {
+    throw std::invalid_argument("inject_heavy_tail: alpha <= 0");
+  }
+  util::Rng rng(seed);
+  std::vector<swf::Job> jobs = trace.jobs();
+  for (auto& j : jobs) {
+    // One bernoulli + one uniform per job regardless of the outcome, so a
+    // job's fate depends only on its position, not on earlier draws' path.
+    const bool stretch = rng.bernoulli(params.prob);
+    const double u = rng.uniform();
+    if (!stretch || j.run_time <= 0) continue;
+    const double factor = std::pow(1.0 - u, -1.0 / params.alpha);
+    // Clamp in double space: a heavy enough tail (small alpha) can push
+    // the stretched value past what llround can represent. The max()
+    // keeps jobs already above the cap at their original runtime — this
+    // transform only ever stretches.
+    const double stretched =
+        std::min(static_cast<double>(j.run_time) * factor,
+                 static_cast<double>(params.max_run_seconds));
+    j.run_time =
+        std::max(j.run_time, static_cast<std::int64_t>(std::llround(stretched)));
+  }
+  swf::Trace out(trace.name() + "-heavytail", trace.machine_procs(), std::move(jobs));
   out.normalize();
   return out;
 }

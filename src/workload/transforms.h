@@ -56,6 +56,27 @@ struct FlurryReport {
 swf::Trace remove_flurries(const swf::Trace& trace, const FlurryParams& params = {},
                            FlurryReport* report = nullptr);
 
+/// Parameters for heavy-tail runtime injection (see inject_heavy_tail).
+struct HeavyTailParams {
+  /// Per-job probability of being stretched.
+  double prob = 0.05;
+  /// Pareto tail index of the stretch factor (smaller = heavier tail).
+  /// Must be > 0; the factor is drawn as (1-u)^(-1/alpha) >= 1.
+  double alpha = 1.5;
+  /// Cap on any stretched runtime, seconds.
+  std::int64_t max_run_seconds = 7 * 24 * 3600;
+};
+
+/// Stretch a random subset of actual runtimes by Pareto-distributed
+/// factors, leaving the recorded request times untouched. This injects
+/// the heavy right tail real clusters exhibit AND creates jobs whose
+/// actual runtime exceeds their request — the overrun population that the
+/// paper's §2.1.2 kill-on-overrun contract (and our
+/// SimulationOptions::kill_exceeding_request) exists for. Deterministic
+/// in (trace, params, seed).
+swf::Trace inject_heavy_tail(const swf::Trace& trace, const HeavyTailParams& params,
+                             std::uint64_t seed);
+
 /// Inject a synthetic flurry: `count` copies of a 1-processor,
 /// `run_seconds`-long job from `user_id`, submitted `gap_seconds` apart
 /// starting at `start_second`. The stress-test generator for

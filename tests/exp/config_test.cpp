@@ -1,0 +1,142 @@
+#include "exp/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace rlbf::exp {
+namespace {
+
+TEST(ArgParser, BindsTypedFlags) {
+  std::string name = "default";
+  std::size_t jobs = 10;
+  double load = 1.0;
+  std::uint64_t seed = 1;
+  bool retrain = false;
+  ArgParser parser("test");
+  parser.add("--name", &name, "a string");
+  parser.add("--jobs", &jobs, "a count");
+  parser.add("--load", &load, "a factor");
+  parser.add("--seed", &seed, "a seed");
+  parser.add_flag("--retrain", &retrain, "a switch");
+
+  std::string error;
+  EXPECT_TRUE(parser.parse({"--name=x", "--jobs=42", "--load=1.5",
+                            "--seed=7", "--retrain"},
+                           &error))
+      << error;
+  EXPECT_EQ(name, "x");
+  EXPECT_EQ(jobs, 42u);
+  EXPECT_DOUBLE_EQ(load, 1.5);
+  EXPECT_EQ(seed, 7u);
+  EXPECT_TRUE(retrain);
+}
+
+TEST(ArgParser, SwitchAcceptsExplicitValue) {
+  bool quick = false;
+  ArgParser parser("test");
+  parser.add_flag("--quick", &quick, "switch");
+  EXPECT_TRUE(parser.parse({"--quick=false"}));
+  EXPECT_FALSE(quick);
+  EXPECT_TRUE(parser.parse({"--quick=yes"}));
+  EXPECT_TRUE(quick);
+}
+
+TEST(ArgParser, UnknownFlagFails) {
+  ArgParser parser("test");
+  std::string error;
+  EXPECT_FALSE(parser.parse({"--nope=1"}, &error));
+  EXPECT_NE(error.find("--nope"), std::string::npos);
+}
+
+TEST(ArgParser, MalformedValueFails) {
+  std::size_t jobs = 0;
+  ArgParser parser("test");
+  parser.add("--jobs", &jobs, "count");
+  std::string error;
+  EXPECT_FALSE(parser.parse({"--jobs=12x"}, &error));
+  EXPECT_NE(error.find("--jobs"), std::string::npos);
+}
+
+TEST(ArgParser, ValuelessNonSwitchFails) {
+  std::size_t jobs = 0;
+  ArgParser parser("test");
+  parser.add("--jobs", &jobs, "count");
+  std::string error;
+  EXPECT_FALSE(parser.parse({"--jobs"}, &error));
+}
+
+TEST(ArgParser, PositionalsBindInOrder) {
+  std::string trace = "SDSC-SP2", jobs = "3000";
+  ArgParser parser("test");
+  parser.add_positional("trace", &trace, "trace name");
+  parser.add_positional("jobs", &jobs, "job count");
+  EXPECT_TRUE(parser.parse({"HPC2N", "500"}));
+  EXPECT_EQ(trace, "HPC2N");
+  EXPECT_EQ(jobs, "500");
+
+  std::string error;
+  EXPECT_FALSE(parser.parse({"a", "b", "c"}, &error));
+  EXPECT_NE(error.find("unexpected"), std::string::npos);
+}
+
+TEST(ArgParser, DashAndUnderscoreSpellingsAreInterchangeable) {
+  std::size_t jobs = 0;
+  ArgParser parser("test");
+  parser.add("--sample_jobs", &jobs, "count");
+  EXPECT_TRUE(parser.parse({"--sample-jobs=7"}));
+  EXPECT_EQ(jobs, 7u);
+  EXPECT_TRUE(parser.parse({"--sample_jobs=9"}));
+  EXPECT_EQ(jobs, 9u);
+}
+
+TEST(ArgParser, HelpIsAlwaysAccepted) {
+  ArgParser parser("test");
+  EXPECT_TRUE(parser.parse({"--help"}));
+  EXPECT_TRUE(parser.help_requested());
+}
+
+TEST(ArgParser, UsageListsFlagsAndDefaults) {
+  std::size_t jobs = 123;
+  ArgParser parser("mytool", "does things");
+  parser.add("--jobs", &jobs, "how many jobs");
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("mytool"), std::string::npos);
+  EXPECT_NE(usage.find("--jobs"), std::string::npos);
+  EXPECT_NE(usage.find("how many jobs"), std::string::npos);
+  EXPECT_NE(usage.find("123"), std::string::npos);
+}
+
+TEST(ParseNumber, RejectsJunkAndAcceptsWhole) {
+  double d = 0.0;
+  EXPECT_TRUE(parse_number("1.25", &d));
+  EXPECT_DOUBLE_EQ(d, 1.25);
+  EXPECT_FALSE(parse_number("", &d));
+  EXPECT_FALSE(parse_number("1.2x", &d));
+
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parse_number("18446744073709551615", &u));
+  EXPECT_EQ(u, ~std::uint64_t{0});
+  EXPECT_FALSE(parse_number("-3", &u));
+
+  std::int64_t i = 0;
+  EXPECT_TRUE(parse_number("-42", &i));
+  EXPECT_EQ(i, -42);
+}
+
+TEST(ParseBool, AcceptsCommonSpellings) {
+  bool b = false;
+  for (const char* t : {"1", "true", "YES", "on"}) {
+    EXPECT_TRUE(parse_bool(t, &b)) << t;
+    EXPECT_TRUE(b) << t;
+  }
+  for (const char* t : {"0", "False", "no", "OFF"}) {
+    EXPECT_TRUE(parse_bool(t, &b)) << t;
+    EXPECT_FALSE(b) << t;
+  }
+  EXPECT_FALSE(parse_bool("maybe", &b));
+}
+
+}  // namespace
+}  // namespace rlbf::exp

@@ -1,0 +1,179 @@
+#include "exp/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rlbf::exp {
+namespace {
+
+// A tiny spec for tests that actually simulate.
+ScenarioSpec small(const std::string& name, std::size_t jobs = 300) {
+  ScenarioSpec spec = find_scenario(name);
+  spec.trace_jobs = jobs;
+  return spec;
+}
+
+TEST(ScenarioRegistry, CatalogHasAtLeastEightScenarios) {
+  EXPECT_GE(scenario_names().size(), 8u);
+}
+
+TEST(ScenarioRegistry, LookupByNameReturnsMatchingSpec) {
+  const ScenarioSpec& spec = find_scenario("sdsc-flurry");
+  EXPECT_EQ(spec.name, "sdsc-flurry");
+  EXPECT_TRUE(spec.inject_flurry);
+  EXPECT_FALSE(spec.scrub_flurries);
+  EXPECT_EQ(spec.workload, "SDSC-SP2");
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsWithCatalog) {
+  try {
+    find_scenario("no-such-scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no-such-scenario"), std::string::npos);
+    // The error lists what IS available.
+    EXPECT_NE(message.find("sdsc-easy"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateAndEmptyNames) {
+  ScenarioRegistry registry;
+  ScenarioSpec spec;
+  spec.name = "a";
+  registry.add(spec);
+  EXPECT_THROW(registry.add(spec), std::invalid_argument);
+  spec.name.clear();
+  EXPECT_THROW(registry.add(spec), std::invalid_argument);
+  EXPECT_TRUE(registry.contains("a"));
+  EXPECT_FALSE(registry.contains("b"));
+}
+
+TEST(ScenarioRegistry, EveryBuiltinBuildsATrace) {
+  for (const std::string& name : scenario_names()) {
+    ScenarioSpec spec = small(name, 120);
+    const swf::Trace trace = build_trace(spec, 1);
+    EXPECT_GE(trace.size(), 100u) << name;
+    EXPECT_NO_THROW(trace.validate()) << name;
+  }
+}
+
+TEST(Scenario, BuildTraceIsDeterministic) {
+  const ScenarioSpec spec = small("sdsc-heavytail");
+  const swf::Trace a = build_trace(spec, 9);
+  const swf::Trace b = build_trace(spec, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].run_time, b[i].run_time);
+    EXPECT_EQ(a[i].requested_time, b[i].requested_time);
+  }
+  // A different seed produces a different workload.
+  const swf::Trace c = build_trace(spec, 10);
+  bool any_diff = c.size() != a.size();
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = a[i].run_time != c[i].run_time;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, MachineProcsOverrideRetargetsTheCluster) {
+  ScenarioSpec spec = small("sdsc-easy");
+  spec.machine_procs = 64;
+  const swf::Trace trace = build_trace(spec, 1);
+  EXPECT_EQ(trace.machine_procs(), 64);
+  EXPECT_NO_THROW(trace.validate());  // no job wider than the new machine
+  // Default (0) keeps the preset's cluster size.
+  EXPECT_EQ(build_trace(small("sdsc-easy"), 1).machine_procs(), 128);
+}
+
+TEST(Scenario, UnknownWorkloadThrows) {
+  ScenarioSpec spec = find_scenario("sdsc-easy");
+  spec.workload = "NO-SUCH-TRACE";
+  EXPECT_THROW(build_trace(spec, 1), std::invalid_argument);
+}
+
+TEST(Scenario, FlurryInjectionAndScrubbingChangeJobCounts) {
+  const ScenarioSpec clean = small("sdsc-easy");
+  ScenarioSpec flurried = small("sdsc-flurry");
+  flurried.flurry_count = 100;
+  ScenarioSpec scrubbed = small("sdsc-flurry-scrubbed");
+  scrubbed.flurry_count = 100;
+
+  TraceBuildInfo info;
+  const std::size_t clean_jobs = build_trace(clean, 1).size();
+  EXPECT_EQ(build_trace(flurried, 1).size(), clean_jobs + 100);
+  const std::size_t scrubbed_jobs = build_trace(scrubbed, 1, &info).size();
+  EXPECT_EQ(scrubbed_jobs, clean_jobs);
+  EXPECT_EQ(info.flurry.removed_jobs, 100u);
+  EXPECT_EQ(info.flurry.flagged_users, 1u);
+}
+
+TEST(Scenario, RunScenarioProducesConsistentMetrics) {
+  const ScenarioRun run = run_scenario(small("sdsc-easy"), 3);
+  EXPECT_EQ(run.scenario, "sdsc-easy");
+  EXPECT_EQ(run.seed, 3u);
+  EXPECT_EQ(run.jobs, 300u);
+  EXPECT_EQ(run.results.size(), 300u);
+  EXPECT_GT(run.metrics.avg_bounded_slowdown, 0.0);
+  EXPECT_GT(run.metrics.utilization, 0.0);
+
+  const ScenarioRun again = run_scenario(small("sdsc-easy"), 3);
+  EXPECT_DOUBLE_EQ(run.metrics.avg_bounded_slowdown,
+                   again.metrics.avg_bounded_slowdown);
+  EXPECT_EQ(run.metrics.backfilled_jobs, again.metrics.backfilled_jobs);
+}
+
+TEST(Scenario, KillScenarioKillsOverrunners) {
+  // Heavy-tail stretches runtimes past their (kept) requests; under the
+  // kill contract those jobs must come back flagged.
+  ScenarioSpec spec = small("sdsc-heavytail-kill", 600);
+  spec.heavy_tail_prob = 0.3;
+  const ScenarioRun run = run_scenario(spec, 5);
+  EXPECT_GT(run.metrics.killed_jobs, 0u);
+
+  ScenarioSpec no_kill = spec;
+  no_kill.kill_exceeding_request = false;
+  EXPECT_EQ(run_scenario(no_kill, 5).metrics.killed_jobs, 0u);
+}
+
+TEST(Scenario, NoisyEstimateSeedDerivesFromRunSeed) {
+  const ScenarioSpec spec = small("sdsc-noisy20");
+  const ScenarioRun a = run_scenario(spec, 11);
+  const ScenarioRun b = run_scenario(spec, 11);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_bounded_slowdown, b.metrics.avg_bounded_slowdown);
+}
+
+TEST(Scenario, EvaluateScenarioMatchesDirectProtocolEvaluation) {
+  const ScenarioSpec spec = small("sdsc-easy", 800);
+  core::EvalProtocol protocol;
+  protocol.samples = 3;
+  protocol.sample_jobs = 200;
+  protocol.seed = 2;
+  const core::EvalResult via_engine = evaluate_scenario(spec, protocol);
+  const core::EvalResult direct =
+      core::evaluate_spec(build_trace(spec, 2), spec.scheduler, protocol);
+  EXPECT_DOUBLE_EQ(via_engine.mean, direct.mean);
+  ASSERT_EQ(via_engine.samples.size(), 3u);
+}
+
+TEST(Scenario, EnumNamesRoundTrip) {
+  for (const auto kind :
+       {sched::BackfillKind::None, sched::BackfillKind::Easy,
+        sched::BackfillKind::EasySjf, sched::BackfillKind::EasyBestFit,
+        sched::BackfillKind::EasyWorstFit, sched::BackfillKind::Conservative,
+        sched::BackfillKind::Slack}) {
+    EXPECT_EQ(parse_backfill_kind(backfill_kind_name(kind)), kind);
+  }
+  for (const auto kind :
+       {sched::EstimateKind::RequestTime, sched::EstimateKind::ActualRuntime,
+        sched::EstimateKind::Noisy}) {
+    EXPECT_EQ(parse_estimate_kind(estimate_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_backfill_kind("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_estimate_kind("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlbf::exp

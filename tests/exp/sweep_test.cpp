@@ -1,0 +1,138 @@
+#include "exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rlbf::exp {
+namespace {
+
+ScenarioSpec small_base() {
+  ScenarioSpec spec = find_scenario("sdsc-easy");
+  spec.trace_jobs = 200;
+  return spec;
+}
+
+TEST(ParseSweep, ParsesAxesAndValues) {
+  const auto axes = parse_sweep("load=0.5,1.0,1.5; policy = FCFS , SJF");
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].param, "load");
+  EXPECT_EQ(axes[0].values, (std::vector<std::string>{"0.5", "1.0", "1.5"}));
+  EXPECT_EQ(axes[1].param, "policy");
+  EXPECT_EQ(axes[1].values, (std::vector<std::string>{"FCFS", "SJF"}));
+}
+
+TEST(ParseSweep, EmptyTextMeansNoAxes) {
+  EXPECT_TRUE(parse_sweep("").empty());
+  EXPECT_TRUE(parse_sweep("  ").empty());
+}
+
+TEST(ParseSweep, RejectsMalformedAxes) {
+  EXPECT_THROW(parse_sweep("loadvalues"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep("=1,2"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep("load=1,,2"), std::invalid_argument);
+}
+
+TEST(ApplyParam, SetsEveryDocumentedParameter) {
+  ScenarioSpec spec = small_base();
+  apply_param(spec, "workload", "HPC2N");
+  apply_param(spec, "jobs", "5000");
+  apply_param(spec, "procs", "256");
+  apply_param(spec, "load", "1.25");
+  apply_param(spec, "tail", "0.1");
+  apply_param(spec, "tail_alpha", "2.5");
+  apply_param(spec, "flurry", "true");
+  apply_param(spec, "flurry_count", "77");
+  apply_param(spec, "scrub", "1");
+  apply_param(spec, "policy", "SJF");
+  apply_param(spec, "backfill", "conservative");
+  apply_param(spec, "estimate", "actual");
+  apply_param(spec, "kill", "true");
+  apply_param(spec, "max_backfills", "4");
+
+  EXPECT_EQ(spec.workload, "HPC2N");
+  EXPECT_EQ(spec.trace_jobs, 5000u);
+  EXPECT_EQ(spec.machine_procs, 256);
+  EXPECT_DOUBLE_EQ(spec.load_factor, 1.25);
+  EXPECT_DOUBLE_EQ(spec.heavy_tail_prob, 0.1);
+  EXPECT_DOUBLE_EQ(spec.heavy_tail_alpha, 2.5);
+  EXPECT_TRUE(spec.inject_flurry);
+  EXPECT_EQ(spec.flurry_count, 77u);
+  EXPECT_TRUE(spec.scrub_flurries);
+  EXPECT_EQ(spec.scheduler.policy, "SJF");
+  EXPECT_EQ(spec.scheduler.backfill, sched::BackfillKind::Conservative);
+  EXPECT_EQ(spec.scheduler.estimate, sched::EstimateKind::ActualRuntime);
+  EXPECT_TRUE(spec.kill_exceeding_request);
+  EXPECT_EQ(spec.max_backfills, 4u);
+}
+
+TEST(ApplyParam, NoiseSwitchesToNoisyEstimates) {
+  ScenarioSpec spec = small_base();
+  apply_param(spec, "noise", "0.2");
+  EXPECT_EQ(spec.scheduler.estimate, sched::EstimateKind::Noisy);
+  EXPECT_DOUBLE_EQ(spec.scheduler.noise_fraction, 0.2);
+}
+
+TEST(ApplyParam, RejectsUnknownParamAndBadValues) {
+  ScenarioSpec spec = small_base();
+  EXPECT_THROW(apply_param(spec, "bogus", "1"), std::invalid_argument);
+  EXPECT_THROW(apply_param(spec, "load", "fast"), std::invalid_argument);
+  EXPECT_THROW(apply_param(spec, "kill", "maybe"), std::invalid_argument);
+  EXPECT_THROW(apply_param(spec, "backfill", "bogus"), std::invalid_argument);
+}
+
+TEST(ExpandGrid, CartesianProductInDeterministicOrder) {
+  const auto specs = expand_grid(
+      small_base(), parse_sweep("load=0.5,1.5;policy=FCFS,SJF"));
+  ASSERT_EQ(specs.size(), 4u);
+  // First axis varies slowest; names record the full assignment.
+  EXPECT_EQ(specs[0].name, "sdsc-easy/load=0.5,policy=FCFS");
+  EXPECT_EQ(specs[1].name, "sdsc-easy/load=0.5,policy=SJF");
+  EXPECT_EQ(specs[2].name, "sdsc-easy/load=1.5,policy=FCFS");
+  EXPECT_EQ(specs[3].name, "sdsc-easy/load=1.5,policy=SJF");
+  EXPECT_DOUBLE_EQ(specs[0].load_factor, 0.5);
+  EXPECT_EQ(specs[3].scheduler.policy, "SJF");
+}
+
+TEST(ExpandGrid, NoAxesYieldsTheBase) {
+  const auto specs = expand_grid(small_base(), {});
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].name, "sdsc-easy");
+}
+
+TEST(RunSweep, ResultsComeBackInSpecOrder) {
+  const auto specs =
+      expand_grid(small_base(), parse_sweep("policy=FCFS,SJF,WFP3"));
+  SweepOptions options;
+  options.seed = 3;
+  options.threads = 2;
+  const auto runs = run_sweep(specs, options);
+  ASSERT_EQ(runs.size(), 3u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].scenario, specs[i].name);
+    EXPECT_EQ(runs[i].seed, 3u);
+    EXPECT_EQ(runs[i].jobs, 200u);
+  }
+}
+
+TEST(RunSweep, ReplicationSeedsAreSplitDeterministically) {
+  const std::vector<ScenarioSpec> specs = {small_base()};
+  SweepOptions options;
+  options.seed = 5;
+  options.replications = 3;
+  const auto a = run_sweep(specs, options);
+  const auto b = run_sweep(specs, options);
+  ASSERT_EQ(a.size(), 3u);
+  // Replication 0 runs at the master seed; others at split seeds.
+  EXPECT_EQ(a[0].seed, 5u);
+  EXPECT_NE(a[1].seed, a[0].seed);
+  EXPECT_NE(a[2].seed, a[1].seed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_DOUBLE_EQ(a[i].metrics.avg_bounded_slowdown,
+                     b[i].metrics.avg_bounded_slowdown);
+  }
+}
+
+}  // namespace
+}  // namespace rlbf::exp

@@ -68,7 +68,8 @@ TEST(RemoveFlurries, ThresholdIsPerUserNotGlobal)  {
   std::int64_t id = 1;
   for (std::int64_t u = 1; u <= 30; ++u) {
     for (int k = 0; k < 3; ++k) {
-      jobs.push_back(make_job(id++, u, 100 + id));
+      const std::int64_t jid = id++;
+      jobs.push_back(make_job(jid, u, 100 + jid));
     }
   }
   const swf::Trace t("busy-hour", 8, std::move(jobs));

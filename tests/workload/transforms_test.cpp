@@ -103,6 +103,83 @@ TEST(OfferedLoad, HandComputedValue) {
   EXPECT_NEAR(offered_load(small_trace()), 195.0 / (200.0 * 16.0), 1e-12);
 }
 
+TEST(InjectHeavyTail, DeterministicAndOnlyStretches) {
+  const swf::Trace base = sdsc_sp2_like(1, 400);
+  HeavyTailParams params;
+  params.prob = 0.2;
+  const swf::Trace a = inject_heavy_tail(base, params, 42);
+  const swf::Trace b = inject_heavy_tail(base, params, 42);
+  ASSERT_EQ(a.size(), base.size());
+  std::size_t stretched = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].run_time, b[i].run_time);
+    EXPECT_EQ(a[i].submit_time, base[i].submit_time);
+    EXPECT_EQ(a[i].requested_time, base[i].requested_time);  // requests kept
+    EXPECT_GE(a[i].run_time, base[i].run_time);              // never shrinks
+    EXPECT_LE(a[i].run_time, params.max_run_seconds);
+    if (a[i].run_time > base[i].run_time) ++stretched;
+  }
+  // ~20% of 400 jobs; the Pareto factor is > 1 almost surely.
+  EXPECT_GT(stretched, 40u);
+  EXPECT_LT(stretched, 160u);
+}
+
+TEST(InjectHeavyTail, CreatesOverrunsForKillStudies) {
+  const swf::Trace base = sdsc_sp2_like(1, 400);
+  HeavyTailParams params;
+  params.prob = 0.3;
+  const swf::Trace tailed = inject_heavy_tail(base, params, 7);
+  std::size_t overruns = 0;
+  for (const auto& j : tailed.jobs()) {
+    if (j.requested_time > 0 && j.run_time > j.requested_time) ++overruns;
+  }
+  EXPECT_GT(overruns, 0u);
+}
+
+TEST(InjectHeavyTail, ZeroProbabilityIsIdentity) {
+  const swf::Trace base = sdsc_sp2_like(2, 100);
+  HeavyTailParams params;
+  params.prob = 0.0;
+  const swf::Trace out = inject_heavy_tail(base, params, 3);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(out[i].run_time, base[i].run_time);
+  }
+}
+
+TEST(InjectHeavyTail, NeverShrinksJobsAlreadyAboveTheCap) {
+  // prob=1 so every job draws a stretch; a job above max_run_seconds must
+  // keep its original runtime rather than being clamped down to the cap.
+  swf::Trace base("long", 16, {make_job(1, 0, 100, 1)});
+  base.mutable_jobs()[0].run_time = 2000;
+  HeavyTailParams params;
+  params.prob = 1.0;
+  params.max_run_seconds = 1000;
+  const swf::Trace out = inject_heavy_tail(base, params, 11);
+  EXPECT_EQ(out[0].run_time, 2000);
+}
+
+TEST(InjectHeavyTail, ExtremeTailStaysFiniteAndPositive) {
+  const swf::Trace base = sdsc_sp2_like(1, 200);
+  HeavyTailParams params;
+  params.prob = 1.0;
+  params.alpha = 0.05;  // violently heavy tail: factors overflow doubles
+  const swf::Trace out = inject_heavy_tail(base, params, 13);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out[i].run_time, base[i].run_time);
+    EXPECT_LE(out[i].run_time,
+              std::max(base[i].run_time, params.max_run_seconds));
+  }
+}
+
+TEST(InjectHeavyTail, RejectsBadParameters) {
+  HeavyTailParams params;
+  params.prob = 1.5;
+  EXPECT_THROW(inject_heavy_tail(small_trace(), params, 1), std::invalid_argument);
+  params.prob = 0.1;
+  params.alpha = 0.0;
+  EXPECT_THROW(inject_heavy_tail(small_trace(), params, 1), std::invalid_argument);
+}
+
 TEST(OfferedLoad, DegenerateTraces) {
   EXPECT_DOUBLE_EQ(offered_load(swf::Trace("e", 8, {})), 0.0);
   EXPECT_DOUBLE_EQ(offered_load(swf::Trace("one", 8, {make_job(1, 0, 10, 1)})), 0.0);

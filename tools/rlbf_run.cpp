@@ -1,0 +1,223 @@
+// rlbf_run — the unified driver over the scenario & experiment engine.
+//
+//   rlbf_run --list                         # the scenario catalog
+//   rlbf_run --describe=sdsc-flurry         # one scenario in detail
+//   rlbf_run --scenario=sdsc-easy --seed=1 --out_dir=out
+//   rlbf_run --scenario=sdsc-easy --threads=8 --out_dir=out
+//            --sweep="load=0.5,1.0,1.5;policy=FCFS,SJF"
+//   rlbf_run --scenario=sdsc-easy --samples=10 --sample_jobs=1024
+//
+// Output is deterministic for a given --seed at any --threads value:
+// the summary CSV/JSON and the per-job CSVs are byte-identical across
+// repeated runs.
+#include <filesystem>
+#include <iostream>
+
+#include "exp/config.h"
+#include "exp/scenario.h"
+#include "exp/sink.h"
+#include "exp/sweep.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace rlbf;
+
+void list_scenarios() {
+  util::Table table({"scenario", "configuration", "description"});
+  for (const std::string& name : exp::scenario_names()) {
+    const exp::ScenarioSpec& spec = exp::find_scenario(name);
+    table.add_row({spec.name, spec.label(), spec.description});
+  }
+  table.print(std::cout);
+}
+
+void describe_scenario(const std::string& name) {
+  const exp::ScenarioSpec& s = exp::find_scenario(name);
+  std::cout << s.name << ": " << s.description << "\n"
+            << "  workload:       " << s.workload << " (" << s.trace_jobs
+            << " jobs"
+            << (s.machine_procs > 0
+                    ? ", " + std::to_string(s.machine_procs) + " procs"
+                    : std::string())
+            << ")\n"
+            << "  scheduler:      " << s.scheduler.label() << " (policy="
+            << s.scheduler.policy
+            << " backfill=" << exp::backfill_kind_name(s.scheduler.backfill)
+            << " estimate=" << exp::estimate_kind_name(s.scheduler.estimate)
+            << ")\n"
+            << "  load_factor:    " << s.load_factor << "\n"
+            << "  heavy_tail:     prob=" << s.heavy_tail_prob
+            << " alpha=" << s.heavy_tail_alpha << "\n"
+            << "  flurry:         " << (s.inject_flurry ? "inject" : "off")
+            << (s.scrub_flurries ? " + scrub" : "") << "\n"
+            << "  kill_overrun:   " << (s.kill_exceeding_request ? "on" : "off")
+            << "\n";
+}
+
+int run(int argc, char** argv) {
+  bool list = false;
+  std::string describe;
+  std::string scenario;
+  std::string sweep;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+  std::size_t replications = 1;
+  std::size_t jobs = 0;
+  std::size_t samples = 0;
+  std::size_t sample_jobs = 1024;
+  std::string out_dir;
+  std::string format = "csv";
+  bool per_job = true;
+
+  exp::ArgParser parser(
+      "rlbf_run", "Run named scheduling scenarios and parameter sweeps.");
+  parser.add_flag("--list", &list, "list the scenario catalog and exit");
+  parser.add("--describe", &describe, "print one scenario's full spec and exit");
+  parser.add("--scenario", &scenario, "scenario name(s), comma-separated");
+  parser.add("--sweep", &sweep,
+             "parameter grid, e.g. \"load=0.5,1.0;policy=FCFS,SJF\"");
+  parser.add("--seed", &seed, "master seed (trace construction + replications)");
+  parser.add("--threads", &threads, "worker threads (0 = hardware)");
+  parser.add("--replications", &replications,
+             "runs per instance at split seeds");
+  parser.add("--jobs", &jobs, "override the scenario's trace length (0 = keep)");
+  parser.add("--samples", &samples,
+             "use the paper's sampled protocol with this many sequences "
+             "(0 = one full-trace run)");
+  parser.add("--sample_jobs", &sample_jobs, "jobs per sampled sequence");
+  parser.add("--out_dir", &out_dir, "write summary + per-job files here");
+  parser.add("--format", &format, "summary file format: csv | json | both");
+  parser.add("--per_job", &per_job,
+             "write per-job CSVs when --out_dir is set (full-run mode only)");
+  parser.parse_or_exit(argc, argv);
+
+  if (list) {
+    list_scenarios();
+    return 0;
+  }
+  if (!describe.empty()) {
+    describe_scenario(describe);
+    return 0;
+  }
+  if (scenario.empty()) {
+    std::cerr << "rlbf_run: pass --scenario=NAME (or --list)\n\n"
+              << parser.usage();
+    return 2;
+  }
+  if (format != "csv" && format != "json" && format != "both") {
+    std::cerr << "rlbf_run: --format must be csv, json, or both\n";
+    return 2;
+  }
+
+  // Expand --scenario (comma list) x --sweep into concrete instances.
+  std::vector<exp::ScenarioSpec> specs;
+  const std::vector<exp::SweepAxis> axes = exp::parse_sweep(sweep);
+  std::size_t start = 0;
+  while (start <= scenario.size()) {
+    const std::size_t comma = scenario.find(',', start);
+    const std::string name = scenario.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? scenario.size() + 1 : comma + 1;
+    if (name.empty()) {
+      std::cerr << "rlbf_run: empty scenario name in --scenario=" << scenario
+                << "\n";
+      return 2;
+    }
+    exp::ScenarioSpec base = exp::find_scenario(name);
+    if (jobs > 0) base.trace_jobs = jobs;
+    for (exp::ScenarioSpec& instance : exp::expand_grid(base, axes)) {
+      specs.push_back(std::move(instance));
+    }
+  }
+
+  std::vector<exp::SummaryRow> rows;
+  std::vector<exp::ScenarioRun> runs;
+  if (samples > 0) {
+    // Sampled-sequences protocol: one row per instance, with CI. The
+    // protocol's sampling stream already covers repetition, so
+    // replications don't apply here; per-job results are not collected.
+    if (replications > 1) {
+      std::cerr << "rlbf_run: note: --replications is ignored in --samples "
+                   "mode (the protocol samples internally)\n";
+    }
+    core::EvalProtocol protocol;
+    protocol.samples = samples;
+    protocol.sample_jobs = sample_jobs;
+    protocol.seed = seed;
+    rows.resize(specs.size());
+    util::ThreadPool pool(threads);
+    pool.parallel_for(specs.size(), [&](std::size_t i) {
+      rows[i] =
+          exp::summarize(specs[i], exp::evaluate_scenario(specs[i], protocol), seed);
+    });
+  } else {
+    exp::SweepOptions options;
+    options.seed = seed;
+    options.threads = threads;
+    options.replications = replications;
+    runs = exp::run_sweep(specs, options);
+    rows.reserve(runs.size());
+    for (const exp::ScenarioRun& r : runs) rows.push_back(exp::summarize(r));
+  }
+
+  // Human-readable table on stdout.
+  util::Table table({"scenario", "seed", "jobs", "bsld", "avg_wait",
+                     "utilization", "backfilled", "killed", "ci95"});
+  for (const exp::SummaryRow& row : rows) {
+    const std::string ci =
+        std::isnan(row.ci_lo) ? ""
+                              : "[" + exp::format_metric(row.ci_lo) + ", " +
+                                    exp::format_metric(row.ci_hi) + "]";
+    table.add_row({row.scenario, std::to_string(row.seed),
+                   std::to_string(row.jobs), exp::format_metric(row.bsld),
+                   exp::format_metric(row.avg_wait),
+                   exp::format_metric(row.utilization),
+                   exp::format_count(row.backfilled),
+                   exp::format_count(row.killed), ci});
+  }
+  table.print(std::cout);
+
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::cerr << "rlbf_run: cannot create " << out_dir << ": " << ec.message()
+                << "\n";
+      return 1;
+    }
+    bool ok = true;
+    if (format == "csv" || format == "both") {
+      ok &= exp::save_summary_csv(out_dir + "/summary.csv", rows);
+    }
+    if (format == "json" || format == "both") {
+      ok &= exp::save_summary_json(out_dir + "/summary.json", rows);
+    }
+    if (per_job) {
+      for (const exp::ScenarioRun& r : runs) {
+        const std::string path = out_dir + "/jobs-" +
+                                 exp::sanitize_filename(r.scenario) + "-s" +
+                                 std::to_string(r.seed) + ".csv";
+        ok &= exp::save_per_job_csv(path, r);
+      }
+    }
+    if (!ok) {
+      std::cerr << "rlbf_run: failed writing results under " << out_dir << "\n";
+      return 1;
+    }
+    std::cout << "# results written to " << out_dir << "/\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "rlbf_run: " << e.what() << "\n";
+    return 1;
+  }
+}
