@@ -1,9 +1,7 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdlib>
-#include <filesystem>
-#include <functional>
-#include <iostream>
 
 #include "exp/config.h"
 #include "util/log.h"
@@ -32,15 +30,30 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     args.samples = std::min<std::size_t>(args.samples, 3);
     args.sample_jobs = std::min<std::size_t>(args.sample_jobs, 384);
   }
+  // Benches resolve trained-agent scenario references against their own
+  // model cache directory — unless the user pointed the process at a
+  // shared store. Precedence: explicit --model-dir > $RLBF_MODEL_STORE >
+  // the bench default.
+  const char* env_store = std::getenv("RLBF_MODEL_STORE");
+  const bool model_dir_overridden = args.model_dir != BenchArgs{}.model_dir;
+  if (model_dir_overridden || env_store == nullptr || *env_store == '\0') {
+    model::set_default_store_root(args.model_dir);
+  } else {
+    args.model_dir = env_store;
+  }
   return args;
 }
 
 swf::Trace trace_by_name(const std::string& name, std::uint64_t seed,
                          std::size_t jobs) {
-  for (const auto& targets : workload::all_targets()) {
-    if (targets.name == name) return workload::make_preset(targets, jobs, seed);
-  }
-  throw std::invalid_argument("unknown paper trace: " + name);
+  // Route through the exp trace cache: a default-field ScenarioSpec over
+  // a preset reduces to workload::make_preset, so the bench's direct
+  // trace and its scenario cells share one generated copy (unknown
+  // names throw from build_trace with the known-workload list).
+  exp::ScenarioSpec spec;
+  spec.workload = name;
+  spec.trace_jobs = jobs;
+  return *exp::build_trace_cached(spec, seed);
 }
 
 std::vector<std::string> paper_trace_names() {
@@ -62,26 +75,51 @@ core::TrainerConfig trainer_config(const BenchArgs& args,
   return cfg;
 }
 
+model::TrainingSpec training_spec(const std::string& name,
+                                  const std::string& base_policy,
+                                  const BenchArgs& args) {
+  model::TrainingSpec spec;
+  spec.name = "bench-" + name + "-" + base_policy;
+  spec.workload.workload = name;
+  spec.workload.trace_jobs = args.trace_jobs;
+  spec.trainer = trainer_config(args, base_policy);
+  return spec;
+}
+
+exp::ScenarioSpec scenario_for(const std::string& workload,
+                               const sched::SchedulerSpec& scheduler,
+                               const BenchArgs& args) {
+  exp::ScenarioSpec spec;
+  spec.name = workload + " " + scheduler.label();
+  spec.workload = workload;
+  spec.trace_jobs = args.trace_jobs;
+  spec.scheduler = scheduler;
+  return spec;
+}
+
+model::TrainOutcome get_or_train_entry(const swf::Trace& trace,
+                                       const std::string& base_policy,
+                                       const BenchArgs& args) {
+  model::Store& store = model::default_store();
+  model::TrainOptions options;
+  options.force = args.retrain;
+  const model::TrainOutcome outcome = model::train_on_trace(
+      trace, training_spec(trace.name(), base_policy, args), store, options);
+  if (outcome.cache_hit) {
+    util::log_info("model store hit ", outcome.entry.path, " (", trace.name(),
+                   " base=", base_policy, ")");
+  } else {
+    util::log_info("trained agent for ", trace.name(), " base=", base_policy,
+                   " (", args.epochs, " epochs x ", args.trajectories,
+                   " trajectories) -> ", outcome.entry.path);
+  }
+  return outcome;
+}
+
 core::Agent get_or_train_agent(const swf::Trace& trace, const std::string& base_policy,
                                const BenchArgs& args) {
-  std::filesystem::create_directories(args.model_dir);
-  const std::string path =
-      args.model_dir + "/rlbf-" + trace.name() + "-" + base_policy + ".model";
-  if (!args.retrain && std::filesystem::exists(path)) {
-    util::log_info("loading cached agent ", path);
-    return core::Agent::load(path);
-  }
-  util::log_info("training agent for ", trace.name(), " base=", base_policy,
-                 " (", args.epochs, " epochs x ", args.trajectories,
-                 " trajectories)");
-  core::Trainer trainer(trace, trainer_config(args, base_policy));
-  trainer.train();
-  if (!trainer.agent().save(path, {{"trace", trace.name()},
-                                   {"base_policy", base_policy},
-                                   {"epochs", std::to_string(args.epochs)}})) {
-    util::log_warn("could not cache agent at ", path);
-  }
-  return trainer.agent().clone();
+  const model::TrainOutcome outcome = get_or_train_entry(trace, base_policy, args);
+  return model::default_store().load(outcome.entry.key);
 }
 
 namespace {
@@ -123,6 +161,14 @@ EvalStats eval_rlbf_stats(const swf::Trace& trace, const core::Agent& agent,
 double eval_rlbf(const swf::Trace& trace, const core::Agent& agent,
                  const std::string& base_policy, const BenchArgs& args) {
   return eval_rlbf_stats(trace, agent, base_policy, args).mean;
+}
+
+EvalStats eval_scenario_stats(const exp::ScenarioSpec& spec, const BenchArgs& args) {
+  return to_stats(exp::evaluate_scenario(spec, protocol_of(args)));
+}
+
+double eval_scenario(const exp::ScenarioSpec& spec, const BenchArgs& args) {
+  return eval_scenario_stats(spec, args).mean;
 }
 
 }  // namespace rlbf::bench

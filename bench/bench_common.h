@@ -11,6 +11,8 @@
 #include "core/evaluation.h"
 #include "core/rl_backfill.h"
 #include "core/trainer.h"
+#include "exp/scenario.h"
+#include "model/train.h"
 #include "sched/scheduler.h"
 #include "workload/presets.h"
 
@@ -44,8 +46,25 @@ std::vector<std::string> paper_trace_names();
 core::TrainerConfig trainer_config(const BenchArgs& args,
                                    const std::string& base_policy);
 
-/// Load a cached agent for (trace, base policy) or train and cache one.
-/// Cache key: <model_dir>/rlbf-<trace>-<policy>.model.
+/// The bench protocol as a TrainingSpec (budgets and seed from `args`).
+model::TrainingSpec training_spec(const std::string& name,
+                                  const std::string& base_policy,
+                                  const BenchArgs& args);
+
+/// A ScenarioSpec over the preset `workload` with the bench trace length
+/// and the given scheduler; the exp trace cache dedups construction.
+exp::ScenarioSpec scenario_for(const std::string& workload,
+                               const sched::SchedulerSpec& scheduler,
+                               const BenchArgs& args);
+
+/// Train (or fetch) an agent for (trace, base policy) through the model
+/// store rooted at args.model_dir. The returned entry's key is what
+/// scenario specs reference via scheduler.agent. --retrain forces.
+model::TrainOutcome get_or_train_entry(const swf::Trace& trace,
+                                       const std::string& base_policy,
+                                       const BenchArgs& args);
+
+/// Convenience form loading the stored agent back into memory.
 core::Agent get_or_train_agent(const swf::Trace& trace, const std::string& base_policy,
                                const BenchArgs& args);
 
@@ -71,5 +90,11 @@ EvalStats eval_rlbf_stats(const swf::Trace& trace, const core::Agent& agent,
                           const std::string& base_policy, const BenchArgs& args);
 double eval_rlbf(const swf::Trace& trace, const core::Agent& agent,
                  const std::string& base_policy, const BenchArgs& args);
+
+/// The same protocol routed through exp::evaluate_scenario: the spec
+/// names the workload (trace construction is deduped by the exp trace
+/// cache) and may reference a trained agent via scheduler.agent.
+EvalStats eval_scenario_stats(const exp::ScenarioSpec& spec, const BenchArgs& args);
+double eval_scenario(const exp::ScenarioSpec& spec, const BenchArgs& args);
 
 }  // namespace rlbf::bench

@@ -8,9 +8,14 @@
 // time" equals AR), so their RequestTime column coincides with the
 // oracle column — matching how the paper omits EASY (request-time) rows
 // for them in Table 4.
+//
+// The whole grid is one exp::run_sweep call: cells run in parallel on
+// the thread pool, one shared trace per workload via the exp trace
+// cache, byte-identical output at any thread count.
 #include <iostream>
 
 #include "bench_common.h"
+#include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -25,25 +30,38 @@ int main(int argc, char** argv) {
   header.push_back("RequestTime");
   util::Table table(header);
 
+  // One scenario instance per (trace, policy, accuracy) cell, in output
+  // order: noise columns first, then the request-time column.
+  std::vector<exp::ScenarioSpec> specs;
   for (const auto& trace_name : bench::paper_trace_names()) {
-    const swf::Trace trace =
-        bench::trace_by_name(trace_name, args.seed, args.trace_jobs);
     for (const auto& policy : sched::all_policy_names()) {
-      std::vector<std::string> row = {trace_name, policy};
       for (double frac : noise) {
         sched::SchedulerSpec spec{policy, sched::BackfillKind::Easy,
                                   frac == 0.0 ? sched::EstimateKind::ActualRuntime
                                               : sched::EstimateKind::Noisy};
         spec.noise_fraction = frac;
         spec.noise_seed = args.seed;
-        const auto out = sched::ConfiguredScheduler(spec).run(trace);
-        row.push_back(util::Table::fmt(out.metrics.avg_bounded_slowdown, 2));
+        specs.push_back(bench::scenario_for(trace_name, spec, args));
       }
       const sched::SchedulerSpec rt{policy, sched::BackfillKind::Easy,
                                     sched::EstimateKind::RequestTime};
-      row.push_back(util::Table::fmt(
-          sched::ConfiguredScheduler(rt).run(trace).metrics.avg_bounded_slowdown,
-          2));
+      specs.push_back(bench::scenario_for(trace_name, rt, args));
+    }
+  }
+
+  exp::SweepOptions options;
+  options.seed = args.seed;
+  const std::vector<exp::ScenarioRun> runs = exp::run_sweep(specs, options);
+
+  const std::size_t cols = noise.size() + 1;
+  std::size_t cell = 0;
+  for (const auto& trace_name : bench::paper_trace_names()) {
+    for (const auto& policy : sched::all_policy_names()) {
+      std::vector<std::string> row = {trace_name, policy};
+      for (std::size_t c = 0; c < cols; ++c) {
+        row.push_back(
+            util::Table::fmt(runs[cell++].metrics.avg_bounded_slowdown, 2));
+      }
       table.add_row(std::move(row));
     }
   }

@@ -6,6 +6,10 @@
 //          SJF+RLBF  WFP3+EASY  F1+EASY
 // Synthetic traces have no user estimates, so their EASY-AR cells are
 // "-" (identical to EASY), as in the paper.
+//
+// Everything runs through the scenario engine: heuristic cells are
+// ScenarioSpecs, RLBF cells reference model-store entries trained (once,
+// content-addressed) by get_or_train_entry.
 #include <iostream>
 #include <optional>
 
@@ -33,11 +37,19 @@ int main(int argc, char** argv) {
 
     auto heuristic = [&](const std::string& policy, sched::EstimateKind est) {
       const sched::SchedulerSpec spec{policy, sched::BackfillKind::Easy, est};
-      return bench::eval_spec_stats(trace, spec, args);
+      return bench::eval_scenario_stats(bench::scenario_for(name, spec, args), args);
+    };
+    auto rlbf = [&](const std::string& policy, const std::string& agent_key) {
+      sched::SchedulerSpec spec{policy, sched::BackfillKind::Easy,
+                                sched::EstimateKind::RequestTime};
+      spec.agent = agent_key;
+      return bench::eval_scenario_stats(bench::scenario_for(name, spec, args), args);
     };
 
-    const core::Agent fcfs_agent = bench::get_or_train_agent(trace, "FCFS", args);
-    const core::Agent sjf_agent = bench::get_or_train_agent(trace, "SJF", args);
+    const std::string fcfs_key =
+        bench::get_or_train_entry(trace, "FCFS", args).entry.key;
+    const std::string sjf_key =
+        bench::get_or_train_entry(trace, "SJF", args).entry.key;
 
     std::vector<std::pair<std::string, std::optional<bench::EvalStats>>> cells;
     cells.emplace_back("FCFS+EASY",
@@ -47,16 +59,14 @@ int main(int argc, char** argv) {
                            ? std::optional(heuristic(
                                  "FCFS", sched::EstimateKind::ActualRuntime))
                            : std::nullopt);
-    cells.emplace_back("FCFS+RLBF",
-                       bench::eval_rlbf_stats(trace, fcfs_agent, "FCFS", args));
+    cells.emplace_back("FCFS+RLBF", rlbf("FCFS", fcfs_key));
     cells.emplace_back("SJF+EASY", heuristic("SJF", sched::EstimateKind::RequestTime));
     cells.emplace_back("SJF+EASY-AR",
                        has_estimates
                            ? std::optional(heuristic(
                                  "SJF", sched::EstimateKind::ActualRuntime))
                            : std::nullopt);
-    cells.emplace_back("SJF+RLBF",
-                       bench::eval_rlbf_stats(trace, sjf_agent, "SJF", args));
+    cells.emplace_back("SJF+RLBF", rlbf("SJF", sjf_key));
     cells.emplace_back("WFP3+EASY",
                        heuristic("WFP3", sched::EstimateKind::RequestTime));
     cells.emplace_back("F1+EASY", heuristic("F1", sched::EstimateKind::RequestTime));

@@ -1,7 +1,9 @@
 // Table 5: generality of learned backfilling — an agent trained on
 // trace X (RL-X) deployed on every other trace Y, for both FCFS and SJF
 // base scheduling policies, against the EASY and EASY-AR baselines.
-// Reuses the model cache written by table4_performance.
+// Every cell is a ScenarioSpec; the RL-X columns reference model-store
+// entries, so the agents trained by table4_performance are reused
+// through their content addresses instead of ad-hoc file names.
 #include <iostream>
 
 #include "bench_common.h"
@@ -25,11 +27,12 @@ int main(int argc, char** argv) {
   util::Table table(header);
 
   for (const std::string base_policy : {"FCFS", "SJF"}) {
-    // Agents trained on each trace X with this base policy (cached).
-    std::vector<core::Agent> agents;
-    agents.reserve(names.size());
+    // Agents trained on each trace X with this base policy (store-cached).
+    std::vector<std::string> agent_keys;
+    agent_keys.reserve(names.size());
     for (const auto& trace : traces) {
-      agents.push_back(bench::get_or_train_agent(trace, base_policy, args));
+      agent_keys.push_back(
+          bench::get_or_train_entry(trace, base_policy, args).entry.key);
     }
     table.add_row({"[" + base_policy + " base policy]", "", "", "", "", "", ""});
     for (std::size_t y = 0; y < traces.size(); ++y) {
@@ -39,14 +42,19 @@ int main(int argc, char** argv) {
       const sched::SchedulerSpec easy{base_policy, sched::BackfillKind::Easy,
                                       sched::EstimateKind::RequestTime};
       row.push_back(has_estimates
-                        ? util::Table::fmt(bench::eval_spec(trace, easy, args))
+                        ? util::Table::fmt(bench::eval_scenario(
+                              bench::scenario_for(names[y], easy, args), args))
                         : "-");
       const sched::SchedulerSpec easy_ar{base_policy, sched::BackfillKind::Easy,
                                          sched::EstimateKind::ActualRuntime};
-      row.push_back(util::Table::fmt(bench::eval_spec(trace, easy_ar, args)));
-      for (std::size_t x = 0; x < agents.size(); ++x) {
-        row.push_back(
-            util::Table::fmt(bench::eval_rlbf(trace, agents[x], base_policy, args)));
+      row.push_back(util::Table::fmt(bench::eval_scenario(
+          bench::scenario_for(names[y], easy_ar, args), args)));
+      for (std::size_t x = 0; x < agent_keys.size(); ++x) {
+        sched::SchedulerSpec rlbf{base_policy, sched::BackfillKind::Easy,
+                                  sched::EstimateKind::RequestTime};
+        rlbf.agent = agent_keys[x];
+        row.push_back(util::Table::fmt(bench::eval_scenario(
+            bench::scenario_for(names[y], rlbf, args), args)));
       }
       table.add_row(std::move(row));
     }

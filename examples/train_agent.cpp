@@ -1,6 +1,8 @@
 // Train an RLBackfilling agent on one of the paper's four workloads and
-// save the model for later deployment (the Table-4/5 benches load these
-// files when present).
+// save the model to an explicit path — a minimal demo of the raw
+// core::Trainer API. For cached, content-addressed training (train once,
+// reuse from every bench/scenario) use `rlbf_run train` and the model
+// store (src/model) instead.
 //
 //   ./train_agent <trace> [epochs] [out.model]
 //     trace  : SDSC-SP2 | HPC2N | Lublin-1 | Lublin-2

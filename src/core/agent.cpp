@@ -1,5 +1,8 @@
 #include "core/agent.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "rl/ppo.h"
@@ -72,17 +75,32 @@ Agent Agent::load(const std::string& path) {
     const auto it = bundle.meta.find(key);
     return it == bundle.meta.end() ? dflt : it->second;
   };
+  // Strict numeric meta: a garbled value must name the file and key, not
+  // surface as a bare std::stoul exception (or worse, load half a config).
+  const auto meta_uint = [&](const char* key, const char* dflt) -> std::uint64_t {
+    const std::string text = meta_get(key, dflt);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    // strtoull wraps a leading '-' instead of failing; require a digit.
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])) ||
+        end == text.c_str() || *end != '\0' || errno == ERANGE) {
+      throw std::runtime_error("agent model: bad meta value " + std::string(key) +
+                               "='" + text + "' in " + path);
+    }
+    return v;
+  };
   AgentConfig config;
   config.kernel_policy = meta_get("kernel_policy", "1") == "1";
   config.obs.max_obsv_size =
-      static_cast<std::size_t>(std::stoul(meta_get("max_obsv_size", "128")));
+      static_cast<std::size_t>(meta_uint("max_obsv_size", "128"));
   config.obs.value_obsv_size =
-      static_cast<std::size_t>(std::stoul(meta_get("value_obsv_size", "32")));
+      static_cast<std::size_t>(meta_uint("value_obsv_size", "32"));
   config.obs.pad_policy_obs = meta_get("pad_policy_obs", "0") == "1";
   config.obs.mask_inadmissible = meta_get("mask_inadmissible", "0") == "1";
   config.obs.stop_action = meta_get("stop_action", "0") == "1";
   config.obs.feature_mask =
-      static_cast<std::uint32_t>(std::stoul(meta_get("feature_mask", "1023")));
+      static_cast<std::uint32_t>(meta_uint("feature_mask", "1023"));
 
   const nn::Mlp* policy = bundle.find("policy");
   const nn::Mlp* value = bundle.find("value");
@@ -101,7 +119,8 @@ Agent Agent::load(const std::string& path) {
 }
 
 std::map<std::string, std::string> Agent::load_meta(const std::string& path) {
-  return nn::load_model_file(path).meta;
+  // Meta-only read: listing a model store must not parse tensor data.
+  return nn::load_model_meta_file(path);
 }
 
 }  // namespace rlbf::core

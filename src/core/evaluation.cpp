@@ -1,5 +1,7 @@
 #include "core/evaluation.h"
 
+#include <stdexcept>
+
 #include "core/rl_backfill.h"
 #include "util/stats.h"
 
@@ -34,6 +36,12 @@ EvalResult evaluate(const swf::Trace& trace, const sim::PriorityPolicy& policy,
 
 EvalResult evaluate_spec(const swf::Trace& trace, const sched::SchedulerSpec& spec,
                          const EvalProtocol& protocol) {
+  if (spec.uses_agent()) {
+    throw std::invalid_argument(
+        "evaluate_spec: spec references agent '" + spec.agent +
+        "'; use exp::evaluate_scenario (which resolves model-store "
+        "references) or evaluate_agent with a loaded agent");
+  }
   const sched::ConfiguredScheduler scheduler(spec);
   return evaluate(trace, scheduler.policy(), scheduler.estimator(),
                   scheduler.chooser(), protocol);

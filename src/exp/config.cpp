@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -60,6 +61,12 @@ bool parse_bool(const std::string& text, bool* out) {
     return true;
   }
   return false;
+}
+
+std::string format_double_exact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
 }
 
 ArgParser::ArgParser(std::string program, std::string summary)

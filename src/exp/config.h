@@ -56,6 +56,11 @@ bool parse_number(const std::string& text, T* out) {
 /// Accepts 1/0/true/false/yes/no/on/off (case-insensitive).
 bool parse_bool(const std::string& text, bool* out);
 
+/// Exact decimal rendering ("%.17g", round-trips every double). Cache
+/// keys and content-addressed fingerprints are built from this one
+/// helper so they can never diverge on formatting.
+std::string format_double_exact(double value);
+
 class ArgParser {
  public:
   explicit ArgParser(std::string program, std::string summary = "");

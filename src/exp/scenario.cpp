@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <list>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "core/rl_backfill.h"
+#include "exp/config.h"
+#include "model/train.h"
 #include "workload/presets.h"
 
 namespace rlbf::exp {
@@ -64,6 +70,117 @@ swf::Trace build_trace(const ScenarioSpec& spec, std::uint64_t seed,
   return trace;
 }
 
+std::string trace_cache_key(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "workload=" << spec.workload << " jobs=" << spec.trace_jobs
+     << " procs=" << spec.machine_procs << " load=" << format_double_exact(spec.load_factor)
+     << " tail=" << format_double_exact(spec.heavy_tail_prob)
+     << " tail_alpha=" << format_double_exact(spec.heavy_tail_alpha)
+     << " flurry=" << (spec.inject_flurry ? 1 : 0)
+     << " flurry_user=" << spec.flurry_user
+     << " flurry_start=" << spec.flurry_start
+     << " flurry_count=" << spec.flurry_count
+     << " flurry_gap=" << spec.flurry_gap << " flurry_run=" << spec.flurry_run
+     << " scrub=" << (spec.scrub_flurries ? 1 : 0);
+  return os.str();
+}
+
+namespace {
+
+// Process-wide memoization of build_trace over (workload-construction
+// fields, seed). Sweeps expand one base spec into many instances that
+// differ only in scheduler configuration, and the training executor
+// resolves its traces through the same path — without the cache every
+// instance regenerates an identical trace. LRU-bounded; traces are
+// immutable once published, so one shared copy is safe at any
+// concurrency.
+class TraceCache {
+ public:
+  static constexpr std::size_t kMaxEntries = 32;
+
+  struct Entry {
+    std::shared_ptr<const swf::Trace> trace;
+    TraceBuildInfo info;
+  };
+
+  static TraceCache& instance() {
+    static TraceCache* cache = new TraceCache();
+    return *cache;
+  }
+
+  Entry get(const ScenarioSpec& spec, std::uint64_t seed) {
+    const std::string key = trace_cache_key(spec) + " seed=" + std::to_string(seed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.entry;
+      }
+      ++misses_;
+    }
+    // Build outside the lock so distinct traces construct in parallel. A
+    // rare concurrent double-build of the same key is harmless: both
+    // results are identical and only one is published.
+    Entry built;
+    TraceBuildInfo info;
+    built.trace = std::make_shared<const swf::Trace>(build_trace(spec, seed, &info));
+    built.info = info;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.entry;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Slot{built, lru_.begin()});
+    if (map_.size() > kMaxEntries) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return built;
+  }
+
+  TraceCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_, map_.size()};
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+    hits_ = misses_ = 0;
+  }
+
+ private:
+  struct Slot {
+    Entry entry;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Slot> map_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const swf::Trace> build_trace_cached(const ScenarioSpec& spec,
+                                                     std::uint64_t seed,
+                                                     TraceBuildInfo* info) {
+  TraceCache::Entry entry = TraceCache::instance().get(spec, seed);
+  if (info != nullptr) *info = entry.info;
+  return entry.trace;
+}
+
+TraceCacheStats trace_cache_stats() { return TraceCache::instance().stats(); }
+
+void clear_trace_cache() { TraceCache::instance().clear(); }
+
 sim::SimulationOptions sim_options(const ScenarioSpec& spec) {
   sim::SimulationOptions options;
   options.kill_exceeding_request = spec.kill_exceeding_request;
@@ -83,19 +200,39 @@ sched::SchedulerSpec scheduler_for_seed(const ScenarioSpec& spec,
   return scheduler;
 }
 
+/// The scheduler a spec describes plus, for trained-agent specs, the
+/// resolved agent keeping the injected RlBackfillChooser valid.
+struct ActiveScheduler {
+  std::shared_ptr<const core::Agent> agent;  // null for heuristic specs
+  std::unique_ptr<sched::ConfiguredScheduler> scheduler;
+};
+
+ActiveScheduler make_scheduler(const ScenarioSpec& spec, std::uint64_t seed) {
+  ActiveScheduler active;
+  const sched::SchedulerSpec scheduler = scheduler_for_seed(spec, seed);
+  if (scheduler.uses_agent()) {
+    active.agent = model::resolve_agent(scheduler.agent);
+    active.scheduler = std::make_unique<sched::ConfiguredScheduler>(
+        scheduler, std::make_unique<core::RlBackfillChooser>(*active.agent));
+  } else {
+    active.scheduler = std::make_unique<sched::ConfiguredScheduler>(scheduler);
+  }
+  return active;
+}
+
 }  // namespace
 
 ScenarioRun run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
-  const swf::Trace trace = build_trace(spec, seed);
-  const sched::ConfiguredScheduler scheduler(scheduler_for_seed(spec, seed));
-  sched::ScheduleOutcome outcome =
-      sched::run_schedule(trace, scheduler.policy(), scheduler.estimator(),
-                          scheduler.chooser(), sim_options(spec));
+  const std::shared_ptr<const swf::Trace> trace = build_trace_cached(spec, seed);
+  const ActiveScheduler active = make_scheduler(spec, seed);
+  sched::ScheduleOutcome outcome = sched::run_schedule(
+      *trace, active.scheduler->policy(), active.scheduler->estimator(),
+      active.scheduler->chooser(), sim_options(spec));
   ScenarioRun run;
   run.scenario = spec.name;
   run.label = spec.label();
   run.seed = seed;
-  run.jobs = trace.size();
+  run.jobs = trace->size();
   run.metrics = outcome.metrics;
   run.results = std::move(outcome.results);
   return run;
@@ -103,11 +240,14 @@ ScenarioRun run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
 
 core::EvalResult evaluate_scenario(const ScenarioSpec& spec,
                                    const core::EvalProtocol& protocol) {
-  const swf::Trace trace = build_trace(spec, protocol.seed);
+  const std::shared_ptr<const swf::Trace> trace =
+      build_trace_cached(spec, protocol.seed);
   core::EvalProtocol effective = protocol;
   effective.options = sim_options(spec);
-  return core::evaluate_spec(trace, scheduler_for_seed(spec, protocol.seed),
-                             effective);
+  const ActiveScheduler active = make_scheduler(spec, protocol.seed);
+  return core::evaluate(*trace, active.scheduler->policy(),
+                        active.scheduler->estimator(),
+                        active.scheduler->chooser(), effective);
 }
 
 void ScenarioRegistry::add(ScenarioSpec spec) {
@@ -246,6 +386,39 @@ void register_builtins(ScenarioRegistry& registry) {
         "Heavy-tail overruns under the paper's kill-at-request contract");
     s.heavy_tail_prob = 0.05;
     s.kill_exceeding_request = true;
+    registry.add(s);
+  }
+  // ---- trained-agent scenarios (the model store resolves the agent
+  // reference: a training-spec name, a store key, or a model file path;
+  // train the referenced spec first with `rlbf_run train`). ----
+  {
+    auto s = base_scenario(
+        "sdsc-rlbf", "RL backfilling on SDSC-SP2 (agent from spec 'sdsc-fcfs')");
+    s.scheduler.agent = "sdsc-fcfs";
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-sjf-rlbf",
+        "RL backfilling under the SJF base policy (agent 'sdsc-sjf')");
+    s.scheduler.policy = "SJF";
+    s.scheduler.agent = "sdsc-sjf";
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "hpc2n-rlbf-transfer",
+        "Table-5 transfer: the SDSC-trained agent deployed on HPC2N");
+    s.workload = "HPC2N";
+    s.scheduler.agent = "sdsc-fcfs";
+    registry.add(s);
+  }
+  {
+    auto s = base_scenario(
+        "sdsc-tiny-rlbf",
+        "CI smoke: the tiny 'sdsc-tiny' agent on a 2000-job SDSC prefix");
+    s.trace_jobs = 2000;
+    s.scheduler.agent = "sdsc-tiny";
     registry.add(s);
   }
 }

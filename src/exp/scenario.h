@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,26 @@ struct TraceBuildInfo {
 /// (spec, seed); throws std::invalid_argument for unknown workloads.
 swf::Trace build_trace(const ScenarioSpec& spec, std::uint64_t seed,
                        TraceBuildInfo* info = nullptr);
+
+/// The canonical rendering of a spec's workload-construction fields (the
+/// trace cache key, minus the seed). Two specs with equal keys build
+/// identical traces at equal seeds, whatever their schedulers are.
+std::string trace_cache_key(const ScenarioSpec& spec);
+
+/// Memoized build_trace: sweep instances (and training specs) sharing
+/// identical workload-construction fields and seed get one shared
+/// immutable trace instead of regenerating it per instance. Thread-safe;
+/// the cache is process-wide and LRU-bounded.
+std::shared_ptr<const swf::Trace> build_trace_cached(
+    const ScenarioSpec& spec, std::uint64_t seed, TraceBuildInfo* info = nullptr);
+
+struct TraceCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+TraceCacheStats trace_cache_stats();
+void clear_trace_cache();
 
 /// The SimulationOptions a spec describes.
 sim::SimulationOptions sim_options(const ScenarioSpec& spec);

@@ -128,12 +128,16 @@ void apply_param(ScenarioSpec& spec, const std::string& param,
     spec.kill_exceeding_request = require_bool(param, value);
   } else if (param == "max_backfills") {
     spec.max_backfills = require_size(param, value);
+  } else if (param == "agent") {
+    // Trained-agent reference (training-spec name, store key, or model
+    // file path); "none" clears it back to the heuristic backfill.
+    spec.scheduler.agent = (value == "none") ? std::string() : value;
   } else {
     throw std::invalid_argument(
         "sweep: unknown parameter '" + param +
         "' (known: workload, jobs, procs, load, tail, tail_alpha, flurry, "
         "flurry_count, scrub, policy, backfill, estimate, noise, kill, "
-        "max_backfills)");
+        "max_backfills, agent)");
   }
 }
 

@@ -1,0 +1,279 @@
+#include "model/store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace rlbf::model {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kIndexHeader = "rlbf-model-store v1";
+
+std::string index_path(const std::string& root) { return root + "/index.tsv"; }
+
+}  // namespace
+
+Store::Store(std::string root) : root_(std::move(root)) {
+  if (root_.empty()) throw std::runtime_error("model store: empty root");
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    throw std::runtime_error("model store: cannot create '" + root_ +
+                             "': " + ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  load_index_locked();
+}
+
+void Store::load_index_locked() {
+  entries_.clear();
+  std::ifstream in(index_path(root_));
+  if (!in) {
+    rebuild_from_scan_locked();
+    return;
+  }
+  std::string line;
+  std::getline(in, line);
+  if (line != kIndexHeader) {
+    util::log_warn("model store: unrecognized index header in ", root_,
+                   "; rebuilding from scan");
+    rebuild_from_scan_locked();
+    return;
+  }
+  bool stale = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t tab1 = line.find('\t');
+    const std::size_t tab2 = tab1 == std::string::npos
+                                 ? std::string::npos
+                                 : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) {
+      stale = true;
+      continue;
+    }
+    StoreEntry entry;
+    entry.key = line.substr(0, tab1);
+    entry.name = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    entry.path = root_ + "/" + line.substr(tab2 + 1);
+    if (!fs::exists(entry.path)) {
+      stale = true;  // model removed behind the index's back
+      continue;
+    }
+    try {
+      entry.meta = core::Agent::load_meta(entry.path);
+    } catch (const std::exception& e) {
+      // One corrupt model (e.g. a crash mid-save) must not brick the
+      // whole store: drop the entry, keep everything else usable.
+      util::log_warn("model store: dropping unreadable ", entry.path, ": ",
+                     e.what());
+      stale = true;
+      continue;
+    }
+    entries_.push_back(std::move(entry));
+  }
+  if (stale) save_index_locked();
+}
+
+void Store::rebuild_from_scan_locked() {
+  // Self-describing fallback: every *.model carries its metadata, so the
+  // index is derivable from the directory contents alone. Scan order is
+  // sorted for determinism.
+  std::vector<std::string> stems;
+  for (const auto& dirent : fs::directory_iterator(root_)) {
+    if (!dirent.is_regular_file()) continue;
+    const fs::path& p = dirent.path();
+    if (p.extension() == ".model") stems.push_back(p.stem().string());
+  }
+  std::sort(stems.begin(), stems.end());
+  for (const std::string& stem : stems) {
+    StoreEntry entry;
+    entry.key = stem;
+    entry.path = root_ + "/" + stem + ".model";
+    try {
+      entry.meta = core::Agent::load_meta(entry.path);
+    } catch (const std::exception& e) {
+      util::log_warn("model store: skipping unreadable ", entry.path, ": ",
+                     e.what());
+      continue;
+    }
+    const auto it = entry.meta.find("spec_name");
+    if (it != entry.meta.end()) entry.name = it->second;
+    entries_.push_back(std::move(entry));
+  }
+  if (!entries_.empty()) save_index_locked();
+}
+
+void Store::save_index_locked() const {
+  // Write-then-rename so a crashed writer never leaves a torn index (a
+  // missing one just triggers a rescan).
+  const std::string tmp = index_path(root_) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("model store: cannot write " + tmp);
+    out << kIndexHeader << '\n';
+    for (const StoreEntry& entry : entries_) {
+      out << entry.key << '\t' << entry.name << '\t'
+          << fs::path(entry.path).filename().string() << '\n';
+    }
+    if (!out) throw std::runtime_error("model store: failed writing " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, index_path(root_), ec);
+  if (ec) {
+    throw std::runtime_error("model store: cannot update index in " + root_ +
+                             ": " + ec.message());
+  }
+}
+
+const StoreEntry* Store::find_locked(const std::string& key) const {
+  for (const StoreEntry& entry : entries_) {
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+bool Store::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(key) != nullptr;
+}
+
+std::optional<StoreEntry> Store::lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const StoreEntry* entry = find_locked(key);
+  if (entry == nullptr) return std::nullopt;
+  return *entry;
+}
+
+core::Agent Store::load(const std::string& key) const {
+  const auto entry = lookup(key);
+  if (!entry) {
+    throw std::runtime_error("model store: no entry for key '" + key +
+                             "' under " + root_);
+  }
+  return core::Agent::load(entry->path);
+}
+
+StoreEntry Store::put(const std::string& key, const core::Agent& agent,
+                      const std::string& name,
+                      const std::map<std::string, std::string>& meta,
+                      const std::string& canonical) {
+  StoreEntry entry;
+  entry.key = key;
+  entry.name = name;
+  entry.path = model_path(key);
+  entry.meta = meta;
+  entry.meta["fingerprint"] = key;
+  if (!name.empty()) entry.meta["spec_name"] = name;
+  // Write-then-rename, like the index: an interrupted save (e.g. a
+  // killed --force retrain overwriting an existing key) must never leave
+  // a torn .model behind a key the store reports as a valid cache hit.
+  const std::string tmp = entry.path + ".tmp";
+  if (!agent.save(tmp, entry.meta)) {
+    throw std::runtime_error("model store: cannot write " + tmp);
+  }
+  std::error_code rename_ec;
+  fs::rename(tmp, entry.path, rename_ec);
+  if (rename_ec) {
+    throw std::runtime_error("model store: cannot commit " + entry.path + ": " +
+                             rename_ec.message());
+  }
+  if (!canonical.empty()) {
+    std::ofstream spec(spec_path(key), std::ios::trunc);
+    spec << canonical;
+    if (!spec) {
+      throw std::runtime_error("model store: cannot write " + spec_path(key));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool replaced = false;
+  for (StoreEntry& existing : entries_) {
+    if (existing.key == key) {
+      existing = entry;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) entries_.push_back(entry);
+  save_index_locked();
+  return entry;
+}
+
+std::vector<StoreEntry> Store::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+std::vector<std::string> Store::prune(const std::vector<std::string>& referenced) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> removed;
+  std::vector<StoreEntry> kept;
+  for (StoreEntry& entry : entries_) {
+    const bool keep = std::find(referenced.begin(), referenced.end(),
+                                entry.key) != referenced.end();
+    if (keep) {
+      kept.push_back(std::move(entry));
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(entry.path, ec);
+    fs::remove(spec_path(entry.key), ec);
+    fs::remove(checkpoint_path(entry.key), ec);
+    removed.push_back(entry.key);
+  }
+  if (!removed.empty()) {
+    entries_ = std::move(kept);
+    save_index_locked();
+  }
+  return removed;
+}
+
+std::string Store::model_path(const std::string& key) const {
+  return root_ + "/" + key + ".model";
+}
+
+std::string Store::spec_path(const std::string& key) const {
+  return root_ + "/" + key + ".spec";
+}
+
+std::string Store::checkpoint_path(const std::string& key) const {
+  return root_ + "/" + key + ".ckpt";
+}
+
+namespace {
+
+std::mutex g_default_store_mutex;
+std::unique_ptr<Store> g_default_store;
+std::string g_default_store_root;
+
+}  // namespace
+
+std::string default_store_root() {
+  std::lock_guard<std::mutex> lock(g_default_store_mutex);
+  if (!g_default_store_root.empty()) return g_default_store_root;
+  const char* env = std::getenv("RLBF_MODEL_STORE");
+  return (env != nullptr && *env != '\0') ? env : "models";
+}
+
+Store& default_store() {
+  const std::string root = default_store_root();
+  std::lock_guard<std::mutex> lock(g_default_store_mutex);
+  if (g_default_store == nullptr || g_default_store->root() != root) {
+    g_default_store = std::make_unique<Store>(root);
+  }
+  return *g_default_store;
+}
+
+void set_default_store_root(const std::string& root) {
+  std::lock_guard<std::mutex> lock(g_default_store_mutex);
+  g_default_store_root = root;
+  g_default_store.reset();
+}
+
+}  // namespace rlbf::model

@@ -1,0 +1,86 @@
+// Content-addressed on-disk store for trained agents.
+//
+// Layout under one root directory:
+//   <root>/index.tsv       key \t spec-name \t file   (registration order)
+//   <root>/<key>.model     the agent (nn/serialize.h format, meta inside)
+//   <root>/<key>.spec      the canonical TrainingSpec text the key hashes
+//
+// Keys are model::fingerprint() content addresses, so a lookup hit means
+// "an agent trained under exactly this configuration already exists" —
+// the train-once-reuse-everywhere contract `rlbf_run train` and the
+// trained-agent scenarios are built on. The index is a convenience: when
+// missing or stale it is rebuilt by scanning *.model files, so a store
+// directory is self-describing and safe to rsync around.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+
+namespace rlbf::model {
+
+struct StoreEntry {
+  std::string key;   // fingerprint (16 hex digits)
+  std::string name;  // training-spec name at put() time ("" if unknown)
+  std::string path;  // the .model file
+  std::map<std::string, std::string> meta;  // as stored by Agent::save
+};
+
+class Store {
+ public:
+  /// Opens (and creates, if needed) the store rooted at `root`.
+  /// Throws std::runtime_error when the directory cannot be created.
+  explicit Store(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  bool contains(const std::string& key) const;
+  std::optional<StoreEntry> lookup(const std::string& key) const;
+
+  /// Load the stored agent. Throws std::runtime_error on unknown keys or
+  /// unreadable model files.
+  core::Agent load(const std::string& key) const;
+
+  /// Commit an agent under `key`, overwriting any previous entry. `meta`
+  /// is stored in the model file; `canonical` (may be empty) is written
+  /// to the .spec sidecar. Throws std::runtime_error on I/O failure.
+  StoreEntry put(const std::string& key, const core::Agent& agent,
+                 const std::string& name,
+                 const std::map<std::string, std::string>& meta,
+                 const std::string& canonical = "");
+
+  /// Entries in index order.
+  std::vector<StoreEntry> list() const;
+
+  /// Remove every entry whose key is NOT in `referenced` (model + spec
+  /// sidecar files included). Returns the removed keys.
+  std::vector<std::string> prune(const std::vector<std::string>& referenced);
+
+  std::string model_path(const std::string& key) const;
+  std::string spec_path(const std::string& key) const;
+  std::string checkpoint_path(const std::string& key) const;
+
+ private:
+  void load_index_locked();
+  void rebuild_from_scan_locked();
+  void save_index_locked() const;
+  const StoreEntry* find_locked(const std::string& key) const;
+
+  std::string root_;
+  std::vector<StoreEntry> entries_;
+  mutable std::mutex mutex_;
+};
+
+/// The process-wide store trained-agent scenario references resolve
+/// against. Root defaults to $RLBF_MODEL_STORE, or "models"; the CLI's
+/// --store flag calls set_default_store_root.
+Store& default_store();
+void set_default_store_root(const std::string& root);
+std::string default_store_root();
+
+}  // namespace rlbf::model

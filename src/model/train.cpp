@@ -1,0 +1,305 @@
+#include "model/train.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/alt_trainers.h"
+#include "exp/config.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace rlbf::model {
+
+namespace {
+
+TrainProgress from_stats(const core::EpochStats& s) {
+  TrainProgress p;
+  p.epoch = s.epoch;
+  p.mean_reward = s.mean_reward;
+  p.mean_bsld = s.mean_bsld;
+  p.mean_baseline_bsld = s.mean_baseline_bsld;
+  p.steps = s.steps;
+  p.eval_bsld = s.eval_bsld;
+  p.wall_seconds = s.wall_seconds;
+  return p;
+}
+
+TrainProgress from_stats(const core::AltEpochStats& s) {
+  TrainProgress p;
+  p.epoch = s.epoch;
+  p.mean_reward = s.mean_reward;
+  p.mean_bsld = s.mean_bsld;
+  p.mean_baseline_bsld = s.mean_baseline_bsld;
+  p.steps = s.steps;
+  p.eval_bsld = s.eval_bsld;
+  p.wall_seconds = s.wall_seconds;
+  return p;
+}
+
+core::DqnTrainerConfig to_dqn(const core::TrainerConfig& t) {
+  core::DqnTrainerConfig c;
+  c.base_policy = t.base_policy;
+  c.epochs = t.epochs;
+  c.trajectories_per_epoch = t.trajectories_per_epoch;
+  c.jobs_per_trajectory = t.jobs_per_trajectory;
+  c.env = t.env;
+  c.agent = t.agent;
+  c.seed = t.seed;
+  c.threads = t.threads;
+  c.eval_every = t.eval_every;
+  c.eval_samples = t.eval_samples;
+  c.eval_sample_jobs = t.eval_sample_jobs;
+  c.keep_best = t.keep_best;
+  return c;
+}
+
+core::ReinforceTrainerConfig to_reinforce(const core::TrainerConfig& t) {
+  core::ReinforceTrainerConfig c;
+  c.base_policy = t.base_policy;
+  c.epochs = t.epochs;
+  c.trajectories_per_epoch = t.trajectories_per_epoch;
+  c.jobs_per_trajectory = t.jobs_per_trajectory;
+  c.env = t.env;
+  c.agent = t.agent;
+  c.seed = t.seed;
+  c.threads = t.threads;
+  c.eval_every = t.eval_every;
+  c.eval_samples = t.eval_samples;
+  c.eval_sample_jobs = t.eval_sample_jobs;
+  c.keep_best = t.keep_best;
+  return c;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared body of train_spec / train_on_trace: run the spec's algorithm
+/// over `trace` and commit the result under `key`.
+TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
+                          const std::string& key, const std::string& canonical,
+                          Store& store, const TrainOptions& options) {
+  TrainOutcome outcome;
+  core::TrainerConfig cfg = spec.trainer;
+  if (options.threads != 0) cfg.threads = options.threads;
+
+  // Best-so-far tracking shared by every algorithm branch: the trainers
+  // evaluate the *greedy* policy on held-out sequences, and at an
+  // improving evaluation epoch the live agent IS the best checkpoint.
+  double best_eval = std::numeric_limits<double>::infinity();
+  std::size_t epochs_run = 0;
+  const std::string ckpt = store.checkpoint_path(key);
+  const auto make_observer = [&](const core::Agent& live_agent, auto stats_map) {
+    // Init-capture the referent: capturing the reference PARAMETER by
+    // reference would dangle once make_observer returns.
+    return [&, stats_map, &agent = live_agent](const auto& stats) {
+      const TrainProgress p = stats_map(stats);
+      ++epochs_run;
+      if (!std::isnan(p.eval_bsld) && p.eval_bsld < best_eval) {
+        best_eval = p.eval_bsld;
+        if (options.checkpoint) {
+          agent.save(ckpt, {{"spec_name", spec.name},
+                            {"checkpoint", "1"},
+                            {"epoch", std::to_string(p.epoch)}});
+        }
+      }
+      if (options.on_progress) options.on_progress(spec, p);
+    };
+  };
+
+  const core::Agent* trained = nullptr;
+  std::unique_ptr<core::Trainer> ppo;
+  std::unique_ptr<core::DqnTrainer> dqn;
+  std::unique_ptr<core::ReinforceTrainer> reinforce;
+  if (spec.algorithm == "ppo") {
+    ppo = std::make_unique<core::Trainer>(trace, cfg);
+    ppo->train(make_observer(
+        ppo->agent(), [](const core::EpochStats& s) { return from_stats(s); }));
+    trained = &ppo->agent();
+  } else if (spec.algorithm == "dqn") {
+    dqn = std::make_unique<core::DqnTrainer>(trace, to_dqn(cfg));
+    dqn->train(make_observer(dqn->agent(), [](const core::AltEpochStats& s) {
+      return from_stats(s);
+    }));
+    trained = &dqn->agent();
+  } else if (spec.algorithm == "reinforce") {
+    reinforce = std::make_unique<core::ReinforceTrainer>(trace, to_reinforce(cfg));
+    reinforce->train(make_observer(
+        reinforce->agent(),
+        [](const core::AltEpochStats& s) { return from_stats(s); }));
+    trained = &reinforce->agent();
+  } else {
+    throw std::invalid_argument("training spec '" + spec.name +
+                                "': unknown algorithm '" + spec.algorithm +
+                                "' (known: ppo, dqn, reinforce)");
+  }
+
+  std::map<std::string, std::string> meta;
+  meta["algorithm"] = spec.algorithm;
+  meta["workload"] = spec.workload.workload;
+  meta["trace_jobs"] = std::to_string(spec.workload.trace_jobs);
+  meta["base_policy"] = cfg.base_policy;
+  meta["epochs"] = std::to_string(cfg.epochs);
+  meta["trajectories_per_epoch"] = std::to_string(cfg.trajectories_per_epoch);
+  meta["jobs_per_trajectory"] = std::to_string(cfg.jobs_per_trajectory);
+  meta["seed"] = std::to_string(cfg.seed);
+  if (std::isfinite(best_eval)) {
+    meta["best_eval_bsld"] = exp::format_double_exact(best_eval);
+  }
+
+  outcome.entry = store.put(key, *trained, spec.name, meta, canonical);
+  outcome.epochs_run = epochs_run;
+  if (std::isfinite(best_eval)) outcome.best_eval_bsld = best_eval;
+  std::error_code ec;
+  std::filesystem::remove(ckpt, ec);  // superseded by the committed entry
+  return outcome;
+}
+
+}  // namespace
+
+TrainOutcome train_spec(const TrainingSpec& spec, Store& store,
+                        const TrainOptions& options) {
+  const std::string key = fingerprint(spec);
+  if (!options.force) {
+    if (auto entry = store.lookup(key)) {
+      TrainOutcome outcome;
+      outcome.entry = std::move(*entry);
+      outcome.cache_hit = true;
+      return outcome;
+    }
+  }
+  const std::shared_ptr<const swf::Trace> trace =
+      exp::build_trace_cached(spec.workload, spec.trainer.seed);
+  return run_training(*trace, spec, key, canonical_string(spec), store, options);
+}
+
+TrainOutcome train_on_trace(const swf::Trace& trace, const TrainingSpec& spec,
+                            Store& store, const TrainOptions& options) {
+  // The spec's workload-construction fields describe nothing here — the
+  // caller owns trace construction — so the content address hashes the
+  // trainer protocol plus the trace itself.
+  const std::string canonical = canonical_string(spec) + "trace_hash " +
+                                trace_fingerprint(trace) + "\n";
+  const std::string key = fnv1a_hex(canonical);
+  if (!options.force) {
+    if (auto entry = store.lookup(key)) {
+      TrainOutcome outcome;
+      outcome.entry = std::move(*entry);
+      outcome.cache_hit = true;
+      return outcome;
+    }
+  }
+  return run_training(trace, spec, key, canonical, store, options);
+}
+
+std::vector<TrainOutcome> train_specs(const std::vector<TrainingSpec>& specs,
+                                      Store& store, const TrainOptions& options,
+                                      std::uint64_t master_seed) {
+  // Pre-split every seed on the calling thread before any training runs,
+  // mirroring exp::run_sweep's replication convention.
+  std::vector<std::uint64_t> seeds(specs.size(), 0);
+  if (master_seed != 0 && !specs.empty()) {
+    util::Rng root(master_seed);
+    seeds[0] = master_seed;
+    for (std::size_t i = 1; i < specs.size(); ++i) seeds[i] = root.split()();
+  }
+  std::vector<TrainOutcome> outcomes;
+  outcomes.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    TrainingSpec spec = specs[i];
+    if (master_seed != 0) spec.trainer.seed = seeds[i];
+    outcomes.push_back(train_spec(spec, store, options));
+  }
+  return outcomes;
+}
+
+namespace {
+
+std::mutex g_agent_cache_mutex;
+std::unordered_map<std::string, std::shared_ptr<const core::Agent>> g_agent_cache;
+
+}  // namespace
+
+std::shared_ptr<const core::Agent> resolve_agent(const std::string& ref) {
+  if (ref.empty()) {
+    throw std::invalid_argument("resolve_agent: empty agent reference");
+  }
+  Store& store = default_store();
+  const std::string cache_key = store.root() + "|" + ref;
+  {
+    std::lock_guard<std::mutex> lock(g_agent_cache_mutex);
+    const auto it = g_agent_cache.find(cache_key);
+    if (it != g_agent_cache.end()) return it->second;
+  }
+
+  std::shared_ptr<const core::Agent> agent;
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(ref, ec)) {
+    agent = std::make_shared<const core::Agent>(core::Agent::load(ref));
+  } else if (TrainingRegistry::instance().contains(ref)) {
+    const TrainingSpec& spec = find_training_spec(ref);
+    const std::string key = fingerprint(spec);
+    if (store.contains(key)) {
+      agent = std::make_shared<const core::Agent>(store.load(key));
+    } else {
+      // The registered spec's exact fingerprint is absent — fall back to
+      // a UNIQUE store entry trained under this spec name (e.g. with CLI
+      // budget overrides, which change the content address). Ambiguity
+      // is an error: "which model?" must never be guessed.
+      std::vector<StoreEntry> named;
+      for (const StoreEntry& entry : store.list()) {
+        if (entry.name == ref) named.push_back(entry);
+      }
+      if (named.size() == 1) {
+        util::log_info("agent '", ref, "': registered fingerprint ", key,
+                       " absent; using the unique same-name store entry ",
+                       named[0].key);
+        agent = std::make_shared<const core::Agent>(
+            core::Agent::load(named[0].path));
+      } else if (named.size() > 1) {
+        std::string keys;
+        for (const auto& entry : named) {
+          keys += (keys.empty() ? "" : ", ") + entry.key;
+        }
+        throw std::runtime_error(
+            "agent reference '" + ref + "' is ambiguous: store '" +
+            store.root() + "' holds " + std::to_string(named.size()) +
+            " entries trained under that spec name (" + keys +
+            ") — reference one key directly");
+      } else {
+        throw std::runtime_error(
+            "agent for training spec '" + ref + "' (key " + key +
+            ") is not in model store '" + store.root() +
+            "' — train it first: rlbf_run train --spec=" + ref);
+      }
+    }
+  } else if (store.contains(ref)) {
+    agent = std::make_shared<const core::Agent>(store.load(ref));
+  } else {
+    std::string known;
+    for (const auto& name : training_spec_names()) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    throw std::runtime_error(
+        "cannot resolve agent reference '" + ref +
+        "': not a model file, a training-spec name (known: " + known +
+        "), or a key in model store '" + store.root() + "'");
+  }
+
+  std::lock_guard<std::mutex> lock(g_agent_cache_mutex);
+  auto [it, inserted] = g_agent_cache.emplace(cache_key, std::move(agent));
+  (void)inserted;
+  return it->second;
+}
+
+void clear_agent_cache() {
+  std::lock_guard<std::mutex> lock(g_agent_cache_mutex);
+  g_agent_cache.clear();
+}
+
+}  // namespace rlbf::model

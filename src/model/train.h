@@ -1,0 +1,97 @@
+// The training executor: resolve a TrainingSpec to a trace (through the
+// exp trace cache), run the right trainer (PPO, or the DQN/REINFORCE
+// ablation arms), checkpoint best-so-far agents next to the store entry,
+// and commit the result under the spec's fingerprint. A second call with
+// an equal fingerprint is a cache hit and runs nothing.
+//
+// resolve_agent() is the deployment-side counterpart: it turns the agent
+// reference a ScenarioSpec carries (training-spec name, store key, or
+// model file path) into a shared, process-cached core::Agent — the hook
+// exp::run_scenario / evaluate_scenario use for RL-backed backfilling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/store.h"
+#include "model/training_spec.h"
+
+namespace rlbf::model {
+
+/// Algorithm-independent per-epoch progress (core::EpochStats and
+/// core::AltEpochStats both map onto this).
+struct TrainProgress {
+  std::size_t epoch = 0;
+  double mean_reward = 0.0;
+  double mean_bsld = 0.0;
+  double mean_baseline_bsld = 0.0;
+  std::size_t steps = 0;
+  /// Greedy held-out evaluation bsld; NaN on non-evaluation epochs.
+  double eval_bsld = std::numeric_limits<double>::quiet_NaN();
+  double wall_seconds = 0.0;
+};
+
+struct TrainOptions {
+  /// Worker threads for collection/updates; 0 = the spec's setting (which
+  /// usually means hardware concurrency). Runtime-only: results and
+  /// fingerprints are identical at any value.
+  std::size_t threads = 0;
+  /// Retrain and overwrite even when the store already holds the key.
+  bool force = false;
+  /// Write the best-so-far agent to <store>/<key>.ckpt whenever the
+  /// held-out evaluation improves, so long runs are resumable artifacts
+  /// even if interrupted; the checkpoint is removed on commit.
+  bool checkpoint = true;
+  /// Observes every epoch of every spec (progress tables, logging).
+  std::function<void(const TrainingSpec&, const TrainProgress&)> on_progress;
+};
+
+struct TrainOutcome {
+  StoreEntry entry;
+  bool cache_hit = false;      // true: nothing ran, the store already had it
+  std::size_t epochs_run = 0;  // 0 on cache hits
+  double best_eval_bsld = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Train one spec into the store (or return the cached entry). Throws
+/// std::invalid_argument on unknown algorithms and propagates trainer
+/// and store errors.
+TrainOutcome train_spec(const TrainingSpec& spec, Store& store,
+                        const TrainOptions& options = {});
+
+/// Bench-style entry point: train on an explicit, possibly transformed
+/// trace instead of a spec-resolved one. The store key fingerprints the
+/// spec's trainer protocol PLUS a content hash of the trace, so two
+/// different transformed traces can never collide on one cache entry.
+TrainOutcome train_on_trace(const swf::Trace& trace, const TrainingSpec& spec,
+                            Store& store, const TrainOptions& options = {});
+
+/// Train several specs sequentially (each trainer parallelizes
+/// internally over the thread pool). When `master_seed` is nonzero, each
+/// spec's seed is pre-split from util::Rng(master_seed) on the calling
+/// thread — spec 0 trains at master_seed itself, matching the sweep
+/// executor's replication convention — so one flag reseeds a whole batch
+/// deterministically.
+std::vector<TrainOutcome> train_specs(const std::vector<TrainingSpec>& specs,
+                                      Store& store,
+                                      const TrainOptions& options = {},
+                                      std::uint64_t master_seed = 0);
+
+/// Resolve an agent reference against the default store:
+///   1. an existing model file path — loaded directly;
+///   2. a registered training-spec name — fingerprinted and looked up
+///      (throws, naming the `rlbf_run train` command to run, when the
+///      model has not been trained yet);
+///   3. a raw store key.
+/// Results are cached per (store root, reference) for the process
+/// lifetime, so sweeps resolve each agent once.
+std::shared_ptr<const core::Agent> resolve_agent(const std::string& ref);
+
+/// Drop the resolve_agent cache (tests; after retraining with --force).
+void clear_agent_cache();
+
+}  // namespace rlbf::model

@@ -1,0 +1,245 @@
+#include "model/training_spec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/config.h"
+
+namespace rlbf::model {
+
+namespace {
+
+void put(std::ostringstream& os, const char* key, const std::string& value) {
+  os << key << ' ' << value << '\n';
+}
+void put(std::ostringstream& os, const char* key, double value) {
+  os << key << ' ' << exp::format_double_exact(value) << '\n';
+}
+template <typename T>
+  requires std::is_integral_v<T>
+void put(std::ostringstream& os, const char* key, T value) {
+  os << key << ' ' << value << '\n';
+}
+
+std::string dims_string(const std::vector<std::size_t>& dims) {
+  std::string out;
+  for (std::size_t d : dims) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string canonical_string(const TrainingSpec& spec) {
+  const core::TrainerConfig& t = spec.trainer;
+  std::ostringstream os;
+  os << "rlbf-training-spec v1\n";
+  // Trace construction (exp::build_trace inputs; seed is trainer.seed).
+  put(os, "trace", exp::trace_cache_key(spec.workload));
+  put(os, "seed", t.seed);
+  // Algorithm. Enum-valued knobs render as their underlying integers;
+  // reordering those enums is a format change, like renaming a field.
+  put(os, "algorithm", spec.algorithm);
+  // Trainer protocol.
+  put(os, "base_policy", t.base_policy);
+  put(os, "epochs", t.epochs);
+  put(os, "trajectories_per_epoch", t.trajectories_per_epoch);
+  put(os, "jobs_per_trajectory", t.jobs_per_trajectory);
+  put(os, "eval_every", t.eval_every);
+  put(os, "eval_samples", t.eval_samples);
+  put(os, "eval_sample_jobs", t.eval_sample_jobs);
+  put(os, "keep_best", t.keep_best ? 1 : 0);
+  // PPO update (the non-PPO arms use their algorithm defaults, which the
+  // `algorithm` line above already versions).
+  put(os, "ppo.gamma", t.ppo.gamma);
+  put(os, "ppo.lambda", t.ppo.lambda);
+  put(os, "ppo.clip_ratio", t.ppo.clip_ratio);
+  put(os, "ppo.policy_lr", t.ppo.policy_lr);
+  put(os, "ppo.value_lr", t.ppo.value_lr);
+  put(os, "ppo.train_iters", t.ppo.train_iters);
+  put(os, "ppo.minibatch_size", t.ppo.minibatch_size);
+  put(os, "ppo.entropy_coef", t.ppo.entropy_coef);
+  put(os, "ppo.target_kl", t.ppo.target_kl);
+  put(os, "ppo.max_grad_norm", t.ppo.max_grad_norm);
+  put(os, "ppo.normalize_advantages", t.ppo.normalize_advantages ? 1 : 0);
+  put(os, "ppo.grad_shards", t.ppo.grad_shards);
+  // Environment / reward shaping.
+  put(os, "env.delay_penalty", t.env.delay_penalty);
+  put(os, "env.delay_rule", static_cast<int>(t.env.delay_rule));
+  put(os, "env.objective", static_cast<int>(t.env.objective));
+  put(os, "env.selection", static_cast<int>(t.env.selection));
+  put(os, "env.epsilon", t.env.epsilon);
+  put(os, "env.sample_actions", t.env.sample_actions ? 1 : 0);
+  // Agent architecture.
+  put(os, "agent.kernel_policy", t.agent.kernel_policy ? 1 : 0);
+  put(os, "agent.obs.max_obsv_size", t.agent.obs.max_obsv_size);
+  put(os, "agent.obs.value_obsv_size", t.agent.obs.value_obsv_size);
+  put(os, "agent.obs.pad_policy_obs", t.agent.obs.pad_policy_obs ? 1 : 0);
+  put(os, "agent.obs.mask_inadmissible", t.agent.obs.mask_inadmissible ? 1 : 0);
+  put(os, "agent.obs.stop_action", t.agent.obs.stop_action ? 1 : 0);
+  put(os, "agent.obs.feature_mask", t.agent.obs.feature_mask);
+  put(os, "agent.net.policy_hidden", dims_string(t.agent.net.policy_hidden));
+  put(os, "agent.net.value_hidden", dims_string(t.agent.net.value_hidden));
+  put(os, "agent.net.activation", static_cast<int>(t.agent.net.activation));
+  put(os, "agent.net.policy_output_scale", t.agent.net.policy_output_scale);
+  return os.str();
+}
+
+std::string fnv1a_hex(const std::string& text) {
+  // FNV-1a 64: tiny, well-distributed, and trivially reproducible in any
+  // language — the point is a stable content address, not cryptography.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string fingerprint(const TrainingSpec& spec) {
+  return fnv1a_hex(canonical_string(spec));
+}
+
+std::string trace_fingerprint(const swf::Trace& trace) {
+  std::ostringstream os;
+  os << trace.name() << ' ' << trace.machine_procs() << ' ' << trace.size()
+     << '\n';
+  for (const swf::Job& job : trace.jobs()) {
+    // The fields the simulator and observation builder actually read.
+    os << job.submit_time << ' ' << job.run_time << ' ' << job.requested_time
+       << ' ' << job.requested_procs << ' ' << job.used_procs << ' '
+       << job.user_id << '\n';
+  }
+  return fnv1a_hex(os.str());
+}
+
+void TrainingRegistry::add(TrainingSpec spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("training spec name must be non-empty");
+  }
+  if (contains(spec.name)) {
+    throw std::invalid_argument("duplicate training spec name: " + spec.name);
+  }
+  specs_.push_back(std::move(spec));
+}
+
+bool TrainingRegistry::contains(const std::string& name) const {
+  return std::any_of(specs_.begin(), specs_.end(),
+                     [&](const TrainingSpec& s) { return s.name == name; });
+}
+
+const TrainingSpec& TrainingRegistry::get(const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return spec;
+  }
+  std::string known;
+  for (const auto& spec : specs_) {
+    known += (known.empty() ? "" : ", ") + spec.name;
+  }
+  throw std::invalid_argument("unknown training spec '" + name +
+                              "' (known: " + known + ")");
+}
+
+std::vector<std::string> TrainingRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) out.push_back(spec.name);
+  return out;
+}
+
+namespace {
+
+/// The paper's training protocol (§4.1.1): 100 trajectories x 256 jobs
+/// per epoch, 80 PPO iterations at lr 1e-3.
+TrainingSpec paper_spec(std::string name, std::string description,
+                        const std::string& workload,
+                        const std::string& base_policy) {
+  TrainingSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.workload.workload = workload;
+  spec.workload.trace_jobs = 10000;
+  spec.trainer.base_policy = base_policy;
+  spec.trainer.epochs = 50;
+  spec.trainer.trajectories_per_epoch = 100;
+  spec.trainer.jobs_per_trajectory = 256;
+  spec.trainer.ppo.train_iters = 80;
+  spec.trainer.ppo.policy_lr = 1e-3;
+  spec.trainer.ppo.value_lr = 1e-3;
+  spec.trainer.ppo.minibatch_size = 512;
+  spec.trainer.seed = 1;
+  return spec;
+}
+
+void register_builtins(TrainingRegistry& registry) {
+  registry.add(paper_spec("sdsc-fcfs", "Paper protocol: PPO on SDSC-SP2, FCFS base",
+                          "SDSC-SP2", "FCFS"));
+  registry.add(paper_spec("sdsc-sjf", "Paper protocol: PPO on SDSC-SP2, SJF base",
+                          "SDSC-SP2", "SJF"));
+  registry.add(paper_spec("hpc2n-fcfs", "Paper protocol: PPO on HPC2N, FCFS base",
+                          "HPC2N", "FCFS"));
+  registry.add(paper_spec("lublin1-fcfs",
+                          "Paper protocol: PPO on synthetic Lublin-1, FCFS base",
+                          "Lublin-1", "FCFS"));
+  registry.add(paper_spec("lublin2-fcfs",
+                          "Paper protocol: PPO on synthetic Lublin-2, FCFS base",
+                          "Lublin-2", "FCFS"));
+  {
+    auto s = paper_spec("sdsc-fcfs-dqn",
+                        "Ablation arm: DQN under the PPO data-collection protocol",
+                        "SDSC-SP2", "FCFS");
+    s.algorithm = "dqn";
+    registry.add(s);
+  }
+  {
+    auto s = paper_spec("sdsc-fcfs-reinforce",
+                        "Ablation arm: REINFORCE (single policy-gradient step)",
+                        "SDSC-SP2", "FCFS");
+    s.algorithm = "reinforce";
+    registry.add(s);
+  }
+  {
+    TrainingSpec s;
+    s.name = "sdsc-tiny";
+    s.description = "CI smoke: 2 epochs x 6 tiny trajectories on 2000 SDSC jobs";
+    s.workload.workload = "SDSC-SP2";
+    s.workload.trace_jobs = 2000;
+    s.trainer.epochs = 2;
+    s.trainer.trajectories_per_epoch = 6;
+    s.trainer.jobs_per_trajectory = 128;
+    s.trainer.ppo.train_iters = 20;
+    s.trainer.ppo.minibatch_size = 256;
+    s.trainer.eval_every = 1;
+    s.trainer.eval_samples = 2;
+    s.trainer.eval_sample_jobs = 256;
+    s.trainer.seed = 1;
+    registry.add(s);
+  }
+}
+
+}  // namespace
+
+TrainingRegistry& TrainingRegistry::instance() {
+  static TrainingRegistry* registry = [] {
+    auto* r = new TrainingRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+const TrainingSpec& find_training_spec(const std::string& name) {
+  return TrainingRegistry::instance().get(name);
+}
+
+std::vector<std::string> training_spec_names() {
+  return TrainingRegistry::instance().names();
+}
+
+}  // namespace rlbf::model

@@ -1,5 +1,9 @@
 #include "nn/serialize.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -17,11 +21,104 @@ const char* activation_name(Activation a) {
   return "?";
 }
 
-Activation activation_from(const std::string& s) {
+/// Whitespace-delimited token reader that tracks the current line so
+/// every parse error can say WHERE a model file is corrupt, not just
+/// that it is. Truncation, junk tokens, and malformed numbers all throw
+/// through fail() — a load either yields a complete bundle or nothing.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
+
+  std::size_t line() const { return line_; }
+
+  /// Next token; false at a clean end of input. The terminating
+  /// whitespace is left unconsumed so a following rest_of_line() reads
+  /// THIS line's remainder — "meta key\n" yields an empty value, not the
+  /// next line swallowed as one.
+  bool next(std::string& token) {
+    token.clear();
+    int c = in_.get();
+    while (c != std::istream::traits_type::eof() &&
+           std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') ++line_;
+      c = in_.get();
+    }
+    if (c == std::istream::traits_type::eof()) return false;
+    token_line_ = line_;  // errors report where the token STARTED
+    while (c != std::istream::traits_type::eof() &&
+           !std::isspace(static_cast<unsigned char>(c))) {
+      token.push_back(static_cast<char>(c));
+      c = in_.get();
+    }
+    if (c != std::istream::traits_type::eof()) in_.unget();
+    return true;
+  }
+
+  /// Next token, or throw `what` mentioning the line (truncation).
+  std::string require(const char* what) {
+    std::string token;
+    if (!next(token)) {
+      fail(std::string("unexpected end of file, expected ") + what);
+    }
+    return token;
+  }
+
+  /// Rest of the current line, leading spaces trimmed (meta values).
+  std::string rest_of_line() {
+    std::string value;
+    std::getline(in_, value);
+    ++line_;
+    const auto b = value.find_first_not_of(" \t");
+    return (b == std::string::npos) ? std::string{} : value.substr(b);
+  }
+
+  std::size_t require_size(const char* what) {
+    const std::string token = require(what);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    // strtoull "accepts" a leading '-' by wrapping; require a digit.
+    if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0])) ||
+        end == token.c_str() || *end != '\0' || errno == ERANGE) {
+      fail(std::string("bad ") + what + " '" + token + "'");
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+  double require_double(const char* what) {
+    const std::string token = require(what);
+    // strtod handles the hexfloat (0x1.8p+1) values save_model writes,
+    // which operator>> does not parse portably. The full token must
+    // convert: a half-eaten value means corruption, not a number.
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(token.c_str(), &end);
+    // Overflow ("1e999999") is corruption; underflow to a subnormal also
+    // sets ERANGE but is a legitimate tiny weight, so only reject +-inf.
+    const bool overflow =
+        errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL);
+    if (end == token.c_str() || *end != '\0' || overflow) {
+      fail(std::string("bad ") + what + " '" + token + "'");
+    }
+    return v;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("model: " + message + " (line " +
+                             std::to_string(token_line_ + 1) + ")");
+  }
+
+ private:
+  std::istream& in_;
+  std::size_t line_ = 0;        // 0-based cursor
+  std::size_t token_line_ = 0;  // line of the last token; fail() is 1-based
+};
+
+Activation activation_from(TokenReader& reader, const std::string& s) {
   if (s == "none") return Activation::None;
   if (s == "relu") return Activation::Relu;
   if (s == "tanh") return Activation::Tanh;
-  throw std::runtime_error("model: unknown activation '" + s + "'");
+  reader.fail("unknown activation '" + s + "'");
 }
 
 void write_tensor(std::ostream& out, const Tensor& t) {
@@ -37,19 +134,14 @@ void write_tensor(std::ostream& out, const Tensor& t) {
   out << std::defaultfloat;
 }
 
-Tensor read_tensor(std::istream& in) {
-  std::string tag;
-  std::size_t rows = 0, cols = 0;
-  if (!(in >> tag >> rows >> cols) || tag != "tensor") {
-    throw std::runtime_error("model: expected tensor header");
-  }
+Tensor read_tensor(TokenReader& reader) {
+  const std::string tag = reader.require("tensor header");
+  if (tag != "tensor") reader.fail("expected tensor header, got '" + tag + "'");
+  const std::size_t rows = reader.require_size("tensor rows");
+  const std::size_t cols = reader.require_size("tensor cols");
   Tensor t(rows, cols);
   for (std::size_t i = 0; i < t.size(); ++i) {
-    // operator>> does not parse hexfloat portably; read a token and
-    // strtod it (strtod handles 0x1.8p+1 style).
-    std::string tok;
-    if (!(in >> tok)) throw std::runtime_error("model: truncated tensor");
-    t[i] = std::strtod(tok.c_str(), nullptr);
+    t[i] = reader.require_double("tensor value");
   }
   return t;
 }
@@ -82,43 +174,36 @@ bool save_model_file(const std::string& path, const ModelBundle& bundle) {
 }
 
 ModelBundle load_model(std::istream& in) {
+  TokenReader reader(in);
   std::string magic, version;
-  if (!(in >> magic >> version) || magic != "rlbf-model" || version != "v1") {
-    throw std::runtime_error("model: bad magic/version");
+  if (!reader.next(magic) || magic != "rlbf-model" || !reader.next(version) ||
+      version != "v1") {
+    reader.fail("bad magic/version (expected 'rlbf-model v1')");
   }
   ModelBundle bundle;
   std::string tag;
-  while (in >> tag) {
+  while (reader.next(tag)) {
     if (tag == "meta") {
-      std::string key, value;
-      in >> key;
-      std::getline(in, value);
-      const auto b = value.find_first_not_of(' ');
-      bundle.meta[key] = (b == std::string::npos) ? std::string{} : value.substr(b);
+      const std::string key = reader.require("meta key");
+      bundle.meta[key] = reader.rest_of_line();
     } else if (tag == "mlp") {
-      std::string name;
-      std::size_t ndims = 0;
-      if (!(in >> name >> ndims) || ndims < 2) {
-        throw std::runtime_error("model: bad mlp header");
-      }
+      const std::string name = reader.require("mlp name");
+      const std::size_t ndims = reader.require_size("mlp dim count");
+      if (ndims < 2) reader.fail("mlp '" + name + "' needs >= 2 dims");
       std::vector<std::size_t> dims(ndims);
-      for (auto& d : dims) {
-        if (!(in >> d)) throw std::runtime_error("model: truncated dims");
-      }
-      std::string act_name;
-      in >> act_name;
+      for (auto& d : dims) d = reader.require_size("mlp dim");
       util::Rng rng(0);  // values are overwritten below
-      Mlp mlp(dims, activation_from(act_name), rng);
+      Mlp mlp(dims, activation_from(reader, reader.require("activation")), rng);
       for (const auto& p : mlp.parameters()) {
-        const Tensor t = read_tensor(in);
+        const Tensor t = read_tensor(reader);
         if (!t.same_shape(p->value)) {
-          throw std::runtime_error("model: tensor shape mismatch for " + name);
+          reader.fail("tensor shape mismatch for mlp '" + name + "'");
         }
         p->value = t;
       }
       bundle.mlps.emplace_back(name, std::move(mlp));
     } else {
-      throw std::runtime_error("model: unknown tag '" + tag + "'");
+      reader.fail("unknown tag '" + tag + "'");
     }
   }
   return bundle;
@@ -127,7 +212,44 @@ ModelBundle load_model(std::istream& in) {
 ModelBundle load_model_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open model file: " + path);
-  return load_model(in);
+  try {
+    return load_model(in);
+  } catch (const std::exception& e) {
+    // Every corruption error names the offending file, not just the line.
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
+  }
+}
+
+std::map<std::string, std::string> load_model_meta(std::istream& in) {
+  TokenReader reader(in);
+  std::string magic, version;
+  if (!reader.next(magic) || magic != "rlbf-model" || !reader.next(version) ||
+      version != "v1") {
+    reader.fail("bad magic/version (expected 'rlbf-model v1')");
+  }
+  std::map<std::string, std::string> meta;
+  std::string tag;
+  while (reader.next(tag)) {
+    if (tag == "meta") {
+      const std::string key = reader.require("meta key");
+      meta[key] = reader.rest_of_line();
+    } else if (tag == "mlp") {
+      break;  // meta precedes network data; nothing more to read
+    } else {
+      reader.fail("unknown tag '" + tag + "'");
+    }
+  }
+  return meta;
+}
+
+std::map<std::string, std::string> load_model_meta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model file: " + path);
+  try {
+    return load_model_meta(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
+  }
 }
 
 }  // namespace rlbf::nn

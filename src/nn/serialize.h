@@ -37,4 +37,10 @@ bool save_model_file(const std::string& path, const ModelBundle& bundle);
 ModelBundle load_model(std::istream& in);
 ModelBundle load_model_file(const std::string& path);
 
+/// Metadata only: stops reading at the first `mlp` tag, so listing a
+/// model store never parses tensor data. Same validation/errors as
+/// load_model for the part it reads.
+std::map<std::string, std::string> load_model_meta(std::istream& in);
+std::map<std::string, std::string> load_model_meta_file(const std::string& path);
+
 }  // namespace rlbf::nn

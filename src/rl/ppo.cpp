@@ -67,8 +67,11 @@ Ppo::Ppo(ActorCritic& model, const PpoConfig& config, util::ThreadPool* pool)
       pool_(pool),
       policy_opt_(model.policy_parameters(), config.policy_lr),
       value_opt_(model.value_parameters(), config.value_lr) {
+  // One replica per gradient shard, independent of the pool size: the
+  // shard structure (and thus the reduction order) must not change with
+  // the worker count or trained models would differ across machines.
   if (pool_ != nullptr) {
-    for (std::size_t i = 0; i < pool_->size(); ++i) {
+    for (std::size_t i = 0; i < config_.grad_shards; ++i) {
       replicas_.push_back(model_.clone());
     }
   }

@@ -77,6 +77,12 @@ struct PpoConfig {
   double target_kl = 0.015;
   double max_grad_norm = 10.0;
   bool normalize_advantages = true;
+  /// Gradient shards per minibatch when a thread pool is available. The
+  /// shard count is FIXED (not derived from the pool size) so the
+  /// floating-point reduction order — and therefore the trained model —
+  /// is bit-identical at any thread count; shards are merely distributed
+  /// over however many workers exist. 0 disables sharding.
+  std::size_t grad_shards = 8;
 };
 
 struct PpoStats {

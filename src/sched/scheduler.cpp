@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace rlbf::sched {
 
@@ -18,6 +19,17 @@ ScheduleOutcome run_schedule(const swf::Trace& trace, const sim::PriorityPolicy&
 std::string SchedulerSpec::label() const {
   std::ostringstream os;
   os << policy;
+  if (uses_agent()) {
+    os << "+RLBF";
+    switch (estimate) {
+      case EstimateKind::RequestTime: break;
+      case EstimateKind::ActualRuntime: os << "-AR"; break;
+      case EstimateKind::Noisy:
+        os << "+" << static_cast<int>(std::lround(noise_fraction * 100.0)) << "%";
+        break;
+    }
+    return os.str();
+  }
   switch (backfill) {
     case BackfillKind::None: os << "+NOBF"; break;
     case BackfillKind::Easy: os << "+EASY"; break;
@@ -37,19 +49,38 @@ std::string SchedulerSpec::label() const {
   return os.str();
 }
 
-ConfiguredScheduler::ConfiguredScheduler(const SchedulerSpec& spec)
-    : spec_(spec), policy_(make_policy(spec.policy)) {
+namespace {
+
+std::unique_ptr<sim::RuntimeEstimator> make_estimator(const SchedulerSpec& spec) {
   switch (spec.estimate) {
     case EstimateKind::RequestTime:
-      estimator_ = std::make_unique<RequestTimeEstimator>();
-      break;
+      return std::make_unique<RequestTimeEstimator>();
     case EstimateKind::ActualRuntime:
-      estimator_ = std::make_unique<ActualRuntimeEstimator>();
-      break;
+      return std::make_unique<ActualRuntimeEstimator>();
     case EstimateKind::Noisy:
-      estimator_ = std::make_unique<NoisyEstimator>(spec.noise_fraction, spec.noise_seed);
-      break;
+      return std::make_unique<NoisyEstimator>(spec.noise_fraction, spec.noise_seed);
   }
+  return nullptr;
+}
+
+}  // namespace
+
+ConfiguredScheduler::ConfiguredScheduler(const SchedulerSpec& spec,
+                                         std::unique_ptr<sim::BackfillChooser> chooser)
+    : spec_(spec),
+      policy_(make_policy(spec.policy)),
+      estimator_(make_estimator(spec)),
+      chooser_(std::move(chooser)) {}
+
+ConfiguredScheduler::ConfiguredScheduler(const SchedulerSpec& spec)
+    : spec_(spec), policy_(make_policy(spec.policy)) {
+  if (spec.uses_agent()) {
+    throw std::invalid_argument(
+        "ConfiguredScheduler: spec references agent '" + spec.agent +
+        "'; trained-agent schedulers are resolved by the exp layer "
+        "(exp::run_scenario / exp::evaluate_scenario)");
+  }
+  estimator_ = make_estimator(spec);
   switch (spec.backfill) {
     case BackfillKind::None:
       chooser_ = nullptr;

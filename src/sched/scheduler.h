@@ -48,13 +48,31 @@ enum class EstimateKind {
 
 /// A named scheduler configuration, e.g. {"FCFS", Easy, RequestTime}.
 struct SchedulerSpec {
+  SchedulerSpec() = default;
+  SchedulerSpec(std::string policy_, BackfillKind backfill_,
+                EstimateKind estimate_ = EstimateKind::RequestTime,
+                double noise_fraction_ = 0.0, std::uint64_t noise_seed_ = 0)
+      : policy(std::move(policy_)),
+        backfill(backfill_),
+        estimate(estimate_),
+        noise_fraction(noise_fraction_),
+        noise_seed(noise_seed_) {}
+
   std::string policy = "FCFS";
   BackfillKind backfill = BackfillKind::Easy;
   EstimateKind estimate = EstimateKind::RequestTime;
   double noise_fraction = 0.0;   // used when estimate == Noisy
   std::uint64_t noise_seed = 0;  // used when estimate == Noisy
+  /// Trained-agent reference: a model-store training-spec name, store
+  /// key, or model file path. Empty = the heuristic `backfill` above.
+  /// This layer cannot load models; the exp layer resolves the reference
+  /// (model::resolve_agent) and injects the chooser — a plain
+  /// ConfiguredScheduler(spec) with a non-empty agent throws.
+  std::string agent;
 
-  /// e.g. "FCFS+EASY", "SJF+EASY-AR", "FCFS+EASY+20%".
+  bool uses_agent() const { return !agent.empty(); }
+
+  /// e.g. "FCFS+EASY", "SJF+EASY-AR", "FCFS+EASY+20%", "FCFS+RLBF".
   std::string label() const;
 };
 
@@ -62,6 +80,12 @@ struct SchedulerSpec {
 class ConfiguredScheduler {
  public:
   explicit ConfiguredScheduler(const SchedulerSpec& spec);
+  /// Trained-agent form: the caller supplies the backfill chooser (e.g. a
+  /// core::RlBackfillChooser over a resolved agent) and the spec's
+  /// backfill kind is ignored. The chooser's referents must outlive the
+  /// scheduler.
+  ConfiguredScheduler(const SchedulerSpec& spec,
+                      std::unique_ptr<sim::BackfillChooser> chooser);
 
   ScheduleOutcome run(const swf::Trace& trace) const;
 

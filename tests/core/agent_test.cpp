@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "context_fixture.h"
 
@@ -80,6 +82,59 @@ TEST(Agent, SaveLoadRoundTripPreservesDecisions) {
 
   const ContextFixture fx = opportunity();
   EXPECT_EQ(loaded.choose_greedy(fx.context()), agent.choose_greedy(fx.context()));
+  std::remove(path.c_str());
+}
+
+// Regression: a truncated model file must throw with the offending path
+// in the message, never build an agent from a partial bundle.
+TEST(Agent, TruncatedModelFileThrowsWithPath) {
+  const std::string path = ::testing::TempDir() + "/rlbf_agent_truncated.model";
+  const Agent agent(small_config(), 6);
+  ASSERT_TRUE(agent.save(path, {{"trace", "SDSC-SP2"}}));
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  std::ofstream(path, std::ios::trunc) << text.substr(0, text.size() / 2);
+  try {
+    Agent::load(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error must name the file: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// Regression: garbled numeric metadata names the file and key instead of
+// surfacing as a bare std::stoul exception.
+TEST(Agent, CorruptMetaValueThrowsWithPathAndKey) {
+  const std::string path = ::testing::TempDir() + "/rlbf_agent_badmeta.model";
+  const Agent agent(small_config(), 7);
+  ASSERT_TRUE(agent.save(path));
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  const std::string needle = "meta max_obsv_size 16";
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "meta max_obsv_size not-a-number");
+  std::ofstream(path, std::ios::trunc) << text;
+  try {
+    Agent::load(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("max_obsv_size"), std::string::npos) << message;
+    EXPECT_NE(message.find(path), std::string::npos) << message;
+  }
   std::remove(path.c_str());
 }
 

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "model/train.h"
+
 namespace rlbf::exp {
 namespace {
 
@@ -156,6 +158,81 @@ TEST(Scenario, EvaluateScenarioMatchesDirectProtocolEvaluation) {
       core::evaluate_spec(build_trace(spec, 2), spec.scheduler, protocol);
   EXPECT_DOUBLE_EQ(via_engine.mean, direct.mean);
   ASSERT_EQ(via_engine.samples.size(), 3u);
+}
+
+TEST(TraceCache, SharedWorkloadFieldsHitOneEntry) {
+  clear_trace_cache();
+  ScenarioSpec spec = small("sdsc-easy", 400);
+  const auto first = build_trace_cached(spec, 3);
+  // A different scheduler does not change the workload-construction key.
+  spec.scheduler.policy = "SJF";
+  spec.scheduler.backfill = sched::BackfillKind::Conservative;
+  const auto second = build_trace_cached(spec, 3);
+  EXPECT_EQ(first.get(), second.get()) << "same workload fields must share a trace";
+
+  const TraceCacheStats stats = trace_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // Different seed or workload field -> distinct entries.
+  const auto other_seed = build_trace_cached(spec, 4);
+  EXPECT_NE(first.get(), other_seed.get());
+  spec.load_factor = 1.5;
+  const auto other_load = build_trace_cached(spec, 3);
+  EXPECT_NE(first.get(), other_load.get());
+  EXPECT_EQ(trace_cache_stats().misses, 3u);
+}
+
+TEST(TraceCache, CachedTraceEqualsDirectBuild) {
+  clear_trace_cache();
+  const ScenarioSpec spec = small("sdsc-flurry-scrubbed", 400);
+  TraceBuildInfo direct_info;
+  const swf::Trace direct = build_trace(spec, 5, &direct_info);
+  TraceBuildInfo cached_info;
+  const auto cached = build_trace_cached(spec, 5, &cached_info);
+  ASSERT_EQ(cached->size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ((*cached)[i].submit_time, direct[i].submit_time);
+    EXPECT_EQ((*cached)[i].run_time, direct[i].run_time);
+  }
+  // Side data (the flurry scrub report) round-trips through the cache.
+  EXPECT_EQ(cached_info.flurry.removed_jobs, direct_info.flurry.removed_jobs);
+  EXPECT_EQ(cached_info.flurry.flagged_users, direct_info.flurry.flagged_users);
+}
+
+TEST(TraceCache, RunScenarioResultsUnchangedByCaching) {
+  const ScenarioSpec spec = small("sdsc-easy", 400);
+  clear_trace_cache();
+  const ScenarioRun cold = run_scenario(spec, 9);
+  const ScenarioRun warm = run_scenario(spec, 9);  // cache hit path
+  EXPECT_EQ(cold.metrics.avg_bounded_slowdown, warm.metrics.avg_bounded_slowdown);
+  EXPECT_EQ(cold.jobs, warm.jobs);
+  EXPECT_GE(trace_cache_stats().hits, 1u);
+}
+
+TEST(Scenario, TrainedAgentScenariosAreRegistered) {
+  for (const char* name :
+       {"sdsc-rlbf", "sdsc-sjf-rlbf", "hpc2n-rlbf-transfer", "sdsc-tiny-rlbf"}) {
+    const ScenarioSpec& spec = find_scenario(name);
+    EXPECT_TRUE(spec.scheduler.uses_agent()) << name;
+    EXPECT_NE(spec.label().find("RLBF"), std::string::npos) << name;
+  }
+  EXPECT_EQ(find_scenario("sdsc-rlbf").scheduler.agent, "sdsc-fcfs");
+  EXPECT_EQ(find_scenario("hpc2n-rlbf-transfer").workload, "HPC2N");
+}
+
+TEST(Scenario, AgentScenarioWithEmptyStoreThrowsActionableError) {
+  model::set_default_store_root(::testing::TempDir() + "/rlbf_scenario_nostore");
+  model::clear_agent_cache();
+  ScenarioSpec spec = find_scenario("sdsc-rlbf");
+  spec.trace_jobs = 300;
+  try {
+    run_scenario(spec, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rlbf_run train"), std::string::npos);
+  }
 }
 
 TEST(Scenario, EnumNamesRoundTrip) {

@@ -73,6 +73,15 @@ TEST(ApplyParam, NoiseSwitchesToNoisyEstimates) {
   EXPECT_DOUBLE_EQ(spec.scheduler.noise_fraction, 0.2);
 }
 
+TEST(ApplyParam, AgentSetsAndClearsTheReference) {
+  ScenarioSpec spec = small_base();
+  apply_param(spec, "agent", "sdsc-fcfs");
+  EXPECT_EQ(spec.scheduler.agent, "sdsc-fcfs");
+  EXPECT_TRUE(spec.scheduler.uses_agent());
+  apply_param(spec, "agent", "none");
+  EXPECT_FALSE(spec.scheduler.uses_agent());
+}
+
 TEST(ApplyParam, RejectsUnknownParamAndBadValues) {
   ScenarioSpec spec = small_base();
   EXPECT_THROW(apply_param(spec, "bogus", "1"), std::invalid_argument);

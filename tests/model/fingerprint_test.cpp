@@ -1,0 +1,114 @@
+#include "model/training_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/presets.h"
+
+namespace rlbf::model {
+namespace {
+
+TrainingSpec base_spec() {
+  TrainingSpec spec;
+  spec.name = "test";
+  spec.workload.workload = "SDSC-SP2";
+  spec.workload.trace_jobs = 1000;
+  spec.trainer.epochs = 3;
+  spec.trainer.seed = 7;
+  return spec;
+}
+
+TEST(Fingerprint, EqualSpecsEqualFingerprints) {
+  EXPECT_EQ(fingerprint(base_spec()), fingerprint(base_spec()));
+}
+
+TEST(Fingerprint, NameAndDescriptionAreNotFingerprinted) {
+  TrainingSpec a = base_spec();
+  TrainingSpec b = base_spec();
+  b.name = "renamed";
+  b.description = "different prose, same training run";
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, ThreadCountIsNotFingerprinted) {
+  // Training is thread-count independent (fixed gradient shards,
+  // pre-drawn trajectory seeds), so worker counts must not fork the
+  // content address.
+  TrainingSpec a = base_spec();
+  TrainingSpec b = base_spec();
+  b.trainer.threads = 16;
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, EveryTrainingRelevantFieldChangesTheKey) {
+  const std::string base = fingerprint(base_spec());
+  const auto differs = [&](auto mutate) {
+    TrainingSpec spec = base_spec();
+    mutate(spec);
+    return fingerprint(spec) != base;
+  };
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.trainer.seed = 8; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.trainer.epochs = 4; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.trainer.base_policy = "SJF"; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.algorithm = "dqn"; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.workload.workload = "HPC2N"; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.workload.trace_jobs = 2000; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.workload.load_factor = 1.5; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.trainer.ppo.policy_lr = 5e-4; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.trainer.ppo.grad_shards = 4; }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) {
+    s.trainer.env.delay_rule = core::DelayRule::EstimatePenalty;
+  }));
+  EXPECT_TRUE(differs([](TrainingSpec& s) { s.trainer.agent.obs.max_obsv_size = 64; }));
+  EXPECT_TRUE(differs(
+      [](TrainingSpec& s) { s.trainer.agent.net.policy_hidden = {16, 8}; }));
+}
+
+// Cross-process stability: the fingerprint is a pure function of the
+// canonical text, with no pointers, locales, or map iteration order
+// involved. This golden pins it; an intentional format change (new
+// fingerprinted field, enum reorder) should update the constant — that
+// is exactly the "old cache entries no longer match" signal the store
+// relies on.
+TEST(Fingerprint, GoldenValueIsStableAcrossProcesses) {
+  EXPECT_EQ(fnv1a_hex("rlbf"), "991df21fea8aaf27");
+  const std::string canon = canonical_string(base_spec());
+  EXPECT_EQ(canon.substr(0, 21), "rlbf-training-spec v1");
+  EXPECT_EQ(fingerprint(base_spec()), fnv1a_hex(canon));
+}
+
+TEST(Fingerprint, TraceFingerprintSeparatesTransformedTraces) {
+  const swf::Trace trace =
+      workload::make_preset(workload::sdsc_sp2_targets(), 200, 1);
+  swf::Trace scaled = trace;
+  for (auto& job : scaled.mutable_jobs()) job.run_time += 1;
+  EXPECT_NE(trace_fingerprint(trace), trace_fingerprint(scaled));
+  EXPECT_EQ(trace_fingerprint(trace), trace_fingerprint(swf::Trace(trace)));
+}
+
+TEST(TrainingRegistry, BuiltinsArePresentAndDistinct) {
+  const auto names = training_spec_names();
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(TrainingRegistry::instance().contains("sdsc-fcfs"));
+  EXPECT_TRUE(TrainingRegistry::instance().contains("sdsc-tiny"));
+  // Every registered spec maps to a distinct content address.
+  std::vector<std::string> keys;
+  for (const auto& name : names) {
+    keys.push_back(fingerprint(find_training_spec(name)));
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(TrainingRegistry, UnknownNameThrowsWithCatalog) {
+  try {
+    find_training_spec("no-such-spec");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no-such-spec"), std::string::npos);
+    EXPECT_NE(message.find("sdsc-fcfs"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rlbf::model

@@ -1,0 +1,149 @@
+#include "model/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "model/training_spec.h"
+
+namespace rlbf::model {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::Agent tiny_agent(std::uint64_t seed = 3) {
+  core::AgentConfig config;
+  config.obs.max_obsv_size = 16;
+  config.obs.value_obsv_size = 8;
+  return core::Agent(config, seed);
+}
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = ::testing::TempDir() + "/rlbf_store_" + name;
+  fs::remove_all(root);
+  return root;
+}
+
+TEST(Store, PutLookupRoundTrip) {
+  Store store(fresh_root("roundtrip"));
+  const core::Agent agent = tiny_agent();
+  const StoreEntry put_entry =
+      store.put("aaaa000011112222", agent, "tiny", {{"epochs", "2"}}, "canon v1\n");
+
+  EXPECT_TRUE(store.contains("aaaa000011112222"));
+  const auto entry = store.lookup("aaaa000011112222");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->name, "tiny");
+  EXPECT_EQ(entry->meta.at("epochs"), "2");
+  EXPECT_EQ(entry->meta.at("spec_name"), "tiny");
+  EXPECT_EQ(entry->path, put_entry.path);
+  EXPECT_TRUE(fs::exists(store.spec_path("aaaa000011112222")));
+
+  const core::Agent loaded = store.load("aaaa000011112222");
+  EXPECT_EQ(loaded.config().obs.max_obsv_size, 16u);
+  // Bit-exact model round trip (hexfloat serialization).
+  const auto a = agent.model().policy_parameters();
+  const auto b = loaded.model().policy_parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->value, b[i]->value);
+  }
+}
+
+TEST(Store, LookupMissReturnsNulloptAndLoadThrows) {
+  Store store(fresh_root("miss"));
+  EXPECT_FALSE(store.contains("ffff000000000000"));
+  EXPECT_FALSE(store.lookup("ffff000000000000").has_value());
+  EXPECT_THROW(store.load("ffff000000000000"), std::runtime_error);
+}
+
+TEST(Store, IndexSurvivesReopen) {
+  const std::string root = fresh_root("reopen");
+  {
+    Store store(root);
+    store.put("1111111111111111", tiny_agent(1), "one", {});
+    store.put("2222222222222222", tiny_agent(2), "two", {});
+  }
+  Store reopened(root);
+  const auto entries = reopened.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, "1111111111111111");
+  EXPECT_EQ(entries[1].key, "2222222222222222");
+  EXPECT_EQ(entries[1].name, "two");
+}
+
+TEST(Store, IndexIsRebuiltFromScanWhenMissing) {
+  const std::string root = fresh_root("rebuild");
+  {
+    Store store(root);
+    store.put("3333333333333333", tiny_agent(), "three", {{"epochs", "9"}});
+  }
+  fs::remove(root + "/index.tsv");
+  Store rebuilt(root);
+  const auto entry = rebuilt.lookup("3333333333333333");
+  ASSERT_TRUE(entry.has_value());
+  // The name comes back out of the model file's own metadata.
+  EXPECT_EQ(entry->name, "three");
+  EXPECT_EQ(entry->meta.at("epochs"), "9");
+  EXPECT_TRUE(fs::exists(root + "/index.tsv"));
+}
+
+TEST(Store, PruneRemovesOnlyUnreferencedEntries) {
+  Store store(fresh_root("prune"));
+  store.put("aaaaaaaaaaaaaaaa", tiny_agent(1), "keep", {});
+  store.put("bbbbbbbbbbbbbbbb", tiny_agent(2), "drop", {});
+  store.put("cccccccccccccccc", tiny_agent(3), "keep2", {});
+
+  const auto removed =
+      store.prune({"aaaaaaaaaaaaaaaa", "cccccccccccccccc", "not-present"});
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], "bbbbbbbbbbbbbbbb");
+  EXPECT_TRUE(store.contains("aaaaaaaaaaaaaaaa"));
+  EXPECT_FALSE(store.contains("bbbbbbbbbbbbbbbb"));
+  EXPECT_TRUE(store.contains("cccccccccccccccc"));
+  EXPECT_FALSE(fs::exists(store.model_path("bbbbbbbbbbbbbbbb")));
+  EXPECT_TRUE(fs::exists(store.model_path("aaaaaaaaaaaaaaaa")));
+
+  // Referenced set unchanged -> prune is a no-op.
+  EXPECT_TRUE(store.prune({"aaaaaaaaaaaaaaaa", "cccccccccccccccc"}).empty());
+}
+
+// Regression: one corrupt model file (e.g. a crash mid-save) must not
+// brick the whole store — the entry is dropped, everything else loads.
+TEST(Store, CorruptIndexedModelIsDroppedNotFatal) {
+  const std::string root = fresh_root("corrupt");
+  {
+    Store store(root);
+    store.put("eeeeeeeeeeeeeeee", tiny_agent(1), "good", {});
+    store.put("ffffffffffffffff", tiny_agent(2), "bad", {});
+  }
+  std::ofstream(root + "/ffffffffffffffff.model", std::ios::trunc)
+      << "rlbf-model v1\nmeta spec_name bad\ngarbage";
+  Store reopened(root);
+  EXPECT_TRUE(reopened.contains("eeeeeeeeeeeeeeee"));
+  EXPECT_FALSE(reopened.contains("ffffffffffffffff"));
+  EXPECT_NO_THROW(reopened.load("eeeeeeeeeeeeeeee"));
+}
+
+TEST(Store, PutOverwritesExistingKeyInPlace) {
+  Store store(fresh_root("overwrite"));
+  store.put("dddddddddddddddd", tiny_agent(1), "v1", {{"epochs", "1"}});
+  store.put("dddddddddddddddd", tiny_agent(2), "v2", {{"epochs", "2"}});
+  const auto entries = store.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "v2");
+  EXPECT_EQ(entries[0].meta.at("epochs"), "2");
+}
+
+TEST(DefaultStore, RootIsSwitchable) {
+  const std::string root = fresh_root("default");
+  set_default_store_root(root);
+  EXPECT_EQ(default_store().root(), root);
+  const std::string other = fresh_root("default2");
+  set_default_store_root(other);
+  EXPECT_EQ(default_store().root(), other);
+}
+
+}  // namespace
+}  // namespace rlbf::model

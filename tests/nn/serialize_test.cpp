@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace rlbf::nn {
@@ -105,6 +106,113 @@ TEST(Serialize, FileRoundTrip) {
 
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_model_file("/nonexistent/model.txt"), std::runtime_error);
+}
+
+// Regression: a truncated model file must throw naming the offending
+// path and line — never silently yield a partial bundle (historically a
+// clean truncation at a tag boundary loaded as a shorter model).
+TEST(Serialize, TruncatedFileErrorNamesPathAndLine) {
+  const std::string path = ::testing::TempDir() + "/rlbf_truncated.model";
+  const ModelBundle original = make_bundle();
+  ASSERT_TRUE(save_model_file(path, original));
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  // Cut mid-way through the tensor data.
+  std::ofstream(path, std::ios::trunc) << text.substr(0, text.size() * 2 / 3);
+  try {
+    load_model_file(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(path), std::string::npos)
+        << "error must name the file: " << message;
+    EXPECT_NE(message.find("line "), std::string::npos)
+        << "error must name the line: " << message;
+  }
+  std::remove(path.c_str());
+}
+
+// Regression: a corrupt numeric token must throw, not strtod-to-zero
+// (the old loader parsed junk values as 0.0 and kept going).
+TEST(Serialize, JunkTensorValueThrowsWithLine) {
+  std::stringstream buf(
+      "rlbf-model v1\n"
+      "mlp m 2 2 1 relu\n"
+      "tensor 2 1\n"
+      "0x1p+0\n"
+      "garbage\n");
+  try {
+    load_model(buf);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("garbage"), std::string::npos) << message;
+    EXPECT_NE(message.find("line 5"), std::string::npos) << message;
+  }
+}
+
+TEST(Serialize, TruncatedMlpHeaderThrows) {
+  std::stringstream buf("rlbf-model v1\nmlp m 3 8 4\n");
+  EXPECT_THROW(load_model(buf), std::runtime_error);
+}
+
+// Regression: a meta line with no value ("meta key\n") yields an empty
+// value — the tokenizer must not swallow the next line as the value.
+TEST(Serialize, EmptyMetaValueDoesNotEatTheNextLine) {
+  std::stringstream buf(
+      "rlbf-model v1\n"
+      "meta note\n"
+      "mlp m 2 2 1 relu\n"
+      "tensor 2 1\n0x1p+0\n0x1p+1\n"
+      "tensor 1 1\n0x1p+0\n");
+  const ModelBundle bundle = load_model(buf);
+  EXPECT_EQ(bundle.meta.at("note"), "");
+  ASSERT_NE(bundle.find("m"), nullptr) << "mlp section was swallowed";
+}
+
+// Regression: overflowing values ("1e999999") are corruption, while
+// subnormal underflow is a legitimate tiny weight.
+TEST(Serialize, OverflowingTensorValueThrowsButSubnormalLoads) {
+  std::stringstream over(
+      "rlbf-model v1\nmlp m 2 2 1 relu\ntensor 2 1\n1e999999\n0\n");
+  EXPECT_THROW(load_model(over), std::runtime_error);
+  std::stringstream tiny(
+      "rlbf-model v1\nmlp m 2 2 1 relu\ntensor 2 1\n0x1p-1060\n0x1p+0\n"
+      "tensor 1 1\n0x1p+0\n");
+  const ModelBundle bundle = load_model(tiny);
+  EXPECT_GT(bundle.find("m")->parameters()[0]->value[0], 0.0);
+}
+
+// Regression: strtoull silently wraps negative numbers; a corrupt
+// "tensor -1 4" header must throw, not allocate ~2^64 rows.
+TEST(Serialize, NegativeTensorDimsThrow) {
+  std::stringstream buf(
+      "rlbf-model v1\nmlp m 2 2 1 relu\ntensor -1 4\n");
+  EXPECT_THROW(load_model(buf), std::runtime_error);
+  std::stringstream dims("rlbf-model v1\nmlp m -2 2 1 relu\n");
+  EXPECT_THROW(load_model(dims), std::runtime_error);
+}
+
+TEST(Serialize, MetaOnlyLoadSkipsTensorData) {
+  const ModelBundle original = make_bundle();
+  std::stringstream buf;
+  save_model(buf, original);
+  // Corrupt a tensor value: a meta-only read must not notice, a full
+  // load must throw.
+  std::string text = buf.str();
+  const auto pos = text.find("0x");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 2, "zz");
+  std::stringstream meta_in(text);
+  const auto meta = load_model_meta(meta_in);
+  EXPECT_EQ(meta.at("trace"), "SDSC-SP2");
+  std::stringstream full_in(text);
+  EXPECT_THROW(load_model(full_in), std::runtime_error);
 }
 
 }  // namespace

@@ -1,22 +1,38 @@
-// rlbf_run — the unified driver over the scenario & experiment engine.
+// rlbf_run — the unified driver over the scenario & experiment engine
+// and the model store.
 //
-//   rlbf_run --list                         # the scenario catalog
-//   rlbf_run --describe=sdsc-flurry         # one scenario in detail
-//   rlbf_run --scenario=sdsc-easy --seed=1 --out_dir=out
-//   rlbf_run --scenario=sdsc-easy --threads=8 --out_dir=out
+//   rlbf_run run --list                     # the scenario catalog
+//   rlbf_run run --describe=sdsc-flurry    # one scenario in detail
+//   rlbf_run run --scenario=sdsc-easy --seed=1 --out_dir=out
+//   rlbf_run run --scenario=sdsc-easy --threads=8 --out_dir=out
 //            --sweep="load=0.5,1.0,1.5;policy=FCFS,SJF"
-//   rlbf_run --scenario=sdsc-easy --samples=10 --sample_jobs=1024
+//   rlbf_run run --scenario=sdsc-easy --samples=10 --sample_jobs=1024
+//   rlbf_run run --scenario=sdsc-easy --agent=sdsc-fcfs   # RL backfilling
+//
+//   rlbf_run train --list                   # the training-spec catalog
+//   rlbf_run train --spec=sdsc-fcfs         # train into the model store
+//                                           # (second invocation: cache hit)
+//   rlbf_run models                         # list the store
+//   rlbf_run models --prune                 # drop unreferenced entries
+//
+// The bare legacy form (no subcommand) still works and means `run`.
 //
 // Output is deterministic for a given --seed at any --threads value:
-// the summary CSV/JSON and the per-job CSVs are byte-identical across
-// repeated runs.
+// trained models, the summary CSV/JSON, and the per-job CSVs are
+// byte-identical across repeated runs.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <stdexcept>
 
 #include "exp/config.h"
 #include "exp/scenario.h"
 #include "exp/sink.h"
 #include "exp/sweep.h"
+#include "model/store.h"
+#include "model/train.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -33,6 +49,24 @@ void list_scenarios() {
   table.print(std::cout);
 }
 
+/// Split a comma-separated name list; empty elements are an error.
+std::vector<std::string> split_names(const std::string& text,
+                                     const std::string& flag) {
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string name = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (name.empty()) {
+      throw std::invalid_argument("empty name in " + flag + "=" + text);
+    }
+    names.push_back(name);
+  }
+  return names;
+}
+
 void describe_scenario(const std::string& name) {
   const exp::ScenarioSpec& s = exp::find_scenario(name);
   std::cout << s.name << ": " << s.description << "\n"
@@ -47,6 +81,9 @@ void describe_scenario(const std::string& name) {
             << " backfill=" << exp::backfill_kind_name(s.scheduler.backfill)
             << " estimate=" << exp::estimate_kind_name(s.scheduler.estimate)
             << ")\n"
+            << (s.scheduler.uses_agent()
+                    ? "  agent:          " + s.scheduler.agent + "\n"
+                    : std::string())
             << "  load_factor:    " << s.load_factor << "\n"
             << "  heavy_tail:     prob=" << s.heavy_tail_prob
             << " alpha=" << s.heavy_tail_alpha << "\n"
@@ -70,9 +107,11 @@ int run(int argc, char** argv) {
   std::string out_dir;
   std::string format = "csv";
   bool per_job = true;
+  std::string agent;
+  std::string store_root;
 
   exp::ArgParser parser(
-      "rlbf_run", "Run named scheduling scenarios and parameter sweeps.");
+      "rlbf_run run", "Run named scheduling scenarios and parameter sweeps.");
   parser.add_flag("--list", &list, "list the scenario catalog and exit");
   parser.add("--describe", &describe, "print one scenario's full spec and exit");
   parser.add("--scenario", &scenario, "scenario name(s), comma-separated");
@@ -91,7 +130,15 @@ int run(int argc, char** argv) {
   parser.add("--format", &format, "summary file format: csv | json | both");
   parser.add("--per_job", &per_job,
              "write per-job CSVs when --out_dir is set (full-run mode only)");
+  parser.add("--agent", &agent,
+             "trained-agent reference applied to every instance "
+             "(training-spec name, store key, or model file path; 'none' "
+             "clears a scenario's reference back to its heuristic)");
+  parser.add("--store", &store_root,
+             "model store root for agent references "
+             "(default: $RLBF_MODEL_STORE or 'models')");
   parser.parse_or_exit(argc, argv);
+  if (!store_root.empty()) model::set_default_store_root(store_root);
 
   if (list) {
     list_scenarios();
@@ -114,19 +161,12 @@ int run(int argc, char** argv) {
   // Expand --scenario (comma list) x --sweep into concrete instances.
   std::vector<exp::ScenarioSpec> specs;
   const std::vector<exp::SweepAxis> axes = exp::parse_sweep(sweep);
-  std::size_t start = 0;
-  while (start <= scenario.size()) {
-    const std::size_t comma = scenario.find(',', start);
-    const std::string name = scenario.substr(
-        start, comma == std::string::npos ? std::string::npos : comma - start);
-    start = comma == std::string::npos ? scenario.size() + 1 : comma + 1;
-    if (name.empty()) {
-      std::cerr << "rlbf_run: empty scenario name in --scenario=" << scenario
-                << "\n";
-      return 2;
-    }
+  for (const std::string& name : split_names(scenario, "--scenario")) {
     exp::ScenarioSpec base = exp::find_scenario(name);
     if (jobs > 0) base.trace_jobs = jobs;
+    // Same convention as the sweep parameter ("none" = heuristic), via
+    // the same tested implementation.
+    if (!agent.empty()) exp::apply_param(base, "agent", agent);
     for (exp::ScenarioSpec& instance : exp::expand_grid(base, axes)) {
       specs.push_back(std::move(instance));
     }
@@ -211,10 +251,191 @@ int run(int argc, char** argv) {
   return 0;
 }
 
+int train(int argc, char** argv) {
+  bool list = false;
+  std::string spec_names;
+  std::string store_root;
+  std::size_t threads = 0;
+  bool force = false;
+  bool quiet = false;
+  std::uint64_t seed = 0;
+  std::size_t epochs = 0;
+  std::size_t trajectories = 0;
+  std::size_t traj_jobs = 0;
+  std::size_t jobs = 0;
+
+  exp::ArgParser parser("rlbf_run train",
+                        "Train agents from declarative specs into the model "
+                        "store (content-addressed; a second identical train "
+                        "is a cache hit and runs nothing).");
+  parser.add_flag("--list", &list, "list the training-spec catalog and exit");
+  parser.add("--spec", &spec_names, "training spec name(s), comma-separated");
+  parser.add("--store", &store_root,
+             "model store root (default: $RLBF_MODEL_STORE or 'models')");
+  parser.add("--threads", &threads,
+             "worker threads (0 = hardware; never changes the result)");
+  parser.add_flag("--force", &force, "retrain even on a store cache hit");
+  parser.add_flag("--quiet", &quiet, "suppress the per-epoch progress table");
+  parser.add("--seed", &seed,
+             "master seed: spec seeds are pre-split from it (0 = keep each "
+             "spec's own seed)");
+  parser.add("--epochs", &epochs, "override every spec's epochs (0 = keep)");
+  parser.add("--trajectories", &trajectories,
+             "override trajectories per epoch (0 = keep)");
+  parser.add("--traj_jobs", &traj_jobs,
+             "override jobs per trajectory (0 = keep)");
+  parser.add("--jobs", &jobs, "override the training trace length (0 = keep)");
+  parser.parse_or_exit(argc, argv);
+
+  if (list) {
+    util::Table table({"spec", "algorithm", "workload", "base", "budget",
+                       "key", "description"});
+    for (const std::string& name : model::training_spec_names()) {
+      const model::TrainingSpec& s = model::find_training_spec(name);
+      table.add_row({s.name, s.algorithm, s.workload.workload,
+                     s.trainer.base_policy,
+                     std::to_string(s.trainer.epochs) + "x" +
+                         std::to_string(s.trainer.trajectories_per_epoch) + "x" +
+                         std::to_string(s.trainer.jobs_per_trajectory),
+                     model::fingerprint(s), s.description});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+  if (spec_names.empty()) {
+    std::cerr << "rlbf_run train: pass --spec=NAME (or --list)\n\n"
+              << parser.usage();
+    return 2;
+  }
+  if (!store_root.empty()) model::set_default_store_root(store_root);
+  model::Store& store = model::default_store();
+
+  std::vector<model::TrainingSpec> specs;
+  for (const std::string& name : split_names(spec_names, "--spec")) {
+    model::TrainingSpec spec = model::find_training_spec(name);
+    if (epochs > 0) spec.trainer.epochs = epochs;
+    if (trajectories > 0) spec.trainer.trajectories_per_epoch = trajectories;
+    if (traj_jobs > 0) spec.trainer.jobs_per_trajectory = traj_jobs;
+    if (jobs > 0) spec.workload.trace_jobs = jobs;
+    specs.push_back(std::move(spec));
+  }
+
+  model::TrainOptions options;
+  options.threads = threads;
+  options.force = force;
+  if (!quiet) {
+    options.on_progress = [](const model::TrainingSpec& spec,
+                             const model::TrainProgress& p) {
+      std::cout << spec.name << " epoch " << p.epoch
+                << " reward=" << exp::format_metric(p.mean_reward)
+                << " bsld=" << exp::format_metric(p.mean_bsld)
+                << " baseline=" << exp::format_metric(p.mean_baseline_bsld)
+                << " steps=" << p.steps;
+      if (!std::isnan(p.eval_bsld)) {
+        std::cout << " eval=" << exp::format_metric(p.eval_bsld);
+      }
+      std::cout << "\n";
+    };
+  }
+
+  const std::vector<model::TrainOutcome> outcomes =
+      model::train_specs(specs, store, options, seed);
+  util::Table table({"spec", "key", "status", "epochs", "best_eval", "path"});
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const model::TrainOutcome& out = outcomes[i];
+    table.add_row({specs[i].name, out.entry.key,
+                   out.cache_hit ? "cache hit (no retraining)" : "trained",
+                   std::to_string(out.epochs_run),
+                   std::isnan(out.best_eval_bsld)
+                       ? ""
+                       : exp::format_metric(out.best_eval_bsld),
+                   out.entry.path});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int models(int argc, char** argv) {
+  std::string store_root;
+  bool prune = false;
+
+  exp::ArgParser parser("rlbf_run models",
+                        "List (and optionally prune) the model store.");
+  parser.add("--store", &store_root,
+             "model store root (default: $RLBF_MODEL_STORE or 'models')");
+  parser.add_flag("--prune", &prune,
+                  "remove entries not referenced by any registered training "
+                  "spec or scenario");
+  parser.parse_or_exit(argc, argv);
+
+  if (!store_root.empty()) model::set_default_store_root(store_root);
+  model::Store& store = model::default_store();
+
+  if (prune) {
+    // Referenced = the fingerprint of every registered training spec,
+    // every raw store key a registered scenario points at, AND every
+    // entry trained under a registered spec's name — the last because
+    // resolve_agent's unique-same-name fallback can serve those (e.g.
+    // CLI budget overrides), so pruning them would break a scenario that
+    // resolved a moment earlier. Everything else is prunable.
+    std::vector<std::string> referenced;
+    std::vector<std::string> referenced_names = model::training_spec_names();
+    for (const std::string& name : referenced_names) {
+      referenced.push_back(model::fingerprint(model::find_training_spec(name)));
+    }
+    for (const std::string& name : exp::scenario_names()) {
+      const exp::ScenarioSpec& s = exp::find_scenario(name);
+      if (!s.scheduler.uses_agent()) continue;
+      if (!model::TrainingRegistry::instance().contains(s.scheduler.agent)) {
+        referenced.push_back(s.scheduler.agent);  // raw key reference
+      }
+    }
+    for (const model::StoreEntry& entry : store.list()) {
+      if (std::find(referenced_names.begin(), referenced_names.end(),
+                    entry.name) != referenced_names.end()) {
+        referenced.push_back(entry.key);
+      }
+    }
+    const std::vector<std::string> removed = store.prune(referenced);
+    for (const std::string& key : removed) {
+      std::cout << "pruned " << key << "\n";
+    }
+    std::cout << "# pruned " << removed.size() << " unreferenced "
+              << (removed.size() == 1 ? "entry" : "entries") << " from "
+              << store.root() << "/\n";
+  }
+
+  const auto meta_of = [](const model::StoreEntry& e, const char* key) {
+    const auto it = e.meta.find(key);
+    return it == e.meta.end() ? std::string() : it->second;
+  };
+  util::Table table({"key", "spec", "algorithm", "workload", "base", "epochs",
+                     "best_eval"});
+  for (const model::StoreEntry& entry : store.list()) {
+    table.add_row({entry.key, entry.name, meta_of(entry, "algorithm"),
+                   meta_of(entry, "workload"), meta_of(entry, "base_policy"),
+                   meta_of(entry, "epochs"), meta_of(entry, "best_eval_bsld")});
+  }
+  table.print(std::cout);
+  std::cout << "# " << store.list().size() << " model(s) in " << store.root()
+            << "/\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    // Subcommand dispatch; the bare legacy flag form still means `run`.
+    if (argc > 1 && argv[1][0] != '-') {
+      const std::string command = argv[1];
+      if (command == "run") return run(argc - 1, argv + 1);
+      if (command == "train") return train(argc - 1, argv + 1);
+      if (command == "models") return models(argc - 1, argv + 1);
+      std::cerr << "rlbf_run: unknown command '" << command
+                << "' (known: run, train, models)\n";
+      return 2;
+    }
     return run(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "rlbf_run: " << e.what() << "\n";
