@@ -9,6 +9,10 @@
 // when to decline) that no fixed rule encodes — it should match or beat
 // the best fixed ordering per trace, and the best fixed ordering should
 // differ across traces.
+//
+// Every cell routes through exp::evaluate_scenario (the trace cache
+// dedups construction across orderings); the per-trace agents are the
+// store-backed paper-protocol entries shared with table4/table5.
 #include <iostream>
 
 #include "bench_common.h"
@@ -38,12 +42,18 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {trace_name};
     for (const auto& [label, kind] : orders) {
       row.push_back(util::Table::fmt(
-          bench::eval_spec(trace,
-                           {"FCFS", kind, sched::EstimateKind::RequestTime}, args),
+          bench::eval_scenario(
+              bench::scenario_for(
+                  trace_name, {"FCFS", kind, sched::EstimateKind::RequestTime},
+                  args),
+              args),
           2));
     }
-    const core::Agent agent = bench::get_or_train_agent(trace, "FCFS", args);
-    row.push_back(util::Table::fmt(bench::eval_rlbf(trace, agent, "FCFS", args), 2));
+    row.push_back(util::Table::fmt(
+        bench::eval_agent_scenario(
+            trace_name, "FCFS",
+            bench::get_or_train_entry(trace, "FCFS", args).entry.key, args),
+        2));
     table.add_row(std::move(row));
   }
 

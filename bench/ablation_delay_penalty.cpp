@@ -3,6 +3,11 @@
 // the alternative is hard-masking inadmissible candidates (the agent
 // can then never delay, but also loses the trade-off freedom the paper
 // argues for). Sweeps the penalty magnitude and the masking variant.
+//
+// Every variant is a registered "abl-delay-*" TrainingSpec arm trained
+// through the model store (a second run is a cache hit; the final
+// training reward is recovered from the stored entry), and deployment
+// bsld comes from exp::evaluate_scenario over the arm's agent.
 #include <iostream>
 
 #include "bench_common.h"
@@ -12,34 +17,27 @@
 int main(int argc, char** argv) {
   using namespace rlbf;
   bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  if (args.epochs > 8) args.epochs = 8;
+  args.cap_epochs(8);
   util::set_log_level(util::LogLevel::Warn);
 
   const swf::Trace trace = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
   util::Table table({"variant", "mean_bsld", "final_train_reward"});
 
-  struct Variant {
-    std::string label;
-    double penalty;
-    core::DelayRule rule;
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"estimate-penalty=0.5", "abl-delay-est-0.5"},
+      {"estimate-penalty=2 (paper)", "abl-delay-est-2"},
+      {"estimate-penalty=10 (harsh)", "abl-delay-est-10"},
+      {"actual-delay-penalty=0.5", "abl-delay-act-0.5"},
+      {"actual-delay-penalty=2", "abl-delay-act-2"},
+      {"hard mask (default)", "abl-delay-mask"},
   };
-  const std::vector<Variant> variants = {
-      {"estimate-penalty=0.5", 0.5, core::DelayRule::EstimatePenalty},
-      {"estimate-penalty=2 (paper)", 2.0, core::DelayRule::EstimatePenalty},
-      {"estimate-penalty=10 (harsh)", 10.0, core::DelayRule::EstimatePenalty},
-      {"actual-delay-penalty=0.5", 0.5, core::DelayRule::ActualDelayPenalty},
-      {"actual-delay-penalty=2", 2.0, core::DelayRule::ActualDelayPenalty},
-      {"hard mask (default)", 0.0, core::DelayRule::HardMask},
-  };
-  for (const auto& v : variants) {
-    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
-    cfg.env.delay_penalty = v.penalty;
-    cfg.env.delay_rule = v.rule;
-    core::Trainer trainer(trace, cfg);
-    double final_reward = 0.0;
-    trainer.train([&](const core::EpochStats& s) { final_reward = s.mean_reward; });
-    const double bsld = bench::eval_rlbf(trace, trainer.agent(), "FCFS", args);
-    table.add_row({v.label, util::Table::fmt(bsld), util::Table::fmt(final_reward, 4)});
+  for (const auto& [label, arm] : variants) {
+    const model::TrainOutcome outcome =
+        bench::get_or_train(trace, bench::arm_spec(arm, args), args);
+    const double final_reward = bench::entry_stat(outcome, "final_reward");
+    const double bsld =
+        bench::eval_agent_scenario("SDSC-SP2", "FCFS", outcome.entry.key, args);
+    table.add_row({label, util::Table::fmt(bsld), util::Table::fmt(final_reward, 4)});
   }
 
   std::cout << "# Ablation A2: delay-penalty reward vs hard masking, "

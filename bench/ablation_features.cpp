@@ -9,6 +9,10 @@
 // features (the admissibility signals) hurts most; the waiting-time
 // feature matters under FCFS-relative rewards; redundant encodings
 // (procs vs fit-ratio) degrade gracefully.
+//
+// The all-features control is the shared "abl-control" arm; each
+// knockout is a registered "abl-feat-no-*" arm. Training goes through
+// the model store, evaluation through exp::evaluate_scenario.
 #include <iostream>
 
 #include "bench_common.h"
@@ -18,35 +22,40 @@
 int main(int argc, char** argv) {
   using namespace rlbf;
   bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  if (args.epochs > 8) args.epochs = 8;  // 8 trainings below; keep it tractable
+  args.cap_epochs(8);  // 8 trainings below; keep it tractable
   util::set_log_level(util::LogLevel::Warn);
 
   const swf::Trace trace = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
 
-  const double easy = bench::eval_spec(
-      trace, {"FCFS", sched::BackfillKind::Easy, sched::EstimateKind::RequestTime},
+  const double easy = bench::eval_scenario(
+      bench::scenario_for("SDSC-SP2",
+                          {"FCFS", sched::BackfillKind::Easy,
+                           sched::EstimateKind::RequestTime},
+                          args),
       args);
 
-  const auto train_with_mask = [&](std::uint32_t mask) {
-    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
-    cfg.agent.obs.feature_mask = mask;
-    core::Trainer trainer(trace, cfg);
-    trainer.train();
-    return bench::eval_rlbf(trace, trainer.agent(), "FCFS", args);
+  const auto arm_bsld = [&](const std::string& arm) {
+    const model::TrainOutcome outcome =
+        bench::get_or_train(trace, bench::arm_spec(arm, args), args);
+    return bench::eval_agent_scenario("SDSC-SP2", "FCFS", outcome.entry.key, args);
   };
 
   util::Table table({"configuration", "bsld", "delta vs all features"});
   table.add_row({"FCFS+EASY reference", util::Table::fmt(easy, 2), "-"});
-  const double all_features = train_with_mask(0x3FF);
+  const double all_features = arm_bsld("abl-control");
   table.add_row({"all 10 features", util::Table::fmt(all_features, 2), "0.00"});
 
-  const std::vector<std::pair<std::size_t, std::string>> ablated = {
-      {0, "waiting time"},     {1, "requested time"}, {2, "requested procs"},
-      {4, "estimated runtime"}, {5, "reservation slack"},
-      {6, "free fraction"},    {9, "fit ratio"},
+  const std::vector<std::pair<std::string, std::string>> ablated = {
+      {"abl-feat-no-wait", "waiting time"},
+      {"abl-feat-no-reqtime", "requested time"},
+      {"abl-feat-no-procs", "requested procs"},
+      {"abl-feat-no-runtime", "estimated runtime"},
+      {"abl-feat-no-slack", "reservation slack"},
+      {"abl-feat-no-freefrac", "free fraction"},
+      {"abl-feat-no-fit", "fit ratio"},
   };
-  for (const auto& [bit, label] : ablated) {
-    const double bsld = train_with_mask(0x3FFu & ~(1u << bit));
+  for (const auto& [arm, label] : ablated) {
+    const double bsld = arm_bsld(arm);
     table.add_row({"without " + label, util::Table::fmt(bsld, 2),
                    util::Table::fmt(bsld - all_features, 2)});
   }

@@ -3,6 +3,11 @@
 // flat MLP over the whole zero-padded observation. Trains both on the
 // SDSC-SP2-like trace under identical budgets and evaluates with the
 // Table-4 protocol.
+//
+// The kernel variant at this observation size IS the "abl-obsv-32" arm
+// (content addressing collapses equal configurations); the flat MLP is
+// "abl-net-flat". Both train through the model store and evaluate via
+// exp::evaluate_scenario.
 #include <iostream>
 
 #include "bench_common.h"
@@ -14,28 +19,26 @@ int main(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   // Ablations use a reduced budget by default: they compare variants
   // against each other, not against the paper's absolute numbers.
-  if (args.epochs > 8) args.epochs = 8;
+  args.cap_epochs(8);
   util::set_log_level(util::LogLevel::Warn);
 
   const swf::Trace trace = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
   util::Table table({"policy_net", "params", "mean_bsld", "final_train_bsld"});
 
-  for (const bool kernel : {true, false}) {
-    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
-    cfg.agent.kernel_policy = kernel;
-    cfg.agent.obs.pad_policy_obs = !kernel;  // flat net needs fixed shape
-    // Keep the flat net's observation small enough to be trainable at
-    // this budget (128 x 8 = 1024 inputs would dwarf the kernel net).
-    cfg.agent.obs.max_obsv_size = 32;
-    core::Trainer trainer(trace, cfg);
-    double final_train_bsld = 0.0;
-    trainer.train([&](const core::EpochStats& s) { final_train_bsld = s.mean_bsld; });
+  const std::vector<std::pair<bool, std::string>> arms = {
+      {true, "abl-obsv-32"}, {false, "abl-net-flat"}};
+  for (const auto& [kernel, arm] : arms) {
+    const model::TrainOutcome outcome =
+        bench::get_or_train(trace, bench::arm_spec(arm, args), args);
+    const double final_train_bsld = bench::entry_stat(outcome, "final_train_bsld");
 
+    const core::Agent agent = model::default_store().load(outcome.entry.key);
     std::size_t params = 0;
-    for (const auto& p : trainer.agent().model().policy_parameters()) {
+    for (const auto& p : agent.model().policy_parameters()) {
       params += p->value.size();
     }
-    const double bsld = bench::eval_rlbf(trace, trainer.agent(), "FCFS", args);
+    const double bsld =
+        bench::eval_agent_scenario("SDSC-SP2", "FCFS", outcome.entry.key, args);
     table.add_row({kernel ? "kernel (paper)" : "flat MLP", std::to_string(params),
                    util::Table::fmt(bsld), util::Table::fmt(final_train_bsld)});
   }

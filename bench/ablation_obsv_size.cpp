@@ -2,6 +2,11 @@
 // The paper defaults to 128 and notes it is configurable; this sweep
 // quantifies the sensitivity (too small truncates away candidates, too
 // large mostly adds padding and compute).
+//
+// Sizes 8..64 are the registered "abl-obsv-*" TrainingSpec arms; 128 is
+// the shared "abl-control" arm (it IS the all-defaults configuration).
+// Training goes through the model store, deployment bsld through
+// exp::evaluate_scenario.
 #include <iostream>
 
 #include "bench_common.h"
@@ -11,22 +16,23 @@
 int main(int argc, char** argv) {
   using namespace rlbf;
   bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  if (args.epochs > 8) args.epochs = 8;
+  args.cap_epochs(8);
   util::set_log_level(util::LogLevel::Warn);
 
   const swf::Trace trace = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
   util::Table table({"max_obsv_size", "mean_bsld", "steps_last_epoch"});
 
-  for (const std::size_t size : {8u, 16u, 32u, 64u, 128u}) {
-    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
-    cfg.agent.obs.max_obsv_size = size;
-    cfg.agent.obs.value_obsv_size = std::min<std::size_t>(size, 32);
-    core::Trainer trainer(trace, cfg);
-    std::size_t last_steps = 0;
-    trainer.train([&](const core::EpochStats& s) { last_steps = s.steps; });
-    const double bsld = bench::eval_rlbf(trace, trainer.agent(), "FCFS", args);
+  const std::vector<std::pair<std::size_t, std::string>> arms = {
+      {8, "abl-obsv-8"},   {16, "abl-obsv-16"}, {32, "abl-obsv-32"},
+      {64, "abl-obsv-64"}, {128, "abl-control"},
+  };
+  for (const auto& [size, arm] : arms) {
+    const model::TrainOutcome outcome =
+        bench::get_or_train(trace, bench::arm_spec(arm, args), args);
+    const double bsld =
+        bench::eval_agent_scenario("SDSC-SP2", "FCFS", outcome.entry.key, args);
     table.add_row({std::to_string(size), util::Table::fmt(bsld),
-                   std::to_string(last_steps)});
+                   bench::entry_meta(outcome, "final_steps")});
   }
 
   std::cout << "# Ablation A3: MAX_OBSV_SIZE sweep, " << trace.name() << " ("

@@ -13,6 +13,11 @@
 // Expected shape: error decreases monotonically along the blend sweep,
 // but bsld does NOT — the crossover is Figure 2's "backfilling area"
 // shrinking faster than the reservation gain.
+//
+// The custom history-predictor estimators are not ScenarioSpec-
+// expressible, so their rows keep the direct run_schedule protocol; the
+// RLBackfilling reference trains through the model store and runs via
+// exp::run_scenario over the same cached trace.
 #include <iostream>
 #include <memory>
 
@@ -64,13 +69,14 @@ int main(int argc, char** argv) {
   add(oracle);
 
   // RLBackfilling reference under the same whole-prefix protocol.
-  const core::Agent agent = bench::get_or_train_agent(trace, "FCFS", args);
   {
-    sched::FcfsPolicy fcfs;
-    core::RlBackfillChooser chooser(agent);
-    const auto out = sched::run_schedule(trace, fcfs, request, &chooser);
+    sched::SchedulerSpec spec{"FCFS", sched::BackfillKind::Easy,
+                              sched::EstimateKind::RequestTime};
+    spec.agent = bench::get_or_train_entry(trace, "FCFS", args).entry.key;
+    const exp::ScenarioRun run =
+        exp::run_scenario(bench::scenario_for("SDSC-SP2", spec, args), args.seed);
     table.add_row({"RLBackfilling (no predictor)", "-",
-                   util::Table::fmt(out.metrics.avg_bounded_slowdown, 2)});
+                   util::Table::fmt(run.metrics.avg_bounded_slowdown, 2)});
   }
 
   std::cout << "# Ablation A7: predictor accuracy vs scheduling quality, "

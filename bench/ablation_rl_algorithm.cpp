@@ -9,28 +9,34 @@
 // Expected shape: PPO converges fastest and most stably; DQN gets there
 // eventually but noisily (terminal-only reward makes TD targets sparse);
 // plain REINFORCE lags both — the ordering the paper's choice implies.
+//
+// Each algorithm is a registered "abl-rl-*" TrainingSpec arm trained
+// through the model store; per-epoch curves are recovered from the
+// stored eval_curve stat (cache hits reprint them without retraining),
+// and deployment bsld comes from exp::evaluate_scenario.
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/alt_trainers.h"
 #include "util/log.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace rlbf;
   bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  if (args.epochs > 12) args.epochs = 12;  // three trainings; keep the bench quick
+  args.cap_epochs(12);  // three trainings; keep the bench quick
   util::set_log_level(util::LogLevel::Warn);
 
   const swf::Trace trace = bench::trace_by_name("SDSC-SP2", args.seed, args.trace_jobs);
 
   // EASY baselines under the Table-4 protocol for context.
-  const double easy = bench::eval_spec(
-      trace, {"FCFS", sched::BackfillKind::Easy, sched::EstimateKind::RequestTime},
-      args);
-  const double easy_ar = bench::eval_spec(
-      trace, {"FCFS", sched::BackfillKind::Easy, sched::EstimateKind::ActualRuntime},
-      args);
+  const auto easy_bsld = [&](sched::EstimateKind est) {
+    return bench::eval_scenario(
+        bench::scenario_for("SDSC-SP2",
+                            {"FCFS", sched::BackfillKind::Easy, est}, args),
+        args);
+  };
+  const double easy = easy_bsld(sched::EstimateKind::RequestTime);
+  const double easy_ar = easy_bsld(sched::EstimateKind::ActualRuntime);
 
   struct Curve {
     std::string name;
@@ -39,44 +45,21 @@ int main(int argc, char** argv) {
   };
   std::vector<Curve> curves;
 
-  {
-    Curve c{"PPO (paper)"};
-    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
-    cfg.eval_every = 1;
-    core::Trainer trainer(trace, cfg);
-    trainer.train([&](const core::EpochStats& s) { c.eval.push_back(s.eval_bsld); });
-    c.final_bsld = bench::eval_rlbf(trace, trainer.agent(), "FCFS", args);
-    curves.push_back(std::move(c));
-  }
-  {
-    Curve c{"Double-DQN"};
-    core::DqnTrainerConfig cfg;
-    cfg.base_policy = "FCFS";
-    cfg.epochs = args.epochs;
-    cfg.trajectories_per_epoch = args.trajectories;
-    cfg.jobs_per_trajectory = args.jobs_per_trajectory;
-    cfg.dqn.epsilon_decay_epochs = std::max<std::size_t>(args.epochs / 2, 1);
-    cfg.seed = args.seed;
-    cfg.eval_every = 1;
-    core::DqnTrainer trainer(trace, cfg);
-    trainer.train([&](const core::AltEpochStats& s) { c.eval.push_back(s.eval_bsld); });
-    c.final_bsld = bench::eval_rlbf(trace, trainer.agent(), "FCFS", args);
-    curves.push_back(std::move(c));
-  }
-  {
-    Curve c{"REINFORCE"};
-    core::ReinforceTrainerConfig cfg;
-    cfg.base_policy = "FCFS";
-    cfg.epochs = args.epochs;
-    cfg.trajectories_per_epoch = args.trajectories;
-    cfg.jobs_per_trajectory = args.jobs_per_trajectory;
-    cfg.reinforce.policy_lr = 3e-3;  // one gradient step per epoch needs a
-                                     // faster rate than PPO's reused batches
-    cfg.seed = args.seed;
-    cfg.eval_every = 1;
-    core::ReinforceTrainer trainer(trace, cfg);
-    trainer.train([&](const core::AltEpochStats& s) { c.eval.push_back(s.eval_bsld); });
-    c.final_bsld = bench::eval_rlbf(trace, trainer.agent(), "FCFS", args);
+  const std::vector<std::pair<std::string, std::string>> algorithms = {
+      {"PPO (paper)", "abl-rl-ppo"},
+      {"Double-DQN", "abl-rl-dqn"},
+      {"REINFORCE", "abl-rl-reinforce"},
+  };
+  for (const auto& [label, arm] : algorithms) {
+    model::TrainingSpec spec = bench::arm_spec(arm, args);
+    if (spec.algorithm == "dqn") {
+      // Decay over half the (possibly overridden) budget, as pre-port.
+      spec.dqn.epsilon_decay_epochs = std::max<std::size_t>(args.epochs / 2, 1);
+    }
+    const model::TrainOutcome outcome = bench::get_or_train(trace, spec, args);
+    Curve c{label, bench::entry_eval_curve(outcome), 0.0};
+    c.final_bsld =
+        bench::eval_agent_scenario("SDSC-SP2", "FCFS", outcome.entry.key, args);
     curves.push_back(std::move(c));
   }
 

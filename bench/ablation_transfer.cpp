@@ -10,6 +10,13 @@
 //   fine-tuned          — source-trained agent + K epochs on the target
 //   scratch             — fresh agent, the same K epochs on the target
 //   full                — fresh agent, the full training budget (reference)
+//
+// All four trainings go through the model store: the fine-tune run is a
+// TrainingSpec with init_agent set to the source entry's content address
+// (the registered "abl-transfer-*" arms mirror this protocol for
+// rlbf_run). Evaluation stays on the bench protocol helpers: the target
+// trace is built at seed+1 while the sampling protocol runs at --seed, a
+// two-seed shape exp::evaluate_scenario's single seed cannot express.
 #include <iostream>
 
 #include "bench_common.h"
@@ -30,7 +37,10 @@ int main(int argc, char** argv) {
   // The fine-tuning budget: a quarter of the full budget, >= 2 epochs.
   const std::size_t k_epochs = std::max<std::size_t>(args.epochs / 4, 2);
 
-  const core::Agent source_agent = bench::get_or_train_agent(source, "FCFS", args);
+  const model::TrainOutcome source_outcome =
+      bench::get_or_train_entry(source, "FCFS", args);
+  const core::Agent source_agent =
+      model::default_store().load(source_outcome.entry.key);
 
   util::Table table({"configuration", "target bsld", "target epochs"});
   const auto add_spec = [&](const std::string& label, sched::EstimateKind est) {
@@ -48,23 +58,26 @@ int main(int argc, char** argv) {
                  "0"});
 
   {
-    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
-    cfg.epochs = k_epochs;
-    core::Trainer fine(target, cfg, source_agent);
-    fine.train();
+    model::TrainingSpec spec =
+        bench::training_spec(target_name + "-finetune", "FCFS", args);
+    spec.trainer.epochs = k_epochs;
+    spec.init_agent = source_outcome.entry.key;
+    const model::TrainOutcome fine = bench::get_or_train(target, spec, args);
+    const core::Agent agent = model::default_store().load(fine.entry.key);
     table.add_row({"fine-tuned (" + source_name + " -> " + target_name + ")",
                    util::Table::fmt(
-                       bench::eval_rlbf(target, fine.agent(), "FCFS", args), 2),
+                       bench::eval_rlbf(target, agent, "FCFS", args), 2),
                    std::to_string(k_epochs)});
   }
   {
-    core::TrainerConfig cfg = bench::trainer_config(args, "FCFS");
-    cfg.epochs = k_epochs;
-    core::Trainer scratch(target, cfg);
-    scratch.train();
+    model::TrainingSpec spec =
+        bench::training_spec(target_name + "-scratch", "FCFS", args);
+    spec.trainer.epochs = k_epochs;
+    const model::TrainOutcome scratch = bench::get_or_train(target, spec, args);
+    const core::Agent agent = model::default_store().load(scratch.entry.key);
     table.add_row({"scratch, equal budget",
                    util::Table::fmt(
-                       bench::eval_rlbf(target, scratch.agent(), "FCFS", args), 2),
+                       bench::eval_rlbf(target, agent, "FCFS", args), 2),
                    std::to_string(k_epochs)});
   }
   {

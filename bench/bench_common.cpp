@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
+#include <stdexcept>
 
 #include "exp/config.h"
 #include "util/log.h"
@@ -22,6 +24,10 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
   parser.add("--model-dir", &args.model_dir, "trained-agent cache directory");
   parser.add_flag("--retrain", &args.retrain, "ignore cached models");
   parser.add_flag("--quick", &args.quick, "tiny budgets for smoke runs");
+  parser.add("--max-epochs", &args.max_epochs,
+             "override the ablation epoch cap (0 = each bench's default)");
+  parser.add("--threads", &args.threads,
+             "training worker threads (0 = hardware; never changes results)");
   parser.parse_or_exit(argc, argv);
   if (args.quick) {
     args.trace_jobs = std::min<std::size_t>(args.trace_jobs, 3000);
@@ -42,6 +48,15 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     args.model_dir = env_store;
   }
   return args;
+}
+
+void BenchArgs::cap_epochs(std::size_t default_cap) {
+  const std::size_t cap = max_epochs > 0 ? max_epochs : default_cap;
+  if (epochs > cap) {
+    util::log_warn("clamping --epochs=", epochs, " to the ablation cap ", cap,
+                   " (pass --max-epochs to raise it)");
+    epochs = cap;
+  }
 }
 
 swf::Trace trace_by_name(const std::string& name, std::uint64_t seed,
@@ -97,29 +112,91 @@ exp::ScenarioSpec scenario_for(const std::string& workload,
   return spec;
 }
 
-model::TrainOutcome get_or_train_entry(const swf::Trace& trace,
-                                       const std::string& base_policy,
-                                       const BenchArgs& args) {
+model::TrainingSpec arm_spec(const std::string& arm, const BenchArgs& args) {
+  model::TrainingSpec spec = model::find_training_spec(arm);
+  spec.workload.trace_jobs = args.trace_jobs;
+  spec.trainer.epochs = args.epochs;
+  spec.trainer.trajectories_per_epoch = args.trajectories;
+  spec.trainer.jobs_per_trajectory = args.jobs_per_trajectory;
+  spec.trainer.seed = args.seed;
+  return spec;
+}
+
+model::TrainOutcome get_or_train(const swf::Trace& trace,
+                                 const model::TrainingSpec& spec,
+                                 const BenchArgs& args) {
   model::Store& store = model::default_store();
   model::TrainOptions options;
   options.force = args.retrain;
-  const model::TrainOutcome outcome = model::train_on_trace(
-      trace, training_spec(trace.name(), base_policy, args), store, options);
+  options.threads = args.threads;
+  const model::TrainOutcome outcome =
+      model::train_on_trace(trace, spec, store, options);
   if (outcome.cache_hit) {
-    util::log_info("model store hit ", outcome.entry.path, " (", trace.name(),
-                   " base=", base_policy, ")");
+    util::log_info("model store hit ", outcome.entry.path, " (", spec.name,
+                   " on ", trace.name(), ")");
   } else {
-    util::log_info("trained agent for ", trace.name(), " base=", base_policy,
-                   " (", args.epochs, " epochs x ", args.trajectories,
-                   " trajectories) -> ", outcome.entry.path);
+    util::log_info("trained ", spec.name, " on ", trace.name(), " (",
+                   spec.trainer.epochs, " epochs x ",
+                   spec.trainer.trajectories_per_epoch, " trajectories) -> ",
+                   outcome.entry.path);
   }
   return outcome;
+}
+
+model::TrainOutcome get_or_train_entry(const swf::Trace& trace,
+                                       const std::string& base_policy,
+                                       const BenchArgs& args) {
+  return get_or_train(trace, training_spec(trace.name(), base_policy, args), args);
 }
 
 core::Agent get_or_train_agent(const swf::Trace& trace, const std::string& base_policy,
                                const BenchArgs& args) {
   const model::TrainOutcome outcome = get_or_train_entry(trace, base_policy, args);
   return model::default_store().load(outcome.entry.key);
+}
+
+const std::string& entry_meta(const model::TrainOutcome& outcome,
+                              const std::string& key) {
+  const auto it = outcome.entry.meta.find(key);
+  if (it == outcome.entry.meta.end()) {
+    throw std::runtime_error("store entry " + outcome.entry.key +
+                             " carries no '" + key +
+                             "' training stat — retrain it (--retrain) once");
+  }
+  return it->second;
+}
+
+double entry_stat(const model::TrainOutcome& outcome, const std::string& key) {
+  const std::string& text = entry_meta(outcome, key);
+  double value = 0.0;
+  if (!exp::parse_number(text, &value)) {
+    throw std::runtime_error("store entry " + outcome.entry.key + ": bad stat " +
+                             key + "='" + text + "'");
+  }
+  return value;
+}
+
+std::vector<double> entry_eval_curve(const model::TrainOutcome& outcome) {
+  const std::string& text = entry_meta(outcome, "eval_curve");
+  std::vector<double> curve;
+  std::size_t start = 0;
+  while (start <= text.size() && !text.empty()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (token == "nan") {
+      curve.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    double value = 0.0;
+    if (!exp::parse_number(token, &value)) {
+      throw std::runtime_error("store entry " + outcome.entry.key +
+                               ": bad eval_curve token '" + token + "'");
+    }
+    curve.push_back(value);
+  }
+  return curve;
 }
 
 namespace {
@@ -169,6 +246,14 @@ EvalStats eval_scenario_stats(const exp::ScenarioSpec& spec, const BenchArgs& ar
 
 double eval_scenario(const exp::ScenarioSpec& spec, const BenchArgs& args) {
   return eval_scenario_stats(spec, args).mean;
+}
+
+double eval_agent_scenario(const std::string& workload, const std::string& policy,
+                           const std::string& agent_ref, const BenchArgs& args) {
+  sched::SchedulerSpec spec{policy, sched::BackfillKind::Easy,
+                            sched::EstimateKind::RequestTime};
+  spec.agent = agent_ref;
+  return eval_scenario(scenario_for(workload, spec, args), args);
 }
 
 }  // namespace rlbf::bench

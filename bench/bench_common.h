@@ -29,9 +29,17 @@ struct BenchArgs {
   std::string model_dir = "bench_models";
   bool retrain = false;             // ignore cached models
   bool quick = false;               // --quick: tiny budgets for smoke runs
+  std::size_t max_epochs = 0;       // ablation epoch cap override (0 = default)
+  std::size_t threads = 0;          // training worker threads (0 = hardware;
+                                    // results are identical at any value)
 
   /// Parse --flag=value style arguments; unknown flags abort with usage.
   static BenchArgs parse(int argc, char** argv);
+
+  /// Apply an ablation bench's epoch cap: the effective cap is
+  /// --max-epochs when given, else `default_cap`. Clamping warns (with
+  /// the --max-epochs escape hatch) instead of silently truncating.
+  void cap_epochs(std::size_t default_cap);
 };
 
 /// Construct the Table-2 preset by name ("SDSC-SP2", ...). Throws on
@@ -57,9 +65,28 @@ exp::ScenarioSpec scenario_for(const std::string& workload,
                                const sched::SchedulerSpec& scheduler,
                                const BenchArgs& args);
 
-/// Train (or fetch) an agent for (trace, base policy) through the model
-/// store rooted at args.model_dir. The returned entry's key is what
-/// scenario specs reference via scheduler.agent. --retrain forces.
+/// A registered ablation arm ("abl-*", model::ablation_arm_names) with
+/// the bench budget overrides applied: epochs, trajectories, jobs per
+/// trajectory, trace length, and seed come from `args`, everything the
+/// arm varies (delay rule, observation size, network shape, features,
+/// objective, algorithm) stays canonical. At default flags the result is
+/// the registry arm itself. Note the store KEYS still differ between the
+/// two training paths: benches train on an explicit trace
+/// (train_on_trace hashes the trainer protocol + the trace content),
+/// while `rlbf_run train --spec=<arm>` keys on the spec fingerprint
+/// alone — mixing both in one store yields two same-named entries, which
+/// name-based resolution then reports as ambiguous rather than guessing.
+model::TrainingSpec arm_spec(const std::string& arm, const BenchArgs& args);
+
+/// Train (or fetch) `spec` on an explicit trace through the model store
+/// rooted at args.model_dir. The returned entry's key is what scenario
+/// specs reference via scheduler.agent. --retrain forces, --threads sets
+/// the worker count (never the result).
+model::TrainOutcome get_or_train(const swf::Trace& trace,
+                                 const model::TrainingSpec& spec,
+                                 const BenchArgs& args);
+
+/// get_or_train over the bench paper-protocol spec for (trace, policy).
 model::TrainOutcome get_or_train_entry(const swf::Trace& trace,
                                        const std::string& base_policy,
                                        const BenchArgs& args);
@@ -67,6 +94,17 @@ model::TrainOutcome get_or_train_entry(const swf::Trace& trace,
 /// Convenience form loading the stored agent back into memory.
 core::Agent get_or_train_agent(const swf::Trace& trace, const std::string& base_policy,
                                const BenchArgs& args);
+
+/// Training stats persisted with every store entry (train.cpp writes
+/// them; cache hits recover them without retraining). entry_meta throws
+/// a std::runtime_error naming the entry and key when absent — stores
+/// written before the stats existed need --retrain once.
+const std::string& entry_meta(const model::TrainOutcome& outcome,
+                              const std::string& key);
+/// Numeric stat ("final_reward", "final_train_bsld", "final_steps", ...).
+double entry_stat(const model::TrainOutcome& outcome, const std::string& key);
+/// Per-epoch greedy-eval bsld curve (NaN on non-evaluation epochs).
+std::vector<double> entry_eval_curve(const model::TrainOutcome& outcome);
 
 /// Per-configuration evaluation outcome: the mean bsld the paper reports
 /// plus a 95% percentile-bootstrap confidence interval over the samples.
@@ -96,5 +134,12 @@ double eval_rlbf(const swf::Trace& trace, const core::Agent& agent,
 /// cache) and may reference a trained agent via scheduler.agent.
 EvalStats eval_scenario_stats(const exp::ScenarioSpec& spec, const BenchArgs& args);
 double eval_scenario(const exp::ScenarioSpec& spec, const BenchArgs& args);
+
+/// Deployment bsld of a stored agent (store key or other agent
+/// reference) under `policy` with EASY backfilling and request-time
+/// estimates on the named workload — the scenario cell every ablation
+/// bench reports for a trained arm.
+double eval_agent_scenario(const std::string& workload, const std::string& policy,
+                           const std::string& agent_ref, const BenchArgs& args);
 
 }  // namespace rlbf::bench

@@ -421,6 +421,24 @@ void register_builtins(ScenarioRegistry& registry) {
     s.scheduler.agent = "sdsc-tiny";
     registry.add(s);
   }
+  // ---- ablation-arm evaluations: every registered "abl-*" training arm
+  // gets a same-named scenario deploying its agent on its own workload
+  // under its base policy, so `rlbf_run run --scenario=abl-...` (or an
+  // `agent=` sweep axis) drives any ablation cell after
+  // `rlbf_run train --spec=abl-...`. ----
+  for (const std::string& arm_name : model::ablation_arm_names()) {
+    const model::TrainingSpec& arm = model::find_training_spec(arm_name);
+    // Inherit the arm's FULL workload-construction spec (an arm trained
+    // on a transformed trace must be evaluated on the same recipe), then
+    // override identity and scheduler.
+    ScenarioSpec s = arm.workload;
+    s.name = arm_name;
+    s.description = "Ablation arm evaluation: " + arm.description;
+    s.scheduler = {arm.trainer.base_policy, sched::BackfillKind::Easy,
+                   sched::EstimateKind::RequestTime};
+    s.scheduler.agent = arm_name;
+    registry.add(s);
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -41,8 +42,9 @@ TrainProgress from_stats(const core::AltEpochStats& s) {
   return p;
 }
 
-core::DqnTrainerConfig to_dqn(const core::TrainerConfig& t) {
+core::DqnTrainerConfig to_dqn(const core::TrainerConfig& t, const rl::DqnConfig& dqn) {
   core::DqnTrainerConfig c;
+  c.dqn = dqn;
   c.base_policy = t.base_policy;
   c.epochs = t.epochs;
   c.trajectories_per_epoch = t.trajectories_per_epoch;
@@ -58,8 +60,10 @@ core::DqnTrainerConfig to_dqn(const core::TrainerConfig& t) {
   return c;
 }
 
-core::ReinforceTrainerConfig to_reinforce(const core::TrainerConfig& t) {
+core::ReinforceTrainerConfig to_reinforce(const core::TrainerConfig& t,
+                                          const rl::ReinforceConfig& reinforce) {
   core::ReinforceTrainerConfig c;
+  c.reinforce = reinforce;
   c.base_policy = t.base_policy;
   c.epochs = t.epochs;
   c.trajectories_per_epoch = t.trajectories_per_epoch;
@@ -79,6 +83,52 @@ core::ReinforceTrainerConfig to_reinforce(const core::TrainerConfig& t) {
 
 namespace {
 
+/// Resolve a warm-start (init_agent) reference against `store`: a
+/// registered spec name (via its fingerprint), a raw store key, or a
+/// model file path. Throws naming the missing prerequisite.
+core::Agent load_init_agent(const std::string& ref, const Store& store,
+                            const std::string& spec_name) {
+  if (TrainingRegistry::instance().contains(ref)) {
+    const std::string key = fingerprint(find_training_spec(ref));
+    if (store.contains(key)) return store.load(key);
+    // The registered spec's exact fingerprint is absent — fall back to a
+    // UNIQUE entry trained under this spec name, mirroring resolve_agent:
+    // CLI budget overrides (`rlbf_run train --ablations --epochs=...`)
+    // change the source's content address but still record its name.
+    std::vector<StoreEntry> named;
+    for (const StoreEntry& entry : store.list()) {
+      if (entry.name == ref) named.push_back(entry);
+    }
+    if (named.size() == 1) {
+      util::log_info("warm start '", ref, "': registered fingerprint ", key,
+                     " absent; using the unique same-name store entry ",
+                     named[0].key);
+      return core::Agent::load(named[0].path);
+    }
+    if (named.size() > 1) {
+      std::string keys;
+      for (const auto& entry : named) {
+        keys += (keys.empty() ? "" : ", ") + entry.key;
+      }
+      throw std::runtime_error(
+          "training spec '" + spec_name + "': warm-start reference '" + ref +
+          "' is ambiguous: store '" + store.root() + "' holds " +
+          std::to_string(named.size()) + " entries trained under that name (" +
+          keys + ") — reference one key directly");
+    }
+    throw std::runtime_error(
+        "training spec '" + spec_name + "': warm-start agent for spec '" + ref +
+        "' (key " + key + ") is not in model store '" + store.root() +
+        "' — train it first: rlbf_run train --spec=" + ref);
+  }
+  if (store.contains(ref)) return store.load(ref);
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(ref, ec)) return core::Agent::load(ref);
+  throw std::runtime_error("training spec '" + spec_name +
+                           "': cannot resolve warm-start agent '" + ref +
+                           "' (not a spec name, store key, or model file)");
+}
+
 /// Shared body of train_spec / train_on_trace: run the spec's algorithm
 /// over `trace` and commit the result under `key`.
 TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
@@ -93,6 +143,11 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
   // improving evaluation epoch the live agent IS the best checkpoint.
   double best_eval = std::numeric_limits<double>::infinity();
   std::size_t epochs_run = 0;
+  // Final-epoch stats and the per-epoch greedy-eval curve are persisted
+  // with the entry, so a cache hit can reproduce everything a bench
+  // prints about the training run without retraining.
+  TrainProgress last;
+  std::vector<double> eval_curve;
   const std::string ckpt = store.checkpoint_path(key);
   const auto make_observer = [&](const core::Agent& live_agent, auto stats_map) {
     // Init-capture the referent: capturing the reference PARAMETER by
@@ -100,6 +155,8 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
     return [&, stats_map, &agent = live_agent](const auto& stats) {
       const TrainProgress p = stats_map(stats);
       ++epochs_run;
+      last = p;
+      eval_curve.push_back(p.eval_bsld);
       if (!std::isnan(p.eval_bsld) && p.eval_bsld < best_eval) {
         best_eval = p.eval_bsld;
         if (options.checkpoint) {
@@ -112,23 +169,33 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
     };
   };
 
+  std::optional<core::Agent> init;
+  if (!spec.init_agent.empty()) {
+    init.emplace(load_init_agent(spec.init_agent, store, spec.name));
+  }
+
   const core::Agent* trained = nullptr;
   std::unique_ptr<core::Trainer> ppo;
   std::unique_ptr<core::DqnTrainer> dqn;
   std::unique_ptr<core::ReinforceTrainer> reinforce;
   if (spec.algorithm == "ppo") {
-    ppo = std::make_unique<core::Trainer>(trace, cfg);
+    ppo = init ? std::make_unique<core::Trainer>(trace, cfg, *init)
+               : std::make_unique<core::Trainer>(trace, cfg);
     ppo->train(make_observer(
         ppo->agent(), [](const core::EpochStats& s) { return from_stats(s); }));
     trained = &ppo->agent();
   } else if (spec.algorithm == "dqn") {
-    dqn = std::make_unique<core::DqnTrainer>(trace, to_dqn(cfg));
+    const core::DqnTrainerConfig dcfg = to_dqn(cfg, spec.dqn);
+    dqn = init ? std::make_unique<core::DqnTrainer>(trace, dcfg, *init)
+               : std::make_unique<core::DqnTrainer>(trace, dcfg);
     dqn->train(make_observer(dqn->agent(), [](const core::AltEpochStats& s) {
       return from_stats(s);
     }));
     trained = &dqn->agent();
   } else if (spec.algorithm == "reinforce") {
-    reinforce = std::make_unique<core::ReinforceTrainer>(trace, to_reinforce(cfg));
+    const core::ReinforceTrainerConfig rcfg = to_reinforce(cfg, spec.reinforce);
+    reinforce = init ? std::make_unique<core::ReinforceTrainer>(trace, rcfg, *init)
+                     : std::make_unique<core::ReinforceTrainer>(trace, rcfg);
     reinforce->train(make_observer(
         reinforce->agent(),
         [](const core::AltEpochStats& s) { return from_stats(s); }));
@@ -148,8 +215,22 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
   meta["trajectories_per_epoch"] = std::to_string(cfg.trajectories_per_epoch);
   meta["jobs_per_trajectory"] = std::to_string(cfg.jobs_per_trajectory);
   meta["seed"] = std::to_string(cfg.seed);
+  if (!spec.init_agent.empty()) meta["init_agent"] = spec.init_agent;
   if (std::isfinite(best_eval)) {
     meta["best_eval_bsld"] = exp::format_double_exact(best_eval);
+  }
+  if (epochs_run > 0) {
+    meta["final_reward"] = exp::format_double_exact(last.mean_reward);
+    meta["final_train_bsld"] = exp::format_double_exact(last.mean_bsld);
+    meta["final_steps"] = std::to_string(last.steps);
+    // One value per epoch ("nan" on non-evaluation epochs), so benches
+    // can reprint convergence curves from a cache hit.
+    std::string curve;
+    for (const double v : eval_curve) {
+      if (!curve.empty()) curve += ',';
+      curve += std::isnan(v) ? "nan" : exp::format_double_exact(v);
+    }
+    meta["eval_curve"] = curve;
   }
 
   outcome.entry = store.put(key, *trained, spec.name, meta, canonical);

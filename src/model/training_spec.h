@@ -20,6 +20,8 @@
 
 #include "core/trainer.h"
 #include "exp/scenario.h"
+#include "rl/dqn.h"
+#include "rl/reinforce.h"
 
 namespace rlbf::model {
 
@@ -34,13 +36,25 @@ struct TrainingSpec {
   exp::ScenarioSpec workload;
 
   /// "ppo" (core::Trainer) | "dqn" | "reinforce" (core/alt_trainers.h).
-  /// Non-PPO arms reuse the shared TrainerConfig fields below and their
-  /// algorithm's default hyperparameters.
+  /// Non-PPO arms reuse the shared TrainerConfig fields below plus their
+  /// algorithm's hyperparameter block (`dqn` / `reinforce`).
   std::string algorithm = "ppo";
 
   /// The full trainer protocol, agent architecture included.
   /// trainer.threads is a runtime knob, never part of the fingerprint.
   core::TrainerConfig trainer;
+
+  /// Algorithm hyperparameters for the non-PPO arms. Fingerprinted only
+  /// under their own algorithm (a PPO spec genuinely does not depend on
+  /// them, so they must not fork its content address).
+  rl::DqnConfig dqn;
+  rl::ReinforceConfig reinforce;
+
+  /// Warm start (the Table-5 fine-tuning setting): an agent reference —
+  /// store key, registered spec name, or model file path — whose weights
+  /// initialize training instead of a fresh agent. Fingerprinted when
+  /// non-empty; prefer store keys, which are content addresses.
+  std::string init_agent;
 };
 
 /// Canonical multi-line rendering of every fingerprinted field, in fixed
@@ -90,5 +104,11 @@ class TrainingRegistry {
 /// Shorthands for TrainingRegistry::instance().
 const TrainingSpec& find_training_spec(const std::string& name);
 std::vector<std::string> training_spec_names();
+
+/// The registered ablation arms ("abl-*": delay-penalty rules, observation
+/// sizes, kernel-vs-flat networks, feature knockouts, reward objectives,
+/// RL algorithms, transfer protocol), in registration order. Each arm
+/// also has a same-named evaluation scenario in the exp catalog.
+std::vector<std::string> ablation_arm_names();
 
 }  // namespace rlbf::model

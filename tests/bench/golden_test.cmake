@@ -1,0 +1,135 @@
+# Golden byte-identity harness for the bench programs.
+#
+# Runs one bench binary twice at a tiny fixed budget — first at
+# --threads=1 against a fresh model store (training every arm), then at
+# --threads=2 against the SAME store (every training must be a cache
+# hit) — and requires:
+#
+#   1. both runs' stdout byte-identical (thread-count independence AND
+#      cache-hit stats recovered from the store, not live training);
+#   2. no store entry rewritten by the second run (the cache-hit proof:
+#      *.model mtimes are pinned to an old date between runs);
+#   3. stdout and every CSV byte-identical to the checked-in goldens
+#      under tests/bench/goldens/.
+#
+# Invocation (see the rlbf_golden_bench() helper in the top-level
+# CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DNAME=<bench name> -DCSVS=<a.csv,b.csv>
+#         -DGOLDEN_DIR=<repo>/tests/bench/goldens -DWORK_DIR=<scratch>
+#         [-DUPDATE=1] -P golden_test.cmake
+#
+# Regenerating goldens after an intentional output change:
+#   cmake --build build --target update_goldens          # all benches
+#   RLBF_UPDATE_GOLDENS=1 ctest --test-dir build -L golden   # same, via ctest
+
+foreach(var BENCH NAME GOLDEN_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_test.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED CSVS)
+  set(CSVS "")
+endif()
+string(REPLACE "," ";" CSV_LIST "${CSVS}")
+if(NOT DEFINED UPDATE)
+  set(UPDATE 0)
+endif()
+if(DEFINED ENV{RLBF_UPDATE_GOLDENS} AND NOT "$ENV{RLBF_UPDATE_GOLDENS}" STREQUAL ""
+   AND NOT "$ENV{RLBF_UPDATE_GOLDENS}" STREQUAL "0")
+  set(UPDATE 1)
+endif()
+
+# The golden protocol: one shared tiny budget, fixed seed. Small enough
+# that the full suite trains in CI without the paper budgets, large
+# enough that every bench exercises real training, storage, and
+# evaluation. Changing any value is a golden-format change — regenerate.
+set(GOLDEN_ARGS
+    --trace-jobs=800 --epochs=2 --trajectories=3 --traj-jobs=64
+    --samples=2 --sample-jobs=128 --seed=1)
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_bench threads outfile)
+  execute_process(
+    COMMAND "${BENCH}" ${GOLDEN_ARGS} --threads=${threads}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    OUTPUT_FILE "${outfile}"
+    ERROR_FILE "${outfile}.stderr"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    file(READ "${outfile}.stderr" err)
+    message(FATAL_ERROR
+            "golden ${NAME}: '${BENCH}' (threads=${threads}) exited ${rc}\n${err}")
+  endif()
+endfunction()
+
+function(require_identical a b what)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "golden ${NAME}: ${what} differs:\n  ${a}\n  ${b}\n"
+            "If the change is intentional, regenerate the goldens: "
+            "`cmake --build <build> --target update_goldens` or "
+            "`RLBF_UPDATE_GOLDENS=1 ctest -L golden`, then commit them.")
+  endif()
+endfunction()
+
+# Run 1: fresh store at --threads=1 — trains every arm the bench needs.
+run_bench(1 "${WORK_DIR}/run1.out")
+
+# Pin every committed model to an old mtime so a retrain (rewrite) by the
+# second run is detectable. `touch` is POSIX; skip the pin (not the
+# byte-identity checks) where it is unavailable.
+file(GLOB models "${WORK_DIR}/bench_models/*.model")
+set(mtime_pinned 0)
+if(models)
+  execute_process(COMMAND touch -t 200001010000 ${models} RESULT_VARIABLE rc)
+  if(rc EQUAL 0)
+    set(mtime_pinned 1)
+  endif()
+endif()
+
+# Run 2: same store at --threads=2 — cache hits only, identical bytes.
+run_bench(2 "${WORK_DIR}/run2.out")
+require_identical("${WORK_DIR}/run1.out" "${WORK_DIR}/run2.out"
+                  "stdout across thread counts (cache-hit rerun)")
+# A retrain can also surface as a NEW entry (e.g. a thread count leaking
+# into the fingerprint forks the key), which the mtime pin on run-1's
+# files cannot see — so the entry set must be unchanged too.
+file(GLOB models_after "${WORK_DIR}/bench_models/*.model")
+list(SORT models)
+list(SORT models_after)
+if(NOT "${models}" STREQUAL "${models_after}")
+  message(FATAL_ERROR
+          "golden ${NAME}: the second run changed the store entry set — "
+          "expected cache hits only.\n  before: ${models}\n  after: ${models_after}")
+endif()
+if(mtime_pinned)
+  foreach(model ${models})
+    file(TIMESTAMP "${model}" stamp "%Y")
+    if(NOT stamp STREQUAL "2000")
+      message(FATAL_ERROR
+              "golden ${NAME}: ${model} was rewritten by the second run — "
+              "expected a store cache hit, got a retrain")
+    endif()
+  endforeach()
+endif()
+
+if(UPDATE)
+  file(MAKE_DIRECTORY "${GOLDEN_DIR}")
+  configure_file("${WORK_DIR}/run1.out" "${GOLDEN_DIR}/${NAME}.out" COPYONLY)
+  foreach(csv ${CSV_LIST})
+    configure_file("${WORK_DIR}/${csv}" "${GOLDEN_DIR}/${csv}" COPYONLY)
+  endforeach()
+  message(STATUS "golden ${NAME}: goldens regenerated under ${GOLDEN_DIR}")
+else()
+  require_identical("${WORK_DIR}/run1.out" "${GOLDEN_DIR}/${NAME}.out"
+                    "stdout vs checked-in golden")
+  foreach(csv ${CSV_LIST})
+    require_identical("${WORK_DIR}/${csv}" "${GOLDEN_DIR}/${csv}"
+                      "${csv} vs checked-in golden")
+  endforeach()
+endif()

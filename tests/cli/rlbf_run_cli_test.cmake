@@ -1,0 +1,103 @@
+# CLI behavior tests for the rlbf_run driver: malformed invocations must
+# produce a NONZERO exit code and a NAMED error on stderr — never a
+# crash, never a silent success. Driven by ctest (label: smoke):
+#
+#   cmake -DRLBF_RUN=<binary> -DWORK_DIR=<scratch> -P rlbf_run_cli_test.cmake
+
+foreach(var RLBF_RUN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "rlbf_run_cli_test.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(failures 0)
+
+# expect_failure(<case name> <stderr must match this regex> <args...>)
+#
+# Exit codes 1 (runtime error) and 2 (usage error) are the contract;
+# anything else — in particular the 128+signal codes of a crash — fails.
+function(expect_failure case pattern)
+  execute_process(
+    COMMAND "${RLBF_RUN}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  set(ok 1)
+  if(NOT rc EQUAL 1 AND NOT rc EQUAL 2)
+    set(ok 0)
+    message(WARNING "${case}: expected exit 1 or 2, got '${rc}' "
+                    "(a signal name or 128+ code means a crash)")
+  endif()
+  if(NOT "${err}" MATCHES "${pattern}")
+    set(ok 0)
+    message(WARNING "${case}: stderr does not name the error "
+                    "(wanted regex '${pattern}', got: ${err})")
+  endif()
+  if(NOT ok)
+    math(EXPR failures "${failures} + 1")
+    set(failures ${failures} PARENT_SCOPE)
+  else()
+    message(STATUS "${case}: ok (exit ${rc})")
+  endif()
+endfunction()
+
+# expect_success(<case name> <args...>)
+function(expect_success case)
+  execute_process(
+    COMMAND "${RLBF_RUN}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    math(EXPR failures "${failures} + 1")
+    set(failures ${failures} PARENT_SCOPE)
+    message(WARNING "${case}: expected exit 0, got '${rc}'\n${err}")
+  else()
+    message(STATUS "${case}: ok")
+  endif()
+endfunction()
+
+# Unknown subcommand.
+expect_failure("unknown command" "unknown command 'frobnicate'" frobnicate)
+# Unknown scenario name, as a run error naming the catalog.
+expect_failure("unknown scenario" "unknown scenario 'no-such-scenario'"
+               run --scenario=no-such-scenario)
+# Unknown scenario inside a comma list.
+expect_failure("unknown scenario in list" "unknown scenario 'nope'"
+               run --scenario=sdsc-easy,nope)
+# Empty name inside a comma list.
+expect_failure("empty scenario name" "empty name" run --scenario=sdsc-easy,)
+# Unknown flag (ArgParser usage error).
+expect_failure("unknown flag" "--bogus" run --bogus=1)
+# Missing required --scenario.
+expect_failure("missing scenario" "--scenario" run)
+# Bad --format value.
+expect_failure("bad format" "--format must be" run --scenario=sdsc-easy --format=yaml)
+# Unknown training spec.
+expect_failure("unknown training spec" "unknown training spec 'no-such-spec'"
+               train --spec=no-such-spec)
+# Unresolvable agent reference (names the store it searched).
+expect_failure("unknown agent" "cannot resolve agent reference 'no-such-agent'"
+               run --scenario=sdsc-easy --jobs=200 --agent=no-such-agent
+               --store=cli_models)
+# Unknown sweep parameter.
+expect_failure("unknown sweep param" "unknown parameter 'warp'"
+               run --scenario=sdsc-easy --sweep=warp=9)
+# Malformed sweep axis (missing '=').
+expect_failure("malformed sweep axis" "missing '='"
+               run --scenario=sdsc-easy --sweep=load)
+# Bad numeric flag value.
+expect_failure("bad numeric flag" "--seed" run --scenario=sdsc-easy --seed=twelve)
+
+# Sanity: the catalog listings still succeed from this harness.
+expect_success("run --list" run --list)
+expect_success("train --list" train --list)
+expect_success("legacy bare --list" --list)
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "rlbf_run CLI: ${failures} case(s) failed")
+endif()

@@ -222,6 +222,25 @@ TEST(Scenario, TrainedAgentScenariosAreRegistered) {
   EXPECT_EQ(find_scenario("hpc2n-rlbf-transfer").workload, "HPC2N");
 }
 
+// Every registered ablation arm gets a same-named evaluation scenario:
+// arm workload, arm base policy, agent reference = the arm itself.
+TEST(Scenario, EveryAblationArmHasAMatchingScenario) {
+  const auto arms = model::ablation_arm_names();
+  ASSERT_GE(arms.size(), 25u);
+  for (const std::string& arm : arms) {
+    ASSERT_TRUE(ScenarioRegistry::instance().contains(arm)) << arm;
+    const ScenarioSpec& spec = find_scenario(arm);
+    const model::TrainingSpec& training = model::find_training_spec(arm);
+    EXPECT_EQ(spec.scheduler.agent, arm);
+    EXPECT_EQ(spec.workload, training.workload.workload) << arm;
+    EXPECT_EQ(spec.trace_jobs, training.workload.trace_jobs) << arm;
+    EXPECT_EQ(spec.scheduler.policy, training.trainer.base_policy) << arm;
+  }
+  // Spot checks: the transfer source evaluates on its own workload.
+  EXPECT_EQ(find_scenario("abl-transfer-source").workload, "Lublin-1");
+  EXPECT_EQ(find_scenario("abl-control").workload, "SDSC-SP2");
+}
+
 TEST(Scenario, AgentScenarioWithEmptyStoreThrowsActionableError) {
   model::set_default_store_root(::testing::TempDir() + "/rlbf_scenario_nostore");
   model::clear_agent_cache();

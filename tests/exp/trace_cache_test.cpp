@@ -1,0 +1,96 @@
+// The exp trace cache under pressure: LRU eviction at the 32-entry cap,
+// stat accounting, and the multi-arm-sweep sharing pattern the ablation
+// benches rely on (many scheduler/agent variants over one workload must
+// build exactly one trace).
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "exp/sweep.h"
+
+namespace rlbf::exp {
+namespace {
+
+ScenarioSpec tiny_spec(std::size_t jobs) {
+  ScenarioSpec spec;
+  spec.workload = "SDSC-SP2";
+  spec.trace_jobs = jobs;
+  return spec;
+}
+
+TEST(TraceCacheLru, EvictsLeastRecentlyUsedBeyondTheCap) {
+  clear_trace_cache();
+  // 33 distinct keys (cap is 32): jobs = 100 .. 132.
+  for (std::size_t i = 0; i <= 32; ++i) {
+    build_trace_cached(tiny_spec(100 + i), 1);
+  }
+  TraceCacheStats stats = trace_cache_stats();
+  EXPECT_EQ(stats.entries, 32u);
+  EXPECT_EQ(stats.misses, 33u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // The oldest entry (jobs=100) was evicted: re-getting it is a miss...
+  build_trace_cached(tiny_spec(100), 1);
+  stats = trace_cache_stats();
+  EXPECT_EQ(stats.misses, 34u);
+  EXPECT_EQ(stats.entries, 32u);
+  // ...which in turn evicted jobs=101, while the most recent key from
+  // the fill (jobs=132) is still resident.
+  build_trace_cached(tiny_spec(132), 1);
+  EXPECT_EQ(trace_cache_stats().hits, 1u);
+  build_trace_cached(tiny_spec(101), 1);
+  EXPECT_EQ(trace_cache_stats().misses, 35u);
+
+  // A cache hit refreshes recency: touch jobs=103 (currently the LRU
+  // survivor from the fill), insert a fresh key, and the eviction victim
+  // must be jobs=104 — not the just-touched 103.
+  build_trace_cached(tiny_spec(103), 1);
+  const std::size_t hits_after_touch = trace_cache_stats().hits;
+  build_trace_cached(tiny_spec(500), 1);  // evicts 104
+  build_trace_cached(tiny_spec(103), 1);  // still resident -> hit
+  EXPECT_EQ(trace_cache_stats().hits, hits_after_touch + 1);
+  build_trace_cached(tiny_spec(104), 1);  // evicted -> miss
+  EXPECT_EQ(trace_cache_stats().misses, 37u);
+
+  clear_trace_cache();
+  stats = trace_cache_stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(TraceCacheLru, SeedForksTheKey) {
+  clear_trace_cache();
+  build_trace_cached(tiny_spec(200), 1);
+  build_trace_cached(tiny_spec(200), 2);
+  const TraceCacheStats stats = trace_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+// The ablation-sweep sharing pattern: expanding one base scenario over
+// scheduler axes (the moral equivalent of sweeping ablation arms) runs
+// many instances but builds the workload exactly once.
+TEST(TraceCacheLru, MultiArmSweepBuildsOneTraceAndHitsForTheRest) {
+  clear_trace_cache();
+  ScenarioSpec base = find_scenario("sdsc-easy");
+  base.trace_jobs = 300;
+  const auto axes = parse_sweep("backfill=easy,easy-sjf,cons;policy=FCFS,SJF");
+  const std::vector<ScenarioSpec> specs = expand_grid(base, axes);
+  ASSERT_EQ(specs.size(), 6u);
+
+  SweepOptions options;
+  options.seed = 5;
+  options.threads = 1;  // deterministic stat accounting (no racing misses)
+  const auto runs = run_sweep(specs, options);
+  ASSERT_EQ(runs.size(), 6u);
+
+  const TraceCacheStats stats = trace_cache_stats();
+  EXPECT_EQ(stats.misses, 1u) << "every instance should share one build";
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.entries, 1u);
+  // All six instances really saw the same jobs.
+  for (const auto& run : runs) EXPECT_EQ(run.jobs, runs[0].jobs);
+}
+
+}  // namespace
+}  // namespace rlbf::exp

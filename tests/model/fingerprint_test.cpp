@@ -76,6 +76,43 @@ TEST(Fingerprint, GoldenValueIsStableAcrossProcesses) {
   EXPECT_EQ(fingerprint(base_spec()), fnv1a_hex(canon));
 }
 
+// Regression for the ablation-arm spec fields: an env-override that only
+// exists for one algorithm must fork that algorithm's fingerprints...
+TEST(Fingerprint, AlgorithmHyperparametersAreFingerprintedUnderTheirAlgorithm) {
+  TrainingSpec a = base_spec();
+  TrainingSpec b = base_spec();
+  a.algorithm = b.algorithm = "dqn";
+  b.dqn.epsilon_decay_epochs = 40;
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+
+  TrainingSpec c = base_spec();
+  TrainingSpec d = base_spec();
+  c.algorithm = d.algorithm = "reinforce";
+  d.reinforce.policy_lr = 3e-3;
+  EXPECT_NE(fingerprint(c), fingerprint(d));
+}
+
+// ...while leaving every other algorithm's content address untouched: a
+// PPO run does not read the DQN/REINFORCE blocks, so they must not
+// invalidate existing PPO store entries.
+TEST(Fingerprint, ForeignAlgorithmBlocksDoNotForkPpoKeys) {
+  TrainingSpec a = base_spec();
+  TrainingSpec b = base_spec();
+  b.dqn.epsilon_decay_epochs = 40;
+  b.reinforce.policy_lr = 3e-3;
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, WarmStartReferenceIsFingerprinted) {
+  TrainingSpec a = base_spec();
+  TrainingSpec b = base_spec();
+  b.init_agent = "abl-transfer-source";
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+  TrainingSpec c = base_spec();
+  c.init_agent = "0123456789abcdef";
+  EXPECT_NE(fingerprint(b), fingerprint(c));
+}
+
 TEST(Fingerprint, TraceFingerprintSeparatesTransformedTraces) {
   const swf::Trace trace =
       workload::make_preset(workload::sdsc_sp2_targets(), 200, 1);
@@ -97,6 +134,29 @@ TEST(TrainingRegistry, BuiltinsArePresentAndDistinct) {
   }
   std::sort(keys.begin(), keys.end());
   EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(TrainingRegistry, AblationArmsAreRegistered) {
+  const auto arms = ablation_arm_names();
+  EXPECT_GE(arms.size(), 25u);
+  // One representative per family.
+  for (const char* name :
+       {"abl-control", "abl-delay-est-2", "abl-delay-mask", "abl-obsv-8",
+        "abl-net-flat", "abl-feat-no-slack", "abl-obj-wait", "abl-rl-dqn",
+        "abl-rl-reinforce", "abl-transfer-finetune"}) {
+    EXPECT_TRUE(TrainingRegistry::instance().contains(name)) << name;
+  }
+  // Family invariants: the DQN arm really is a DQN spec, the fine-tune
+  // arm warm-starts from the source arm, knockouts clear exactly one bit.
+  EXPECT_EQ(find_training_spec("abl-rl-dqn").algorithm, "dqn");
+  EXPECT_EQ(find_training_spec("abl-rl-reinforce").reinforce.policy_lr, 3e-3);
+  EXPECT_EQ(find_training_spec("abl-transfer-finetune").init_agent,
+            "abl-transfer-source");
+  EXPECT_EQ(find_training_spec("abl-feat-no-slack").trainer.agent.obs.feature_mask,
+            0x3FFu & ~(1u << 5));
+  EXPECT_FALSE(find_training_spec("abl-net-flat").trainer.agent.kernel_policy);
+  // (Distinct fingerprints across ALL registered specs, arms included,
+  // are asserted by BuiltinsArePresentAndDistinct above.)
 }
 
 TEST(TrainingRegistry, UnknownNameThrowsWithCatalog) {

@@ -109,6 +109,49 @@ TEST(Store, PruneRemovesOnlyUnreferencedEntries) {
   EXPECT_TRUE(store.prune({"aaaaaaaaaaaaaaaa", "cccccccccccccccc"}).empty());
 }
 
+// Regression guarding the ablation-arm spec-field additions: two specs
+// whose canonical text differs ONLY in a newer env-override field (here
+// the DQN exploration schedule) must land on distinct fingerprints, get
+// distinct store entries, resolve independently through lookup, and
+// survive prune independently. If a new spec field is ever left out of
+// canonical_string, the two puts below collapse onto one key and this
+// test fails.
+TEST(Store, NewSpecFieldsSeparateEntriesThroughLookupAndPrune) {
+  Store store(fresh_root("specfields"));
+  TrainingSpec a;
+  a.name = "arm-a";
+  a.workload.workload = "SDSC-SP2";
+  a.workload.trace_jobs = 1000;
+  a.algorithm = "dqn";
+  TrainingSpec b = a;
+  b.name = "arm-b";
+  b.dqn.epsilon_decay_epochs = a.dqn.epsilon_decay_epochs + 7;
+
+  const std::string key_a = fingerprint(a);
+  const std::string key_b = fingerprint(b);
+  ASSERT_NE(key_a, key_b);
+
+  store.put(key_a, tiny_agent(1), a.name, {}, canonical_string(a));
+  store.put(key_b, tiny_agent(2), b.name, {}, canonical_string(b));
+  ASSERT_EQ(store.list().size(), 2u);
+
+  // Lookup resolves each arm to its own entry (and its own sidecar).
+  const auto entry_a = store.lookup(key_a);
+  const auto entry_b = store.lookup(key_b);
+  ASSERT_TRUE(entry_a.has_value());
+  ASSERT_TRUE(entry_b.has_value());
+  EXPECT_EQ(entry_a->name, "arm-a");
+  EXPECT_EQ(entry_b->name, "arm-b");
+  EXPECT_NE(entry_a->path, entry_b->path);
+
+  // Pruning with only arm-a referenced drops exactly arm-b.
+  const auto removed = store.prune({key_a});
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], key_b);
+  EXPECT_TRUE(store.contains(key_a));
+  EXPECT_FALSE(store.contains(key_b));
+}
+
 // Regression: one corrupt model file (e.g. a crash mid-save) must not
 // brick the whole store — the entry is dropped, everything else loads.
 TEST(Store, CorruptIndexedModelIsDroppedNotFatal) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -215,6 +216,86 @@ TEST(TrainOnTrace, ContentHashSeparatesTransformedTraces) {
   EXPECT_NE(a.entry.key, b.entry.key);
   // Identical (trace, spec) -> cache hit.
   EXPECT_TRUE(train_on_trace(*trace, micro_spec(), store, options).cache_hit);
+}
+
+// The training stats persisted with every entry let benches reproduce
+// their tables from a cache hit (final-epoch stats, per-epoch eval
+// curve) without retraining.
+TEST(TrainSpec, PersistsTrainingStatsRecoverableOnCacheHit) {
+  Store store(fresh_root("stats"));
+  TrainOptions options;
+  options.threads = 2;
+  const TrainOutcome first = train_spec(micro_spec(), store, options);
+  const TrainOutcome hit = train_spec(micro_spec(), store, options);
+  ASSERT_TRUE(hit.cache_hit);
+  for (const char* key :
+       {"final_reward", "final_train_bsld", "final_steps", "eval_curve"}) {
+    ASSERT_TRUE(first.entry.meta.count(key)) << key;
+    EXPECT_EQ(hit.entry.meta.at(key), first.entry.meta.at(key)) << key;
+  }
+  // eval_every=1 -> one comma-separated value per epoch.
+  const std::string curve = first.entry.meta.at("eval_curve");
+  EXPECT_EQ(std::count(curve.begin(), curve.end(), ','), 1);  // 2 epochs
+}
+
+// Warm starting (TrainingSpec::init_agent): training resumes from a
+// stored agent, the reference is part of the content address, and a
+// missing prerequisite is an actionable error, not a silent cold start.
+TEST(TrainSpec, WarmStartResolvesStoreKeyAndForksTheFingerprint) {
+  Store store(fresh_root("warm"));
+  TrainOptions options;
+  options.threads = 2;
+  const TrainOutcome source = train_spec(micro_spec(5), store, options);
+
+  TrainingSpec fine = micro_spec(6);
+  fine.name = "micro-finetune";
+  fine.init_agent = source.entry.key;
+  const TrainOutcome tuned = train_spec(fine, store, options);
+  EXPECT_FALSE(tuned.cache_hit);
+  EXPECT_NE(tuned.entry.key, source.entry.key);
+  EXPECT_NE(tuned.entry.key, fingerprint(micro_spec(6)));
+  EXPECT_EQ(tuned.entry.meta.at("init_agent"), source.entry.key);
+  // Second invocation: cache hit, no retraining.
+  EXPECT_TRUE(train_spec(fine, store, options).cache_hit);
+
+  // An unresolvable init reference names itself in the error.
+  TrainingSpec broken = fine;
+  broken.init_agent = "feedfacefeedface";
+  try {
+    train_spec(broken, store, options);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("feedfacefeedface"), std::string::npos);
+  }
+
+  // A registered-but-untrained spec name points at the fix.
+  TrainingSpec by_name = fine;
+  by_name.init_agent = "abl-transfer-source";
+  try {
+    train_spec(by_name, store, options);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rlbf_run train"), std::string::npos);
+  }
+}
+
+// CLI budget overrides change a source arm's content address but keep
+// its spec name; a warm-start reference by name must then fall back to
+// the unique same-name entry instead of demanding the registered
+// fingerprint (the `rlbf_run train --ablations --epochs=N` path).
+TEST(TrainSpec, WarmStartFallsBackToUniqueSameNameEntry) {
+  Store store(fresh_root("warmname"));
+  TrainOptions options;
+  options.threads = 2;
+  TrainingSpec source = micro_spec(5);
+  source.name = "abl-transfer-source";  // registered name, overridden budget
+  const TrainOutcome src = train_spec(source, store, options);
+  ASSERT_NE(src.entry.key, fingerprint(find_training_spec("abl-transfer-source")));
+
+  TrainingSpec fine = micro_spec(6);
+  fine.name = "micro-ft-by-name";
+  fine.init_agent = "abl-transfer-source";
+  EXPECT_FALSE(train_spec(fine, store, options).cache_hit);
 }
 
 TEST(UnknownAlgorithm, Throws) {

@@ -12,6 +12,8 @@
 //   rlbf_run train --list                   # the training-spec catalog
 //   rlbf_run train --spec=sdsc-fcfs         # train into the model store
 //                                           # (second invocation: cache hit)
+//   rlbf_run train --ablations              # every abl-* ablation arm
+//   rlbf_run run --scenario=abl-obsv-8      # evaluate a trained arm
 //   rlbf_run models                         # list the store
 //   rlbf_run models --prune                 # drop unreferenced entries
 //
@@ -268,8 +270,12 @@ int train(int argc, char** argv) {
                         "Train agents from declarative specs into the model "
                         "store (content-addressed; a second identical train "
                         "is a cache hit and runs nothing).");
+  bool ablations = false;
   parser.add_flag("--list", &list, "list the training-spec catalog and exit");
   parser.add("--spec", &spec_names, "training spec name(s), comma-separated");
+  parser.add_flag("--ablations", &ablations,
+                  "train every registered abl-* ablation arm (registration "
+                  "order trains warm-start sources before their consumers)");
   parser.add("--store", &store_root,
              "model store root (default: $RLBF_MODEL_STORE or 'models')");
   parser.add("--threads", &threads,
@@ -302,16 +308,23 @@ int train(int argc, char** argv) {
     table.print(std::cout);
     return 0;
   }
-  if (spec_names.empty()) {
-    std::cerr << "rlbf_run train: pass --spec=NAME (or --list)\n\n"
+  if (spec_names.empty() && !ablations) {
+    std::cerr << "rlbf_run train: pass --spec=NAME, --ablations, or --list\n\n"
               << parser.usage();
     return 2;
   }
   if (!store_root.empty()) model::set_default_store_root(store_root);
   model::Store& store = model::default_store();
 
+  std::vector<std::string> names;
+  if (!spec_names.empty()) names = split_names(spec_names, "--spec");
+  if (ablations) {
+    for (std::string& arm : model::ablation_arm_names()) {
+      names.push_back(std::move(arm));
+    }
+  }
   std::vector<model::TrainingSpec> specs;
-  for (const std::string& name : split_names(spec_names, "--spec")) {
+  for (const std::string& name : names) {
     model::TrainingSpec spec = model::find_training_spec(name);
     if (epochs > 0) spec.trainer.epochs = epochs;
     if (trajectories > 0) spec.trainer.trajectories_per_epoch = trajectories;
