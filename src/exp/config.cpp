@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <locale.h>
 #include <sstream>
 
 namespace rlbf::exp {
@@ -18,14 +21,39 @@ std::string lower(std::string s) {
   return s;
 }
 
+// All numeric parsing is pinned to the C locale: an embedding process
+// that calls setlocale(LC_NUMERIC, "de_DE") must not make strtod treat
+// '.' as a thousands separator and reject "3.14" (or, worse, accept
+// "3,14"). Sweep values, flags, and fingerprints all parse identically
+// on every host a shard lands on. newlocale can fail (ENOMEM); passing
+// a null locale_t to strtod_l is undefined, so fall back to plain
+// strtod rather than cache a crash.
+double strtod_c(const char* text, char** end) {
+  // The lazy init runs after the caller has already set errno = 0, and
+  // POSIX leaves errno unspecified on newlocale success — shield the
+  // caller's errno protocol from the one-time setup.
+  static const locale_t loc = [] {
+    const int saved_errno = errno;
+    const locale_t l = newlocale(LC_ALL_MASK, "C", nullptr);
+    errno = saved_errno;
+    return l;
+  }();
+  if (loc == static_cast<locale_t>(nullptr)) return std::strtod(text, end);
+  return strtod_l(text, end, loc);
+}
+
 }  // namespace
 
 bool parse_number(const std::string& text, double* out) {
   if (text.empty()) return false;
   errno = 0;
   char* end = nullptr;
-  const double v = std::strtod(text.c_str(), &end);
-  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  const double v = strtod_c(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  // strtod reports ERANGE both for true overflow (result ±HUGE_VAL) and
+  // for subnormal results ("1e-320"), which are perfectly valid inputs:
+  // accept any finite value, reject overflow and every other errno.
+  if (errno != 0 && !(errno == ERANGE && std::isfinite(v))) return false;
   *out = v;
   return true;
 }
@@ -64,9 +92,14 @@ bool parse_bool(const std::string& text, bool* out) {
 }
 
 std::string format_double_exact(double value) {
+  // std::to_chars is locale-independent by definition and its
+  // precision form is specified to match printf "%.17g" byte for byte
+  // (verified against snprintf across random doubles when this was
+  // introduced), so fingerprints cannot fork under LC_NUMERIC.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), value, std::chars_format::general, 17);
+  return std::string(buf, res.ptr);
 }
 
 ArgParser::ArgParser(std::string program, std::string summary)

@@ -24,9 +24,12 @@ namespace rlbf::exp {
 
 /// Strict numeric conversions used by ArgParser and sweep-value parsing:
 /// the whole string must convert and fit. Return false on junk ("12x",
-/// "") and on range overflow. The integral template covers every
-/// non-bool integer type (size_t included, whatever it aliases on the
-/// platform).
+/// "") and on range overflow; subnormal doubles ("1e-320") are valid
+/// input. Pinned to the C locale — an embedding process running under
+/// LC_NUMERIC=de_DE parses (and formats, see format_double_exact /
+/// exp::format_metric) exactly like every other host. The integral
+/// template covers every non-bool integer type (size_t included,
+/// whatever it aliases on the platform).
 bool parse_number(const std::string& text, double* out);
 bool parse_int64(const std::string& text, std::int64_t* out);
 bool parse_uint64(const std::string& text, std::uint64_t* out);

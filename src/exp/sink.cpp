@@ -1,7 +1,10 @@
 #include "exp/sink.h"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <locale>
+#include <sstream>
 
 namespace rlbf::exp {
 
@@ -32,18 +35,26 @@ SummaryRow summarize(const ScenarioSpec& spec, const core::EvalResult& result,
   return row;
 }
 
+// The fixed-format helpers go through std::to_chars, which is
+// locale-independent and specified to match printf "%.*g"/"%.*f" in the
+// C locale byte for byte — so a shard running in an embedding process
+// with LC_NUMERIC=de_DE still writes "3.14", never "3,14", and goldens
+// stay portable across hosts.
 std::string format_metric(double value) {
   if (std::isnan(value)) return "";
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", value);
-  return buf;
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), value, std::chars_format::general, 6);
+  return std::string(buf, res.ptr);
 }
 
 std::string format_count(double value) {
   if (std::isnan(value)) return "";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.0f", value);
-  return buf;
+  char buf[512];  // fixed-notation %.0f of a large double needs room
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), value, std::chars_format::fixed, 0);
+  if (res.ec != std::errc()) return "";  // cannot happen for finite counts
+  return std::string(buf, res.ptr);
 }
 
 namespace {
@@ -59,58 +70,97 @@ std::string csv_escape(const std::string& field) {
   return out;
 }
 
-std::string json_escape(const std::string& field) {
-  std::string out;
-  for (const char c : field) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
 std::string json_number(double value) {
-  return std::isnan(value) ? "null" : format_metric(value);
+  // NaN means "not measured"; infinities (a degenerate run dividing by
+  // zero) have no JSON literal either — "inf" would poison the file.
+  return std::isfinite(value) ? format_metric(value) : "null";
 }
 
 }  // namespace
 
-void write_summary_csv(std::ostream& os, const std::vector<SummaryRow>& rows) {
-  os << "scenario,label,seed,jobs,bsld,avg_wait,utilization,backfilled,"
-        "killed,ci_lo,ci_hi\n";
-  for (const SummaryRow& row : rows) {
-    os << csv_escape(row.scenario) << ',' << csv_escape(row.label) << ','
-       << row.seed << ',' << row.jobs << ',' << format_metric(row.bsld) << ','
-       << format_metric(row.avg_wait) << ',' << format_metric(row.utilization)
-       << ',' << format_count(row.backfilled) << ',' << format_count(row.killed)
-       << ',' << format_metric(row.ci_lo) << ',' << format_metric(row.ci_hi)
-       << '\n';
+std::string json_escape(const std::string& field) {
+  std::string out;
+  for (const char c : field) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        // Remaining control bytes have no short escape and are illegal
+        // raw inside a JSON string — a scenario label containing one
+        // must not poison the whole summary file.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
+  return out;
+}
+
+std::string summary_csv_header() {
+  return "scenario,label,seed,jobs,bsld,avg_wait,utilization,backfilled,"
+         "killed,ci_lo,ci_hi";
+}
+
+std::string summary_csv_row(const SummaryRow& row) {
+  std::ostringstream os;
+  // The classic locale pins integer insertion too: an embedding process
+  // calling std::locale::global(de_DE) must not turn seed=100000 into
+  // the phantom-column-producing "100.000".
+  os.imbue(std::locale::classic());
+  os << csv_escape(row.scenario) << ',' << csv_escape(row.label) << ','
+     << row.seed << ',' << row.jobs << ',' << format_metric(row.bsld) << ','
+     << format_metric(row.avg_wait) << ',' << format_metric(row.utilization)
+     << ',' << format_count(row.backfilled) << ',' << format_count(row.killed)
+     << ',' << format_metric(row.ci_lo) << ',' << format_metric(row.ci_hi);
+  return os.str();
+}
+
+std::string summary_json_row(const SummaryRow& row) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << "\"scenario\": \"" << json_escape(row.scenario) << "\", \"label\": \""
+     << json_escape(row.label) << "\", \"seed\": " << row.seed
+     << ", \"jobs\": " << row.jobs;
+  os << ", \"bsld\": " << json_number(row.bsld)
+     << ", \"avg_wait\": " << json_number(row.avg_wait)
+     << ", \"utilization\": " << json_number(row.utilization)
+     << ", \"backfilled\": "
+     << (std::isfinite(row.backfilled) ? format_count(row.backfilled) : "null")
+     << ", \"killed\": "
+     << (std::isfinite(row.killed) ? format_count(row.killed) : "null");
+  if (!std::isnan(row.ci_lo)) {
+    os << ", \"ci_lo\": " << json_number(row.ci_lo)
+       << ", \"ci_hi\": " << json_number(row.ci_hi);
+  }
+  return os.str();
+}
+
+void write_summary_csv(std::ostream& os, const std::vector<SummaryRow>& rows) {
+  os << summary_csv_header() << '\n';
+  for (const SummaryRow& row : rows) os << summary_csv_row(row) << '\n';
 }
 
 void write_summary_json(std::ostream& os, const std::vector<SummaryRow>& rows) {
   os << "[\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const SummaryRow& row = rows[i];
-    os << "  {\"scenario\": \"" << json_escape(row.scenario) << "\", \"label\": \""
-       << json_escape(row.label) << "\", \"seed\": " << row.seed
-       << ", \"jobs\": " << row.jobs;
-    os << ", \"bsld\": " << json_number(row.bsld)
-       << ", \"avg_wait\": " << json_number(row.avg_wait)
-       << ", \"utilization\": " << json_number(row.utilization)
-       << ", \"backfilled\": "
-       << (std::isnan(row.backfilled) ? "null" : format_count(row.backfilled))
-       << ", \"killed\": "
-       << (std::isnan(row.killed) ? "null" : format_count(row.killed));
-    if (!std::isnan(row.ci_lo)) {
-      os << ", \"ci_lo\": " << json_number(row.ci_lo)
-         << ", \"ci_hi\": " << json_number(row.ci_hi);
-    }
-    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    os << "  {" << summary_json_row(rows[i]) << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "]\n";
 }
 
 void write_per_job_csv(std::ostream& os, const ScenarioRun& run) {
+  // Integers stream through os directly, so pin the caller's stream to
+  // the classic locale for the duration (std::locale::global grouping
+  // would otherwise corrupt job indices and times).
+  const std::locale prev = os.imbue(std::locale::classic());
   os << "job_index,submit,start,end,procs,wait,run,bsld,backfilled,killed\n";
   for (const sim::JobResult& r : run.results) {
     os << r.job_index << ',' << r.submit_time << ',' << r.start_time << ','
@@ -118,6 +168,7 @@ void write_per_job_csv(std::ostream& os, const ScenarioRun& run) {
        << r.run_time() << ',' << format_metric(r.bounded_slowdown()) << ','
        << (r.backfilled ? 1 : 0) << ',' << (r.killed ? 1 : 0) << '\n';
   }
+  os.imbue(prev);
 }
 
 namespace {
@@ -154,6 +205,11 @@ std::string sanitize_filename(const std::string& name) {
     out += keep ? c : '_';
   }
   return out;
+}
+
+std::string per_job_filename(const std::string& scenario, std::uint64_t seed) {
+  return "jobs-" + sanitize_filename(scenario) + "-s" + std::to_string(seed) +
+         ".csv";
 }
 
 }  // namespace rlbf::exp

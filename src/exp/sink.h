@@ -45,11 +45,25 @@ SummaryRow summarize(const ScenarioSpec& spec, const core::EvalResult& result,
                      std::uint64_t seed);
 
 /// Fixed-format numeric rendering used by every sink ("%.6g"; empty
-/// string for NaN). Deterministic for equal doubles.
+/// string for NaN). Deterministic for equal doubles and pinned to the C
+/// locale (std::to_chars), so LC_NUMERIC on the host cannot change it.
 std::string format_metric(double value);
 
-/// Whole-count rendering ("%.0f"; empty string for NaN).
+/// Whole-count rendering ("%.0f"; empty string for NaN). C locale.
 std::string format_count(double value);
+
+/// JSON string-content escaping: quotes, backslashes, and every control
+/// byte (\n, \t, \r as short escapes, the rest as \u00XX) — a hostile
+/// scenario label can never emit invalid JSON.
+std::string json_escape(const std::string& field);
+
+/// One canonical rendering per summary row, shared by the plain writers
+/// below and the shard-tagged writers (exp/shard.h) — merged shard
+/// output is byte-identical to an unsharded run by construction. The
+/// JSON row carries no surrounding "  {…}," decoration.
+std::string summary_csv_header();
+std::string summary_csv_row(const SummaryRow& row);
+std::string summary_json_row(const SummaryRow& row);
 
 void write_summary_csv(std::ostream& os, const std::vector<SummaryRow>& rows);
 void write_summary_json(std::ostream& os, const std::vector<SummaryRow>& rows);
@@ -63,5 +77,10 @@ bool save_per_job_csv(const std::string& path, const ScenarioRun& run);
 /// Turn an instance name ("sdsc-easy/load=0.5,policy=SJF") into a safe
 /// file stem: [A-Za-z0-9._-] kept, everything else mapped to '_'.
 std::string sanitize_filename(const std::string& name);
+
+/// The canonical per-job CSV filename for one (scenario instance, seed)
+/// run — shared by the CLI writer and the shard merge so merged
+/// directories validate against exactly what a run would have written.
+std::string per_job_filename(const std::string& scenario, std::uint64_t seed);
 
 }  // namespace rlbf::exp

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "exp/config.h"
+#include "exp/shard.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -163,21 +164,44 @@ std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
   return specs;
 }
 
+std::vector<std::size_t> run_sweep_instances(std::size_t spec_count,
+                                             const SweepOptions& options) {
+  if (options.shard_count == 0) {
+    throw std::invalid_argument("sweep: shard count must be >= 1");
+  }
+  if (options.shard_index >= options.shard_count) {
+    throw std::invalid_argument(
+        "sweep: shard index " + std::to_string(options.shard_index) +
+        " out of range for shard count " + std::to_string(options.shard_count));
+  }
+  const std::size_t reps = options.replications == 0 ? 1 : options.replications;
+  ShardSpec shard;
+  shard.index = options.shard_index;
+  shard.count = options.shard_count;
+  return shard_instance_indices(spec_count * reps, shard);
+}
+
 std::vector<ScenarioRun> run_sweep(const std::vector<ScenarioSpec>& specs,
                                    const SweepOptions& options) {
   const std::size_t reps = options.replications == 0 ? 1 : options.replications;
   // Fix every seed up front on the calling thread: replication r > 0 gets
   // the first output of the r-th stream split from Rng(options.seed).
+  // This happens before sharding, so every shard derives the identical
+  // seed table and the union of shard results is byte-identical to an
+  // unsharded run.
   std::vector<std::uint64_t> seeds(reps);
   seeds[0] = options.seed;
   util::Rng root(options.seed);
   for (std::size_t r = 1; r < reps; ++r) seeds[r] = root.split()();
 
-  std::vector<ScenarioRun> runs(specs.size() * reps);
+  const std::vector<std::size_t> instances =
+      run_sweep_instances(specs.size(), options);
+  std::vector<ScenarioRun> runs(instances.size());
   util::ThreadPool pool(options.threads);
   pool.parallel_for(runs.size(), [&](std::size_t i) {
-    const std::size_t spec_index = i / reps;
-    const std::size_t rep = i % reps;
+    const std::size_t g = instances[i];
+    const std::size_t spec_index = g / reps;
+    const std::size_t rep = g % reps;
     runs[i] = run_scenario(specs[spec_index], seeds[rep]);
   });
   return runs;

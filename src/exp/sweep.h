@@ -51,6 +51,14 @@ struct SweepOptions {
   std::uint64_t seed = 1;
   std::size_t threads = 0;       // 0 = hardware concurrency
   std::size_t replications = 1;  // runs per instance at distinct seeds
+  /// Distributed execution: run only shard `shard_index` of a
+  /// `shard_count`-way round-robin partition of the flattened
+  /// (spec-major × replication) instance list. Every stochastic input is
+  /// fixed before partitioning, so the union of all shards' results is
+  /// byte-identical to an unsharded run at the same seed (exp/shard.h
+  /// merges the emitted artifacts). The default 0/1 is "everything".
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 /// Execute every (spec, replication) pair in parallel. Replication 0
@@ -58,7 +66,17 @@ struct SweepOptions {
 /// run_scenario call); further replications use seeds pre-split from a
 /// util::Rng(options.seed) stream on the calling thread. The result
 /// order is spec-major then replication, independent of scheduling.
+/// With sharding active, only the shard's instances are run (still in
+/// global order); run_sweep_instances() names which global indices they
+/// are. Throws std::invalid_argument on shard_count == 0 or
+/// shard_index >= shard_count.
 std::vector<ScenarioRun> run_sweep(const std::vector<ScenarioSpec>& specs,
                                    const SweepOptions& options = {});
+
+/// The global instance indices run_sweep(specs, options) executes, in
+/// result order: all of 0..specs.size()*replications-1 unsharded, the
+/// shard's round-robin subset otherwise.
+std::vector<std::size_t> run_sweep_instances(std::size_t spec_count,
+                                             const SweepOptions& options);
 
 }  // namespace rlbf::exp

@@ -93,6 +93,72 @@ expect_failure("malformed sweep axis" "missing '='"
 # Bad numeric flag value.
 expect_failure("bad numeric flag" "--seed" run --scenario=sdsc-easy --seed=twelve)
 
+# Malformed --shard specs: junk, missing '/', index out of range, zero
+# count — each fails nonzero with a named shard error before any work runs.
+expect_failure("shard junk" "malformed shard spec 'x/y'"
+               run --scenario=sdsc-easy --shard=x/y)
+expect_failure("shard missing slash" "malformed shard spec '2'"
+               run --scenario=sdsc-easy --shard=2)
+expect_failure("shard index out of range" "shard index 3 out of range"
+               run --scenario=sdsc-easy --shard=3/2)
+expect_failure("shard zero count" "shard count must be >= 1"
+               run --scenario=sdsc-easy --shard=0/0)
+expect_failure("shard negative" "malformed shard spec '-1/3'"
+               run --scenario=sdsc-easy --shard=-1/3)
+# merge without usable inputs: missing flags, then an empty directory.
+expect_failure("merge missing flags" "--inputs" merge)
+file(MAKE_DIRECTORY "${WORK_DIR}/empty_shards")
+expect_failure("merge empty dir" "no shard summaries found"
+               merge --inputs=empty_shards --out_dir=merged_nothing)
+
+# --shard=0/1 is a valid single-shard run whose tagged output merges into
+# a file identical to the unsharded run's; shard_count > instance count
+# yields an empty shard that merge still accepts.
+expect_success("single-shard run" run --scenario=sdsc-easy --jobs=200 --seed=5
+               --shard=0/1 --out_dir=one_shard)
+expect_success("merge single shard"
+               merge --inputs=one_shard --out_dir=one_merged)
+expect_success("unsharded reference" run --scenario=sdsc-easy --jobs=200 --seed=5
+               --out_dir=one_reference)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/one_merged/summary.csv"
+          "${WORK_DIR}/one_reference/summary.csv"
+  RESULT_VARIABLE one_shard_same)
+if(NOT one_shard_same EQUAL 0)
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "merged 0/1 shard differs from the unsharded summary")
+else()
+  message(STATUS "merged 0/1 shard == unsharded summary: ok")
+endif()
+# 2 instances over 3 shards: shard 2 is empty; the merged union of all
+# three must still byte-match the unsharded sweep.
+expect_success("unsharded small sweep" run --scenario=sdsc-easy --jobs=200
+               --seed=5 --sweep=policy=FCFS,SJF --out_dir=small_reference)
+foreach(i RANGE 2)
+  expect_success("shard ${i}/3 of small sweep" run --scenario=sdsc-easy
+                 --jobs=200 --seed=5 --sweep=policy=FCFS,SJF --shard=${i}/3
+                 --out_dir=small_shard${i})
+endforeach()
+expect_success("merge with empty shard"
+               merge --inputs=small_shard0,small_shard1,small_shard2
+               --out_dir=small_merged)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/small_merged/summary.csv"
+          "${WORK_DIR}/small_reference/summary.csv"
+  RESULT_VARIABLE small_same)
+if(NOT small_same EQUAL 0)
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "merged 3-shard sweep (one empty shard) differs from the "
+                  "unsharded summary")
+else()
+  message(STATUS "merged 3-shard sweep (one empty shard) == unsharded: ok")
+endif()
+# An incomplete shard set must fail with the missing shard named.
+expect_failure("merge incomplete shard set" "missing shard 2/3"
+               merge --inputs=small_shard0,small_shard1 --out_dir=small_bad)
+
 # Sanity: the catalog listings still succeed from this harness.
 expect_success("run --list" run --list)
 expect_success("train --list" train --list)

@@ -125,6 +125,37 @@ TEST(ParseNumber, RejectsJunkAndAcceptsWhole) {
   EXPECT_EQ(i, -42);
 }
 
+// Regression: strtod reports ERANGE for subnormal results exactly like
+// it does for overflow, and the old blanket `errno != 0` check rejected
+// perfectly valid tiny inputs. Finite-but-tiny parses; true overflow
+// still fails.
+TEST(ParseNumber, AcceptsSubnormalsRejectsOverflow) {
+  double v = -1.0;
+  EXPECT_TRUE(parse_number("1e-320", &v));  // subnormal: ERANGE + finite
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1e-300);
+  EXPECT_TRUE(parse_number("5e-324", &v));  // smallest denormal
+  EXPECT_GT(v, 0.0);
+  EXPECT_TRUE(parse_number("-1e-320", &v));
+  EXPECT_LT(v, 0.0);
+  EXPECT_TRUE(parse_number("1e-5000", &v));  // underflows all the way to 0
+  EXPECT_EQ(v, 0.0);
+
+  EXPECT_FALSE(parse_number("1e400", &v));   // overflow: ERANGE + infinite
+  EXPECT_FALSE(parse_number("-1e400", &v));
+}
+
+TEST(ParseNumber, RoundTripsExactFormatting) {
+  // format_double_exact -> parse_number is lossless, subnormals included
+  // (the fingerprint/cache-key contract).
+  for (const double original : {3.14, 1e-320, 5e-324, -0.0, 1e308, 1.0 / 3.0}) {
+    double parsed = 42.0;
+    ASSERT_TRUE(parse_number(format_double_exact(original), &parsed))
+        << format_double_exact(original);
+    EXPECT_EQ(parsed, original) << format_double_exact(original);
+  }
+}
+
 TEST(ParseBool, AcceptsCommonSpellings) {
   bool b = false;
   for (const char* t : {"1", "true", "YES", "on"}) {

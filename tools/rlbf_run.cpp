@@ -17,6 +17,20 @@
 //   rlbf_run models                         # list the store
 //   rlbf_run models --prune                 # drop unreferenced entries
 //
+// Distributed sweeps (`sweep` is an alias of `run`): every machine runs
+// one shard of the deterministic instance partition, and `merge`
+// recombines the shard-tagged outputs into files byte-identical to an
+// unsharded run. Model stores travel between machines as verified
+// bundles:
+//
+//   rlbf_run sweep --scenario=sdsc-easy --sweep="load=0.5,1.0"
+//            --shard=0/2 --out_dir=shard0        # machine A
+//   rlbf_run sweep ... --shard=1/2 --out_dir=shard1   # machine B
+//   rlbf_run merge --inputs=shard0,shard1 --out_dir=merged
+//   rlbf_run models --export_bundle=bundle          # pack the store
+//   rlbf_run models --store=other --import_bundle=bundle  # verified import
+//   rlbf_run models --max_store_bytes=100000000     # LRU size cap
+//
 // The bare legacy form (no subcommand) still works and means `run`.
 //
 // Output is deterministic for a given --seed at any --threads value:
@@ -31,6 +45,7 @@
 
 #include "exp/config.h"
 #include "exp/scenario.h"
+#include "exp/shard.h"
 #include "exp/sink.h"
 #include "exp/sweep.h"
 #include "model/store.h"
@@ -111,6 +126,7 @@ int run(int argc, char** argv) {
   bool per_job = true;
   std::string agent;
   std::string store_root;
+  std::string shard_text;
 
   exp::ArgParser parser(
       "rlbf_run run", "Run named scheduling scenarios and parameter sweeps.");
@@ -139,8 +155,16 @@ int run(int argc, char** argv) {
   parser.add("--store", &store_root,
              "model store root for agent references "
              "(default: $RLBF_MODEL_STORE or 'models')");
+  parser.add("--shard", &shard_text,
+             "run only shard I of an N-way deterministic instance partition "
+             "(\"I/N\"); --out_dir files are shard-tagged for `rlbf_run "
+             "merge` (empty = unsharded)");
   parser.parse_or_exit(argc, argv);
   if (!store_root.empty()) model::set_default_store_root(store_root);
+  // Parsed up front so a malformed spec fails before any work runs; the
+  // named std::invalid_argument propagates to main's handler.
+  exp::ShardSpec shard;
+  if (!shard_text.empty()) shard = exp::parse_shard(shard_text);
 
   if (list) {
     list_scenarios();
@@ -176,6 +200,10 @@ int run(int argc, char** argv) {
 
   std::vector<exp::SummaryRow> rows;
   std::vector<exp::ScenarioRun> runs;
+  // Sharding metadata for tagged output: which global instance each row
+  // is, out of how many in the whole (unsharded) sweep.
+  std::vector<std::size_t> instances;
+  std::size_t total_instances = 0;
   if (samples > 0) {
     // Sampled-sequences protocol: one row per instance, with CI. The
     // protocol's sampling stream already covers repetition, so
@@ -188,17 +216,24 @@ int run(int argc, char** argv) {
     protocol.samples = samples;
     protocol.sample_jobs = sample_jobs;
     protocol.seed = seed;
-    rows.resize(specs.size());
+    total_instances = specs.size();
+    instances = exp::shard_instance_indices(total_instances, shard);
+    rows.resize(instances.size());
     util::ThreadPool pool(threads);
-    pool.parallel_for(specs.size(), [&](std::size_t i) {
-      rows[i] =
-          exp::summarize(specs[i], exp::evaluate_scenario(specs[i], protocol), seed);
+    pool.parallel_for(instances.size(), [&](std::size_t i) {
+      const exp::ScenarioSpec& spec = specs[instances[i]];
+      rows[i] = exp::summarize(spec, exp::evaluate_scenario(spec, protocol), seed);
     });
   } else {
     exp::SweepOptions options;
     options.seed = seed;
     options.threads = threads;
     options.replications = replications;
+    options.shard_index = shard.index;
+    options.shard_count = shard.count;
+    total_instances =
+        specs.size() * (replications == 0 ? std::size_t{1} : replications);
+    instances = exp::run_sweep_instances(specs.size(), options);
     runs = exp::run_sweep(specs, options);
     rows.reserve(runs.size());
     for (const exp::ScenarioRun& r : runs) rows.push_back(exp::summarize(r));
@@ -230,17 +265,35 @@ int run(int argc, char** argv) {
       return 1;
     }
     bool ok = true;
-    if (format == "csv" || format == "both") {
-      ok &= exp::save_summary_csv(out_dir + "/summary.csv", rows);
-    }
-    if (format == "json" || format == "both") {
-      ok &= exp::save_summary_json(out_dir + "/summary.json", rows);
+    if (shard_text.empty()) {
+      if (format == "csv" || format == "both") {
+        ok &= exp::save_summary_csv(out_dir + "/summary.csv", rows);
+      }
+      if (format == "json" || format == "both") {
+        ok &= exp::save_summary_json(out_dir + "/summary.json", rows);
+      }
+    } else {
+      // Shard-tagged artifacts: rows carry their global instance index
+      // so `rlbf_run merge` can restore the unsharded order (and detect
+      // gaps/duplicates) without re-parsing any numbers.
+      exp::ShardSummary summary;
+      summary.shard = shard;
+      summary.total_instances = total_instances;
+      summary.instances = instances;
+      summary.rows = rows;
+      if (format == "csv" || format == "both") {
+        ok &= exp::save_shard_summary_csv(
+            out_dir + "/" + exp::shard_summary_filename(shard, "csv"), summary);
+      }
+      if (format == "json" || format == "both") {
+        ok &= exp::save_shard_summary_json(
+            out_dir + "/" + exp::shard_summary_filename(shard, "json"), summary);
+      }
     }
     if (per_job) {
       for (const exp::ScenarioRun& r : runs) {
-        const std::string path = out_dir + "/jobs-" +
-                                 exp::sanitize_filename(r.scenario) + "-s" +
-                                 std::to_string(r.seed) + ".csv";
+        const std::string path =
+            out_dir + "/" + exp::per_job_filename(r.scenario, r.seed);
         ok &= exp::save_per_job_csv(path, r);
       }
     }
@@ -250,6 +303,39 @@ int run(int argc, char** argv) {
     }
     std::cout << "# results written to " << out_dir << "/\n";
   }
+  return 0;
+}
+
+int merge(int argc, char** argv) {
+  std::string inputs;
+  std::string out_dir;
+
+  exp::ArgParser parser(
+      "rlbf_run merge",
+      "Recombine shard-tagged sweep outputs (run/sweep --shard=I/N "
+      "--out_dir=...) into the canonical unsharded files — byte-identical "
+      "to a single-machine run at the same seed. Incomplete or "
+      "inconsistent shard sets fail with named errors.");
+  parser.add("--inputs", &inputs,
+             "comma-separated shard output directories (one per shard)");
+  parser.add("--out_dir", &out_dir, "where the merged files go");
+  parser.parse_or_exit(argc, argv);
+
+  if (inputs.empty() || out_dir.empty()) {
+    std::cerr << "rlbf_run merge: pass --inputs=DIR,DIR,... and --out_dir=DIR\n\n"
+              << parser.usage();
+    return 2;
+  }
+  const exp::MergeReport report =
+      exp::merge_shard_dirs(split_names(inputs, "--inputs"), out_dir);
+  std::cout << "# merged " << report.shard_count << " shard(s), "
+            << report.total_instances << " instance(s)";
+  if (report.csv_merged) std::cout << " -> " << out_dir << "/summary.csv";
+  if (report.json_merged) std::cout << " -> " << out_dir << "/summary.json";
+  if (report.per_job_files_copied > 0) {
+    std::cout << " (+" << report.per_job_files_copied << " per-job files)";
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -368,47 +454,84 @@ int train(int argc, char** argv) {
   return 0;
 }
 
+/// The keys `models --prune` / `--max_store_bytes` must never drop:
+/// the fingerprint of every registered training spec, every raw store
+/// key a registered scenario points at, AND every entry trained under a
+/// registered spec's name — the last because resolve_agent's
+/// unique-same-name fallback can serve those (e.g. CLI budget
+/// overrides), so removing them would break a scenario that resolved a
+/// moment earlier. Everything else is removable.
+std::vector<std::string> collect_referenced(model::Store& store) {
+  std::vector<std::string> referenced;
+  const std::vector<std::string> referenced_names = model::training_spec_names();
+  for (const std::string& name : referenced_names) {
+    referenced.push_back(model::fingerprint(model::find_training_spec(name)));
+  }
+  for (const std::string& name : exp::scenario_names()) {
+    const exp::ScenarioSpec& s = exp::find_scenario(name);
+    if (!s.scheduler.uses_agent()) continue;
+    if (!model::TrainingRegistry::instance().contains(s.scheduler.agent)) {
+      referenced.push_back(s.scheduler.agent);  // raw key reference
+    }
+  }
+  for (const model::StoreEntry& entry : store.list()) {
+    if (std::find(referenced_names.begin(), referenced_names.end(),
+                  entry.name) != referenced_names.end()) {
+      referenced.push_back(entry.key);
+    }
+  }
+  return referenced;
+}
+
 int models(int argc, char** argv) {
   std::string store_root;
   bool prune = false;
+  std::string import_dir;
+  std::string export_dir;
+  std::string export_keys;
+  std::uint64_t max_store_bytes = 0;
 
-  exp::ArgParser parser("rlbf_run models",
-                        "List (and optionally prune) the model store.");
+  exp::ArgParser parser(
+      "rlbf_run models",
+      "List and maintain the model store: prune, LRU size cap, and "
+      "portable bundle export/import (fingerprint-verified).");
   parser.add("--store", &store_root,
              "model store root (default: $RLBF_MODEL_STORE or 'models')");
   parser.add_flag("--prune", &prune,
                   "remove entries not referenced by any registered training "
                   "spec or scenario");
+  parser.add("--import_bundle", &import_dir,
+             "import a bundle directory (every entry re-verified against its "
+             "fingerprint; corrupt or mismatched models are rejected)");
+  parser.add("--export_bundle", &export_dir,
+             "pack store entries into this portable bundle directory");
+  parser.add("--keys", &export_keys,
+             "comma-separated keys for --export_bundle (empty = all entries)");
+  parser.add("--max_store_bytes", &max_store_bytes,
+             "evict least-recently-used unreferenced entries until the store "
+             "fits this many bytes (0 = no cap)");
   parser.parse_or_exit(argc, argv);
 
   if (!store_root.empty()) model::set_default_store_root(store_root);
   model::Store& store = model::default_store();
 
+  if (!import_dir.empty()) {
+    const model::Store::ImportReport report = store.import_bundle(import_dir);
+    for (const std::string& key : report.imported) {
+      std::cout << "imported " << key << "\n";
+    }
+    std::cout << "# imported " << report.imported.size() << " entr"
+              << (report.imported.size() == 1 ? "y" : "ies") << " ("
+              << report.skipped_existing.size() << " already present) from "
+              << import_dir << "/\n";
+  }
+
+  // One referenced-key set serves both maintenance passes (it hashes
+  // every registered spec, so don't compute it twice).
+  std::vector<std::string> referenced;
+  if (prune || max_store_bytes > 0) referenced = collect_referenced(store);
+
   if (prune) {
-    // Referenced = the fingerprint of every registered training spec,
-    // every raw store key a registered scenario points at, AND every
-    // entry trained under a registered spec's name — the last because
-    // resolve_agent's unique-same-name fallback can serve those (e.g.
-    // CLI budget overrides), so pruning them would break a scenario that
-    // resolved a moment earlier. Everything else is prunable.
-    std::vector<std::string> referenced;
-    std::vector<std::string> referenced_names = model::training_spec_names();
-    for (const std::string& name : referenced_names) {
-      referenced.push_back(model::fingerprint(model::find_training_spec(name)));
-    }
-    for (const std::string& name : exp::scenario_names()) {
-      const exp::ScenarioSpec& s = exp::find_scenario(name);
-      if (!s.scheduler.uses_agent()) continue;
-      if (!model::TrainingRegistry::instance().contains(s.scheduler.agent)) {
-        referenced.push_back(s.scheduler.agent);  // raw key reference
-      }
-    }
-    for (const model::StoreEntry& entry : store.list()) {
-      if (std::find(referenced_names.begin(), referenced_names.end(),
-                    entry.name) != referenced_names.end()) {
-        referenced.push_back(entry.key);
-      }
-    }
     const std::vector<std::string> removed = store.prune(referenced);
     for (const std::string& key : removed) {
       std::cout << "pruned " << key << "\n";
@@ -416,6 +539,26 @@ int models(int argc, char** argv) {
     std::cout << "# pruned " << removed.size() << " unreferenced "
               << (removed.size() == 1 ? "entry" : "entries") << " from "
               << store.root() << "/\n";
+  }
+
+  if (max_store_bytes > 0) {
+    const model::Store::EvictionResult result =
+        store.evict_lru(max_store_bytes, referenced);
+    for (const std::string& key : result.removed) {
+      std::cout << "evicted " << key << "\n";
+    }
+    std::cout << "# store " << result.bytes_before << " -> "
+              << result.bytes_after << " bytes (cap " << max_store_bytes
+              << ", " << result.removed.size() << " evicted)\n";
+  }
+
+  if (!export_dir.empty()) {
+    std::vector<std::string> keys;
+    if (!export_keys.empty()) keys = split_names(export_keys, "--keys");
+    const std::vector<std::string> exported = store.export_bundle(export_dir, keys);
+    std::cout << "# exported " << exported.size() << " entr"
+              << (exported.size() == 1 ? "y" : "ies") << " to " << export_dir
+              << "/\n";
   }
 
   const auto meta_of = [](const model::StoreEntry& e, const char* key) {
@@ -442,11 +585,14 @@ int main(int argc, char** argv) {
     // Subcommand dispatch; the bare legacy flag form still means `run`.
     if (argc > 1 && argv[1][0] != '-') {
       const std::string command = argv[1];
-      if (command == "run") return run(argc - 1, argv + 1);
+      // `sweep` is an alias of `run`: sharded grids read more naturally
+      // as `rlbf_run sweep --shard=0/3` but share every flag with run.
+      if (command == "run" || command == "sweep") return run(argc - 1, argv + 1);
+      if (command == "merge") return merge(argc - 1, argv + 1);
       if (command == "train") return train(argc - 1, argv + 1);
       if (command == "models") return models(argc - 1, argv + 1);
       std::cerr << "rlbf_run: unknown command '" << command
-                << "' (known: run, train, models)\n";
+                << "' (known: run, sweep, merge, train, models)\n";
       return 2;
     }
     return run(argc, argv);
