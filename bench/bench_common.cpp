@@ -5,7 +5,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include <iostream>
+
 #include "exp/config.h"
+#include "util/libm_fingerprint.h"
 #include "util/log.h"
 #include "util/stats.h"
 
@@ -13,7 +16,11 @@ namespace rlbf::bench {
 
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs args;
+  bool libm = false;
   exp::ArgParser parser("bench", "Shared bench flags (paper protocol defaults).");
+  parser.add_flag("--libm-fingerprint", &libm,
+                  "print this host's libm sentinel values and exit (golden "
+                  "drift diagnosis)");
   parser.add("--trace-jobs", &args.trace_jobs, "jobs taken from each trace");
   parser.add("--epochs", &args.epochs, "training epochs per agent");
   parser.add("--trajectories", &args.trajectories, "trajectories per epoch");
@@ -29,6 +36,10 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
   parser.add("--threads", &args.threads,
              "training worker threads (0 = hardware; never changes results)");
   parser.parse_or_exit(argc, argv);
+  if (libm) {
+    std::cout << util::libm_fingerprint();
+    std::exit(0);
+  }
   if (args.quick) {
     args.trace_jobs = std::min<std::size_t>(args.trace_jobs, 3000);
     args.epochs = std::min<std::size_t>(args.epochs, 3);

@@ -34,6 +34,10 @@ struct BenchArgs {
                                     // results are identical at any value)
 
   /// Parse --flag=value style arguments; unknown flags abort with usage.
+  /// `--libm-fingerprint` prints util::libm_fingerprint() and exits 0 —
+  /// the golden harness runs it when a byte-identity check fails, so a
+  /// host whose libm drifts from the golden-generating machine is
+  /// diagnosed by the failure message itself.
   static BenchArgs parse(int argc, char** argv);
 
   /// Apply an ablation bench's epoch cap: the effective cap is

@@ -1,0 +1,71 @@
+// The distributed job model: what one worker invocation is.
+//
+// PR 4 made the primitives safe to drive blindly — shard outputs are a
+// deterministic partition that merges byte-identically, store bundles
+// are fingerprint-verified on import, and both are idempotent — so a
+// job here is nothing more than a worker command line plus the output
+// directory it promises to fill. The plan builders partition the two
+// distributable workloads:
+//
+//   plan_sweep_jobs  — N jobs `rlbf_run sweep ... --shard=i/N
+//                      --out_dir=<work>/shard<i>`; the collector merges
+//                      the shard dirs (exp::merge_shard_dirs).
+//   plan_train_jobs  — N jobs `rlbf_run train ... --shard=i/N
+//                      --store=<work>/worker<i>/store
+//                      --export_bundle=<work>/worker<i>/bundle`; the
+//                      collector imports every bundle into one shared
+//                      store (model::Store::import_bundle).
+//
+// Plans are pure functions of their options — no clocks, no host state —
+// so the same invocation always produces the same jobs, and a retried
+// job reruns exactly what failed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlbf::dist {
+
+struct JobSpec {
+  /// Position in the plan; stable across retries (failure logs and the
+  /// --inject_fail test hook address jobs by this id).
+  std::size_t id = 0;
+  /// Human name for logs: "sweep-shard0/3", "train-shard1/3".
+  std::string name;
+  /// The worker command in local argv form; launchers for remote
+  /// transports render it into their command template.
+  std::vector<std::string> argv;
+  /// The directory the job fills — a shard --out_dir or a bundle dir.
+  /// Local path for LocalLauncher; for remote launchers also the remote
+  /// path the fetch template copies back from.
+  std::string output_dir;
+
+  std::string command_line() const;  // shell-quoted rendering for logs
+};
+
+/// Common plan inputs: the worker binary (normally the running rlbf_run
+/// itself), the pass-through flags of the underlying subcommand (without
+/// any --shard/--out_dir/--store/--export_bundle — the planner owns
+/// those), the partition width, and the scratch directory per-job
+/// outputs live under.
+struct PlanOptions {
+  std::string worker;
+  std::vector<std::string> args;
+  std::size_t workers = 1;
+  std::string work_dir;
+};
+
+/// N shard-sweep jobs over the `run`/`sweep` flags in `options.args`.
+/// Shard i writes shard-tagged summaries + per-job CSVs into
+/// <work_dir>/shard<i>. Throws std::invalid_argument on an empty worker
+/// or work_dir, or workers == 0.
+std::vector<JobSpec> plan_sweep_jobs(const PlanOptions& options);
+
+/// N training jobs over the `train` flags in `options.args`. Worker i
+/// trains spec-grid shard i/N into its own store and exports the
+/// results as <work_dir>/worker<i>/bundle. Same validation as
+/// plan_sweep_jobs.
+std::vector<JobSpec> plan_train_jobs(const PlanOptions& options);
+
+}  // namespace rlbf::dist

@@ -1,0 +1,170 @@
+#include "dist/orchestrator.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace rlbf::dist {
+
+namespace {
+
+/// Indent a stderr tail so multi-line quotes read as one log block.
+std::string indent_tail(const std::string& tail) {
+  if (tail.empty()) return "  (stderr empty)";
+  std::string block = "  | ";
+  for (const char c : tail) {
+    block += c;
+    if (c == '\n') block += "  | ";
+  }
+  if (block.size() >= 4 && block.compare(block.size() - 4, 4, "  | ") == 0) {
+    block.resize(block.size() - 4);
+  }
+  if (!block.empty() && block.back() == '\n') block.pop_back();
+  return block;
+}
+
+}  // namespace
+
+std::string OrchestrationReport::failure_summary() const {
+  std::string summary;
+  for (const JobOutcome& outcome : jobs) {
+    if (outcome.ok) continue;
+    summary += "job " + outcome.job.name + " failed after " +
+               std::to_string(outcome.attempts) + " attempt(s): " +
+               outcome.status + "\n" + indent_tail(outcome.stderr_tail) + "\n";
+  }
+  if (!summary.empty() && summary.back() == '\n') summary.pop_back();
+  return summary;
+}
+
+OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
+                             Launcher& launcher,
+                             const OrchestratorOptions& options) {
+  if (jobs.empty()) {
+    throw std::invalid_argument("run_jobs: empty job plan");
+  }
+  const std::size_t max_attempts = std::max<std::size_t>(options.max_attempts, 1);
+
+  OrchestrationReport report;
+  report.jobs.resize(jobs.size());
+
+  std::mutex mu;  // serializes on_event and the attempt counter
+  std::size_t total_attempts = 0;
+  const auto event = [&](const std::string& line) {
+    if (!options.on_event) return;
+    std::lock_guard<std::mutex> lock(mu);
+    options.on_event(line);
+  };
+
+  const std::size_t parallel =
+      options.max_parallel == 0 ? jobs.size() : options.max_parallel;
+  util::ThreadPool pool(std::min(parallel, jobs.size()));
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const JobSpec& job = jobs[i];
+    JobOutcome& outcome = report.jobs[i];
+    outcome.job = job;
+
+    std::size_t injected = 0;
+    if (const auto it = options.inject_failures.find(job.id);
+        it != options.inject_failures.end()) {
+      injected = it->second;
+    }
+
+    for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      outcome.attempts = attempt;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++total_attempts;
+      }
+      // A failed attempt may have left partial output behind — worst, a
+      // half-fetched directory that a rerun of `scp -r` would nest INTO
+      // instead of replacing, letting truncated attempt-1 files survive
+      // into the merge. Every attempt starts from a clean slate; the
+      // plan owns these scratch paths, so removal is safe.
+      if (attempt > 1) {
+        std::error_code ec;
+        std::filesystem::remove_all(job.output_dir, ec);
+      }
+      JobSpec launched = job;
+      const bool injecting = attempt <= injected;
+      if (injecting) launched.argv.push_back(kInjectFailFlag);
+      event("job " + job.name + ": attempt " + std::to_string(attempt) + "/" +
+            std::to_string(max_attempts) +
+            (injecting ? " (injected failure)" : "") + ": " +
+            launched.command_line());
+
+      LaunchResult run = launcher.launch(launched);
+      outcome.command = run.command;
+      if (run.process.ok()) {
+        LaunchResult fetched = launcher.fetch(job);
+        if (fetched.process.ok()) {
+          outcome.ok = true;
+          outcome.status = run.process.status();
+          outcome.stderr_tail.clear();
+          event("job " + job.name + ": ok (" + outcome.status + ")");
+          return;
+        }
+        outcome.status = "fetch failed: " + fetched.process.status();
+        outcome.stderr_tail =
+            util::tail_lines(fetched.process.stderr_text, options.stderr_tail);
+        outcome.command = fetched.command;
+      } else {
+        outcome.status = run.process.status();
+        outcome.stderr_tail =
+            util::tail_lines(run.process.stderr_text, options.stderr_tail);
+      }
+      event("job " + job.name + ": attempt " + std::to_string(attempt) +
+            " failed (" + outcome.status + ")" +
+            (attempt < max_attempts ? ", retrying" : ", retries exhausted"));
+    }
+  });
+
+  report.total_attempts = total_attempts;
+  report.all_ok = true;
+  for (const JobOutcome& outcome : report.jobs) {
+    report.all_ok = report.all_ok && outcome.ok;
+  }
+  return report;
+}
+
+namespace {
+
+void require_all_ok(const OrchestrationReport& report, const char* step) {
+  if (report.all_ok) return;
+  throw std::runtime_error(std::string(step) +
+                           ": refusing to collect an incomplete run:\n" +
+                           report.failure_summary());
+}
+
+}  // namespace
+
+exp::MergeReport collect_sweep(const OrchestrationReport& report,
+                               const std::string& out_dir) {
+  require_all_ok(report, "collect_sweep");
+  std::vector<std::string> shard_dirs;
+  shard_dirs.reserve(report.jobs.size());
+  for (const JobOutcome& outcome : report.jobs) {
+    shard_dirs.push_back(outcome.job.output_dir);
+  }
+  return exp::merge_shard_dirs(shard_dirs, out_dir);
+}
+
+BundleImportTotals collect_train_bundles(const OrchestrationReport& report,
+                                         model::Store& store) {
+  require_all_ok(report, "collect_train_bundles");
+  BundleImportTotals totals;
+  for (const JobOutcome& outcome : report.jobs) {
+    model::Store::ImportReport imported =
+        store.import_bundle(outcome.job.output_dir);
+    ++totals.bundles;
+    totals.imported += imported.imported.size();
+    totals.skipped_existing += imported.skipped_existing.size();
+    totals.per_bundle.emplace_back(outcome.job.output_dir, std::move(imported));
+  }
+  return totals;
+}
+
+}  // namespace rlbf::dist

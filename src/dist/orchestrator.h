@@ -1,0 +1,100 @@
+// The supervisor/collector that closes the shard/train loop.
+//
+// run_jobs() drains a plan through a launcher with a per-job retry
+// budget — safe because both distributable workloads are idempotent: a
+// reran shard rewrites the same bytes, a reran training job re-exports
+// the same content-addressed bundle. Failures are never silent: every
+// exhausted job is reported with its name, exit status, and the tail of
+// its captured stderr.
+//
+// The terminal collection step reuses the existing, tested primitives:
+// collect_sweep() runs exp::merge_shard_dirs over the shard output
+// directories (byte-identical to the unsharded run, validated shard
+// set), collect_train_bundles() imports every worker bundle into one
+// shared store (fingerprint-verified, idempotent re-imports skipped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/launcher.h"
+#include "exp/shard.h"
+#include "model/store.h"
+
+namespace rlbf::dist {
+
+struct OrchestratorOptions {
+  /// Concurrent jobs in flight (0 = one worker per job).
+  std::size_t max_parallel = 0;
+  /// Total attempts per job (first run + retries). 0 is coerced to 1.
+  std::size_t max_attempts = 2;
+  /// Lines of captured stderr quoted in failure logs.
+  std::size_t stderr_tail = 10;
+  /// Test hook (--inject_fail): job id -> number of leading attempts
+  /// forced to fail. An injected attempt launches the real worker with
+  /// one extra unknown flag appended, so the failure is a genuine
+  /// nonzero exit with a named error on stderr — the full retry path
+  /// runs, not a simulation of it.
+  std::map<std::size_t, std::size_t> inject_failures;
+  /// Serialized progress lines ("job sweep-shard0/3: attempt 1 ...").
+  std::function<void(const std::string&)> on_event;
+};
+
+/// The flag an injected-failure attempt appends; unknown to every
+/// rlbf_run subcommand by design (ArgParser exits 2 naming it).
+inline constexpr const char* kInjectFailFlag = "--dist-injected-failure";
+
+struct JobOutcome {
+  JobSpec job;
+  std::size_t attempts = 0;
+  bool ok = false;
+  /// Last attempt's status: "exit 2", "signal 9", "timeout", "spawn
+  /// failed: ...", or "fetch failed: exit 1".
+  std::string status;
+  /// Tail of the last failed attempt's stderr ("" once the job passed).
+  std::string stderr_tail;
+  /// The rendered command of the last attempt, for reproduction.
+  std::string command;
+};
+
+struct OrchestrationReport {
+  std::vector<JobOutcome> jobs;  // plan order
+  bool all_ok = false;
+  std::size_t total_attempts = 0;
+
+  /// One line per failed job: name, attempts, exit status, stderr tail.
+  std::string failure_summary() const;
+};
+
+/// Run every job to success or retry exhaustion. Never throws on job
+/// failure — the report carries the outcome — so partial progress is
+/// always visible; throws std::invalid_argument only on an empty plan.
+OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
+                             Launcher& launcher,
+                             const OrchestratorOptions& options = {});
+
+/// Merge the collected shard output dirs of a sweep plan into
+/// `out_dir`'s canonical summary files. Throws std::runtime_error with
+/// the report's failure summary when any job exhausted its retries
+/// (collection over an incomplete shard set must never run), and
+/// propagates exp::merge_shard_dirs errors.
+exp::MergeReport collect_sweep(const OrchestrationReport& report,
+                               const std::string& out_dir);
+
+struct BundleImportTotals {
+  std::size_t bundles = 0;
+  std::size_t imported = 0;
+  std::size_t skipped_existing = 0;
+  /// (bundle dir, its import report) per worker, plan order.
+  std::vector<std::pair<std::string, model::Store::ImportReport>> per_bundle;
+};
+
+/// Import every train job's bundle into `store`. Same
+/// all-jobs-succeeded precondition as collect_sweep.
+BundleImportTotals collect_train_bundles(const OrchestrationReport& report,
+                                         model::Store& store);
+
+}  // namespace rlbf::dist

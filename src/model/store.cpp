@@ -527,10 +527,23 @@ Store::EvictionResult Store::evict_lru(
 
 std::vector<std::string> Store::export_bundle(
     const std::string& dir, const std::vector<std::string>& keys) const {
+  return export_bundle_impl(dir, keys, /*all_when_empty=*/true);
+}
+
+std::vector<std::string> Store::export_bundle_exact(
+    const std::string& dir, const std::vector<std::string>& keys) const {
+  return export_bundle_impl(dir, keys, /*all_when_empty=*/false);
+}
+
+std::vector<std::string> Store::export_bundle_impl(
+    const std::string& dir, const std::vector<std::string>& keys,
+    bool all_when_empty) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<const StoreEntry*> chosen;
   if (keys.empty()) {
-    for (const StoreEntry& entry : entries_) chosen.push_back(&entry);
+    if (all_when_empty) {
+      for (const StoreEntry& entry : entries_) chosen.push_back(&entry);
+    }
   } else {
     for (const std::string& key : keys) {
       const StoreEntry* entry = find_locked(key);
@@ -732,6 +745,40 @@ std::string Store::spec_path(const std::string& key) const {
 
 std::string Store::checkpoint_path(const std::string& key) const {
   return root_ + "/" + key + ".ckpt";
+}
+
+std::vector<std::string> find_bundle_dirs(const std::string& path) {
+  std::error_code ec;
+  if (!fs::is_directory(path, ec)) {
+    throw std::runtime_error("model store: bundle path '" + path +
+                             "' is not a directory");
+  }
+  if (fs::exists(path + "/bundle.tsv", ec)) return {path};
+  // Two collection layouts: a flat directory of bundles, and the
+  // orchestrator's work dir (<work>/worker<i>/bundle — one level
+  // deeper), so `models --import_bundle=<kept work dir>` just works.
+  std::vector<std::string> bundles;
+  for (const fs::directory_entry& entry : fs::directory_iterator(path, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    if (fs::exists(entry.path() / "bundle.tsv", ec)) {
+      bundles.push_back(entry.path().string());
+      continue;
+    }
+    for (const fs::directory_entry& nested :
+         fs::directory_iterator(entry.path(), ec)) {
+      if (!nested.is_directory(ec)) continue;
+      if (fs::exists(nested.path() / "bundle.tsv", ec)) {
+        bundles.push_back(nested.path().string());
+      }
+    }
+  }
+  if (bundles.empty()) {
+    throw std::runtime_error(
+        "model store: '" + path +
+        "' holds no bundle (no bundle.tsv in it or any subdirectory)");
+  }
+  std::sort(bundles.begin(), bundles.end());
+  return bundles;
 }
 
 namespace {

@@ -107,6 +107,14 @@ class Store {
   std::vector<std::string> export_bundle(
       const std::string& dir, const std::vector<std::string>& keys = {}) const;
 
+  /// Like export_bundle, but `keys` means exactly `keys`: an empty list
+  /// writes a valid, importable ZERO-entry bundle instead of "all
+  /// entries". This is what a sharded `train --export_bundle` ships —
+  /// an empty shard must never leak unrelated store contents into its
+  /// bundle just because the worker store happened to be non-empty.
+  std::vector<std::string> export_bundle_exact(
+      const std::string& dir, const std::vector<std::string>& keys) const;
+
   struct ImportReport {
     std::vector<std::string> imported;          // newly adopted keys
     std::vector<std::string> skipped_existing;  // already present (same address)
@@ -127,6 +135,9 @@ class Store {
   std::string checkpoint_path(const std::string& key) const;
 
  private:
+  std::vector<std::string> export_bundle_impl(const std::string& dir,
+                                              const std::vector<std::string>& keys,
+                                              bool all_when_empty) const;
   void load_index_locked();
   void rebuild_from_scan_locked();
   /// Read-merge-write of index.tsv under a cross-process flock:
@@ -154,6 +165,14 @@ class Store {
   mutable bool dirty_ = false;
   mutable std::mutex mutex_;
 };
+
+/// Resolve one bundle argument to concrete bundle directories: a
+/// directory holding a bundle.tsv manifest is itself the single bundle;
+/// otherwise bundles one or two levels down count, in sorted path order
+/// — covering both a flat directory of bundles and the orchestrator's
+/// kept work dir (<work>/worker<i>/bundle). Throws std::runtime_error
+/// naming `path` when it is not a directory or yields no bundles.
+std::vector<std::string> find_bundle_dirs(const std::string& path);
 
 /// The process-wide store trained-agent scenario references resolve
 /// against. Root defaults to $RLBF_MODEL_STORE, or "models"; the CLI's

@@ -1,5 +1,6 @@
 #include "model/train.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -278,23 +279,74 @@ TrainOutcome train_on_trace(const swf::Trace& trace, const TrainingSpec& spec,
   return run_training(trace, spec, key, canonical, store, options);
 }
 
+std::vector<std::size_t> train_shard_indices(
+    const std::vector<TrainingSpec>& specs, std::size_t shard_index,
+    std::size_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("train_specs: shard count must be >= 1");
+  }
+  if (shard_index >= shard_count) {
+    throw std::invalid_argument(
+        "train_specs: shard index " + std::to_string(shard_index) +
+        " out of range for " + std::to_string(shard_count) + " shard(s)");
+  }
+  // Union specs connected through init_agent references (matched by spec
+  // name within the list) so a warm-start consumer always shares its
+  // source's shard. Plain find-root union: chains are short (a fine-tune
+  // arm and its source), determinism is what matters.
+  std::vector<std::size_t> root(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) root[i] = i;
+  const auto find_root = [&](std::size_t i) {
+    while (root[i] != i) i = root[i];
+    return i;
+  };
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].init_agent.empty()) continue;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      if (j != i && specs[j].name == specs[i].init_agent) {
+        // Attach the later root under the earlier one, so a group's root
+        // is always its first member in list order.
+        const std::size_t a = find_root(i);
+        const std::size_t b = find_root(j);
+        if (a != b) root[std::max(a, b)] = std::min(a, b);
+        break;
+      }
+    }
+  }
+  // Groups in order of first member; group k goes to shard k % count.
+  std::vector<std::size_t> group_ordinal(specs.size(), 0);
+  std::size_t groups = 0;
+  std::vector<std::size_t> owned;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::size_t r = find_root(i);
+    if (r == i) group_ordinal[i] = groups++;
+    if (group_ordinal[r] % shard_count == shard_index) owned.push_back(i);
+  }
+  return owned;
+}
+
 std::vector<TrainOutcome> train_specs(const std::vector<TrainingSpec>& specs,
                                       Store& store, const TrainOptions& options,
                                       std::uint64_t master_seed) {
   // Pre-split every seed on the calling thread before any training runs,
-  // mirroring exp::run_sweep's replication convention.
+  // mirroring exp::run_sweep's replication convention. Seeds cover the
+  // FULL list even when sharded, so shard membership never changes what
+  // any one spec trains with.
   std::vector<std::uint64_t> seeds(specs.size(), 0);
   if (master_seed != 0 && !specs.empty()) {
     util::Rng root(master_seed);
     seeds[0] = master_seed;
     for (std::size_t i = 1; i < specs.size(); ++i) seeds[i] = root.split()();
   }
+  const std::vector<std::size_t> owned =
+      train_shard_indices(specs, options.shard_index, options.shard_count);
   std::vector<TrainOutcome> outcomes;
-  outcomes.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
+  outcomes.reserve(owned.size());
+  for (const std::size_t i : owned) {
     TrainingSpec spec = specs[i];
     if (master_seed != 0) spec.trainer.seed = seeds[i];
     outcomes.push_back(train_spec(spec, store, options));
+    outcomes.back().spec_index = i;
   }
   return outcomes;
 }

@@ -48,6 +48,17 @@ struct TrainOptions {
   bool checkpoint = true;
   /// Observes every epoch of every spec (progress tables, logging).
   std::function<void(const TrainingSpec&, const TrainProgress&)> on_progress;
+  /// Distributed execution (mirroring exp::SweepOptions): train only
+  /// shard `shard_index` of a `shard_count`-way partition of the spec
+  /// list. The partition is round-robin over warm-start dependency
+  /// GROUPS — a spec whose init_agent names another spec in the list
+  /// always lands on the same shard as its source, in list order, so
+  /// every shard can resolve its own warm starts against its own store.
+  /// Seeds derived from a master seed are split over the FULL list
+  /// before partitioning, so the union of all shards' results is
+  /// identical to an unsharded run. The default 0/1 is "everything".
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 struct TrainOutcome {
@@ -55,6 +66,11 @@ struct TrainOutcome {
   bool cache_hit = false;      // true: nothing ran, the store already had it
   std::size_t epochs_run = 0;  // 0 on cache hits
   double best_eval_bsld = std::numeric_limits<double>::quiet_NaN();
+  /// Position of this outcome's spec in the list passed to
+  /// train_specs() — the global grid index even when sharded (0 for
+  /// single-spec entry points), so callers never recompute the
+  /// partition to pair outcomes with specs.
+  std::size_t spec_index = 0;
 };
 
 /// Train one spec into the store (or return the cached entry). Throws
@@ -76,10 +92,26 @@ TrainOutcome train_on_trace(const swf::Trace& trace, const TrainingSpec& spec,
 /// thread — spec 0 trains at master_seed itself, matching the sweep
 /// executor's replication convention — so one flag reseeds a whole batch
 /// deterministically.
+/// With options.shard_count > 1, only the shard's specs are trained
+/// (still in list order) and the outcomes align with
+/// train_shard_indices(). Throws std::invalid_argument on
+/// shard_count == 0 or shard_index >= shard_count.
 std::vector<TrainOutcome> train_specs(const std::vector<TrainingSpec>& specs,
                                       Store& store,
                                       const TrainOptions& options = {},
                                       std::uint64_t master_seed = 0);
+
+/// The global spec indices shard `shard_index` of `shard_count` owns,
+/// ascending — the partition train_specs runs. Round-robin over
+/// warm-start dependency groups: specs connected through init_agent
+/// references (by spec name, transitively) form one group assigned to
+/// the shard of the group's first member; independent specs are
+/// single-element groups, so with no init_agent references in the list
+/// this is plain round-robin by position. Shards whose groups run out
+/// come back empty — a valid result whose bundle imports zero entries.
+std::vector<std::size_t> train_shard_indices(
+    const std::vector<TrainingSpec>& specs, std::size_t shard_index,
+    std::size_t shard_count);
 
 /// Resolve an agent reference against the default store:
 ///   1. an existing model file path — loaded directly;

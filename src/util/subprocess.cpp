@@ -1,0 +1,251 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace rlbf::util {
+
+namespace {
+
+/// Read whatever is available on `fd` into `out`; returns false on EOF.
+bool drain_fd(int fd, std::string* out) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out->append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;                    // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // treat unexpected read errors as EOF
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+std::string SubprocessResult::status() const {
+  if (spawn_failed) return "spawn failed: " + error;
+  if (timed_out) return "timeout";
+  if (term_signal != 0) return "signal " + std::to_string(term_signal);
+  return "exit " + std::to_string(exit_code);
+}
+
+SubprocessResult run_subprocess(const std::vector<std::string>& argv,
+                                const SubprocessOptions& options) {
+  if (argv.empty()) {
+    throw std::invalid_argument("run_subprocess: empty argv");
+  }
+  SubprocessResult result;
+
+  // O_CLOEXEC: run_subprocess is called concurrently from pool workers,
+  // so a child forked by thread A inherits whatever pipe fds thread B
+  // has in flight. Without close-on-exec those write ends survive B's
+  // exec and A's poll loop would not see EOF until the UNRELATED worker
+  // exits. The child's own ends are preserved across exec by dup2 onto
+  // fds 1/2, which clears the flag on the duplicates.
+  int out_pipe[2];
+  int err_pipe[2];
+  if (::pipe2(out_pipe, O_CLOEXEC) != 0) {
+    result.spawn_failed = true;
+    result.error = std::string("pipe: ") + std::strerror(errno);
+    return result;
+  }
+  if (::pipe2(err_pipe, O_CLOEXEC) != 0) {
+    result.spawn_failed = true;
+    result.error = std::string("pipe: ") + std::strerror(errno);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    return result;
+  }
+
+  // The child's argv must outlive fork/exec; build it before forking so
+  // the child does nothing but async-signal-safe calls.
+  std::vector<char*> child_argv;
+  child_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    child_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  child_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    result.spawn_failed = true;
+    result.error = std::string("fork: ") + std::strerror(errno);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    return result;
+  }
+
+  if (pid == 0) {
+    // Child. Own process group, so a timeout kill reaches grandchildren
+    // (ssh, shells) too.
+    ::setpgid(0, 0);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::dup2(err_pipe[1], STDERR_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    if (!options.chdir.empty() && ::chdir(options.chdir.c_str()) != 0) {
+      const char* msg = "run_subprocess: cannot chdir to working directory\n";
+      (void)!::write(STDERR_FILENO, msg, std::strlen(msg));
+      ::_exit(127);
+    }
+    ::execvp(child_argv[0], child_argv.data());
+    // Shell convention: 127 = command not found / not executable.
+    const char* prefix = "run_subprocess: exec failed: ";
+    (void)!::write(STDERR_FILENO, prefix, std::strlen(prefix));
+    const char* reason = std::strerror(errno);
+    (void)!::write(STDERR_FILENO, reason, std::strlen(reason));
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+
+  // Parent.
+  ::close(out_pipe[1]);
+  ::close(err_pipe[1]);
+  set_nonblocking(out_pipe[0]);
+  set_nonblocking(err_pipe[0]);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.timeout_seconds));
+  bool out_open = true;
+  bool err_open = true;
+  while (out_open || err_open) {
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    if (out_open) fds[nfds++] = {out_pipe[0], POLLIN, 0};
+    if (err_open) fds[nfds++] = {err_pipe[0], POLLIN, 0};
+
+    int wait_ms = -1;
+    if (options.timeout_seconds > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      // Checked here, not only via poll()==0: a child spamming output
+      // keeps every poll() ready, which must not starve the deadline.
+      if (left.count() <= 0) {
+        result.timed_out = true;
+        ::kill(-pid, SIGKILL);
+        ::kill(pid, SIGKILL);  // in case setpgid lost the race
+        break;
+      }
+      wait_ms = static_cast<int>(left.count());
+    }
+    const int ready = ::poll(fds, nfds, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // fall through to waitpid; pipes drain below on EOF
+    }
+    if (ready == 0) continue;  // deadline re-checked at the loop top
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const bool is_out = fds[i].fd == out_pipe[0];
+      std::string* sink = is_out ? &result.stdout_text : &result.stderr_text;
+      if (!drain_fd(fds[i].fd, sink)) {
+        if (is_out) {
+          out_open = false;
+        } else {
+          err_open = false;
+        }
+      }
+    }
+  }
+  // Final drain after EOF/kill: whatever the child flushed before dying.
+  drain_fd(out_pipe[0], &result.stdout_text);
+  drain_fd(err_pipe[0], &result.stderr_text);
+  ::close(out_pipe[0]);
+  ::close(err_pipe[0]);
+
+  int status = 0;
+  pid_t reaped = -1;
+  if (options.timeout_seconds > 0 && !result.timed_out) {
+    // The poll loop only bounds the pipes; a child that closed its
+    // stdio but keeps running (a daemonizing wrapper) would otherwise
+    // hang the blocking waitpid past the deadline. Reap non-blockingly
+    // until the deadline, then kill the group like a pipe timeout.
+    for (;;) {
+      reaped = ::waitpid(pid, &status, WNOHANG);
+      if (reaped == pid || (reaped < 0 && errno != EINTR)) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        result.timed_out = true;
+        ::kill(-pid, SIGKILL);
+        ::kill(pid, SIGKILL);
+        reaped = -1;
+        break;
+      }
+      struct timespec nap = {0, 10 * 1000 * 1000};  // 10ms
+      ::nanosleep(&nap, nullptr);
+    }
+  }
+  if (reaped != pid) {
+    do {
+      reaped = ::waitpid(pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+  }
+  if (reaped == pid) {
+    if (WIFEXITED(status)) {
+      result.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      result.term_signal = WTERMSIG(status);
+    }
+  }
+  return result;
+}
+
+std::string shell_quote(const std::string& arg) {
+  std::string quoted = "'";
+  for (const char c : arg) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+std::string tail_lines(const std::string& text, std::size_t lines) {
+  if (lines == 0 || text.empty()) return "";
+  // Ignore one trailing newline so "a\nb\n" is two lines, not three.
+  std::size_t end = text.size();
+  if (text[end - 1] == '\n') --end;
+  std::size_t start = end;
+  std::size_t seen = 0;
+  while (start > 0) {
+    if (text[start - 1] == '\n' && ++seen == lines) break;
+    --start;
+  }
+  return text.substr(start, text.size() - start);
+}
+
+std::string current_executable(const std::string& fallback_argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return fallback_argv0;
+}
+
+}  // namespace rlbf::util

@@ -1,0 +1,68 @@
+// Synchronous subprocess execution with captured output.
+//
+// The distributed launcher (dist/launcher.h) runs every worker —
+// `rlbf_run sweep --shard=I/N`, an `ssh host ...` wrapper, a batch
+// submit — through this one primitive: fork/exec, both output streams
+// captured in full, a wall-clock timeout that kills the whole process
+// group, and an exit status that distinguishes "exited nonzero" from
+// "died on a signal" from "could not be spawned at all". run() blocks;
+// concurrency comes from calling it on several util::ThreadPool workers,
+// which is safe because a Subprocess shares no mutable state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rlbf::util {
+
+struct SubprocessOptions {
+  /// Kill the process group and report timed_out after this many
+  /// seconds (0 = no limit).
+  double timeout_seconds = 0.0;
+  /// Child working directory ("" = inherit).
+  std::string chdir;
+};
+
+struct SubprocessResult {
+  /// WEXITSTATUS when the child exited; -1 otherwise (signal, timeout,
+  /// spawn failure). exec failure inside the child surfaces as 127 with
+  /// the reason on stderr, like a shell.
+  int exit_code = -1;
+  /// Terminating signal number, 0 when the child exited normally.
+  int term_signal = 0;
+  bool timed_out = false;
+  /// fork/pipe failed before any child ran; `error` names the call.
+  bool spawn_failed = false;
+  std::string error;
+  std::string stdout_text;
+  std::string stderr_text;
+
+  bool ok() const {
+    return !spawn_failed && !timed_out && term_signal == 0 && exit_code == 0;
+  }
+  /// "exit 3" | "signal 9" | "timeout after 5s" | "spawn failed: ..."
+  std::string status() const;
+};
+
+/// Run `argv` (argv[0] is the program, resolved through PATH) to
+/// completion and return its captured output and status. Throws
+/// std::invalid_argument on an empty argv; every runtime failure is
+/// reported through the result, never thrown, so a retrying caller
+/// handles "host unreachable" and "worker crashed" the same way.
+SubprocessResult run_subprocess(const std::vector<std::string>& argv,
+                                const SubprocessOptions& options = {});
+
+/// POSIX-shell single-quote `arg` so command templates ("ssh {host}
+/// {command}") can embed worker argv elements verbatim.
+std::string shell_quote(const std::string& arg);
+
+/// The last `lines` lines of `text` (all of it when it has fewer) —
+/// failure logs quote the tail of a worker's stderr, not megabytes.
+std::string tail_lines(const std::string& text, std::size_t lines);
+
+/// Absolute path of the running executable (/proc/self/exe when
+/// available, else `fallback_argv0`). The orchestrator uses it as the
+/// default worker binary: the driver launches copies of itself.
+std::string current_executable(const std::string& fallback_argv0);
+
+}  // namespace rlbf::util

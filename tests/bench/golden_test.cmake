@@ -69,8 +69,22 @@ function(require_identical a b what)
   execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
                   RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
+    # Print this host's libm sentinel values with the failure: goldens
+    # are generated on one platform, and a libm whose pow/exp drift by
+    # an ulp can change a 2-4 decimal rendering. An operator comparing
+    # fingerprints across the two hosts sees immediately whether this is
+    # real output drift or per-platform golden pinning territory.
+    execute_process(COMMAND "${BENCH}" --libm-fingerprint
+                    OUTPUT_VARIABLE libm_report ERROR_QUIET
+                    RESULT_VARIABLE libm_rc)
+    if(NOT libm_rc EQUAL 0)
+      set(libm_report "libm fingerprint unavailable (bench exited ${libm_rc})\n")
+    endif()
     message(FATAL_ERROR
             "golden ${NAME}: ${what} differs:\n  ${a}\n  ${b}\n"
+            "${libm_report}"
+            "If the fingerprint above differs from the golden-generating "
+            "host's, this is per-platform libm drift, not a code change.\n"
             "If the change is intentional, regenerate the goldens: "
             "`cmake --build <build> --target update_goldens` or "
             "`RLBF_UPDATE_GOLDENS=1 ctest -L golden`, then commit them.")

@@ -1,0 +1,206 @@
+# The distributed-orchestration acceptance proof, end to end through
+# the rlbf_run binary (label: smoke):
+#
+#   1. A 3-worker `rlbf_run orchestrate` — with one injected worker
+#      failure that must be retried — produces merged sweep output
+#      byte-identical to the single-process unsharded run.
+#   2. An orchestrated `rlbf_run train --workers=3` over the full
+#      ablation grid yields a store whose keys (= content-address
+#      fingerprints) and spec names equal the sequential
+#      `train --ablations` run's, with the warm-start chain resolved
+#      inside one worker.
+#   3. The collected worker bundles re-import through the multi-bundle
+#      `models --import_bundle` forms (comma list and
+#      directory-of-bundles) with per-bundle counts.
+#
+#   cmake -DRLBF_RUN=<binary> -DWORK_DIR=<scratch> -P orchestrate_test.cmake
+
+foreach(var RLBF_RUN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "orchestrate_test.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(failures 0)
+
+function(run_or_fail case)
+  execute_process(
+    COMMAND "${RLBF_RUN}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    math(EXPR failures "${failures} + 1")
+    set(failures ${failures} PARENT_SCOPE)
+    message(WARNING "${case}: expected exit 0, got '${rc}'\n${out}\n${err}")
+  else()
+    message(STATUS "${case}: ok")
+  endif()
+  set(last_stdout "${out}" PARENT_SCOPE)
+endfunction()
+
+# compare_trees(<case> <dir A> <dir B>): every file in A must exist in B
+# with identical bytes, and vice versa.
+function(compare_trees case a b)
+  file(GLOB_RECURSE a_files RELATIVE "${a}" "${a}/*")
+  file(GLOB_RECURSE b_files RELATIVE "${b}" "${b}/*")
+  set(ok 1)
+  if(NOT "${a_files}" STREQUAL "${b_files}")
+    set(ok 0)
+    message(WARNING "${case}: file sets differ: [${a_files}] vs [${b_files}]")
+  else()
+    foreach(f ${a_files})
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files "${a}/${f}" "${b}/${f}"
+        RESULT_VARIABLE same)
+      if(NOT same EQUAL 0)
+        set(ok 0)
+        message(WARNING "${case}: ${f} differs between ${a} and ${b}")
+      endif()
+    endforeach()
+  endif()
+  if(NOT ok)
+    math(EXPR failures "${failures} + 1")
+    set(failures ${failures} PARENT_SCOPE)
+  else()
+    message(STATUS "${case}: byte-identical")
+  endif()
+endfunction()
+
+# store_signature(<out var> <store dir>): the sorted key column of
+# index.tsv — keys ARE the content-address fingerprints, so equal
+# signatures mean equal keys AND equal fingerprints. (Entry *names* are
+# deliberately not compared: two registered arms can share one content
+# address — abl-control and abl-transfer-scratch do — and which name a
+# shared entry carries depends on who trained it first.)
+function(store_signature out_var store)
+  file(STRINGS "${store}/index.tsv" lines)
+  set(keys "")
+  foreach(line ${lines})
+    if(line MATCHES "^rlbf-model-store")
+      continue()
+    endif()
+    string(REPLACE "\t" ";" fields "${line}")
+    list(GET fields 0 key)
+    list(APPEND keys "${key}")
+  endforeach()
+  list(SORT keys)
+  set(${out_var} "${keys}" PARENT_SCOPE)
+endfunction()
+
+# ---- 1. orchestrated sweep ≡ unsharded, through an injected failure --
+set(sweep_grid "load=0.8,1.0\;policy=FCFS,SJF")
+run_or_fail("unsharded sweep" run --scenario=sdsc-easy --jobs=300 --seed=7
+            --threads=2 "--sweep=${sweep_grid}" --format=both
+            --out_dir=unsharded)
+# Worker job 1's first attempt is forced to fail (a real nonzero exit
+# with a named error) and must be retried to success.
+run_or_fail("orchestrate 3 workers, 1 injected failure"
+            orchestrate --scenario=sdsc-easy --jobs=300 --seed=7 --threads=2
+            "--sweep=${sweep_grid}" --format=both --workers=3 --retries=1
+            --inject_fail=1:1 --out_dir=orchestrated)
+if(NOT last_stdout MATCHES "injected failure")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "orchestrate log does not show the injected failure:\n${last_stdout}")
+endif()
+if(NOT last_stdout MATCHES "retrying")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "orchestrate log does not show the retry:\n${last_stdout}")
+endif()
+if(NOT last_stdout MATCHES "4 attempt")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "expected 4 attempts (3 jobs + 1 retry):\n${last_stdout}")
+endif()
+compare_trees("orchestrated 3-worker sweep vs unsharded"
+              "${WORK_DIR}/unsharded" "${WORK_DIR}/orchestrated")
+# The scratch directory is cleaned up after a successful merge.
+if(EXISTS "${WORK_DIR}/orchestrated.work")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "orchestrate left its scratch directory behind")
+endif()
+
+# ---- 2. orchestrated train --workers=3 ≡ sequential --ablations ------
+set(budget --epochs=1 --trajectories=2 --traj_jobs=64 --jobs=800)
+run_or_fail("sequential ablation grid" train --ablations --store=store_seq
+            ${budget} --quiet)
+run_or_fail("orchestrated ablation grid" train --ablations --store=store_par
+            --workers=3 ${budget} --quiet --keep_work --work_dir=train_work)
+store_signature(seq_sig "${WORK_DIR}/store_seq")
+store_signature(par_sig "${WORK_DIR}/store_par")
+list(LENGTH seq_sig seq_n)
+if(seq_n EQUAL 0)
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "sequential store is empty — nothing was proven")
+endif()
+if("${seq_sig}" STREQUAL "${par_sig}")
+  message(STATUS "orchestrated train: ${seq_n} keys+fingerprints == sequential: ok")
+else()
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "store signatures differ:\nseq: ${seq_sig}\npar: ${par_sig}")
+endif()
+
+# An EMPTY train shard must export a zero-entry bundle even when its
+# store is full — never "all entries" (which would leak unrelated store
+# contents into collection when a worker store is reused).
+run_or_fail("empty shard exports empty bundle" train --spec=abl-control
+            --shard=1/2 --store=store_seq --export_bundle=empty_bundle
+            ${budget} --quiet)
+if(NOT last_stdout MATCHES "# exported 0 entries")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "empty shard did not export an empty bundle:\n${last_stdout}")
+endif()
+run_or_fail("empty bundle imports cleanly" models --store=store_empty
+            --import_bundle=empty_bundle)
+if(NOT last_stdout MATCHES "# imported 0 entries")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "empty bundle import was not a clean zero:\n${last_stdout}")
+endif()
+
+# ---- 3. multi-bundle import of the collected worker bundles ----------
+run_or_fail("multi-import comma list" models --store=store_multi
+            --import_bundle=train_work/worker0/bundle,train_work/worker1/bundle,train_work/worker2/bundle)
+if(NOT last_stdout MATCHES "from 3 bundle\\(s\\)")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "comma-list import did not report 3 bundles:\n${last_stdout}")
+endif()
+store_signature(multi_sig "${WORK_DIR}/store_multi")
+if(NOT "${multi_sig}" STREQUAL "${seq_sig}")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "comma-list import differs from the sequential store")
+endif()
+# Directory-of-bundles form: one directory whose subdirectories each
+# hold a bundle (the collected layout), imported in one flag.
+file(MAKE_DIRECTORY "${WORK_DIR}/collected")
+foreach(i RANGE 2)
+  file(COPY "${WORK_DIR}/train_work/worker${i}/bundle"
+       DESTINATION "${WORK_DIR}/collected")
+  file(RENAME "${WORK_DIR}/collected/bundle" "${WORK_DIR}/collected/w${i}")
+endforeach()
+run_or_fail("multi-import directory of bundles" models --store=store_dir
+            --import_bundle=collected)
+if(NOT last_stdout MATCHES "from 3 bundle\\(s\\)")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "directory import did not report 3 bundles:\n${last_stdout}")
+endif()
+# The kept work dir imports directly too (bundles live two levels down
+# at worker<i>/bundle — the documented orchestrator layout).
+run_or_fail("multi-import kept work dir" models --store=store_work
+            --import_bundle=train_work)
+if(NOT last_stdout MATCHES "from 3 bundle\\(s\\)")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "work-dir import did not find 3 bundles:\n${last_stdout}")
+endif()
+# Re-importing into an existing store is idempotent: everything skips.
+run_or_fail("multi-import idempotent" models --store=store_dir
+            --import_bundle=collected)
+if(NOT last_stdout MATCHES "# imported 0 entries")
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "re-import was not a clean skip:\n${last_stdout}")
+endif()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "orchestrate smoke: ${failures} case(s) failed")
+endif()

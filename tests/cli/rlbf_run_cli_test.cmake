@@ -159,6 +159,81 @@ endif()
 expect_failure("merge incomplete shard set" "missing shard 2/3"
                merge --inputs=small_shard0,small_shard1 --out_dir=small_bad)
 
+# Orchestration failure paths: malformed hosts/templates and a worker
+# that always fails must exit nonzero with named errors — the failing
+# worker's stderr tail must appear in the orchestrator's failure log.
+expect_failure("orchestrate missing scenario" "--scenario"
+               orchestrate --out_dir=o_none)
+expect_failure("orchestrate template without hosts"
+               "--command_template needs --hosts"
+               orchestrate --scenario=sdsc-easy --out_dir=o_none
+               --command_template=any)
+expect_failure("orchestrate hosts without template"
+               "--hosts needs --command_template"
+               orchestrate --scenario=sdsc-easy --out_dir=o_none --hosts=a,b)
+expect_failure("orchestrate empty host element" "empty host name"
+               orchestrate --scenario=sdsc-easy --jobs=200 --out_dir=o_none
+               --hosts=a,,b "--command_template=ssh {host} {command}")
+expect_failure("orchestrate template missing {command}"
+               "no .command. \\(or .qcommand.\\) placeholder"
+               orchestrate --scenario=sdsc-easy --jobs=200 --out_dir=o_none
+               --hosts=a "--command_template=ssh {host}")
+expect_failure("orchestrate unknown placeholder"
+               "unknown placeholder '.hots.'"
+               orchestrate --scenario=sdsc-easy --jobs=200 --out_dir=o_none
+               --hosts=a "--command_template=ssh {hots} {command}")
+expect_failure("orchestrate malformed inject_fail"
+               "malformed --inject_fail entry"
+               orchestrate --scenario=sdsc-easy --jobs=200 --out_dir=o_none
+               --workers=2 --inject_fail=x:y)
+expect_failure("orchestrate zero workers" "--workers must be >= 1"
+               orchestrate --scenario=sdsc-easy --out_dir=o_none --workers=0)
+file(WRITE "${WORK_DIR}/fake_worker.sh"
+     "#!/bin/sh\necho 'fake worker: cannot reach cluster' >&2\nexit 3\n")
+# chmod via execute_process: file(CHMOD) needs CMake >= 3.19.
+execute_process(COMMAND chmod +x "${WORK_DIR}/fake_worker.sh")
+expect_failure("orchestrate failing fake worker"
+               "fake worker: cannot reach cluster"
+               orchestrate --scenario=sdsc-easy --jobs=200 --workers=2
+               --retries=1 --worker_binary=${WORK_DIR}/fake_worker.sh
+               --out_dir=o_fail --quiet)
+expect_failure("orchestrate failing worker names exit code" "exit 3"
+               orchestrate --scenario=sdsc-easy --jobs=200 --workers=2
+               --retries=0 --worker_binary=${WORK_DIR}/fake_worker.sh
+               --out_dir=o_fail --quiet)
+
+# train sharding and fan-out argument validation.
+expect_failure("train workers+shard exclusive" "exclusive"
+               train --spec=sdsc-tiny --workers=2 --shard=0/2)
+expect_failure("train workers+export_bundle exclusive" "exclusive"
+               train --spec=sdsc-tiny --workers=2 --export_bundle=eb)
+# A warm-start source missing from the fanned-out grid cannot resolve in
+# a private worker store — named up front, before any worker launches.
+expect_failure("train workers orphan warm start" "warm-starts from"
+               train --spec=abl-transfer-finetune --workers=2)
+expect_failure("train malformed shard" "malformed shard spec 'x'"
+               train --spec=sdsc-tiny --shard=x)
+expect_failure("train shard out of range" "shard index 5 out of range"
+               train --spec=sdsc-tiny --shard=5/2)
+
+# Multi-bundle import: a directory with no bundle anywhere is a named
+# error, not a silent zero-import.
+file(MAKE_DIRECTORY "${WORK_DIR}/not_a_bundle")
+expect_failure("import non-bundle dir" "holds no bundle"
+               models --store=mb_store --import_bundle=not_a_bundle)
+expect_failure("import missing dir" "is not a directory"
+               models --store=mb_store --import_bundle=no_such_dir)
+
+# Consolidated help: overview, per-command usage, --help alias, and an
+# unknown command both in help and at the top level.
+expect_success("help overview" help)
+expect_success("help run" help run)
+expect_success("help orchestrate" help orchestrate)
+expect_success("top-level --help" --help)
+expect_failure("help unknown command" "unknown command 'frob'" help frob)
+expect_failure("unknown command lists help" "help"
+               definitely-not-a-command)
+
 # Sanity: the catalog listings still succeed from this harness.
 expect_success("run --list" run --list)
 expect_success("train --list" train --list)

@@ -1,0 +1,175 @@
+// Supervisor tests: the retry budget really reruns failed jobs, an
+// exhausted job surfaces as a named failure carrying its stderr tail,
+// and collection refuses to run over an incomplete set.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "dist/orchestrator.h"
+
+namespace rlbf::dist {
+namespace {
+
+/// A job that succeeds when run as planned but fails once the
+/// orchestrator appends the injected-failure flag: `sh -c SCRIPT name
+/// extra-args` exposes the extra argument as $#.
+JobSpec flag_sensitive_job(std::size_t id) {
+  JobSpec job;
+  job.id = id;
+  job.name = "job" + std::to_string(id);
+  job.argv = {"/bin/sh", "-c",
+              "if [ $# -gt 0 ]; then echo \"injected: $1\" >&2; exit 9; fi",
+              "worker"};
+  return job;
+}
+
+JobSpec failing_job(std::size_t id, const std::string& message, int code) {
+  JobSpec job;
+  job.id = id;
+  job.name = "job" + std::to_string(id);
+  job.argv = {"/bin/sh", "-c",
+              "echo '" + message + "' >&2; exit " + std::to_string(code)};
+  return job;
+}
+
+TEST(OrchestratorTest, AllJobsSucceedFirstAttempt) {
+  LocalLauncher launcher;
+  std::vector<JobSpec> jobs = {flag_sensitive_job(0), flag_sensitive_job(1)};
+  const OrchestrationReport report = run_jobs(jobs, launcher);
+  EXPECT_TRUE(report.all_ok);
+  EXPECT_EQ(report.total_attempts, 2u);
+  for (const JobOutcome& outcome : report.jobs) {
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.attempts, 1u);
+    EXPECT_EQ(outcome.status, "exit 0");
+    EXPECT_TRUE(outcome.stderr_tail.empty());
+  }
+}
+
+TEST(OrchestratorTest, InjectedFailureIsRetriedToSuccess) {
+  LocalLauncher launcher;
+  std::vector<JobSpec> jobs = {flag_sensitive_job(0), flag_sensitive_job(1)};
+  OrchestratorOptions options;
+  options.max_attempts = 2;
+  options.inject_failures = {{1, 1}};  // job 1's first attempt fails
+  std::vector<std::string> events;
+  options.on_event = [&](const std::string& line) { events.push_back(line); };
+  const OrchestrationReport report = run_jobs(jobs, launcher, options);
+  EXPECT_TRUE(report.all_ok);
+  EXPECT_EQ(report.jobs[0].attempts, 1u);
+  EXPECT_EQ(report.jobs[1].attempts, 2u);
+  EXPECT_TRUE(report.jobs[1].ok);
+  // Once the job passed, no stale failure text lingers in the outcome.
+  EXPECT_TRUE(report.jobs[1].stderr_tail.empty());
+  EXPECT_EQ(report.total_attempts, 3u);
+  bool saw_retry = false;
+  for (const std::string& line : events) {
+    saw_retry = saw_retry || line.find("retrying") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(OrchestratorTest, ExhaustedRetriesAreNamedWithStderrTail) {
+  LocalLauncher launcher;
+  std::vector<JobSpec> jobs = {flag_sensitive_job(0),
+                               failing_job(1, "disk exploded", 3)};
+  OrchestratorOptions options;
+  options.max_attempts = 3;
+  const OrchestrationReport report = run_jobs(jobs, launcher, options);
+  EXPECT_FALSE(report.all_ok);
+  EXPECT_TRUE(report.jobs[0].ok);
+  const JobOutcome& failed = report.jobs[1];
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.attempts, 3u);
+  EXPECT_EQ(failed.status, "exit 3");
+  EXPECT_NE(failed.stderr_tail.find("disk exploded"), std::string::npos);
+
+  const std::string summary = report.failure_summary();
+  EXPECT_NE(summary.find("job job1 failed after 3 attempt(s): exit 3"),
+            std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("disk exploded"), std::string::npos) << summary;
+  // The passing job stays out of the failure log.
+  EXPECT_EQ(summary.find("job0"), std::string::npos) << summary;
+}
+
+TEST(OrchestratorTest, StderrTailIsBounded) {
+  LocalLauncher launcher;
+  JobSpec noisy;
+  noisy.id = 0;
+  noisy.name = "noisy";
+  noisy.argv = {"/bin/sh", "-c",
+                "i=0; while [ $i -lt 100 ]; do echo line$i >&2; i=$((i+1)); "
+                "done; exit 1"};
+  OrchestratorOptions options;
+  options.max_attempts = 1;
+  options.stderr_tail = 3;
+  const OrchestrationReport report = run_jobs({noisy}, launcher, options);
+  EXPECT_EQ(report.jobs[0].stderr_tail, "line97\nline98\nline99\n");
+}
+
+TEST(OrchestratorTest, EmptyPlanIsAnError) {
+  LocalLauncher launcher;
+  EXPECT_THROW(run_jobs({}, launcher), std::invalid_argument);
+}
+
+TEST(OrchestratorTest, CollectRefusesAnIncompleteRun) {
+  LocalLauncher launcher;
+  OrchestratorOptions options;
+  options.max_attempts = 1;
+  const OrchestrationReport report =
+      run_jobs({failing_job(0, "boom", 2)}, launcher, options);
+  ASSERT_FALSE(report.all_ok);
+  try {
+    collect_sweep(report, "never_written");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("refusing to collect"), std::string::npos) << what;
+    EXPECT_NE(what.find("job0"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(std::filesystem::exists("never_written"));
+}
+
+TEST(OrchestratorTest, FailedFetchFailsTheAttempt) {
+  // A launcher whose launch succeeds but whose fetch always fails: the
+  // job must be reported failed with the fetch status.
+  class FetchFailLauncher : public LocalLauncher {
+   public:
+    LaunchResult fetch(const JobSpec& job) override {
+      (void)job;
+      LaunchResult result;
+      result.command = "fetch-cmd";
+      result.process.exit_code = 4;
+      result.process.stderr_text = "copy refused\n";
+      return result;
+    }
+  };
+  FetchFailLauncher launcher;
+  OrchestratorOptions options;
+  options.max_attempts = 2;
+  const OrchestrationReport report =
+      run_jobs({flag_sensitive_job(0)}, launcher, options);
+  EXPECT_FALSE(report.all_ok);
+  EXPECT_EQ(report.jobs[0].attempts, 2u);
+  EXPECT_EQ(report.jobs[0].status, "fetch failed: exit 4");
+  EXPECT_NE(report.jobs[0].stderr_tail.find("copy refused"), std::string::npos);
+}
+
+TEST(OrchestratorTest, ParallelismIsBoundedButComplete) {
+  // 8 jobs through 2 slots: everything still completes exactly once.
+  LocalLauncher launcher;
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < 8; ++i) jobs.push_back(flag_sensitive_job(i));
+  OrchestratorOptions options;
+  options.max_parallel = 2;
+  const OrchestrationReport report = run_jobs(jobs, launcher, options);
+  EXPECT_TRUE(report.all_ok);
+  EXPECT_EQ(report.total_attempts, 8u);
+}
+
+}  // namespace
+}  // namespace rlbf::dist

@@ -1,0 +1,109 @@
+#include "util/subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rlbf::util {
+namespace {
+
+TEST(SubprocessTest, CapturesStdoutAndExitCode) {
+  const SubprocessResult result = run_subprocess({"/bin/sh", "-c", "echo hi"});
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text, "hi\n");
+  EXPECT_EQ(result.stderr_text, "");
+  EXPECT_EQ(result.status(), "exit 0");
+}
+
+TEST(SubprocessTest, CapturesStderrSeparately) {
+  const SubprocessResult result =
+      run_subprocess({"/bin/sh", "-c", "echo out; echo err >&2; exit 3"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_EQ(result.stdout_text, "out\n");
+  EXPECT_EQ(result.stderr_text, "err\n");
+  EXPECT_EQ(result.status(), "exit 3");
+}
+
+TEST(SubprocessTest, LargeOutputIsNotTruncatedOrDeadlocked) {
+  // Well past the 64K pipe buffer on both streams at once: the reader
+  // must interleave, not block the child.
+  const SubprocessResult result = run_subprocess(
+      {"/bin/sh", "-c",
+       "i=0; while [ $i -lt 20000 ]; do echo 0123456789; echo 9876543210 >&2; "
+       "i=$((i+1)); done"});
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.stdout_text.size(), 20000u * 11u);
+  EXPECT_EQ(result.stderr_text.size(), 20000u * 11u);
+}
+
+TEST(SubprocessTest, ExecFailureReportsShellStyle127) {
+  const SubprocessResult result =
+      run_subprocess({"/definitely/not/a/real/binary"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.exit_code, 127);
+  EXPECT_NE(result.stderr_text.find("exec failed"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(SubprocessTest, TimeoutKillsTheProcess) {
+  SubprocessOptions options;
+  options.timeout_seconds = 0.2;
+  const SubprocessResult result =
+      run_subprocess({"/bin/sh", "-c", "sleep 30"}, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.status(), "timeout");
+}
+
+TEST(SubprocessTest, TimeoutAppliesAfterStdioCloses) {
+  // A daemonizing child closes its stdio but keeps running: EOF ends
+  // the pipe loop, and the deadline must still bound the reap.
+  SubprocessOptions options;
+  options.timeout_seconds = 0.3;
+  const SubprocessResult result = run_subprocess(
+      {"/bin/sh", "-c", "exec >/dev/null 2>&1; sleep 30"}, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.timed_out);
+}
+
+TEST(SubprocessTest, ChdirOptionRunsInThatDirectory) {
+  SubprocessOptions options;
+  options.chdir = "/";
+  const SubprocessResult result = run_subprocess({"/bin/pwd"}, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.stdout_text, "/\n");
+}
+
+TEST(SubprocessTest, EmptyArgvThrows) {
+  EXPECT_THROW(run_subprocess({}), std::invalid_argument);
+}
+
+TEST(SubprocessTest, ShellQuoteSurvivesHostileArguments) {
+  const std::string hostile = "a b'c\"d$e`f;g";
+  const SubprocessResult result = run_subprocess(
+      {"/bin/sh", "-c", "printf %s " + shell_quote(hostile)});
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.stdout_text, hostile);
+}
+
+TEST(SubprocessTest, TailLinesKeepsOnlyTheTail) {
+  EXPECT_EQ(tail_lines("a\nb\nc\n", 2), "b\nc\n");
+  EXPECT_EQ(tail_lines("a\nb\nc", 2), "b\nc");
+  EXPECT_EQ(tail_lines("a\nb\nc\n", 10), "a\nb\nc\n");
+  EXPECT_EQ(tail_lines("single", 3), "single");
+  EXPECT_EQ(tail_lines("", 3), "");
+  EXPECT_EQ(tail_lines("a\nb\n", 0), "");
+}
+
+TEST(SubprocessTest, CurrentExecutableResolvesToARealFile) {
+  const std::string path = current_executable("fallback");
+  // Under /proc this is the test binary itself; the fallback only fires
+  // on exotic platforms.
+  EXPECT_FALSE(path.empty());
+  EXPECT_NE(path, "fallback");
+}
+
+}  // namespace
+}  // namespace rlbf::util

@@ -1,5 +1,8 @@
-// rlbf_run — the unified driver over the scenario & experiment engine
-// and the model store.
+// rlbf_run — the unified driver over the scenario & experiment engine,
+// the model store, and the distributed orchestration layer.
+//
+//   rlbf_run help                           # every subcommand + usage
+//   rlbf_run help run                       # one subcommand in detail
 //
 //   rlbf_run run --list                     # the scenario catalog
 //   rlbf_run run --describe=sdsc-flurry    # one scenario in detail
@@ -13,6 +16,9 @@
 //   rlbf_run train --spec=sdsc-fcfs         # train into the model store
 //                                           # (second invocation: cache hit)
 //   rlbf_run train --ablations              # every abl-* ablation arm
+//   rlbf_run train --ablations --shard=0/3  # this machine's third of the grid
+//   rlbf_run train --ablations --workers=3  # same grid, fanned out over 3
+//                                           # local worker processes
 //   rlbf_run run --scenario=abl-obsv-8      # evaluate a trained arm
 //   rlbf_run models                         # list the store
 //   rlbf_run models --prune                 # drop unreferenced entries
@@ -20,29 +26,41 @@
 // Distributed sweeps (`sweep` is an alias of `run`): every machine runs
 // one shard of the deterministic instance partition, and `merge`
 // recombines the shard-tagged outputs into files byte-identical to an
-// unsharded run. Model stores travel between machines as verified
-// bundles:
+// unsharded run. `orchestrate` closes that loop in one invocation — it
+// plans the shard jobs, launches worker processes (local pool, or any
+// ssh/batch command template over --hosts), retries failures, and
+// merges the collected outputs:
 //
-//   rlbf_run sweep --scenario=sdsc-easy --sweep="load=0.5,1.0"
-//            --shard=0/2 --out_dir=shard0        # machine A
-//   rlbf_run sweep ... --shard=1/2 --out_dir=shard1   # machine B
-//   rlbf_run merge --inputs=shard0,shard1 --out_dir=merged
+//   rlbf_run orchestrate --scenario=sdsc-easy --sweep="load=0.5,1.0"
+//            --workers=3 --out_dir=merged          # one machine, 3 workers
+//   rlbf_run orchestrate ... --workers=2 --hosts=a,b
+//            --command_template="ssh {host} {qcommand}"
+//            --fetch_template="scp -r {host}:{remote} {local}"
+//
+// Model stores travel between machines as verified bundles:
+//
 //   rlbf_run models --export_bundle=bundle          # pack the store
 //   rlbf_run models --store=other --import_bundle=bundle  # verified import
+//   rlbf_run models --import_bundle=b1,b2,collected/      # several at once
 //   rlbf_run models --max_store_bytes=100000000     # LRU size cap
 //
 // The bare legacy form (no subcommand) still works and means `run`.
 //
-// Output is deterministic for a given --seed at any --threads value:
-// trained models, the summary CSV/JSON, and the per-job CSVs are
-// byte-identical across repeated runs.
+// Output is deterministic for a given --seed at any --threads or
+// --workers value: trained models, the summary CSV/JSON, and the
+// per-job CSVs are byte-identical across repeated runs.
 #include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 
+#include "dist/job.h"
+#include "dist/launcher.h"
+#include "dist/orchestrator.h"
 #include "exp/config.h"
 #include "exp/scenario.h"
 #include "exp/shard.h"
@@ -50,12 +68,18 @@
 #include "exp/sweep.h"
 #include "model/store.h"
 #include "model/train.h"
+#include "util/subprocess.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace {
 
 using namespace rlbf;
+
+/// The ORIGINAL argv[0], captured in main before subcommand dispatch
+/// shifts argv (inside a subcommand, argv[0] is the subcommand name).
+/// Fallback for util::current_executable when /proc/self/exe is absent.
+std::string g_program_path;
 
 void list_scenarios() {
   util::Table table({"scenario", "configuration", "description"});
@@ -110,9 +134,21 @@ void describe_scenario(const std::string& name) {
             << "\n";
 }
 
-int run(int argc, char** argv) {
-  bool list = false;
-  std::string describe;
+// ----------------------------------------------------------------- run
+
+/// Every subcommand binds its flags in a struct whose make_parser()
+/// renders the same usage text for `rlbf_run help` — one definition per
+/// command, shown identically on --help, on errors, and in the
+/// consolidated help listing.
+///
+/// SweepFlags is the result-shaping subset `run`/`sweep` and
+/// `orchestrate` share. Both commands bind it from this ONE definition,
+/// and forward() derives the worker argv from the same fields — so a
+/// flag added here is automatically parsed by both commands AND
+/// forwarded to orchestrated workers; there is no hand-written
+/// forwarding list to forget, which the merged-output byte-identity
+/// promise depends on.
+struct SweepFlags {
   std::string scenario;
   std::string sweep;
   std::uint64_t seed = 1;
@@ -121,78 +157,118 @@ int run(int argc, char** argv) {
   std::size_t jobs = 0;
   std::size_t samples = 0;
   std::size_t sample_jobs = 1024;
-  std::string out_dir;
   std::string format = "csv";
   bool per_job = true;
   std::string agent;
   std::string store_root;
+
+  void bind(exp::ArgParser& parser) {
+    parser.add("--scenario", &scenario, "scenario name(s), comma-separated");
+    parser.add("--sweep", &sweep,
+               "parameter grid, e.g. \"load=0.5,1.0;policy=FCFS,SJF\"");
+    parser.add("--seed", &seed,
+               "master seed (trace construction + replications)");
+    parser.add("--threads", &threads, "worker threads (0 = hardware)");
+    parser.add("--replications", &replications,
+               "runs per instance at split seeds");
+    parser.add("--jobs", &jobs,
+               "override the scenario's trace length (0 = keep)");
+    parser.add("--samples", &samples,
+               "use the paper's sampled protocol with this many sequences "
+               "(0 = one full-trace run)");
+    parser.add("--sample_jobs", &sample_jobs, "jobs per sampled sequence");
+    parser.add("--format", &format, "summary file format: csv | json | both");
+    parser.add("--per_job", &per_job,
+               "write per-job CSVs when --out_dir is set (full-run mode only)");
+    parser.add("--agent", &agent,
+               "trained-agent reference applied to every instance "
+               "(training-spec name, store key, or model file path; 'none' "
+               "clears a scenario's reference back to its heuristic)");
+    parser.add("--store", &store_root,
+               "model store root for agent references "
+               "(default: $RLBF_MODEL_STORE or 'models')");
+  }
+
+  /// The worker argv these flags describe. Every value is forwarded
+  /// explicitly (defaults included), so worker behavior is pinned by
+  /// the plan, not by what the worker would happen to default to.
+  std::vector<std::string> forward() const {
+    std::vector<std::string> argv;
+    argv.push_back("--scenario=" + scenario);
+    if (!sweep.empty()) argv.push_back("--sweep=" + sweep);
+    argv.push_back("--seed=" + std::to_string(seed));
+    argv.push_back("--threads=" + std::to_string(threads));
+    argv.push_back("--replications=" + std::to_string(replications));
+    argv.push_back("--jobs=" + std::to_string(jobs));
+    argv.push_back("--samples=" + std::to_string(samples));
+    argv.push_back("--sample_jobs=" + std::to_string(sample_jobs));
+    argv.push_back("--format=" + format);
+    argv.push_back("--per_job=" + std::string(per_job ? "1" : "0"));
+    if (!agent.empty()) argv.push_back("--agent=" + agent);
+    if (!store_root.empty()) argv.push_back("--store=" + store_root);
+    return argv;
+  }
+};
+
+struct RunArgs : SweepFlags {
+  bool list = false;
+  std::string describe;
+  std::string out_dir;
   std::string shard_text;
 
-  exp::ArgParser parser(
-      "rlbf_run run", "Run named scheduling scenarios and parameter sweeps.");
-  parser.add_flag("--list", &list, "list the scenario catalog and exit");
-  parser.add("--describe", &describe, "print one scenario's full spec and exit");
-  parser.add("--scenario", &scenario, "scenario name(s), comma-separated");
-  parser.add("--sweep", &sweep,
-             "parameter grid, e.g. \"load=0.5,1.0;policy=FCFS,SJF\"");
-  parser.add("--seed", &seed, "master seed (trace construction + replications)");
-  parser.add("--threads", &threads, "worker threads (0 = hardware)");
-  parser.add("--replications", &replications,
-             "runs per instance at split seeds");
-  parser.add("--jobs", &jobs, "override the scenario's trace length (0 = keep)");
-  parser.add("--samples", &samples,
-             "use the paper's sampled protocol with this many sequences "
-             "(0 = one full-trace run)");
-  parser.add("--sample_jobs", &sample_jobs, "jobs per sampled sequence");
-  parser.add("--out_dir", &out_dir, "write summary + per-job files here");
-  parser.add("--format", &format, "summary file format: csv | json | both");
-  parser.add("--per_job", &per_job,
-             "write per-job CSVs when --out_dir is set (full-run mode only)");
-  parser.add("--agent", &agent,
-             "trained-agent reference applied to every instance "
-             "(training-spec name, store key, or model file path; 'none' "
-             "clears a scenario's reference back to its heuristic)");
-  parser.add("--store", &store_root,
-             "model store root for agent references "
-             "(default: $RLBF_MODEL_STORE or 'models')");
-  parser.add("--shard", &shard_text,
-             "run only shard I of an N-way deterministic instance partition "
-             "(\"I/N\"); --out_dir files are shard-tagged for `rlbf_run "
-             "merge` (empty = unsharded)");
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser(
+        "rlbf_run run", "Run named scheduling scenarios and parameter sweeps.");
+    parser.add_flag("--list", &list, "list the scenario catalog and exit");
+    parser.add("--describe", &describe,
+               "print one scenario's full spec and exit");
+    bind(parser);
+    parser.add("--out_dir", &out_dir, "write summary + per-job files here");
+    parser.add("--shard", &shard_text,
+               "run only shard I of an N-way deterministic instance partition "
+               "(\"I/N\"); --out_dir files are shard-tagged for `rlbf_run "
+               "merge` (empty = unsharded)");
+    return parser;
+  }
+};
+
+int run(int argc, char** argv) {
+  RunArgs args;
+  exp::ArgParser parser = args.make_parser();
   parser.parse_or_exit(argc, argv);
-  if (!store_root.empty()) model::set_default_store_root(store_root);
+  if (!args.store_root.empty()) model::set_default_store_root(args.store_root);
   // Parsed up front so a malformed spec fails before any work runs; the
   // named std::invalid_argument propagates to main's handler.
   exp::ShardSpec shard;
-  if (!shard_text.empty()) shard = exp::parse_shard(shard_text);
+  if (!args.shard_text.empty()) shard = exp::parse_shard(args.shard_text);
 
-  if (list) {
+  if (args.list) {
     list_scenarios();
     return 0;
   }
-  if (!describe.empty()) {
-    describe_scenario(describe);
+  if (!args.describe.empty()) {
+    describe_scenario(args.describe);
     return 0;
   }
-  if (scenario.empty()) {
+  if (args.scenario.empty()) {
     std::cerr << "rlbf_run: pass --scenario=NAME (or --list)\n\n"
               << parser.usage();
     return 2;
   }
-  if (format != "csv" && format != "json" && format != "both") {
+  if (args.format != "csv" && args.format != "json" && args.format != "both") {
     std::cerr << "rlbf_run: --format must be csv, json, or both\n";
     return 2;
   }
 
   // Expand --scenario (comma list) x --sweep into concrete instances.
   std::vector<exp::ScenarioSpec> specs;
-  const std::vector<exp::SweepAxis> axes = exp::parse_sweep(sweep);
-  for (const std::string& name : split_names(scenario, "--scenario")) {
+  const std::vector<exp::SweepAxis> axes = exp::parse_sweep(args.sweep);
+  for (const std::string& name : split_names(args.scenario, "--scenario")) {
     exp::ScenarioSpec base = exp::find_scenario(name);
-    if (jobs > 0) base.trace_jobs = jobs;
+    if (args.jobs > 0) base.trace_jobs = args.jobs;
     // Same convention as the sweep parameter ("none" = heuristic), via
     // the same tested implementation.
-    if (!agent.empty()) exp::apply_param(base, "agent", agent);
+    if (!args.agent.empty()) exp::apply_param(base, "agent", args.agent);
     for (exp::ScenarioSpec& instance : exp::expand_grid(base, axes)) {
       specs.push_back(std::move(instance));
     }
@@ -204,35 +280,37 @@ int run(int argc, char** argv) {
   // is, out of how many in the whole (unsharded) sweep.
   std::vector<std::size_t> instances;
   std::size_t total_instances = 0;
-  if (samples > 0) {
+  if (args.samples > 0) {
     // Sampled-sequences protocol: one row per instance, with CI. The
     // protocol's sampling stream already covers repetition, so
     // replications don't apply here; per-job results are not collected.
-    if (replications > 1) {
+    if (args.replications > 1) {
       std::cerr << "rlbf_run: note: --replications is ignored in --samples "
                    "mode (the protocol samples internally)\n";
     }
     core::EvalProtocol protocol;
-    protocol.samples = samples;
-    protocol.sample_jobs = sample_jobs;
-    protocol.seed = seed;
+    protocol.samples = args.samples;
+    protocol.sample_jobs = args.sample_jobs;
+    protocol.seed = args.seed;
     total_instances = specs.size();
     instances = exp::shard_instance_indices(total_instances, shard);
     rows.resize(instances.size());
-    util::ThreadPool pool(threads);
+    util::ThreadPool pool(args.threads);
     pool.parallel_for(instances.size(), [&](std::size_t i) {
       const exp::ScenarioSpec& spec = specs[instances[i]];
-      rows[i] = exp::summarize(spec, exp::evaluate_scenario(spec, protocol), seed);
+      rows[i] =
+          exp::summarize(spec, exp::evaluate_scenario(spec, protocol), args.seed);
     });
   } else {
     exp::SweepOptions options;
-    options.seed = seed;
-    options.threads = threads;
-    options.replications = replications;
+    options.seed = args.seed;
+    options.threads = args.threads;
+    options.replications = args.replications;
     options.shard_index = shard.index;
     options.shard_count = shard.count;
     total_instances =
-        specs.size() * (replications == 0 ? std::size_t{1} : replications);
+        specs.size() *
+        (args.replications == 0 ? std::size_t{1} : args.replications);
     instances = exp::run_sweep_instances(specs.size(), options);
     runs = exp::run_sweep(specs, options);
     rows.reserve(runs.size());
@@ -256,21 +334,21 @@ int run(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  if (!out_dir.empty()) {
+  if (!args.out_dir.empty()) {
     std::error_code ec;
-    std::filesystem::create_directories(out_dir, ec);
+    std::filesystem::create_directories(args.out_dir, ec);
     if (ec) {
-      std::cerr << "rlbf_run: cannot create " << out_dir << ": " << ec.message()
-                << "\n";
+      std::cerr << "rlbf_run: cannot create " << args.out_dir << ": "
+                << ec.message() << "\n";
       return 1;
     }
     bool ok = true;
-    if (shard_text.empty()) {
-      if (format == "csv" || format == "both") {
-        ok &= exp::save_summary_csv(out_dir + "/summary.csv", rows);
+    if (args.shard_text.empty()) {
+      if (args.format == "csv" || args.format == "both") {
+        ok &= exp::save_summary_csv(args.out_dir + "/summary.csv", rows);
       }
-      if (format == "json" || format == "both") {
-        ok &= exp::save_summary_json(out_dir + "/summary.json", rows);
+      if (args.format == "json" || args.format == "both") {
+        ok &= exp::save_summary_json(args.out_dir + "/summary.json", rows);
       }
     } else {
       // Shard-tagged artifacts: rows carry their global instance index
@@ -281,57 +359,73 @@ int run(int argc, char** argv) {
       summary.total_instances = total_instances;
       summary.instances = instances;
       summary.rows = rows;
-      if (format == "csv" || format == "both") {
+      if (args.format == "csv" || args.format == "both") {
         ok &= exp::save_shard_summary_csv(
-            out_dir + "/" + exp::shard_summary_filename(shard, "csv"), summary);
+            args.out_dir + "/" + exp::shard_summary_filename(shard, "csv"),
+            summary);
       }
-      if (format == "json" || format == "both") {
+      if (args.format == "json" || args.format == "both") {
         ok &= exp::save_shard_summary_json(
-            out_dir + "/" + exp::shard_summary_filename(shard, "json"), summary);
+            args.out_dir + "/" + exp::shard_summary_filename(shard, "json"),
+            summary);
       }
     }
-    if (per_job) {
+    if (args.per_job) {
       for (const exp::ScenarioRun& r : runs) {
         const std::string path =
-            out_dir + "/" + exp::per_job_filename(r.scenario, r.seed);
+            args.out_dir + "/" + exp::per_job_filename(r.scenario, r.seed);
         ok &= exp::save_per_job_csv(path, r);
       }
     }
     if (!ok) {
-      std::cerr << "rlbf_run: failed writing results under " << out_dir << "\n";
+      std::cerr << "rlbf_run: failed writing results under " << args.out_dir
+                << "\n";
       return 1;
     }
-    std::cout << "# results written to " << out_dir << "/\n";
+    std::cout << "# results written to " << args.out_dir << "/\n";
   }
   return 0;
 }
 
-int merge(int argc, char** argv) {
+// --------------------------------------------------------------- merge
+
+struct MergeArgs {
   std::string inputs;
   std::string out_dir;
 
-  exp::ArgParser parser(
-      "rlbf_run merge",
-      "Recombine shard-tagged sweep outputs (run/sweep --shard=I/N "
-      "--out_dir=...) into the canonical unsharded files — byte-identical "
-      "to a single-machine run at the same seed. Incomplete or "
-      "inconsistent shard sets fail with named errors.");
-  parser.add("--inputs", &inputs,
-             "comma-separated shard output directories (one per shard)");
-  parser.add("--out_dir", &out_dir, "where the merged files go");
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser(
+        "rlbf_run merge",
+        "Recombine shard-tagged sweep outputs (run/sweep --shard=I/N "
+        "--out_dir=...) into the canonical unsharded files — byte-identical "
+        "to a single-machine run at the same seed. Incomplete or "
+        "inconsistent shard sets fail with named errors.");
+    parser.add("--inputs", &inputs,
+               "comma-separated shard output directories (one per shard)");
+    parser.add("--out_dir", &out_dir, "where the merged files go");
+    return parser;
+  }
+};
+
+int merge(int argc, char** argv) {
+  MergeArgs args;
+  exp::ArgParser parser = args.make_parser();
   parser.parse_or_exit(argc, argv);
 
-  if (inputs.empty() || out_dir.empty()) {
-    std::cerr << "rlbf_run merge: pass --inputs=DIR,DIR,... and --out_dir=DIR\n\n"
-              << parser.usage();
+  if (args.inputs.empty() || args.out_dir.empty()) {
+    std::cerr
+        << "rlbf_run merge: pass --inputs=DIR,DIR,... and --out_dir=DIR\n\n"
+        << parser.usage();
     return 2;
   }
-  const exp::MergeReport report =
-      exp::merge_shard_dirs(split_names(inputs, "--inputs"), out_dir);
+  const exp::MergeReport report = exp::merge_shard_dirs(
+      split_names(args.inputs, "--inputs"), args.out_dir);
   std::cout << "# merged " << report.shard_count << " shard(s), "
             << report.total_instances << " instance(s)";
-  if (report.csv_merged) std::cout << " -> " << out_dir << "/summary.csv";
-  if (report.json_merged) std::cout << " -> " << out_dir << "/summary.json";
+  if (report.csv_merged) std::cout << " -> " << args.out_dir << "/summary.csv";
+  if (report.json_merged) {
+    std::cout << " -> " << args.out_dir << "/summary.json";
+  }
   if (report.per_job_files_copied > 0) {
     std::cout << " (+" << report.per_job_files_copied << " per-job files)";
   }
@@ -339,9 +433,67 @@ int merge(int argc, char** argv) {
   return 0;
 }
 
-int train(int argc, char** argv) {
+// --------------------------------------------------------------- train
+
+/// The orchestration knobs `train --workers` and `orchestrate` share —
+/// one definition, like SweepFlags, so the two fan-out surfaces cannot
+/// drift apart flag by flag.
+struct FanoutFlags {
+  std::size_t workers = 1;
+  std::size_t retries = 1;
+  std::string worker_binary;
+  std::string work_dir;
+  bool keep_work = false;
+  double timeout = 0.0;
+  std::string inject_fail;
+
+  /// `workers_help` and the scratch default named in --work_dir's help
+  /// are the only per-command differences.
+  void bind_fanout(exp::ArgParser& parser, const std::string& workers_help,
+                   const std::string& scratch_doc) {
+    parser.add("--workers", &workers, workers_help);
+    parser.add("--retries", &retries, "extra attempts per failed worker job");
+    parser.add("--worker_binary", &worker_binary,
+               "worker executable (default: this rlbf_run)");
+    parser.add("--work_dir", &work_dir,
+               "scratch directory for per-worker outputs (default: " +
+                   scratch_doc + ")");
+    parser.add_flag("--keep_work", &keep_work,
+                    "keep the scratch directory after a successful run "
+                    "(a user-supplied --work_dir is never deleted)");
+    parser.add("--timeout", &timeout,
+               "per-attempt wall-clock limit in seconds for worker jobs "
+               "(0 = none)");
+    parser.add("--inject_fail", &inject_fail,
+               "test hook: \"JOB:COUNT[,JOB:COUNT...]\" forces the first "
+               "COUNT attempts of worker job JOB to fail and be retried");
+  }
+
+  /// The scratch dir this run uses: --work_dir, or the command's default.
+  std::string scratch_dir(const std::string& default_dir) const {
+    return work_dir.empty() ? default_dir : work_dir;
+  }
+
+  /// Post-success cleanup. Only the DEFAULTED scratch path is ours to
+  /// delete — a user-supplied --work_dir may hold unrelated files.
+  void cleanup_scratch(const std::string& dir) const {
+    if (keep_work || !work_dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);  // best effort; scratch only
+  }
+};
+
+/// "out/" and "out" must both put the default scratch BESIDE the
+/// directory, never inside it.
+std::string trim_trailing_slashes(std::string path) {
+  while (path.size() > 1 && path.back() == '/') path.pop_back();
+  return path;
+}
+
+struct TrainArgs : FanoutFlags {
   bool list = false;
   std::string spec_names;
+  bool ablations = false;
   std::string store_root;
   std::size_t threads = 0;
   bool force = false;
@@ -351,35 +503,99 @@ int train(int argc, char** argv) {
   std::size_t trajectories = 0;
   std::size_t traj_jobs = 0;
   std::size_t jobs = 0;
+  std::string shard_text;
+  std::string export_bundle;
 
-  exp::ArgParser parser("rlbf_run train",
-                        "Train agents from declarative specs into the model "
-                        "store (content-addressed; a second identical train "
-                        "is a cache hit and runs nothing).");
-  bool ablations = false;
-  parser.add_flag("--list", &list, "list the training-spec catalog and exit");
-  parser.add("--spec", &spec_names, "training spec name(s), comma-separated");
-  parser.add_flag("--ablations", &ablations,
-                  "train every registered abl-* ablation arm (registration "
-                  "order trains warm-start sources before their consumers)");
-  parser.add("--store", &store_root,
-             "model store root (default: $RLBF_MODEL_STORE or 'models')");
-  parser.add("--threads", &threads,
-             "worker threads (0 = hardware; never changes the result)");
-  parser.add_flag("--force", &force, "retrain even on a store cache hit");
-  parser.add_flag("--quiet", &quiet, "suppress the per-epoch progress table");
-  parser.add("--seed", &seed,
-             "master seed: spec seeds are pre-split from it (0 = keep each "
-             "spec's own seed)");
-  parser.add("--epochs", &epochs, "override every spec's epochs (0 = keep)");
-  parser.add("--trajectories", &trajectories,
-             "override trajectories per epoch (0 = keep)");
-  parser.add("--traj_jobs", &traj_jobs,
-             "override jobs per trajectory (0 = keep)");
-  parser.add("--jobs", &jobs, "override the training trace length (0 = keep)");
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser("rlbf_run train",
+                          "Train agents from declarative specs into the model "
+                          "store (content-addressed; a second identical train "
+                          "is a cache hit and runs nothing).");
+    parser.add_flag("--list", &list, "list the training-spec catalog and exit");
+    parser.add("--spec", &spec_names, "training spec name(s), comma-separated");
+    parser.add_flag("--ablations", &ablations,
+                    "train every registered abl-* ablation arm (registration "
+                    "order trains warm-start sources before their consumers)");
+    parser.add("--store", &store_root,
+               "model store root (default: $RLBF_MODEL_STORE or 'models')");
+    parser.add("--threads", &threads,
+               "worker threads (0 = hardware; never changes the result)");
+    parser.add_flag("--force", &force, "retrain even on a store cache hit");
+    parser.add_flag("--quiet", &quiet, "suppress the per-epoch progress table");
+    parser.add("--seed", &seed,
+               "master seed: spec seeds are pre-split from it (0 = keep each "
+               "spec's own seed)");
+    parser.add("--epochs", &epochs, "override every spec's epochs (0 = keep)");
+    parser.add("--trajectories", &trajectories,
+               "override trajectories per epoch (0 = keep)");
+    parser.add("--traj_jobs", &traj_jobs,
+               "override jobs per trajectory (0 = keep)");
+    parser.add("--jobs", &jobs, "override the training trace length (0 = keep)");
+    parser.add("--shard", &shard_text,
+               "train only shard I of an N-way partition of the spec grid "
+               "(\"I/N\", round-robin over warm-start dependency groups; "
+               "master-seed splits cover the full grid, so the union of all "
+               "shards equals the unsharded run)");
+    parser.add("--export_bundle", &export_bundle,
+               "after training, pack this invocation's entries into a "
+               "portable bundle directory (what orchestrated workers ship "
+               "back for collection)");
+    bind_fanout(parser,
+                "fan the spec grid out over this many concurrent worker "
+                "processes (local pool); their bundles are imported back into "
+                "--store, byte-identical to a sequential run (1 = in-process)",
+                "<store>.orchestrate");
+    return parser;
+  }
+};
+
+/// Parse "--inject_fail=1:2,3:1" into the orchestrator's job->count map.
+std::map<std::size_t, std::size_t> parse_inject_fail(const std::string& text) {
+  std::map<std::size_t, std::size_t> inject;
+  if (text.empty()) return inject;
+  for (const std::string& item : split_names(text, "--inject_fail")) {
+    const std::size_t colon = item.find(':');
+    std::uint64_t job = 0;
+    std::uint64_t count = 1;
+    const std::string job_text =
+        colon == std::string::npos ? item : item.substr(0, colon);
+    if (!exp::parse_uint64(job_text, &job) ||
+        (colon != std::string::npos &&
+         !exp::parse_uint64(item.substr(colon + 1), &count))) {
+      throw std::invalid_argument("malformed --inject_fail entry '" + item +
+                                  "' (want JOB or JOB:COUNT)");
+    }
+    inject[job] = count;
+  }
+  return inject;
+}
+
+/// Shared fan-out driver: run a plan through a launcher with retries
+/// and return the report — the CALLER must check report.all_ok and
+/// print failure_summary() before collecting (the collectors also
+/// refuse incomplete runs as a backstop).
+dist::OrchestrationReport run_fanout(
+    const std::vector<dist::JobSpec>& jobs, dist::Launcher& launcher,
+    std::size_t max_parallel, std::size_t retries, const std::string& inject,
+    bool quiet) {
+  dist::OrchestratorOptions options;
+  options.max_parallel = max_parallel;
+  options.max_attempts = retries + 1;
+  options.inject_failures = parse_inject_fail(inject);
+  if (!quiet) {
+    options.on_event = [](const std::string& line) {
+      std::cout << "# " << line << "\n" << std::flush;
+    };
+  }
+  return dist::run_jobs(jobs, launcher, options);
+}
+
+int train(int argc, char** argv) {
+  TrainArgs args;
+  exp::ArgParser parser = args.make_parser();
   parser.parse_or_exit(argc, argv);
 
-  if (list) {
+  if (args.list) {
     util::Table table({"spec", "algorithm", "workload", "base", "budget",
                        "key", "description"});
     for (const std::string& name : model::training_spec_names()) {
@@ -394,17 +610,138 @@ int train(int argc, char** argv) {
     table.print(std::cout);
     return 0;
   }
-  if (spec_names.empty() && !ablations) {
+  if (args.spec_names.empty() && !args.ablations) {
     std::cerr << "rlbf_run train: pass --spec=NAME, --ablations, or --list\n\n"
               << parser.usage();
     return 2;
   }
-  if (!store_root.empty()) model::set_default_store_root(store_root);
+  // Both parsed before any work: malformed values must fail fast.
+  exp::ShardSpec shard;
+  if (!args.shard_text.empty()) shard = exp::parse_shard(args.shard_text);
+  if (args.workers == 0) {
+    std::cerr << "rlbf_run train: --workers must be >= 1\n";
+    return 2;
+  }
+  if (args.workers > 1 && !args.shard_text.empty()) {
+    std::cerr << "rlbf_run train: --workers and --shard are exclusive (the "
+                 "fan-out assigns shards itself)\n";
+    return 2;
+  }
+  if (args.workers > 1 && !args.export_bundle.empty()) {
+    std::cerr << "rlbf_run train: --workers and --export_bundle are exclusive "
+                 "(the fan-out already collects worker bundles into --store; "
+                 "export the collected store with `rlbf_run models "
+                 "--export_bundle=...`)\n";
+    return 2;
+  }
+  if (!args.store_root.empty()) model::set_default_store_root(args.store_root);
+
+  // ---- fan-out mode: plan shard jobs, launch workers, import bundles.
+  if (args.workers > 1) {
+    // Warm starts resolve against each worker's PRIVATE store: an
+    // init_agent naming another spec in this grid is co-located with
+    // its source by the shard partition, but a reference outside the
+    // grid (a store key, or a spec not being trained here) cannot
+    // resolve in a fresh worker store — fail now, with the fix named,
+    // instead of after every worker exhausts its retries.
+    {
+      std::vector<std::string> names;
+      if (!args.spec_names.empty()) {
+        names = split_names(args.spec_names, "--spec");
+      }
+      if (args.ablations) {
+        for (std::string& arm : model::ablation_arm_names()) {
+          names.push_back(std::move(arm));
+        }
+      }
+      for (const std::string& name : names) {
+        const std::string& init = model::find_training_spec(name).init_agent;
+        if (init.empty()) continue;
+        const bool in_list =
+            std::find(names.begin(), names.end(), init) != names.end();
+        std::error_code ec;
+        if (in_list || std::filesystem::is_regular_file(init, ec)) continue;
+        std::cerr << "rlbf_run train: spec '" << name
+                  << "' warm-starts from '" << init
+                  << "', which is not in this training list — --workers "
+                     "trains into private per-worker stores, so the source "
+                     "cannot resolve there. Add it to --spec (the partition "
+                     "keeps the chain on one worker) or run without "
+                     "--workers.\n";
+        return 2;
+      }
+    }
+    const std::string store_root = model::default_store_root();
+    const std::string work_dir = args.scratch_dir(
+        trim_trailing_slashes(store_root) + ".orchestrate");
+    dist::PlanOptions plan;
+    plan.worker = args.worker_binary.empty()
+                      ? util::current_executable(g_program_path)
+                      : args.worker_binary;
+    plan.workers = args.workers;
+    plan.work_dir = work_dir;
+    // Forward exactly the training flags that shape results; each worker
+    // trains its shard into a private store and exports a bundle.
+    if (!args.spec_names.empty()) plan.args.push_back("--spec=" + args.spec_names);
+    if (args.ablations) plan.args.push_back("--ablations");
+    // N concurrent local workers each defaulting to full hardware
+    // concurrency would oversubscribe the machine N-fold; split the
+    // hardware between them unless the user chose a count.
+    const std::size_t worker_threads =
+        args.threads != 0 ? args.threads
+                          : std::max<std::size_t>(
+                                std::thread::hardware_concurrency() /
+                                    args.workers,
+                                1);
+    plan.args.push_back("--threads=" + std::to_string(worker_threads));
+    if (args.force) plan.args.push_back("--force");
+    plan.args.push_back("--quiet");
+    if (args.seed != 0) plan.args.push_back("--seed=" + std::to_string(args.seed));
+    if (args.epochs > 0) {
+      plan.args.push_back("--epochs=" + std::to_string(args.epochs));
+    }
+    if (args.trajectories > 0) {
+      plan.args.push_back("--trajectories=" + std::to_string(args.trajectories));
+    }
+    if (args.traj_jobs > 0) {
+      plan.args.push_back("--traj_jobs=" + std::to_string(args.traj_jobs));
+    }
+    if (args.jobs > 0) plan.args.push_back("--jobs=" + std::to_string(args.jobs));
+
+    const std::vector<dist::JobSpec> jobs = dist::plan_train_jobs(plan);
+    dist::LocalLauncher launcher(args.timeout);
+    const dist::OrchestrationReport report = run_fanout(
+        jobs, launcher, args.workers, args.retries, args.inject_fail,
+        args.quiet);
+    if (!report.all_ok) {
+      std::cerr << "rlbf_run train: fan-out failed:\n"
+                << report.failure_summary() << "\n";
+      return 1;
+    }
+    model::Store& store = model::default_store();
+    const dist::BundleImportTotals totals =
+        dist::collect_train_bundles(report, store);
+    std::cout << "# collected " << totals.bundles << " worker bundle(s): "
+              << totals.imported << " imported, " << totals.skipped_existing
+              << " already present in " << store.root() << "/\n";
+    args.cleanup_scratch(work_dir);
+    util::Table table({"key", "spec", "worker"});
+    for (const auto& [bundle, imported] : totals.per_bundle) {
+      for (const std::string& key : imported.imported) {
+        const auto entry = store.lookup(key);
+        table.add_row({key, entry ? entry->name : "", bundle});
+      }
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  // ---- in-process mode (optionally one shard of the grid).
   model::Store& store = model::default_store();
 
   std::vector<std::string> names;
-  if (!spec_names.empty()) names = split_names(spec_names, "--spec");
-  if (ablations) {
+  if (!args.spec_names.empty()) names = split_names(args.spec_names, "--spec");
+  if (args.ablations) {
     for (std::string& arm : model::ablation_arm_names()) {
       names.push_back(std::move(arm));
     }
@@ -412,17 +749,21 @@ int train(int argc, char** argv) {
   std::vector<model::TrainingSpec> specs;
   for (const std::string& name : names) {
     model::TrainingSpec spec = model::find_training_spec(name);
-    if (epochs > 0) spec.trainer.epochs = epochs;
-    if (trajectories > 0) spec.trainer.trajectories_per_epoch = trajectories;
-    if (traj_jobs > 0) spec.trainer.jobs_per_trajectory = traj_jobs;
-    if (jobs > 0) spec.workload.trace_jobs = jobs;
+    if (args.epochs > 0) spec.trainer.epochs = args.epochs;
+    if (args.trajectories > 0) {
+      spec.trainer.trajectories_per_epoch = args.trajectories;
+    }
+    if (args.traj_jobs > 0) spec.trainer.jobs_per_trajectory = args.traj_jobs;
+    if (args.jobs > 0) spec.workload.trace_jobs = args.jobs;
     specs.push_back(std::move(spec));
   }
 
   model::TrainOptions options;
-  options.threads = threads;
-  options.force = force;
-  if (!quiet) {
+  options.threads = args.threads;
+  options.force = args.force;
+  options.shard_index = shard.index;
+  options.shard_count = shard.count;
+  if (!args.quiet) {
     options.on_progress = [](const model::TrainingSpec& spec,
                              const model::TrainProgress& p) {
       std::cout << spec.name << " epoch " << p.epoch
@@ -438,11 +779,11 @@ int train(int argc, char** argv) {
   }
 
   const std::vector<model::TrainOutcome> outcomes =
-      model::train_specs(specs, store, options, seed);
+      model::train_specs(specs, store, options, args.seed);
   util::Table table({"spec", "key", "status", "epochs", "best_eval", "path"});
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const model::TrainOutcome& out = outcomes[i];
-    table.add_row({specs[i].name, out.entry.key,
+    table.add_row({specs[out.spec_index].name, out.entry.key,
                    out.cache_hit ? "cache hit (no retraining)" : "trained",
                    std::to_string(out.epochs_run),
                    std::isnan(out.best_eval_bsld)
@@ -451,8 +792,225 @@ int train(int argc, char** argv) {
                    out.entry.path});
   }
   table.print(std::cout);
+  if (!shard.is_all()) {
+    std::cout << "# shard " << shard.label() << ": " << outcomes.size()
+              << " of " << specs.size() << " spec(s)\n";
+  }
+
+  if (!args.export_bundle.empty()) {
+    // This invocation's entries only (deduplicated — cache hits can
+    // repeat keys), so a worker's bundle is exactly its shard.
+    std::vector<std::string> keys;
+    for (const model::TrainOutcome& out : outcomes) {
+      if (std::find(keys.begin(), keys.end(), out.entry.key) == keys.end()) {
+        keys.push_back(out.entry.key);
+      }
+    }
+    // export_bundle_exact: an empty shard writes a valid ZERO-entry
+    // bundle (collection imports nothing) — never "all entries", which
+    // would leak unrelated contents of a reused worker store.
+    const std::vector<std::string> exported =
+        store.export_bundle_exact(args.export_bundle, keys);
+    std::cout << "# exported " << exported.size() << " entr"
+              << (exported.size() == 1 ? "y" : "ies") << " to "
+              << args.export_bundle << "/\n";
+  }
   return 0;
 }
+
+// --------------------------------------------------------- orchestrate
+
+/// The sweep being distributed is the shared SweepFlags block — bound
+/// from the same definition `run` uses and forwarded to every worker
+/// via SweepFlags::forward() — and the supervision knobs are the shared
+/// FanoutFlags block `train --workers` also uses; only the transport
+/// flags (hosts, templates) and --out_dir are orchestrate's own.
+struct OrchestrateArgs : SweepFlags, FanoutFlags {
+  std::size_t parallel = 0;
+  std::string out_dir;
+  std::string hosts;
+  std::string command_template;
+  std::string fetch_template;
+  bool quiet = false;
+
+  OrchestrateArgs() { workers = 2; }
+
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser(
+        "rlbf_run orchestrate",
+        "Plan a sweep as N shard jobs, launch them as worker processes "
+        "(local pool, or a command template over --hosts), retry failures "
+        "(shard outputs are idempotent), and merge the collected shards "
+        "into --out_dir — byte-identical to the single-process run.");
+    bind(parser);
+    bind_fanout(parser,
+                "number of shard jobs the sweep is partitioned into",
+                "<out_dir>.work — never inside out_dir, which must diff "
+                "clean against an unsharded run");
+    parser.add("--parallel", &parallel,
+               "jobs in flight at once (0 = all workers)");
+    parser.add("--out_dir", &out_dir, "where the merged files go (required)");
+    parser.add("--hosts", &hosts,
+               "comma-separated host list; with --command_template, jobs are "
+               "assigned round-robin over it");
+    parser.add("--command_template", &command_template,
+               "launch each job through this shell template instead of a "
+               "local fork/exec; placeholders: {command} or {qcommand} "
+               "(required; use {qcommand} — the command quoted once more — "
+               "for transports like ssh that re-evaluate their argument in "
+               "a remote shell), {host}, {job}, {id}, {out}, {{ for a "
+               "literal brace — e.g. \"ssh {host} {qcommand}\"");
+    parser.add("--fetch_template", &fetch_template,
+               "shell template copying a finished job's output_dir back "
+               "({host}, {remote}, {local}, {job}, {id}) — e.g. "
+               "\"scp -r {host}:{remote} {local}\"; empty = shared filesystem");
+    parser.add("--inject_fail", &inject_fail,
+               "test hook: \"JOB:COUNT[,JOB:COUNT...]\" forces the first "
+               "COUNT attempts of job JOB to fail and be retried");
+    parser.add_flag("--quiet", &quiet, "suppress per-job progress lines");
+    return parser;
+  }
+};
+
+int orchestrate(int argc, char** argv) {
+  OrchestrateArgs args;
+  exp::ArgParser parser = args.make_parser();
+  parser.parse_or_exit(argc, argv);
+
+  if (args.scenario.empty() || args.out_dir.empty()) {
+    std::cerr << "rlbf_run orchestrate: pass --scenario=NAME and "
+                 "--out_dir=DIR\n\n"
+              << parser.usage();
+    return 2;
+  }
+  if (args.workers == 0) {
+    std::cerr << "rlbf_run orchestrate: --workers must be >= 1\n";
+    return 2;
+  }
+  if (!args.command_template.empty() && args.hosts.empty()) {
+    std::cerr << "rlbf_run orchestrate: --command_template needs --hosts\n";
+    return 2;
+  }
+  if (!args.hosts.empty() && args.command_template.empty()) {
+    // Silently running everything locally would drop an explicit request
+    // to distribute — make the user say how to reach the hosts.
+    std::cerr << "rlbf_run orchestrate: --hosts needs --command_template "
+                 "(e.g. \"ssh {host} {command}\")\n";
+    return 2;
+  }
+  // Deterministic CLI errors fail HERE, like `run`'s own up-front
+  // validation — not as workers × attempts of guaranteed-identical
+  // failures wrapped in a fan-out summary.
+  if (args.format != "csv" && args.format != "json" && args.format != "both") {
+    std::cerr << "rlbf_run orchestrate: --format must be csv, json, or both\n";
+    return 2;
+  }
+  exp::parse_sweep(args.sweep);  // named error on a malformed grid
+  for (const std::string& name : split_names(args.scenario, "--scenario")) {
+    exp::find_scenario(name);  // named error on an unknown scenario
+  }
+
+  const std::string work_dir =
+      args.scratch_dir(trim_trailing_slashes(args.out_dir) + ".work");
+
+  // The fetch template's {local} destination is under work_dir; create
+  // it up front so remote transports can copy into it (local workers
+  // create their own out_dirs, but a remote worker only creates the
+  // remote side).
+  std::error_code work_ec;
+  std::filesystem::create_directories(work_dir, work_ec);
+  if (work_ec) {
+    std::cerr << "rlbf_run orchestrate: cannot create work dir " << work_dir
+              << ": " << work_ec.message() << "\n";
+    return 1;
+  }
+
+  dist::PlanOptions plan;
+  plan.worker = args.worker_binary.empty()
+                    ? util::current_executable(g_program_path)
+                    : args.worker_binary;
+  plan.workers = args.workers;
+  plan.work_dir = work_dir;
+  if (args.threads == 0 && args.command_template.empty()) {
+    // Local pool: split the hardware between the concurrent workers
+    // instead of letting each default to full concurrency. (Remote
+    // jobs keep their own machine's default.)
+    const std::size_t in_flight =
+        args.parallel == 0 ? args.workers : std::min(args.parallel, args.workers);
+    args.threads = std::max<std::size_t>(
+        std::thread::hardware_concurrency() / in_flight, 1);
+  }
+  // Every result-shaping flag comes from the shared SweepFlags block —
+  // adding a flag there forwards it here automatically.
+  plan.args = args.forward();
+
+  const std::vector<dist::JobSpec> jobs = dist::plan_sweep_jobs(plan);
+
+  // Choose the transport: a local process pool, or the user's command
+  // template expanded over the host list.
+  std::unique_ptr<dist::Launcher> launcher;
+  if (args.command_template.empty()) {
+    launcher = std::make_unique<dist::LocalLauncher>(args.timeout);
+  } else {
+    launcher = std::make_unique<dist::CommandLauncher>(
+        args.command_template, dist::parse_hosts(args.hosts),
+        args.fetch_template, args.timeout);
+  }
+
+  const std::size_t parallel =
+      args.parallel == 0 ? args.workers : args.parallel;
+  const dist::OrchestrationReport report = run_fanout(
+      jobs, *launcher, parallel, args.retries, args.inject_fail, args.quiet);
+  if (!report.all_ok) {
+    std::cerr << "rlbf_run orchestrate: run failed:\n"
+              << report.failure_summary() << "\n";
+    return 1;
+  }
+
+  const exp::MergeReport merged = dist::collect_sweep(report, args.out_dir);
+  std::cout << "# orchestrated " << jobs.size() << " job(s) ("
+            << report.total_attempts << " attempt(s)); merged "
+            << merged.shard_count << " shard(s), " << merged.total_instances
+            << " instance(s) -> " << args.out_dir << "/\n";
+  args.cleanup_scratch(work_dir);
+  return 0;
+}
+
+// -------------------------------------------------------------- models
+
+struct ModelsArgs {
+  std::string store_root;
+  bool prune = false;
+  std::string import_bundles;
+  std::string export_dir;
+  std::string export_keys;
+  std::uint64_t max_store_bytes = 0;
+
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser(
+        "rlbf_run models",
+        "List and maintain the model store: prune, LRU size cap, and "
+        "portable bundle export/import (fingerprint-verified).");
+    parser.add("--store", &store_root,
+               "model store root (default: $RLBF_MODEL_STORE or 'models')");
+    parser.add_flag("--prune", &prune,
+                    "remove entries not referenced by any registered training "
+                    "spec or scenario");
+    parser.add("--import_bundle", &import_bundles,
+               "import bundle directories (comma-separated; a directory "
+               "whose subdirectories hold bundles imports them all); every "
+               "entry re-verified against its fingerprint — corrupt or "
+               "mismatched models are rejected");
+    parser.add("--export_bundle", &export_dir,
+               "pack store entries into this portable bundle directory");
+    parser.add("--keys", &export_keys,
+               "comma-separated keys for --export_bundle (empty = all entries)");
+    parser.add("--max_store_bytes", &max_store_bytes,
+               "evict least-recently-used unreferenced entries until the store "
+               "fits this many bytes (0 = no cap)");
+    return parser;
+  }
+};
 
 /// The keys `models --prune` / `--max_store_bytes` must never drop:
 /// the fingerprint of every registered training spec, every raw store
@@ -484,54 +1042,49 @@ std::vector<std::string> collect_referenced(model::Store& store) {
 }
 
 int models(int argc, char** argv) {
-  std::string store_root;
-  bool prune = false;
-  std::string import_dir;
-  std::string export_dir;
-  std::string export_keys;
-  std::uint64_t max_store_bytes = 0;
-
-  exp::ArgParser parser(
-      "rlbf_run models",
-      "List and maintain the model store: prune, LRU size cap, and "
-      "portable bundle export/import (fingerprint-verified).");
-  parser.add("--store", &store_root,
-             "model store root (default: $RLBF_MODEL_STORE or 'models')");
-  parser.add_flag("--prune", &prune,
-                  "remove entries not referenced by any registered training "
-                  "spec or scenario");
-  parser.add("--import_bundle", &import_dir,
-             "import a bundle directory (every entry re-verified against its "
-             "fingerprint; corrupt or mismatched models are rejected)");
-  parser.add("--export_bundle", &export_dir,
-             "pack store entries into this portable bundle directory");
-  parser.add("--keys", &export_keys,
-             "comma-separated keys for --export_bundle (empty = all entries)");
-  parser.add("--max_store_bytes", &max_store_bytes,
-             "evict least-recently-used unreferenced entries until the store "
-             "fits this many bytes (0 = no cap)");
+  ModelsArgs args;
+  exp::ArgParser parser = args.make_parser();
   parser.parse_or_exit(argc, argv);
 
-  if (!store_root.empty()) model::set_default_store_root(store_root);
+  if (!args.store_root.empty()) model::set_default_store_root(args.store_root);
   model::Store& store = model::default_store();
 
-  if (!import_dir.empty()) {
-    const model::Store::ImportReport report = store.import_bundle(import_dir);
-    for (const std::string& key : report.imported) {
-      std::cout << "imported " << key << "\n";
+  if (!args.import_bundles.empty()) {
+    // Each comma-separated element may itself be a directory of bundles
+    // (the orchestrator's collected work dir) — resolve, then import
+    // every bundle with its own per-bundle report line.
+    std::size_t total_imported = 0;
+    std::size_t total_skipped = 0;
+    std::size_t bundle_count = 0;
+    for (const std::string& arg :
+         split_names(args.import_bundles, "--import_bundle")) {
+      for (const std::string& dir : model::find_bundle_dirs(arg)) {
+        const model::Store::ImportReport report = store.import_bundle(dir);
+        ++bundle_count;
+        total_imported += report.imported.size();
+        total_skipped += report.skipped_existing.size();
+        for (const std::string& key : report.imported) {
+          std::cout << "imported " << key << "\n";
+        }
+        std::cout << "# bundle " << dir << "/: " << report.imported.size()
+                  << " imported, " << report.skipped_existing.size()
+                  << " already present\n";
+      }
     }
-    std::cout << "# imported " << report.imported.size() << " entr"
-              << (report.imported.size() == 1 ? "y" : "ies") << " ("
-              << report.skipped_existing.size() << " already present) from "
-              << import_dir << "/\n";
+    std::cout << "# imported " << total_imported << " entr"
+              << (total_imported == 1 ? "y" : "ies") << " ("
+              << total_skipped << " already present) from " << bundle_count
+              << " bundle(s)\n";
   }
 
   // One referenced-key set serves both maintenance passes (it hashes
   // every registered spec, so don't compute it twice).
   std::vector<std::string> referenced;
-  if (prune || max_store_bytes > 0) referenced = collect_referenced(store);
+  if (args.prune || args.max_store_bytes > 0) {
+    referenced = collect_referenced(store);
+  }
 
-  if (prune) {
+  if (args.prune) {
     const std::vector<std::string> removed = store.prune(referenced);
     for (const std::string& key : removed) {
       std::cout << "pruned " << key << "\n";
@@ -541,24 +1094,25 @@ int models(int argc, char** argv) {
               << store.root() << "/\n";
   }
 
-  if (max_store_bytes > 0) {
+  if (args.max_store_bytes > 0) {
     const model::Store::EvictionResult result =
-        store.evict_lru(max_store_bytes, referenced);
+        store.evict_lru(args.max_store_bytes, referenced);
     for (const std::string& key : result.removed) {
       std::cout << "evicted " << key << "\n";
     }
     std::cout << "# store " << result.bytes_before << " -> "
-              << result.bytes_after << " bytes (cap " << max_store_bytes
+              << result.bytes_after << " bytes (cap " << args.max_store_bytes
               << ", " << result.removed.size() << " evicted)\n";
   }
 
-  if (!export_dir.empty()) {
+  if (!args.export_dir.empty()) {
     std::vector<std::string> keys;
-    if (!export_keys.empty()) keys = split_names(export_keys, "--keys");
-    const std::vector<std::string> exported = store.export_bundle(export_dir, keys);
+    if (!args.export_keys.empty()) keys = split_names(args.export_keys, "--keys");
+    const std::vector<std::string> exported =
+        store.export_bundle(args.export_dir, keys);
     std::cout << "# exported " << exported.size() << " entr"
-              << (exported.size() == 1 ? "y" : "ies") << " to " << export_dir
-              << "/\n";
+              << (exported.size() == 1 ? "y" : "ies") << " to "
+              << args.export_dir << "/\n";
   }
 
   const auto meta_of = [](const model::StoreEntry& e, const char* key) {
@@ -578,10 +1132,74 @@ int models(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------- help
+
+struct Command {
+  const char* name;
+  const char* blurb;                      // one line for the overview
+  std::string (*usage)();                 // the command's full usage text
+};
+
+/// One place enumerates every subcommand; `help`, `help <command>`, and
+/// the unknown-command error all render from it, so they can never
+/// drift apart.
+const std::vector<Command>& command_table() {
+  static const std::vector<Command> commands = {
+      {"run", "run scenarios and parameter sweeps (alias: sweep)",
+       [] { return RunArgs{}.make_parser().usage(); }},
+      {"sweep", "alias of run (reads naturally with --shard=I/N)",
+       [] { return RunArgs{}.make_parser().usage(); }},
+      {"merge", "recombine shard-tagged sweep outputs",
+       [] { return MergeArgs{}.make_parser().usage(); }},
+      {"orchestrate", "launch, supervise, and merge a distributed sweep",
+       [] { return OrchestrateArgs{}.make_parser().usage(); }},
+      {"train", "train specs into the model store (sharded or fanned out)",
+       [] { return TrainArgs{}.make_parser().usage(); }},
+      {"models", "list and maintain the model store",
+       [] { return ModelsArgs{}.make_parser().usage(); }},
+  };
+  return commands;
+}
+
+std::string known_command_names() {
+  std::string names;
+  for (const Command& command : command_table()) {
+    names += (names.empty() ? "" : ", ") + std::string(command.name);
+  }
+  return names + ", help";
+}
+
+int help(int argc, char** argv) {
+  if (argc > 1) {
+    const std::string name = argv[1];
+    for (const Command& command : command_table()) {
+      if (name == command.name) {
+        std::cout << command.usage();
+        return 0;
+      }
+    }
+    std::cerr << "rlbf_run help: unknown command '" << name
+              << "' (known: " << known_command_names() << ")\n";
+    return 2;
+  }
+  std::cout << "rlbf_run — scenario runs, distributed sweeps, and the model "
+               "store, one driver.\n\n"
+            << "Commands (rlbf_run help <command> for full usage):\n";
+  for (const Command& command : command_table()) {
+    const std::size_t len = std::strlen(command.name);
+    const std::size_t pad = len < 13 ? 13 - len : 2;
+    std::cout << "  " << command.name << std::string(pad, ' ')
+              << command.blurb << "\n";
+  }
+  std::cout << "\nThe bare legacy flag form (no subcommand) means `run`.\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc > 0) g_program_path = argv[0];
     // Subcommand dispatch; the bare legacy flag form still means `run`.
     if (argc > 1 && argv[1][0] != '-') {
       const std::string command = argv[1];
@@ -589,11 +1207,18 @@ int main(int argc, char** argv) {
       // as `rlbf_run sweep --shard=0/3` but share every flag with run.
       if (command == "run" || command == "sweep") return run(argc - 1, argv + 1);
       if (command == "merge") return merge(argc - 1, argv + 1);
+      if (command == "orchestrate") return orchestrate(argc - 1, argv + 1);
       if (command == "train") return train(argc - 1, argv + 1);
       if (command == "models") return models(argc - 1, argv + 1);
+      if (command == "help") return help(argc - 1, argv + 1);
       std::cerr << "rlbf_run: unknown command '" << command
-                << "' (known: run, sweep, merge, train, models)\n";
+                << "' (known: " << known_command_names() << ")\n";
       return 2;
+    }
+    // Top-level --help lists every command, like `help`.
+    if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                     std::strcmp(argv[1], "-h") == 0)) {
+      return help(1, argv);
     }
     return run(argc, argv);
   } catch (const std::exception& e) {
