@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/rl_backfill.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/easy_backfill.h"
 #include "util/log.h"
 
@@ -120,6 +122,7 @@ DqnTrainer::DqnTrainer(swf::Trace trace, const DqnTrainerConfig& config,
 }
 
 AltEpochStats DqnTrainer::run_epoch() {
+  obs::Span span("train_epoch", "train");
   const auto t0 = std::chrono::steady_clock::now();
   AltEpochStats stats;
   stats.epoch = ++epoch_;
@@ -148,6 +151,10 @@ AltEpochStats DqnTrainer::run_epoch() {
   stats.loss = d.loss;
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (obs::enabled()) {
+    obs::counter("rl.epochs").add(1);
+    obs::histogram("rl.epoch_seconds").observe(stats.wall_seconds);
+  }
   return stats;
 }
 
@@ -207,6 +214,7 @@ ReinforceTrainer::ReinforceTrainer(swf::Trace trace,
 }
 
 AltEpochStats ReinforceTrainer::run_epoch() {
+  obs::Span span("train_epoch", "train");
   const auto t0 = std::chrono::steady_clock::now();
   AltEpochStats stats;
   stats.epoch = ++epoch_;
@@ -236,6 +244,10 @@ AltEpochStats ReinforceTrainer::run_epoch() {
   }
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (obs::enabled()) {
+    obs::counter("rl.epochs").add(1);
+    obs::histogram("rl.epoch_seconds").observe(stats.wall_seconds);
+  }
   return stats;
 }
 

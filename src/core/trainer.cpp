@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/rl_backfill.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/easy_backfill.h"
 #include "util/log.h"
 
@@ -45,6 +47,7 @@ Trainer::Trainer(swf::Trace trace, const TrainerConfig& config, const Agent& ini
 }
 
 EpochStats Trainer::run_epoch() {
+  obs::Span span("train_epoch", "train");
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t n_traj = config_.trajectories_per_epoch;
 
@@ -118,6 +121,10 @@ EpochStats Trainer::run_epoch() {
   }
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (obs::enabled()) {
+    obs::counter("rl.epochs").add(1);
+    obs::histogram("rl.epoch_seconds").observe(stats.wall_seconds);
+  }
   return stats;
 }
 

@@ -1,15 +1,37 @@
 #include "dist/orchestrator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/log.h"
 #include "util/thread_pool.h"
 
 namespace rlbf::dist {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Render a duration the way event lines carry it: millisecond
+/// precision, enough for queue diagnostics without flooding the log.
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
 
 /// Indent a stderr tail so multi-line quotes read as one log block.
 std::string indent_tail(const std::string& tail) {
@@ -51,27 +73,77 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
   OrchestrationReport report;
   report.jobs.resize(jobs.size());
 
+  const Clock::time_point t0 = Clock::now();
   std::mutex mu;  // serializes on_event and the attempt counter
   std::size_t total_attempts = 0;
+  // Every serialized event line leads with a monotonic timestamp
+  // relative to run_jobs entry, so replaying a log reconstructs the
+  // schedule without a clock source.
   const auto event = [&](const std::string& line) {
     if (!options.on_event) return;
     std::lock_guard<std::mutex> lock(mu);
-    options.on_event(line);
+    options.on_event("[+" + fmt_seconds(seconds_since(t0)) + "] " + line);
   };
+
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> running{0};
+  std::atomic<std::uint64_t> busy_us{0};  // summed per-job wall time
+  std::atomic<std::uint64_t> retries{0};
 
   const std::size_t parallel =
       options.max_parallel == 0 ? jobs.size() : options.max_parallel;
-  util::ThreadPool pool(std::min(parallel, jobs.size()));
+  const std::size_t workers = std::min(parallel, jobs.size());
+
+  // Heartbeat: a waiter thread summarizing progress every interval via
+  // util::log_info (stderr), silenced by hb_cv at the end of the run.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat;
+  if (options.heartbeat_seconds > 0.0) {
+    heartbeat = std::thread([&] {
+      std::unique_lock<std::mutex> lock(hb_mu);
+      const auto interval =
+          std::chrono::duration<double>(options.heartbeat_seconds);
+      while (!hb_cv.wait_for(lock, interval, [&] { return hb_stop; })) {
+        util::log_info("orchestrate: ", done.load(), "/", jobs.size(),
+                       " done, ", running.load(), " running, ", failed.load(),
+                       " failed");
+      }
+    });
+  }
+
+  util::ThreadPool pool(workers);
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     const JobSpec& job = jobs[i];
     JobOutcome& outcome = report.jobs[i];
     outcome.job = job;
+    outcome.queue_wait_seconds = seconds_since(t0);
+    const Clock::time_point job_start = Clock::now();
+    running.fetch_add(1, std::memory_order_relaxed);
+    obs::Span span = obs::Span::labeled("job " + job.name, "dist");
 
     std::size_t injected = 0;
     if (const auto it = options.inject_failures.find(job.id);
         it != options.inject_failures.end()) {
       injected = it->second;
     }
+
+    const auto finish = [&](bool ok) {
+      outcome.total_seconds = seconds_since(job_start);
+      busy_us.fetch_add(
+          static_cast<std::uint64_t>(outcome.total_seconds * 1e6),
+          std::memory_order_relaxed);
+      retries.fetch_add(outcome.attempts - 1, std::memory_order_relaxed);
+      running.fetch_sub(1, std::memory_order_relaxed);
+      (ok ? done : failed).fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        obs::histogram("dist.queue_wait_seconds")
+            .observe(outcome.queue_wait_seconds);
+        obs::histogram("dist.job_seconds").observe(outcome.total_seconds);
+      }
+    };
 
     for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
       outcome.attempts = attempt;
@@ -96,15 +168,28 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
             (injecting ? " (injected failure)" : "") + ": " +
             launched.command_line());
 
+      const Clock::time_point attempt_start = Clock::now();
       LaunchResult run = launcher.launch(launched);
+      const double run_seconds = seconds_since(attempt_start);
+      if (obs::enabled()) {
+        obs::histogram("dist.run_seconds").observe(run_seconds);
+      }
       outcome.command = run.command;
       if (run.process.ok()) {
+        const Clock::time_point fetch_start = Clock::now();
         LaunchResult fetched = launcher.fetch(job);
+        const double fetch_seconds = seconds_since(fetch_start);
+        if (obs::enabled()) {
+          obs::histogram("dist.fetch_seconds").observe(fetch_seconds);
+        }
         if (fetched.process.ok()) {
           outcome.ok = true;
           outcome.status = run.process.status();
           outcome.stderr_tail.clear();
-          event("job " + job.name + ": ok (" + outcome.status + ")");
+          event("job " + job.name + ": ok (" + outcome.status + ") in " +
+                fmt_seconds(run_seconds) + " (fetch " +
+                fmt_seconds(fetch_seconds) + ")");
+          finish(true);
           return;
         }
         outcome.status = "fetch failed: " + fetched.process.status();
@@ -117,10 +202,33 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
             util::tail_lines(run.process.stderr_text, options.stderr_tail);
       }
       event("job " + job.name + ": attempt " + std::to_string(attempt) +
-            " failed (" + outcome.status + ")" +
+            " failed (" + outcome.status + ") in " + fmt_seconds(run_seconds) +
             (attempt < max_attempts ? ", retrying" : ", retries exhausted"));
     }
+    finish(false);
   });
+
+  if (heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  }
+
+  if (obs::enabled()) {
+    obs::counter("dist.jobs").add(jobs.size());
+    obs::counter("dist.retries").add(retries.load(std::memory_order_relaxed));
+    // Mean fraction of worker capacity spent inside jobs: summed per-job
+    // wall time over (elapsed wall * workers).
+    const double elapsed = seconds_since(t0);
+    if (elapsed > 0.0 && workers > 0) {
+      obs::gauge("dist.worker_utilization")
+          .set(static_cast<double>(busy_us.load(std::memory_order_relaxed)) /
+               1e6 / (elapsed * static_cast<double>(workers)));
+    }
+  }
 
   report.total_attempts = total_attempts;
   report.all_ok = true;

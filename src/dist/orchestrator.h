@@ -39,8 +39,15 @@ struct OrchestratorOptions {
   /// nonzero exit with a named error on stderr — the full retry path
   /// runs, not a simulation of it.
   std::map<std::size_t, std::size_t> inject_failures;
-  /// Serialized progress lines ("job sweep-shard0/3: attempt 1 ...").
+  /// Serialized progress lines ("[+0.012s] job sweep-shard0/3: attempt
+  /// 1 ..."). Every line carries a monotonic timestamp relative to
+  /// run_jobs entry, and attempt-completion lines carry the attempt's
+  /// duration.
   std::function<void(const std::string&)> on_event;
+  /// Interval for the periodic heartbeat summary ("k/N done, r running,
+  /// f failed") emitted via util::log_info while jobs run, so long
+  /// orchestrations are never silent. 0 disables it.
+  double heartbeat_seconds = 30.0;
 };
 
 /// The flag an injected-failure attempt appends; unknown to every
@@ -58,6 +65,12 @@ struct JobOutcome {
   std::string stderr_tail;
   /// The rendered command of the last attempt, for reproduction.
   std::string command;
+  /// Seconds between run_jobs entry and this job's first attempt (time
+  /// spent queued behind max_parallel).
+  double queue_wait_seconds = 0.0;
+  /// Seconds from first attempt start to final outcome, all attempts
+  /// and fetches included.
+  double total_seconds = 0.0;
 };
 
 struct OrchestrationReport {

@@ -11,6 +11,7 @@
 #include "core/rl_backfill.h"
 #include "exp/config.h"
 #include "model/train.h"
+#include "obs/metrics.h"
 #include "workload/presets.h"
 
 namespace rlbf::exp {
@@ -114,11 +115,11 @@ class TraceCache {
       std::lock_guard<std::mutex> lock(mutex_);
       const auto it = map_.find(key);
       if (it != map_.end()) {
-        ++hits_;
+        hits_.add(1);
         lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
         return it->second.entry;
       }
-      ++misses_;
+      misses_.add(1);
     }
     // Build outside the lock so distinct traces construct in parallel. A
     // rare concurrent double-build of the same key is harmless: both
@@ -138,23 +139,39 @@ class TraceCache {
     if (map_.size() > kMaxEntries) {
       map_.erase(lru_.back());
       lru_.pop_back();
+      evictions_.add(1);
     }
     return built;
   }
 
   TraceCacheStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return {hits_, misses_, map_.size()};
+    TraceCacheStats s;
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.evictions = evictions_.value();
+    s.entries = map_.size();
+    return s;
   }
 
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
     lru_.clear();
-    hits_ = misses_ = 0;
+    hits_.reset();
+    misses_.reset();
+    evictions_.reset();
   }
 
  private:
+  // Counts live in the metrics registry so --metrics_out and bench see
+  // them; cache operations are rare (one per trace build/reuse), so
+  // unlike hot-loop hooks they count unconditionally.
+  TraceCache()
+      : hits_(obs::counter("exp.trace_cache.hits")),
+        misses_(obs::counter("exp.trace_cache.misses")),
+        evictions_(obs::counter("exp.trace_cache.evictions")) {}
+
   struct Slot {
     Entry entry;
     std::list<std::string>::iterator lru_pos;
@@ -163,8 +180,9 @@ class TraceCache {
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Slot> map_;
   std::list<std::string> lru_;  // front = most recently used
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
 };
 
 }  // namespace

@@ -79,9 +79,14 @@ std::string trace_cache_key(const ScenarioSpec& spec);
 std::shared_ptr<const swf::Trace> build_trace_cached(
     const ScenarioSpec& spec, std::uint64_t seed, TraceBuildInfo* info = nullptr);
 
+/// Snapshot of the trace-cache counters. The counts live in the obs
+/// metrics registry (exp.trace_cache.hits / .misses / .evictions) so a
+/// --metrics_out dump and `rlbf_run bench` report them; this struct is a
+/// convenience read of those counters plus the current residency.
 struct TraceCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t evictions = 0;
   std::size_t entries = 0;
 };
 TraceCacheStats trace_cache_stats();

@@ -4,6 +4,8 @@
 
 #include "exp/config.h"
 #include "exp/shard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -198,11 +200,18 @@ std::vector<ScenarioRun> run_sweep(const std::vector<ScenarioSpec>& specs,
       run_sweep_instances(specs.size(), options);
   std::vector<ScenarioRun> runs(instances.size());
   util::ThreadPool pool(options.threads);
+  obs::Span sweep_span("run_sweep", "sweep");
   pool.parallel_for(runs.size(), [&](std::size_t i) {
     const std::size_t g = instances[i];
     const std::size_t spec_index = g / reps;
     const std::size_t rep = g % reps;
+    obs::Span span = obs::Span::labeled(specs[spec_index].name, "sweep");
+    obs::ScopedTimer timer("sweep.instance_seconds");
     runs[i] = run_scenario(specs[spec_index], seeds[rep]);
+    if (obs::enabled()) {
+      static obs::Counter& c = obs::counter("sweep.instances");
+      c.add(1);
+    }
   });
   return runs;
 }

@@ -12,6 +12,8 @@
 
 #include "core/alt_trainers.h"
 #include "exp/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -135,6 +137,9 @@ core::Agent load_init_agent(const std::string& ref, const Store& store,
 TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
                           const std::string& key, const std::string& canonical,
                           Store& store, const TrainOptions& options) {
+  obs::Span span = obs::Span::labeled("train " + spec.name, "train");
+  obs::ScopedTimer timer("model.train_seconds");
+  if (obs::enabled()) obs::counter("model.trains").add(1);
   TrainOutcome outcome;
   core::TrainerConfig cfg = spec.trainer;
   if (options.threads != 0) cfg.threads = options.threads;
@@ -249,6 +254,7 @@ TrainOutcome train_spec(const TrainingSpec& spec, Store& store,
   const std::string key = fingerprint(spec);
   if (!options.force) {
     if (auto entry = store.lookup(key)) {
+      if (obs::enabled()) obs::counter("model.train_cache_hits").add(1);
       TrainOutcome outcome;
       outcome.entry = std::move(*entry);
       outcome.cache_hit = true;
@@ -270,6 +276,7 @@ TrainOutcome train_on_trace(const swf::Trace& trace, const TrainingSpec& spec,
   const std::string key = fnv1a_hex(canonical);
   if (!options.force) {
     if (auto entry = store.lookup(key)) {
+      if (obs::enabled()) obs::counter("model.train_cache_hits").add(1);
       TrainOutcome outcome;
       outcome.entry = std::move(*entry);
       outcome.cache_hit = true;
@@ -345,8 +352,17 @@ std::vector<TrainOutcome> train_specs(const std::vector<TrainingSpec>& specs,
   for (const std::size_t i : owned) {
     TrainingSpec spec = specs[i];
     if (master_seed != 0) spec.trainer.seed = seeds[i];
+    obs::ScopedTimer timer("model.spec_seconds");
     outcomes.push_back(train_spec(spec, store, options));
+    const double seconds = timer.stop();
     outcomes.back().spec_index = i;
+    // Split the per-spec wall time by outcome so a bench can compare
+    // train cost against cache-hit cost directly.
+    if (obs::enabled()) {
+      obs::histogram(outcomes.back().cache_hit ? "model.cache_hit_seconds"
+                                               : "model.train_spec_seconds")
+          .observe(seconds);
+    }
   }
   return outcomes;
 }

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace rlbf::nn {
 
 void Variable::accumulate_grad(const Tensor& g) {
@@ -352,6 +354,10 @@ VarPtr masked_entropy(const VarPtr& log_probs, const std::vector<std::uint8_t>& 
 }
 
 void backward(const VarPtr& root) {
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::counter("nn.backward_calls");
+    c.add(1);
+  }
   if (root->value.size() != 1) {
     throw std::invalid_argument("backward: root must be scalar, got " +
                                 root->value.shape_str());

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace rlbf::nn {
 
 VarPtr activate(const VarPtr& x, Activation act) {
@@ -43,6 +45,10 @@ Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden_activation,
 }
 
 VarPtr Mlp::forward(const VarPtr& x) const {
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::counter("nn.forward_calls");
+    c.add(1);
+  }
   VarPtr h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].forward(h);
@@ -52,6 +58,10 @@ VarPtr Mlp::forward(const VarPtr& x) const {
 }
 
 Tensor Mlp::forward_value(const Tensor& x) const {
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::counter("nn.forward_value_calls");
+    c.add(1);
+  }
   Tensor h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     Tensor out;

@@ -1,0 +1,341 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlbf::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Shortest-round-trip rendering, C locale (std::to_chars). The dump
+/// must be byte-stable for equal values on every host.
+std::string format_number(double value) {
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) return value > 0 ? "1e999" : "-1e999";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+/// Minimal JSON string escaping; metric names are programmer-chosen but
+/// a stray quote must never produce an invalid dump.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Lock-free max/min update over std::atomic<double>.
+void update_min(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void update_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void add_double(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+HistogramLayout exponential_buckets(double start, double factor,
+                                    std::size_t count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count == 0) {
+    throw std::invalid_argument(
+        "exponential_buckets: need start > 0, factor > 1, count >= 1");
+  }
+  HistogramLayout layout;
+  layout.upper_bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    layout.upper_bounds.push_back(bound);
+    bound *= factor;
+  }
+  return layout;
+}
+
+const HistogramLayout& duration_buckets() {
+  static const HistogramLayout layout = exponential_buckets(1e-6, 4.0, 14);
+  return layout;
+}
+
+Histogram::Histogram(HistogramLayout layout)
+    : layout_(std::move(layout)),
+      buckets_(layout_.upper_bounds.size() + 1) {
+  if (!std::is_sorted(layout_.upper_bounds.begin(),
+                      layout_.upper_bounds.end()) ||
+      std::adjacent_find(layout_.upper_bounds.begin(),
+                         layout_.upper_bounds.end()) !=
+          layout_.upper_bounds.end()) {
+    throw std::invalid_argument(
+        "Histogram: bucket upper bounds must be strictly ascending");
+  }
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(layout_.upper_bounds.begin(),
+                                   layout_.upper_bounds.end(), value);
+  buckets_[static_cast<std::size_t>(it - layout_.upper_bounds.begin())]
+      .fetch_add(1, std::memory_order_relaxed);
+  add_double(sum_, value);
+  // First observation seeds min/max: count_ incremented LAST so a racing
+  // snapshot never sees count > 0 with unseeded extremes... snapshots
+  // racing writers are approximate by contract anyway; keep it simple
+  // and exact for quiesced reads.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    update_min(min_, value);
+    update_max(max_, value);
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = layout_.upper_bounds;
+  snap.bucket_counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    snap.bucket_counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- Registry
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: sorted iteration AND stable node addresses — references
+  // handed out survive every later registration.
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+Registry& Registry::instance() {
+  // Leaked singleton: metric references must stay valid through static
+  // destruction (a destructor logging a final count must not crash).
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.counters[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.gauges[name];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const HistogramLayout& layout) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.histograms.find(name);
+  if (it != im.histograms.end()) {
+    if (it->second.upper_bounds() != layout.upper_bounds) {
+      throw std::invalid_argument(
+          "histogram '" + name +
+          "' re-registered with a different bucket layout");
+    }
+    return it->second;
+  }
+  // try_emplace: Histogram holds atomics and is neither copyable nor
+  // movable, so it must be constructed in place inside the node.
+  return im.histograms.try_emplace(name, layout).first->second;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<std::string> names;
+  names.reserve(im.counters.size());
+  for (const auto& [name, metric] : im.counters) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Registry::gauge_names() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<std::string> names;
+  names.reserve(im.gauges.size());
+  for (const auto& [name, metric] : im.gauges) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<std::string> names;
+  names.reserve(im.histograms.size());
+  for (const auto& [name, metric] : im.histograms) names.push_back(name);
+  return names;
+}
+
+void Registry::write_json(std::ostream& os) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, metric] : im.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << escape(name)
+       << "\": " << metric.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, metric] : im.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << escape(name)
+       << "\": " << format_number(metric.value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, metric] : im.histograms) {
+    const Histogram::Snapshot snap = metric.snapshot();
+    os << (first ? "\n" : ",\n") << "    \"" << escape(name) << "\": {"
+       << "\"count\": " << snap.count << ", \"sum\": "
+       << format_number(snap.sum) << ", \"min\": " << format_number(snap.min)
+       << ", \"max\": " << format_number(snap.max) << ", \"buckets\": [";
+    for (std::size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < snap.upper_bounds.size()) {
+        os << "\"" << format_number(snap.upper_bounds[i]) << "\"";
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << snap.bucket_counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, metric] : im.counters) metric.reset();
+  for (auto& [name, metric] : im.gauges) metric.reset();
+  for (auto& [name, metric] : im.histograms) metric.reset();
+}
+
+Counter& counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram& histogram(const std::string& name, const HistogramLayout& layout) {
+  return Registry::instance().histogram(name, layout);
+}
+
+bool save_metrics_json(const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  Registry::instance().write_json(os);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+// ------------------------------------------------------------- ScopedTimer
+
+ScopedTimer::ScopedTimer(const char* name) {
+  if (!enabled()) return;  // inactive: no clock read, no allocation
+  name_ = name;
+  start_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+ScopedTimer::ScopedTimer(Histogram& sink) {
+  if (!enabled()) return;
+  sink_ = &sink;
+  start_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+ScopedTimer::~ScopedTimer() { stop(); }
+
+double ScopedTimer::stop() {
+  if (!active_) return 0.0;
+  active_ = false;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Histogram& sink =
+      sink_ != nullptr ? *sink_ : histogram(name_, duration_buckets());
+  sink.observe(seconds);
+  return seconds;
+}
+
+}  // namespace rlbf::obs

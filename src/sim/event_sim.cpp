@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rlbf::sim {
 
 Reservation compute_reservation(const ClusterState& cluster, const swf::Trace& trace,
@@ -56,6 +59,8 @@ class SimRunner {
         cluster_(trace.machine_procs()) {}
 
   std::vector<JobResult> run() {
+    obs::Span span("simulate", "sim");
+    obs::ScopedTimer timer("sim.simulate_seconds");
     trace_.validate();
     const std::size_t n = trace_.size();
     results_.resize(n);
@@ -63,6 +68,7 @@ class SimRunner {
 
     std::int64_t now = n > 0 ? trace_[0].submit_time : 0;
     while (started_ < n) {
+      ++events_;
       admit_arrivals(now);
       schedule_pass(now);
       if (started_ == n) break;
@@ -80,10 +86,24 @@ class SimRunner {
       cluster_.complete_until(now);
     }
     if (chooser_ != nullptr) chooser_->episode_end(results_);
+    flush_counters();
     return std::move(results_);
   }
 
  private:
+  /// Hot-loop instrumentation: the loop bumps plain local members (one
+  /// register increment, cheaper than even a disabled-hook branch) and
+  /// the shared registry is touched exactly once per simulation, here.
+  void flush_counters() const {
+    if (!obs::enabled()) return;
+    obs::counter("sim.events_processed").add(events_);
+    obs::counter("sim.schedule_recomputations").add(queue_sorts_);
+    obs::counter("sim.backfill_opportunities").add(opportunities_);
+    obs::counter("sim.backfill_decisions").add(decisions_);
+    obs::counter("sim.jobs_backfilled").add(backfills_);
+    obs::counter("sim.jobs_started").add(started_);
+  }
+
   void admit_arrivals(std::int64_t now) {
     while (next_arrival_ < trace_.size() &&
            trace_[next_arrival_].submit_time <= now) {
@@ -113,6 +133,7 @@ class SimRunner {
   }
 
   void sort_queue(std::int64_t now) {
+    ++queue_sorts_;
     std::stable_sort(queue_.begin(), queue_.end(),
                      [&](std::size_t a, std::size_t b) {
                        const double sa = policy_.score(trace_[a], now);
@@ -142,6 +163,7 @@ class SimRunner {
   }
 
   void backfill_opportunity(std::int64_t now, std::size_t rjob) {
+    ++opportunities_;
     std::size_t backfilled = 0;
     for (;;) {
       if (options_.max_backfills_per_opportunity != 0 &&
@@ -159,6 +181,7 @@ class SimRunner {
           compute_reservation(cluster_, trace_, trace_[rjob], estimator_, now);
       const BackfillContext ctx{trace_, cluster_, estimator_, now,
                                 rjob, res, queue_, candidates};
+      ++decisions_;
       const auto pick = chooser_->choose(ctx);
       if (!pick.has_value()) return;
       if (*pick >= candidates.size()) {
@@ -168,6 +191,7 @@ class SimRunner {
       start_job(chosen, now, /*backfilled=*/true);
       queue_.erase(std::find(queue_.begin(), queue_.end(), chosen));
       ++backfilled;
+      ++backfills_;
     }
   }
 
@@ -182,6 +206,13 @@ class SimRunner {
   std::vector<JobResult> results_;
   std::size_t next_arrival_ = 0;
   std::size_t started_ = 0;
+
+  // Hot-loop counters, flushed to obs once per run (see flush_counters).
+  std::uint64_t events_ = 0;
+  std::uint64_t queue_sorts_ = 0;
+  std::uint64_t opportunities_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t backfills_ = 0;
 };
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -8,7 +10,15 @@ namespace rlbf::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Info};
+std::atomic<bool> g_elapsed{false};
 std::mutex g_io_mu;
+
+/// Latched on the first prefixed line, so `[+0.000s]` marks the moment
+/// elapsed logging started rather than static-init time.
+std::chrono::steady_clock::time_point log_anchor() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return anchor;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -25,10 +35,24 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_elapsed(bool on) {
+  if (on) log_anchor();  // latch the anchor when elapsed logging starts
+  g_elapsed.store(on, std::memory_order_relaxed);
+}
+
+bool log_elapsed() { return g_elapsed.load(std::memory_order_relaxed); }
+
 void log_line(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  char prefix[32] = "";
+  if (log_elapsed()) {
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - log_anchor())
+                         .count();
+    std::snprintf(prefix, sizeof(prefix), "[+%.3fs] ", s);
+  }
   std::lock_guard lock(g_io_mu);
-  std::cerr << "[" << level_tag(level) << "] " << msg << '\n';
+  std::cerr << prefix << "[" << level_tag(level) << "] " << msg << '\n';
 }
 
 }  // namespace rlbf::util

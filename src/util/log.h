@@ -9,10 +9,18 @@ namespace rlbf::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Process-wide minimum level (default Info). Not thread-safe to *change*
-/// concurrently with logging; set it once at startup.
+/// Process-wide minimum level (default Info). Backed by a std::atomic:
+/// safe to change from any thread at any time; a concurrent logger sees
+/// either the old or the new level, never a torn value.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Opt-in elapsed-time prefix (default off): when enabled every line
+/// carries `[+12.034s]` — seconds since the first prefixed line — so
+/// long bench/orchestration logs read as a timeline. Atomic, like the
+/// level.
+void set_log_elapsed(bool on);
+bool log_elapsed();
 
 /// Emit a line to stderr if `level` >= the global level.
 void log_line(LogLevel level, const std::string& msg);

@@ -239,6 +239,77 @@ expect_success("run --list" run --list)
 expect_success("train --list" train --list)
 expect_success("legacy bare --list" --list)
 
+# Observability is deterministic-output-safe: the SAME run with metrics,
+# tracing, and elapsed-time logging enabled must leave stdout and every
+# result file byte-identical — instrumentation writes only to its own
+# sinks (the named files, and status lines on stderr).
+# Identical command lines (same --out_dir) from two working directories,
+# so even the "# results written to ..." stdout line must match.
+file(MAKE_DIRECTORY "${WORK_DIR}/obs_off" "${WORK_DIR}/obs_on")
+execute_process(
+  COMMAND "${RLBF_RUN}" run --scenario=sdsc-easy --jobs=200 --seed=5
+          --out_dir=results
+  WORKING_DIRECTORY "${WORK_DIR}/obs_off"
+  OUTPUT_FILE "${WORK_DIR}/obs_off.stdout"
+  ERROR_VARIABLE obs_off_err
+  RESULT_VARIABLE obs_off_rc)
+execute_process(
+  COMMAND "${RLBF_RUN}" run --scenario=sdsc-easy --jobs=200 --seed=5
+          --out_dir=results --metrics_out=obs_metrics.json
+          --trace_out=obs_trace.json --log_elapsed
+  WORKING_DIRECTORY "${WORK_DIR}/obs_on"
+  OUTPUT_FILE "${WORK_DIR}/obs_on.stdout"
+  ERROR_VARIABLE obs_on_err
+  RESULT_VARIABLE obs_on_rc)
+if(NOT obs_off_rc EQUAL 0 OR NOT obs_on_rc EQUAL 0)
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "obs byte-identity: runs failed (off=${obs_off_rc} "
+                  "on=${obs_on_rc})\n${obs_off_err}\n${obs_on_err}")
+else()
+  set(obs_ok 1)
+  foreach(pair "obs_off.stdout|obs_on.stdout"
+               "obs_off/results/summary.csv|obs_on/results/summary.csv")
+    string(REPLACE "|" ";" pair "${pair}")
+    list(GET pair 0 lhs)
+    list(GET pair 1 rhs)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              "${WORK_DIR}/${lhs}" "${WORK_DIR}/${rhs}"
+      RESULT_VARIABLE obs_same)
+    if(NOT obs_same EQUAL 0)
+      set(obs_ok 0)
+      message(WARNING "obs byte-identity: ${lhs} differs from ${rhs} — "
+                      "instrumentation leaked into a result stream")
+    endif()
+  endforeach()
+  # The sinks themselves must exist and carry the instrumented layers.
+  file(READ "${WORK_DIR}/obs_on/obs_metrics.json" obs_metrics)
+  if(NOT obs_metrics MATCHES "sim\\.events_processed")
+    set(obs_ok 0)
+    message(WARNING "obs: metrics dump lacks sim.events_processed")
+  endif()
+  file(READ "${WORK_DIR}/obs_on/obs_trace.json" obs_trace)
+  if(NOT obs_trace MATCHES "traceEvents" OR NOT obs_trace MATCHES "\"cat\": \"sim\"")
+    set(obs_ok 0)
+    message(WARNING "obs: trace dump lacks traceEvents / sim spans")
+  endif()
+  # --log_elapsed routes [+N.NNNs] prefixes to stderr only.
+  if(NOT obs_on_err MATCHES "\\[\\+[0-9]+\\.[0-9]+s\\]")
+    set(obs_ok 0)
+    message(WARNING "obs: --log_elapsed produced no [+N.NNNs] stderr prefix")
+  endif()
+  if(obs_ok)
+    message(STATUS "obs byte-identity + sink contents: ok")
+  else()
+    math(EXPR failures "${failures} + 1")
+  endif()
+endif()
+# A metrics sink that cannot be written is a loud exit-1 failure, after
+# the run's real work.
+expect_failure("unwritable metrics_out" "cannot write --metrics_out"
+               run --scenario=sdsc-easy --jobs=200
+               --metrics_out=no_such_dir/metrics.json)
+
 if(failures GREATER 0)
   message(FATAL_ERROR "rlbf_run CLI: ${failures} case(s) failed")
 endif()

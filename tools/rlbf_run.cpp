@@ -50,9 +50,11 @@
 // --workers value: trained models, the summary CSV/JSON, and the
 // per-job CSVs are byte-identical across repeated runs.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -68,6 +70,9 @@
 #include "exp/sweep.h"
 #include "model/store.h"
 #include "model/train.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/log.h"
 #include "util/subprocess.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -133,6 +138,70 @@ void describe_scenario(const std::string& name) {
             << "  kill_overrun:   " << (s.kill_exceeding_request ? "on" : "off")
             << "\n";
 }
+
+// ------------------------------------------------------------- obs flags
+
+/// The observability surface run/train/orchestrate (and bench) share:
+/// --metrics_out / --trace_out enable the corresponding obs subsystem
+/// for the process and dump its sink to a file at successful exit, and
+/// --log_elapsed prefixes every stderr log line with elapsed time.
+///
+/// Deliberately NOT part of SweepFlags::forward(): these are
+/// supervisor-side diagnostics. Workers never inherit them, so worker
+/// result streams stay byte-identical whether or not the supervisor is
+/// instrumented — and locally, metrics only ever write to the files
+/// named here (status lines go to stderr via util::log), never to
+/// stdout or result files.
+struct ObsFlags {
+  std::string metrics_out;
+  std::string trace_out;
+  bool log_elapsed = false;
+
+  void bind_obs(exp::ArgParser& parser) {
+    parser.add("--metrics_out", &metrics_out,
+               "enable metrics collection and write the registry dump "
+               "(counters/gauges/histograms, deterministic JSON) here on "
+               "success");
+    parser.add("--trace_out", &trace_out,
+               "enable span tracing and write a Chrome trace_event JSON "
+               "(chrome://tracing, Perfetto) here on success");
+    parser.add_flag("--log_elapsed", &log_elapsed,
+                    "prefix stderr log lines with elapsed time ([+12.034s])");
+  }
+
+  /// Flip the process-wide switches. Call immediately after parsing so
+  /// every layer below sees the flags.
+  void activate_obs() const {
+    if (!metrics_out.empty()) obs::set_enabled(true);
+    if (!trace_out.empty()) obs::set_tracing(true);
+    if (log_elapsed) util::set_log_elapsed(true);
+  }
+
+  /// Dump the requested sinks; returns 0, or 1 on I/O failure (after a
+  /// run's real work succeeded, a lost dump must still fail loudly).
+  int save_obs() const {
+    int rc = 0;
+    if (!metrics_out.empty()) {
+      if (obs::save_metrics_json(metrics_out)) {
+        util::log_info("metrics written to ", metrics_out);
+      } else {
+        std::cerr << "rlbf_run: cannot write --metrics_out=" << metrics_out
+                  << "\n";
+        rc = 1;
+      }
+    }
+    if (!trace_out.empty()) {
+      if (obs::save_trace_json(trace_out)) {
+        util::log_info("trace written to ", trace_out);
+      } else {
+        std::cerr << "rlbf_run: cannot write --trace_out=" << trace_out
+                  << "\n";
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+};
 
 // ----------------------------------------------------------------- run
 
@@ -210,7 +279,7 @@ struct SweepFlags {
   }
 };
 
-struct RunArgs : SweepFlags {
+struct RunArgs : SweepFlags, ObsFlags {
   bool list = false;
   std::string describe;
   std::string out_dir;
@@ -228,6 +297,7 @@ struct RunArgs : SweepFlags {
                "run only shard I of an N-way deterministic instance partition "
                "(\"I/N\"); --out_dir files are shard-tagged for `rlbf_run "
                "merge` (empty = unsharded)");
+    bind_obs(parser);
     return parser;
   }
 };
@@ -236,6 +306,7 @@ int run(int argc, char** argv) {
   RunArgs args;
   exp::ArgParser parser = args.make_parser();
   parser.parse_or_exit(argc, argv);
+  args.activate_obs();
   if (!args.store_root.empty()) model::set_default_store_root(args.store_root);
   // Parsed up front so a malformed spec fails before any work runs; the
   // named std::invalid_argument propagates to main's handler.
@@ -384,7 +455,7 @@ int run(int argc, char** argv) {
     }
     std::cout << "# results written to " << args.out_dir << "/\n";
   }
-  return 0;
+  return args.save_obs();
 }
 
 // --------------------------------------------------------------- merge
@@ -490,7 +561,7 @@ std::string trim_trailing_slashes(std::string path) {
   return path;
 }
 
-struct TrainArgs : FanoutFlags {
+struct TrainArgs : FanoutFlags, ObsFlags {
   bool list = false;
   std::string spec_names;
   bool ablations = false;
@@ -545,6 +616,7 @@ struct TrainArgs : FanoutFlags {
                 "processes (local pool); their bundles are imported back into "
                 "--store, byte-identical to a sequential run (1 = in-process)",
                 "<store>.orchestrate");
+    bind_obs(parser);
     return parser;
   }
 };
@@ -594,6 +666,7 @@ int train(int argc, char** argv) {
   TrainArgs args;
   exp::ArgParser parser = args.make_parser();
   parser.parse_or_exit(argc, argv);
+  args.activate_obs();
 
   if (args.list) {
     util::Table table({"spec", "algorithm", "workload", "base", "budget",
@@ -733,7 +806,7 @@ int train(int argc, char** argv) {
       }
     }
     table.print(std::cout);
-    return 0;
+    return args.save_obs();
   }
 
   // ---- in-process mode (optionally one shard of the grid).
@@ -764,17 +837,20 @@ int train(int argc, char** argv) {
   options.shard_index = shard.index;
   options.shard_count = shard.count;
   if (!args.quiet) {
+    // Per-epoch progress goes through util::log (stderr, leveled,
+    // optional elapsed prefix) like every other progress surface; the
+    // result table below stays the only stdout output.
     options.on_progress = [](const model::TrainingSpec& spec,
                              const model::TrainProgress& p) {
-      std::cout << spec.name << " epoch " << p.epoch
-                << " reward=" << exp::format_metric(p.mean_reward)
-                << " bsld=" << exp::format_metric(p.mean_bsld)
-                << " baseline=" << exp::format_metric(p.mean_baseline_bsld)
-                << " steps=" << p.steps;
+      std::string line = spec.name + " epoch " + std::to_string(p.epoch) +
+                         " reward=" + exp::format_metric(p.mean_reward) +
+                         " bsld=" + exp::format_metric(p.mean_bsld) +
+                         " baseline=" + exp::format_metric(p.mean_baseline_bsld) +
+                         " steps=" + std::to_string(p.steps);
       if (!std::isnan(p.eval_bsld)) {
-        std::cout << " eval=" << exp::format_metric(p.eval_bsld);
+        line += " eval=" + exp::format_metric(p.eval_bsld);
       }
-      std::cout << "\n";
+      util::log_info(line);
     };
   }
 
@@ -815,7 +891,7 @@ int train(int argc, char** argv) {
               << (exported.size() == 1 ? "y" : "ies") << " to "
               << args.export_bundle << "/\n";
   }
-  return 0;
+  return args.save_obs();
 }
 
 // --------------------------------------------------------- orchestrate
@@ -825,7 +901,7 @@ int train(int argc, char** argv) {
 /// via SweepFlags::forward() — and the supervision knobs are the shared
 /// FanoutFlags block `train --workers` also uses; only the transport
 /// flags (hosts, templates) and --out_dir are orchestrate's own.
-struct OrchestrateArgs : SweepFlags, FanoutFlags {
+struct OrchestrateArgs : SweepFlags, FanoutFlags, ObsFlags {
   std::size_t parallel = 0;
   std::string out_dir;
   std::string hosts;
@@ -868,6 +944,7 @@ struct OrchestrateArgs : SweepFlags, FanoutFlags {
                "test hook: \"JOB:COUNT[,JOB:COUNT...]\" forces the first "
                "COUNT attempts of job JOB to fail and be retried");
     parser.add_flag("--quiet", &quiet, "suppress per-job progress lines");
+    bind_obs(parser);
     return parser;
   }
 };
@@ -876,6 +953,7 @@ int orchestrate(int argc, char** argv) {
   OrchestrateArgs args;
   exp::ArgParser parser = args.make_parser();
   parser.parse_or_exit(argc, argv);
+  args.activate_obs();
 
   if (args.scenario.empty() || args.out_dir.empty()) {
     std::cerr << "rlbf_run orchestrate: pass --scenario=NAME and "
@@ -973,7 +1051,240 @@ int orchestrate(int argc, char** argv) {
             << merged.shard_count << " shard(s), " << merged.total_instances
             << " instance(s) -> " << args.out_dir << "/\n";
   args.cleanup_scratch(work_dir);
-  return 0;
+  return args.save_obs();
+}
+
+// --------------------------------------------------------------- bench
+
+/// A pinned micro-benchmark of the three hot paths — full-trace
+/// simulation, a real training run on a scratch store, and a 1-worker
+/// orchestrated sweep job — reported as one JSON file (the checked-in
+/// BENCH_PR<n>.json trajectory). Metrics are force-enabled for the
+/// process (they ARE the measurement), and every phase leaves spans in
+/// the trace, so --trace_out captures the sim, sweep, train, and dist
+/// layers in one timeline.
+struct BenchArgs : ObsFlags {
+  std::string out = "BENCH_PR6.json";
+  std::string scenario = "sdsc-easy";
+  std::size_t jobs = 10000;
+  std::size_t sim_repeat = 3;
+  std::string train_spec = "sdsc-tiny";
+  std::size_t epochs = 1;
+  std::size_t dist_jobs = 400;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+  bool quick = false;
+
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser(
+        "rlbf_run bench",
+        "Time an end-to-end trace simulation, one training epoch, and a "
+        "1-worker orchestrated sweep job; write the measurements as one "
+        "JSON report (the checked-in BENCH_PR<n>.json perf trajectory).");
+    parser.add("--out", &out, "where the JSON report goes");
+    parser.add("--scenario", &scenario, "scenario timed by the sim phase");
+    parser.add("--jobs", &jobs, "trace length for the sim phase");
+    parser.add("--sim_repeat", &sim_repeat,
+               "sim-phase repetitions (the first builds the trace, the "
+               "rest hit the trace cache)");
+    parser.add("--train_spec", &train_spec,
+               "training spec timed by the train phase (trained into a "
+               "fresh scratch store, so it always really trains)");
+    parser.add("--epochs", &epochs,
+               "override the train spec's epochs (0 = keep)");
+    parser.add("--dist_jobs", &dist_jobs,
+               "trace length of the orchestrated worker job");
+    parser.add("--seed", &seed, "master seed for every phase");
+    parser.add("--threads", &threads,
+               "train-phase worker threads (0 = hardware); the sim phase "
+               "is single-threaded by design — it times the hot loop");
+    parser.add_flag("--quick", &quick, "CI-sized run: smaller every phase");
+    bind_obs(parser);
+    return parser;
+  }
+};
+
+int bench(int argc, char** argv) {
+  BenchArgs args;
+  exp::ArgParser parser = args.make_parser();
+  parser.parse_or_exit(argc, argv);
+  args.activate_obs();
+  // The report is read from the metrics registry, so metrics are always
+  // on here; --metrics_out additionally dumps the raw registry.
+  obs::set_enabled(true);
+  if (args.quick) {
+    args.jobs = std::min<std::size_t>(args.jobs, 2000);
+    args.sim_repeat = std::min<std::size_t>(args.sim_repeat, 2);
+    args.dist_jobs = std::min<std::size_t>(args.dist_jobs, 200);
+  }
+  if (args.sim_repeat == 0) args.sim_repeat = 1;
+
+  // A clean slate, so the report reflects this run only.
+  obs::Registry::instance().reset();
+  exp::clear_trace_cache();
+
+  const std::string scratch = trim_trailing_slashes(args.out) + ".work";
+  std::error_code scratch_ec;
+  std::filesystem::create_directories(scratch + "/store", scratch_ec);
+  if (scratch_ec) {
+    std::cerr << "rlbf_run bench: cannot create scratch dir " << scratch
+              << ": " << scratch_ec.message() << "\n";
+    return 1;
+  }
+
+  // ---- phase 1: the simulator hot loop, single-threaded, repeated so
+  // the trace cache serves every repetition after the first.
+  util::log_info("bench: sim phase: ", args.sim_repeat, "x ", args.scenario,
+                 " @ ", args.jobs, " jobs");
+  exp::ScenarioSpec base = exp::find_scenario(args.scenario);
+  if (args.jobs > 0) base.trace_jobs = args.jobs;
+  const std::vector<exp::ScenarioSpec> sim_specs(args.sim_repeat, base);
+  exp::SweepOptions sweep_options;
+  sweep_options.seed = args.seed;
+  sweep_options.threads = 1;
+  const std::vector<exp::ScenarioRun> sim_runs =
+      exp::run_sweep(sim_specs, sweep_options);
+  const obs::Histogram::Snapshot sim_hist =
+      obs::histogram("sim.simulate_seconds").snapshot();
+  const obs::Histogram::Snapshot sweep_hist =
+      obs::histogram("sweep.instance_seconds").snapshot();
+  const std::uint64_t sim_events = obs::counter("sim.events_processed").value();
+  const double events_per_second =
+      sim_hist.sum > 0.0 ? static_cast<double>(sim_events) / sim_hist.sum : 0.0;
+  const exp::TraceCacheStats cache = exp::trace_cache_stats();
+
+  // ---- phase 2: a real training run into a fresh scratch store (a
+  // populated store would turn the phase into a cache hit and time
+  // nothing).
+  util::log_info("bench: train phase: ", args.train_spec);
+  model::TrainingSpec tspec = model::find_training_spec(args.train_spec);
+  if (args.epochs > 0) tspec.trainer.epochs = args.epochs;
+  if (args.quick) {
+    tspec.trainer.trajectories_per_epoch =
+        std::min<std::size_t>(tspec.trainer.trajectories_per_epoch, 2);
+  }
+  model::Store store(scratch + "/store");
+  model::TrainOptions train_options;
+  train_options.threads = args.threads;
+  train_options.checkpoint = false;  // scratch store; nothing to resume
+  train_options.on_progress = [](const model::TrainingSpec& spec,
+                                 const model::TrainProgress& p) {
+    util::log_info("bench: ", spec.name, " epoch ", p.epoch, " wall=",
+                   exp::format_metric(p.wall_seconds), "s");
+  };
+  obs::ScopedTimer train_timer(obs::histogram("bench.train_wall_seconds"));
+  const model::TrainOutcome outcome =
+      model::train_spec(tspec, store, train_options);
+  const double train_wall = train_timer.stop();
+  const obs::Histogram::Snapshot epoch_hist =
+      obs::histogram("rl.epoch_seconds").snapshot();
+
+  // ---- phase 3: the orchestration layer — plan one shard job, launch
+  // it as a real worker process, and time queue/run/fetch.
+  util::log_info("bench: dist phase: 1-worker orchestrated sweep job");
+  dist::PlanOptions plan;
+  plan.worker = util::current_executable(g_program_path);
+  plan.workers = 1;
+  plan.work_dir = scratch + "/dist";
+  plan.args = {"--scenario=" + args.scenario,
+               "--jobs=" + std::to_string(args.dist_jobs),
+               "--seed=" + std::to_string(args.seed),
+               "--threads=1",
+               "--per_job=0",
+               "--format=csv"};
+  const std::vector<dist::JobSpec> dist_plan = dist::plan_sweep_jobs(plan);
+  dist::LocalLauncher launcher(0.0);
+  dist::OrchestratorOptions dist_options;
+  dist_options.on_event = [](const std::string& line) {
+    util::log_info("bench: ", line);
+  };
+  const dist::OrchestrationReport report =
+      dist::run_jobs(dist_plan, launcher, dist_options);
+  if (!report.all_ok) {
+    std::cerr << "rlbf_run bench: dist phase failed:\n"
+              << report.failure_summary() << "\n";
+    return 1;
+  }
+  const obs::Histogram::Snapshot dist_hist =
+      obs::histogram("dist.job_seconds").snapshot();
+  const double worker_utilization = obs::gauge("dist.worker_utilization").value();
+
+  // ---- the report. Every number exact (shortest-round-trip, C locale)
+  // so the schema check parses what we wrote, not a rounding of it.
+  const auto num = [](double v) { return exp::format_double_exact(v); };
+  const auto mean = [](const obs::Histogram::Snapshot& h) {
+    return h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+  };
+  std::ofstream os(args.out, std::ios::binary | std::ios::trunc);
+  os << "{\n"
+     << "  \"bench\": \"rlbf_run bench\",\n"
+     << "  \"config\": {\n"
+     << "    \"scenario\": \"" << base.name << "\",\n"
+     << "    \"jobs\": " << args.jobs << ",\n"
+     << "    \"sim_repeat\": " << args.sim_repeat << ",\n"
+     << "    \"train_spec\": \"" << tspec.name << "\",\n"
+     << "    \"epochs\": " << tspec.trainer.epochs << ",\n"
+     << "    \"dist_jobs\": " << args.dist_jobs << ",\n"
+     << "    \"seed\": " << args.seed << ",\n"
+     << "    \"threads\": " << args.threads << ",\n"
+     << "    \"quick\": " << (args.quick ? "true" : "false") << "\n"
+     << "  },\n"
+     << "  \"sim\": {\n"
+     << "    \"runs\": " << sim_hist.count << ",\n"
+     << "    \"trace_jobs\": " << (sim_runs.empty() ? 0 : sim_runs.front().jobs)
+     << ",\n"
+     << "    \"wall_seconds_total\": " << num(sim_hist.sum) << ",\n"
+     << "    \"wall_seconds_min\": " << num(sim_hist.min) << ",\n"
+     << "    \"wall_seconds_mean\": " << num(mean(sim_hist)) << ",\n"
+     << "    \"events_processed\": " << sim_events << ",\n"
+     << "    \"events_per_second\": " << num(events_per_second) << "\n"
+     << "  },\n"
+     << "  \"trace_cache\": {\n"
+     << "    \"hits\": " << cache.hits << ",\n"
+     << "    \"misses\": " << cache.misses << ",\n"
+     << "    \"evictions\": " << cache.evictions << ",\n"
+     << "    \"entries\": " << cache.entries << "\n"
+     << "  },\n"
+     << "  \"train\": {\n"
+     << "    \"spec\": \"" << tspec.name << "\",\n"
+     << "    \"epochs_run\": " << outcome.epochs_run << ",\n"
+     << "    \"wall_seconds\": " << num(train_wall) << ",\n"
+     << "    \"epoch_seconds_min\": " << num(epoch_hist.min) << ",\n"
+     << "    \"epoch_seconds_mean\": " << num(mean(epoch_hist)) << "\n"
+     << "  },\n"
+     << "  \"sweep\": {\n"
+     << "    \"instances\": " << sweep_hist.count << ",\n"
+     << "    \"instance_seconds_mean\": " << num(mean(sweep_hist)) << "\n"
+     << "  },\n"
+     << "  \"dist\": {\n"
+     << "    \"jobs\": " << report.jobs.size() << ",\n"
+     << "    \"attempts\": " << report.total_attempts << ",\n"
+     << "    \"job_seconds_total\": " << num(dist_hist.sum) << ",\n"
+     << "    \"worker_utilization\": " << num(worker_utilization) << "\n"
+     << "  }\n"
+     << "}\n";
+  os.flush();
+  if (!os) {
+    std::cerr << "rlbf_run bench: cannot write --out=" << args.out << "\n";
+    return 1;
+  }
+
+  std::error_code cleanup_ec;
+  std::filesystem::remove_all(scratch, cleanup_ec);  // best effort
+
+  std::cout << "# bench: sim " << sim_hist.count << "x " << base.name << "@"
+            << args.jobs << ": min " << exp::format_metric(sim_hist.min)
+            << "s, " << exp::format_metric(events_per_second) << " events/s\n"
+            << "# bench: trace cache: " << cache.hits << " hit(s), "
+            << cache.misses << " miss(es)\n"
+            << "# bench: train " << tspec.name << ": " << outcome.epochs_run
+            << " epoch(s), mean " << exp::format_metric(mean(epoch_hist))
+            << "s/epoch\n"
+            << "# bench: dist " << report.jobs.size() << " job(s): "
+            << exp::format_metric(dist_hist.sum) << "s (utilization "
+            << exp::format_metric(worker_utilization) << ")\n"
+            << "# bench report written to " << args.out << "\n";
+  return args.save_obs();
 }
 
 // -------------------------------------------------------------- models
@@ -1157,6 +1468,8 @@ const std::vector<Command>& command_table() {
        [] { return TrainArgs{}.make_parser().usage(); }},
       {"models", "list and maintain the model store",
        [] { return ModelsArgs{}.make_parser().usage(); }},
+      {"bench", "time the sim/train/dist hot paths into a JSON report",
+       [] { return BenchArgs{}.make_parser().usage(); }},
   };
   return commands;
 }
@@ -1210,6 +1523,7 @@ int main(int argc, char** argv) {
       if (command == "orchestrate") return orchestrate(argc - 1, argv + 1);
       if (command == "train") return train(argc - 1, argv + 1);
       if (command == "models") return models(argc - 1, argv + 1);
+      if (command == "bench") return bench(argc - 1, argv + 1);
       if (command == "help") return help(argc - 1, argv + 1);
       std::cerr << "rlbf_run: unknown command '" << command
                 << "' (known: " << known_command_names() << ")\n";
