@@ -25,6 +25,22 @@ std::string shard_flag(std::size_t i, std::size_t n) {
   return "--shard=" + std::to_string(i) + "/" + std::to_string(n);
 }
 
+/// Sidecar flags ride on every planned job the same way: files at the
+/// work_dir root named by worker index, so they never land inside the
+/// output_dir a collector merges.
+void add_sidecars(JobSpec& job, const PlanOptions& options, std::size_t i) {
+  const std::string stem =
+      options.work_dir + "/worker" + std::to_string(i);
+  if (options.worker_metrics) {
+    job.metrics_path = stem + ".metrics.json";
+    job.argv.push_back("--metrics_out=" + job.metrics_path);
+  }
+  if (options.worker_trace) {
+    job.trace_path = stem + ".trace.json";
+    job.argv.push_back("--trace_out=" + job.trace_path);
+  }
+}
+
 }  // namespace
 
 std::string JobSpec::command_line() const {
@@ -51,6 +67,7 @@ std::vector<JobSpec> plan_sweep_jobs(const PlanOptions& options) {
     job.argv.insert(job.argv.end(), options.args.begin(), options.args.end());
     job.argv.push_back(shard_flag(i, options.workers));
     job.argv.push_back("--out_dir=" + job.output_dir);
+    add_sidecars(job, options, i);
     jobs.push_back(std::move(job));
   }
   return jobs;
@@ -74,6 +91,7 @@ std::vector<JobSpec> plan_train_jobs(const PlanOptions& options) {
     job.argv.push_back(shard_flag(i, options.workers));
     job.argv.push_back("--store=" + worker_dir + "/store");
     job.argv.push_back("--export_bundle=" + job.output_dir);
+    add_sidecars(job, options, i);
     jobs.push_back(std::move(job));
   }
   return jobs;

@@ -41,6 +41,15 @@ struct JobSpec {
   /// path the fetch template copies back from.
   std::string output_dir;
 
+  /// Observability sidecars the worker was told to write (empty when
+  /// the plan didn't request them). They live at the work_dir root —
+  /// NOT inside output_dir — so collectors that merge or import job
+  /// outputs never see them; and being under work_dir, local/shared-fs
+  /// launchers need no extra fetch step (remote transports that only
+  /// copy output_dir back won't retrieve them).
+  std::string metrics_path;
+  std::string trace_path;
+
   std::string command_line() const;  // shell-quoted rendering for logs
 };
 
@@ -54,6 +63,13 @@ struct PlanOptions {
   std::vector<std::string> args;
   std::size_t workers = 1;
   std::string work_dir;
+  /// Ask each worker for per-process observability sidecars
+  /// (<work_dir>/worker<i>.metrics.json / .trace.json): the planner
+  /// appends the matching --metrics_out/--trace_out flags and records
+  /// the paths in JobSpec so the supervisor can merge them afterwards
+  /// (obs::merge).
+  bool worker_metrics = false;
+  bool worker_trace = false;
 };
 
 /// N shard-sweep jobs over the `run`/`sweep` flags in `options.args`.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
@@ -84,6 +85,18 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
     std::lock_guard<std::mutex> lock(mu);
     options.on_event("[+" + fmt_seconds(seconds_since(t0)) + "] " + line);
   };
+  // The [+N.NNNs] prefixes are steady-clock offsets, meaningless across
+  // processes — each worker's own log starts at its own zero. Anchor
+  // this run's zero on the wall clock ONCE, in the first line, so logs
+  // from the supervisor and any worker can be laid on one timeline.
+  {
+    const std::int64_t wall_epoch_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    event("start: " + std::to_string(jobs.size()) + " job(s), wall_epoch_us=" +
+          std::to_string(wall_epoch_us));
+  }
 
   std::atomic<std::size_t> done{0};
   std::atomic<std::size_t> failed{0};
@@ -110,6 +123,9 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
         util::log_info("orchestrate: ", done.load(), "/", jobs.size(),
                        " done, ", running.load(), " running, ", failed.load(),
                        " failed");
+        obs::trace_mark("heartbeat " + std::to_string(done.load()) + "/" +
+                            std::to_string(jobs.size()) + " done",
+                        "dist");
       }
     });
   }
@@ -204,6 +220,9 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
       event("job " + job.name + ": attempt " + std::to_string(attempt) +
             " failed (" + outcome.status + ") in " + fmt_seconds(run_seconds) +
             (attempt < max_attempts ? ", retrying" : ", retries exhausted"));
+      if (attempt < max_attempts) {
+        obs::trace_mark("retry " + job.name, "dist");
+      }
     }
     finish(false);
   });

@@ -16,16 +16,6 @@ namespace {
 
 std::atomic<bool> g_enabled{false};
 
-/// Shortest-round-trip rendering, C locale (std::to_chars). The dump
-/// must be byte-stable for equal values on every host.
-std::string format_number(double value) {
-  if (std::isnan(value)) return "null";
-  if (std::isinf(value)) return value > 0 ? "1e999" : "-1e999";
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
-  return std::string(buf, res.ptr);
-}
-
 /// Minimal JSON string escaping; metric names are programmer-chosen but
 /// a stray quote must never produce an invalid dump.
 std::string escape(const std::string& s) {
@@ -73,6 +63,16 @@ void add_double(std::atomic<double>& slot, double v) {
 }
 
 }  // namespace
+
+// Shortest-round-trip rendering, C locale (std::to_chars). The dump
+// must be byte-stable for equal values on every host.
+std::string format_number(double value) {
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) return value > 0 ? "1e999" : "-1e999";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
@@ -151,6 +151,89 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+}
+
+double percentile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < snapshot.bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(snapshot.bucket_counts[i]);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The covering bucket: interpolate linearly between its bounds. The
+    // first bucket starts at 0 (durations and counts are non-negative);
+    // the terminal +inf bucket is bounded above by the exact max.
+    double lo = i == 0 ? 0.0 : snapshot.upper_bounds[i - 1];
+    double hi = i < snapshot.upper_bounds.size() ? snapshot.upper_bounds[i]
+                                                 : snapshot.max;
+    if (hi < lo) hi = lo;
+    const double fraction =
+        in_bucket > 0.0 ? (rank - cumulative) / in_bucket : 1.0;
+    double value = lo + (hi - lo) * fraction;
+    // The exact extremes always bound the estimate — interpolation can
+    // never report a value outside what was actually observed.
+    if (value < snapshot.min) value = snapshot.min;
+    if (value > snapshot.max) value = snapshot.max;
+    return value;
+  }
+  return snapshot.max;
+}
+
+Histogram::Snapshot merge_histogram(const Histogram::Snapshot& a,
+                                    const Histogram::Snapshot& b) {
+  if (a.upper_bounds != b.upper_bounds ||
+      a.bucket_counts.size() != b.bucket_counts.size()) {
+    throw std::invalid_argument(
+        "merge_histogram: bucket layouts differ (" +
+        std::to_string(a.upper_bounds.size()) + " vs " +
+        std::to_string(b.upper_bounds.size()) + " finite bounds)");
+  }
+  Histogram::Snapshot merged;
+  merged.upper_bounds = a.upper_bounds;
+  merged.bucket_counts.reserve(a.bucket_counts.size());
+  for (std::size_t i = 0; i < a.bucket_counts.size(); ++i) {
+    merged.bucket_counts.push_back(a.bucket_counts[i] + b.bucket_counts[i]);
+  }
+  merged.count = a.count + b.count;
+  merged.sum = a.sum + b.sum;
+  // min/max only mean anything on a side that observed something.
+  if (a.count == 0) {
+    merged.min = b.min;
+    merged.max = b.max;
+  } else if (b.count == 0) {
+    merged.min = a.min;
+    merged.max = a.max;
+  } else {
+    merged.min = std::min(a.min, b.min);
+    merged.max = std::max(a.max, b.max);
+  }
+  return merged;
+}
+
+void write_histogram_json(std::ostream& os, const Histogram::Snapshot& snap) {
+  os << "{\"count\": " << snap.count << ", \"sum\": " << format_number(snap.sum)
+     << ", \"min\": " << format_number(snap.min)
+     << ", \"max\": " << format_number(snap.max)
+     << ", \"p50\": " << format_number(percentile(snap, 0.50))
+     << ", \"p95\": " << format_number(percentile(snap, 0.95))
+     << ", \"p99\": " << format_number(percentile(snap, 0.99))
+     << ", \"buckets\": [";
+  for (std::size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"le\": ";
+    if (i < snap.upper_bounds.size()) {
+      os << "\"" << format_number(snap.upper_bounds[i]) << "\"";
+    } else {
+      os << "\"inf\"";
+    }
+    os << ", \"count\": " << snap.bucket_counts[i] << "}";
+  }
+  os << "]}";
 }
 
 // ---------------------------------------------------------------- Registry
@@ -253,22 +336,8 @@ void Registry::write_json(std::ostream& os) const {
   os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, metric] : im.histograms) {
-    const Histogram::Snapshot snap = metric.snapshot();
-    os << (first ? "\n" : ",\n") << "    \"" << escape(name) << "\": {"
-       << "\"count\": " << snap.count << ", \"sum\": "
-       << format_number(snap.sum) << ", \"min\": " << format_number(snap.min)
-       << ", \"max\": " << format_number(snap.max) << ", \"buckets\": [";
-    for (std::size_t i = 0; i < snap.bucket_counts.size(); ++i) {
-      if (i > 0) os << ", ";
-      os << "{\"le\": ";
-      if (i < snap.upper_bounds.size()) {
-        os << "\"" << format_number(snap.upper_bounds[i]) << "\"";
-      } else {
-        os << "\"inf\"";
-      }
-      os << ", \"count\": " << snap.bucket_counts[i] << "}";
-    }
-    os << "]}";
+    os << (first ? "\n" : ",\n") << "    \"" << escape(name) << "\": ";
+    write_histogram_json(os, metric.snapshot());
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n}\n";

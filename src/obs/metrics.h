@@ -117,6 +117,30 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Deterministic percentile estimate (q in [0, 1]) from a snapshot's
+/// bucket counts: linear interpolation inside the covering bucket,
+/// clamped to the exact [min, max] the histogram tracked. 0 when the
+/// histogram is empty. Used by the registry dump (p50/p95/p99), the
+/// cross-worker merge report, and `rlbf_run profile`.
+double percentile(const Histogram::Snapshot& snapshot, double q);
+
+/// Bucket-merge two snapshots of the SAME layout (counts added, sums
+/// added, min/max combined over non-empty sides). Associative and
+/// commutative up to floating-point sum ordering. Throws
+/// std::invalid_argument when the bucket layouts differ — two call
+/// sites can never silently fold different metrics together.
+Histogram::Snapshot merge_histogram(const Histogram::Snapshot& a,
+                                    const Histogram::Snapshot& b);
+
+/// Shortest-round-trip C-locale number rendering shared by every obs
+/// JSON writer ("null" for NaN, "1e999" for +/-inf).
+std::string format_number(double value);
+
+/// Render one histogram snapshot exactly as the registry dump does:
+/// {"count": .., "sum": .., "min": .., "max": .., "p50": .., "p95": ..,
+/// "p99": .., "buckets": [{"le": "..", "count": ..}, ...]}.
+void write_histogram_json(std::ostream& os, const Histogram::Snapshot& snap);
+
 /// The process-wide registry. Lookup registers on first use; returned
 /// references stay valid for the process lifetime. Iteration order in
 /// every dump is lexicographic by name — deterministic regardless of

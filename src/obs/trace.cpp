@@ -14,17 +14,32 @@ namespace rlbf::obs {
 namespace {
 
 std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_anchor_latched{false};
 
 /// All timestamps are measured from one per-process anchor so a trace
-/// always starts near t=0. The anchor is latched on first use.
-std::chrono::steady_clock::time_point trace_anchor() {
-  static const auto anchor = std::chrono::steady_clock::now();
+/// always starts near t=0. The anchor is latched on first use, and the
+/// wall clock is read at the same instant so span timestamps can be
+/// placed on a cross-process timebase (trace_epoch_anchor_us).
+struct Anchor {
+  std::chrono::steady_clock::time_point steady;
+  std::int64_t epoch_us = 0;
+};
+
+const Anchor& trace_anchor() {
+  static const Anchor anchor = [] {
+    Anchor a;
+    a.steady = std::chrono::steady_clock::now();
+    a.epoch_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count();
+    return a;
+  }();
   return anchor;
 }
 
 std::int64_t now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - trace_anchor())
+             std::chrono::steady_clock::now() - trace_anchor().steady)
       .count();
 }
 
@@ -102,8 +117,17 @@ std::string escape(const std::string& s) {
 bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
 
 void set_tracing(bool on) {
-  if (on) trace_anchor();  // latch the anchor before the first span
+  if (on) {
+    trace_anchor();  // latch the anchor before the first span
+    g_anchor_latched.store(true, std::memory_order_relaxed);
+  }
   g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t trace_epoch_anchor_us() {
+  return g_anchor_latched.load(std::memory_order_relaxed)
+             ? trace_anchor().epoch_us
+             : 0;
 }
 
 Span::Span(const char* name, const char* category) {
@@ -180,7 +204,11 @@ void write_trace_json(std::ostream& os) {
        << "}";
     first = false;
   }
-  os << (first ? "" : "\n") << "]}\n";
+  // epochAnchorUs: the wall-clock instant ts=0 corresponds to. Chrome
+  // and Perfetto ignore unknown top-level keys; obs::merge uses it to
+  // align traces from different processes onto one timeline.
+  os << (first ? "" : "\n") << "], \"epochAnchorUs\": "
+     << trace_epoch_anchor_us() << "}\n";
 }
 
 bool save_trace_json(const std::string& path) {

@@ -78,6 +78,15 @@ void trace_mark(const std::string& name, const char* category);
 /// their own logs with the trace (0 when tracing is disabled).
 std::int64_t trace_now_us();
 
+/// The wall-clock instant (microseconds since the Unix epoch, system
+/// clock) latched TOGETHER with the steady-clock trace anchor — so
+/// `anchor + ts_us` places any span on the wall clock. This is what
+/// lets obs::merge align traces from different processes: steady-clock
+/// timestamps are process-relative and meaningless across workers, the
+/// epoch anchor is shared ground truth (up to host clock sync). 0 when
+/// tracing was never enabled in this process.
+std::int64_t trace_epoch_anchor_us();
+
 /// Merge every thread's buffer (event order: thread registration, then
 /// emission order within a thread) — for tests.
 std::vector<TraceEvent> trace_events_snapshot();

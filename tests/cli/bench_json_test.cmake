@@ -61,6 +61,19 @@ endfunction()
 
 # ---- the bench report: the pinned perf-trajectory fields.
 file(READ "${WORK_DIR}/bench.json" bench)
+# Schema v2: version stamp + provenance block (tag, toolchain/platform,
+# libm fingerprint id) so two checked-in reports are comparable.
+string(JSON schema_version ERROR_VARIABLE json_err GET "${bench}" schema_version)
+if(json_err OR NOT schema_version EQUAL 2)
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "bench report: schema_version should be 2, got "
+                  "'${schema_version}' ${json_err}")
+else()
+  message(STATUS "bench report: schema_version = 2")
+endif()
+require_member(bench "bench report" source tag)
+require_member(bench "bench report" source platform)
+require_member(bench "bench report" source libm)
 require_member(bench "bench report" config scenario)
 require_member(bench "bench report" config seed)
 require_positive(bench "bench report" sim runs)
@@ -93,8 +106,10 @@ require_positive(metrics "metrics dump" counters exp.trace_cache.hits)
 require_positive(metrics "metrics dump" histograms sim.simulate_seconds count)
 require_positive(metrics "metrics dump" histograms rl.epoch_seconds count)
 
-# ---- the Chrome trace: valid JSON, spans from all four layers.
+# ---- the Chrome trace: valid JSON, spans from all four layers, and
+# the wall-clock anchor obs::merge uses to align processes.
 file(READ "${WORK_DIR}/trace.json" trace)
+require_positive(trace "trace" epochAnchorUs)
 string(JSON n_events ERROR_VARIABLE json_err LENGTH "${trace}" traceEvents)
 if(json_err OR NOT n_events GREATER 0)
   math(EXPR failures "${failures} + 1")

@@ -216,6 +216,22 @@ expect_failure("train malformed shard" "malformed shard spec 'x'"
 expect_failure("train shard out of range" "shard index 5 out of range"
                train --spec=sdsc-tiny --shard=5/2)
 
+# profile and the bench gate: every bad input is a named error with the
+# documented exit code (1 = error, 2 = usage; the gate's exit 3 is
+# exercised in obs_fleet_test.cmake).
+expect_failure("profile without a trace" "pass a trace file" profile)
+expect_failure("profile missing trace" "cannot open sidecar file"
+               profile no_such.trace.json)
+file(WRITE "${WORK_DIR}/broken.trace.json" "{\"traceEvents\": [")
+expect_failure("profile malformed trace" "broken.trace.json"
+               profile broken.trace.json)
+expect_failure("bench candidate without compare" "--candidate needs --compare"
+               bench --candidate=whatever.json)
+expect_failure("bench compare missing baseline" "cannot open bench report"
+               bench --compare=no_such_base.json --candidate=no_such_base.json)
+expect_failure("bench non-positive threshold" "--threshold must be > 0"
+               bench --compare=a.json --candidate=b.json --threshold=0)
+
 # Multi-bundle import: a directory with no bundle anywhere is a named
 # error, not a silent zero-import.
 file(MAKE_DIRECTORY "${WORK_DIR}/not_a_bundle")

@@ -1,0 +1,167 @@
+// The self-time contract: nested spans subtract from their immediate
+// parent (and only the overlapping part), marks count but add no time,
+// rows sort deterministically, and the rendered table is byte-stable.
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace rlbf;
+
+obs::PidTraceEvent ev(const std::string& name, std::int64_t ts,
+                      std::int64_t dur, std::uint32_t pid = 1,
+                      std::uint32_t tid = 0) {
+  obs::PidTraceEvent e;
+  e.event.name = name;
+  e.event.category = "test";
+  e.event.ts_us = ts;
+  e.event.dur_us = dur;
+  e.event.tid = tid;
+  e.pid = pid;
+  return e;
+}
+
+const obs::ProfileRow& row(const std::vector<obs::ProfileRow>& rows,
+                           const std::string& name) {
+  for (const obs::ProfileRow& r : rows) {
+    if (r.name == name) return r;
+  }
+  ADD_FAILURE() << "no row named " << name;
+  static const obs::ProfileRow missing;
+  return missing;
+}
+
+TEST(ProfileTest, NestedSpansSubtractFromTheImmediateParent) {
+  // outer [0,1000) > mid [100,500) > inner [200,300): inner's time
+  // comes out of mid only; mid's full extent comes out of outer.
+  const std::vector<obs::ProfileRow> rows = obs::profile_report({
+      ev("outer", 0, 1000),
+      ev("mid", 100, 400),
+      ev("inner", 200, 100),
+  });
+  EXPECT_DOUBLE_EQ(row(rows, "outer").total_seconds, 1000e-6);
+  EXPECT_DOUBLE_EQ(row(rows, "outer").self_seconds, 600e-6);
+  EXPECT_DOUBLE_EQ(row(rows, "mid").total_seconds, 400e-6);
+  EXPECT_DOUBLE_EQ(row(rows, "mid").self_seconds, 300e-6);
+  EXPECT_DOUBLE_EQ(row(rows, "inner").self_seconds, 100e-6);
+  EXPECT_EQ(row(rows, "outer").count, 1u);
+}
+
+TEST(ProfileTest, SiblingsOnDifferentLanesDoNotNest) {
+  // Identical timestamps on a different tid/pid: no parent-child
+  // relation, each span keeps its full self time.
+  const std::vector<obs::ProfileRow> rows = obs::profile_report({
+      ev("a", 0, 100, 1, 0),
+      ev("b", 10, 50, 1, 1),   // other thread
+      ev("c", 10, 50, 2, 0),   // other process
+  });
+  EXPECT_DOUBLE_EQ(row(rows, "a").self_seconds, 100e-6);
+  EXPECT_DOUBLE_EQ(row(rows, "b").self_seconds, 50e-6);
+  EXPECT_DOUBLE_EQ(row(rows, "c").self_seconds, 50e-6);
+}
+
+TEST(ProfileTest, PartialOverlapSubtractsOnlyTheOverlap) {
+  // Clock-skewed merge case: child [50,150) sticks out past parent
+  // [0,100). Parent loses the 50us overlap, not the child's full 100us
+  // — self never goes negative.
+  const std::vector<obs::ProfileRow> rows = obs::profile_report({
+      ev("parent", 0, 100),
+      ev("child", 50, 100),
+  });
+  EXPECT_DOUBLE_EQ(row(rows, "parent").self_seconds, 50e-6);
+  EXPECT_DOUBLE_EQ(row(rows, "child").self_seconds, 100e-6);
+}
+
+TEST(ProfileTest, MarksCountButAddNoTime) {
+  const std::vector<obs::ProfileRow> rows = obs::profile_report({
+      ev("work", 0, 100),
+      ev("retry", 10, 0),
+      ev("retry", 20, 0),
+  });
+  EXPECT_EQ(row(rows, "retry").count, 2u);
+  EXPECT_DOUBLE_EQ(row(rows, "retry").total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(row(rows, "retry").self_seconds, 0.0);
+  // Marks don't subtract from the enclosing span either.
+  EXPECT_DOUBLE_EQ(row(rows, "work").self_seconds, 100e-6);
+}
+
+TEST(ProfileTest, RepeatedNamesAggregateAcrossSpans) {
+  const std::vector<obs::ProfileRow> rows = obs::profile_report({
+      ev("step", 0, 100),
+      ev("step", 200, 300),
+  });
+  const obs::ProfileRow& r = row(rows, "step");
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_DOUBLE_EQ(r.total_seconds, 400e-6);
+  EXPECT_DOUBLE_EQ(r.mean_seconds, 200e-6);
+  EXPECT_GT(r.p95_seconds, 0.0);
+  EXPECT_GE(r.p99_seconds, r.p50_seconds);
+}
+
+TEST(ProfileTest, RowsSortBySelfThenTotalThenName) {
+  const std::vector<obs::ProfileRow> rows = obs::profile_report({
+      ev("small", 0, 10),
+      ev("big", 1000, 500),
+      ev("alpha", 2000, 10),  // ties with "small" on self AND total
+  });
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "big");
+  EXPECT_EQ(rows[1].name, "alpha");  // name ascending breaks the tie
+  EXPECT_EQ(rows[2].name, "small");
+}
+
+TEST(ProfileTest, ReportIsInputOrderInvariantAndTableIsByteStable) {
+  const std::vector<obs::PidTraceEvent> forward = {
+      ev("outer", 0, 1000),
+      ev("mid", 100, 400),
+      ev("inner", 200, 100),
+      ev("other", 0, 700, 2),
+  };
+  std::vector<obs::PidTraceEvent> reversed(forward.rbegin(), forward.rend());
+  std::ostringstream a;
+  std::ostringstream b;
+  obs::write_profile_table(a, obs::profile_report(forward));
+  obs::write_profile_table(b, obs::profile_report(reversed));
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("self_s"), std::string::npos);
+}
+
+TEST(ProfileTest, TopTruncationIsNamed) {
+  std::vector<obs::PidTraceEvent> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(ev("span" + std::to_string(i), i * 100, 10 + i));
+  }
+  std::ostringstream os;
+  obs::write_profile_table(os, obs::profile_report(events), 2);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("3 more span names below --top=2"), std::string::npos)
+      << table;
+  EXPECT_EQ(table.find("span0"), std::string::npos) << table;  // truncated
+}
+
+TEST(ProfileTest, CsvCoversEveryRowAndEscapesNames) {
+  std::ostringstream os;
+  obs::write_profile_csv(os, obs::profile_report({
+                                 ev("plain", 0, 100),
+                                 ev("with,comma \"q\"", 200, 50),
+                             }));
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("span,count,self_s,total_s,mean_s,p50_s,p95_s,p99_s"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma \"\"q\"\"\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("plain,1,"), std::string::npos) << csv;
+}
+
+TEST(ProfileTest, EmptyInputYieldsEmptyReport) {
+  EXPECT_TRUE(obs::profile_report({}).empty());
+  std::ostringstream os;
+  obs::write_profile_table(os, {});
+  EXPECT_NE(os.str().find("span"), std::string::npos);  // header still prints
+}
+
+}  // namespace

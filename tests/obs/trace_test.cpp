@@ -119,14 +119,25 @@ TEST_F(TraceTest, WriteTraceJsonIsChromeShaped) {
   // Escaping keeps the document valid through hostile names.
   EXPECT_NE(doc.find("json \\\"quoted\\\" span"), std::string::npos);
   EXPECT_NE(doc.find("test\\\\cat"), std::string::npos);
-  EXPECT_EQ(doc.substr(doc.size() - 3), "]}\n");
+  // The document closes with the wall-clock anchor that lets
+  // obs::merge align this trace with other processes'.
+  EXPECT_NE(doc.find("], \"epochAnchorUs\": "), std::string::npos);
+  EXPECT_EQ(doc.substr(doc.size() - 2), "}\n");
 }
 
 TEST_F(TraceTest, EmptyTraceIsStillAValidDocument) {
   obs::clear_trace();
   std::ostringstream os;
   obs::write_trace_json(os);
-  EXPECT_EQ(os.str(), "{\"traceEvents\": []}\n");
+  EXPECT_EQ(os.str().rfind("{\"traceEvents\": [], \"epochAnchorUs\": ", 0), 0u);
+}
+
+TEST_F(TraceTest, EpochAnchorIsLatchedOnceTracingEnables) {
+  // The fixture enabled tracing, so the anchor must be latched — and
+  // stable across calls (it is latched exactly once per process).
+  const std::int64_t anchor = obs::trace_epoch_anchor_us();
+  EXPECT_GT(anchor, 0);
+  EXPECT_EQ(obs::trace_epoch_anchor_us(), anchor);
 }
 
 TEST(TraceDisabledTest, DisabledSpansRecordNothing) {

@@ -70,8 +70,12 @@
 #include "exp/sweep.h"
 #include "model/store.h"
 #include "model/train.h"
+#include "obs/json.h"
+#include "obs/merge.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
+#include "util/libm_fingerprint.h"
 #include "util/log.h"
 #include "util/subprocess.h"
 #include "util/table.h"
@@ -147,11 +151,13 @@ void describe_scenario(const std::string& name) {
 /// --log_elapsed prefixes every stderr log line with elapsed time.
 ///
 /// Deliberately NOT part of SweepFlags::forward(): these are
-/// supervisor-side diagnostics. Workers never inherit them, so worker
-/// result streams stay byte-identical whether or not the supervisor is
-/// instrumented — and locally, metrics only ever write to the files
-/// named here (status lines go to stderr via util::log), never to
-/// stdout or result files.
+/// per-process diagnostics. Workers never inherit the supervisor's own
+/// sink paths — instead the job planner gives each worker its OWN
+/// sidecar files (dist::PlanOptions::worker_metrics/worker_trace) and
+/// the supervisor rolls them up afterwards (save_fleet_obs). Result
+/// streams stay byte-identical either way: metrics only ever write to
+/// the files named here (status lines go to stderr via util::log),
+/// never to stdout or result files.
 struct ObsFlags {
   std::string metrics_out;
   std::string trace_out;
@@ -202,6 +208,77 @@ struct ObsFlags {
     return rc;
   }
 };
+
+/// Fleet rollup for the orchestrating commands: merge every worker's
+/// sidecar with the supervisor's own registry/trace into the files the
+/// supervisor's --metrics_out/--trace_out name. Replaces save_obs()
+/// there — dumping the raw supervisor registry would overwrite the
+/// merged view. Call BEFORE scratch cleanup (the sidecars live in the
+/// work dir). A missing or malformed sidecar is a named error and a
+/// nonzero exit, never a crash or a silently partial merge.
+int save_fleet_obs(const ObsFlags& obs_flags,
+                   const std::vector<dist::JobSpec>& jobs) {
+  int rc = 0;
+  if (!obs_flags.metrics_out.empty()) {
+    try {
+      std::vector<obs::LabeledMetrics> docs;
+      for (const dist::JobSpec& job : jobs) {
+        if (job.metrics_path.empty()) continue;
+        docs.push_back({"worker" + std::to_string(job.id),
+                        obs::load_metrics_file(job.metrics_path)});
+      }
+      // Supervisor LAST: on a gauge collision the supervisor's view
+      // (e.g. dist.worker_utilization) wins the last-write merge.
+      docs.push_back({"supervisor",
+                      obs::parse_metrics_json(
+                          obs::Registry::instance().to_json(), "supervisor")});
+      const obs::MergedMetrics merged = obs::merge_metrics(docs);
+      if (obs::save_merged_metrics_json(obs_flags.metrics_out, merged)) {
+        util::log_info("merged metrics (", merged.sources.size(),
+                       " source(s)) written to ", obs_flags.metrics_out);
+      } else {
+        std::cerr << "rlbf_run: cannot write --metrics_out="
+                  << obs_flags.metrics_out << "\n";
+        rc = 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "rlbf_run: cannot merge worker metrics: " << e.what()
+                << "\n";
+      rc = 1;
+    }
+  }
+  if (!obs_flags.trace_out.empty()) {
+    try {
+      std::vector<obs::LabeledTrace> docs;
+      // Supervisor first: its spans take pid 1 of the merged timeline.
+      obs::TraceDoc supervisor;
+      for (const obs::TraceEvent& ev : obs::trace_events_snapshot()) {
+        supervisor.events.push_back({ev, 1});
+      }
+      supervisor.epoch_anchor_us = obs::trace_epoch_anchor_us();
+      docs.push_back({"supervisor", std::move(supervisor)});
+      for (const dist::JobSpec& job : jobs) {
+        if (job.trace_path.empty()) continue;
+        docs.push_back({"worker" + std::to_string(job.id),
+                        obs::load_trace_file(job.trace_path)});
+      }
+      const obs::SplicedTrace spliced = obs::splice_traces(docs);
+      if (obs::save_spliced_trace_json(obs_flags.trace_out, spliced)) {
+        util::log_info("merged trace (", spliced.processes.size(),
+                       " process(es)) written to ", obs_flags.trace_out);
+      } else {
+        std::cerr << "rlbf_run: cannot write --trace_out="
+                  << obs_flags.trace_out << "\n";
+        rc = 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "rlbf_run: cannot splice worker traces: " << e.what()
+                << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
 
 // ----------------------------------------------------------------- run
 
@@ -780,6 +857,9 @@ int train(int argc, char** argv) {
       plan.args.push_back("--traj_jobs=" + std::to_string(args.traj_jobs));
     }
     if (args.jobs > 0) plan.args.push_back("--jobs=" + std::to_string(args.jobs));
+    // Instrumented supervisor => per-worker sidecars, rolled up below.
+    plan.worker_metrics = !args.metrics_out.empty();
+    plan.worker_trace = !args.trace_out.empty();
 
     const std::vector<dist::JobSpec> jobs = dist::plan_train_jobs(plan);
     dist::LocalLauncher launcher(args.timeout);
@@ -797,6 +877,8 @@ int train(int argc, char** argv) {
     std::cout << "# collected " << totals.bundles << " worker bundle(s): "
               << totals.imported << " imported, " << totals.skipped_existing
               << " already present in " << store.root() << "/\n";
+    // Fleet rollup first: the worker sidecars live in the scratch dir.
+    const int obs_rc = save_fleet_obs(args, jobs);
     args.cleanup_scratch(work_dir);
     util::Table table({"key", "spec", "worker"});
     for (const auto& [bundle, imported] : totals.per_bundle) {
@@ -806,7 +888,7 @@ int train(int argc, char** argv) {
       }
     }
     table.print(std::cout);
-    return args.save_obs();
+    return obs_rc;
   }
 
   // ---- in-process mode (optionally one shard of the grid).
@@ -1021,6 +1103,10 @@ int orchestrate(int argc, char** argv) {
   // Every result-shaping flag comes from the shared SweepFlags block —
   // adding a flag there forwards it here automatically.
   plan.args = args.forward();
+  // When the supervisor is instrumented, every worker writes its own
+  // sidecars into the work dir; save_fleet_obs rolls them up below.
+  plan.worker_metrics = !args.metrics_out.empty();
+  plan.worker_trace = !args.trace_out.empty();
 
   const std::vector<dist::JobSpec> jobs = dist::plan_sweep_jobs(plan);
 
@@ -1050,8 +1136,69 @@ int orchestrate(int argc, char** argv) {
             << report.total_attempts << " attempt(s)); merged "
             << merged.shard_count << " shard(s), " << merged.total_instances
             << " instance(s) -> " << args.out_dir << "/\n";
+  // Fleet rollup first: the worker sidecars live in the scratch dir.
+  const int obs_rc = save_fleet_obs(args, jobs);
   args.cleanup_scratch(work_dir);
-  return args.save_obs();
+  return obs_rc;
+}
+
+// ------------------------------------------------------------- profile
+
+/// Hot-path attribution from any trace file this tool writes: a
+/// single-process --trace_out dump or an orchestrated run's merged
+/// fleet trace. Pure function of the input file — repeated runs on the
+/// same trace print byte-identical tables.
+struct ProfileArgs {
+  std::string trace_positional;
+  std::string trace_flag;
+  std::size_t top = 0;
+  std::string csv_out;
+
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser(
+        "rlbf_run profile",
+        "Read a trace file (--trace_out output, single-process or merged "
+        "fleet trace) and print the deterministic self-time table per span "
+        "name: count, exclusive/inclusive totals, mean, p50/p95/p99.");
+    parser.add_positional("trace", &trace_positional,
+                          "the trace file (Chrome trace_event JSON)");
+    parser.add("--trace", &trace_flag,
+               "the trace file (alternative to the positional form)");
+    parser.add("--top", &top, "print only the top N span names (0 = all)");
+    parser.add("--csv_out", &csv_out,
+               "also write the FULL table (never truncated) as CSV here");
+    return parser;
+  }
+};
+
+int profile(int argc, char** argv) {
+  ProfileArgs args;
+  exp::ArgParser parser = args.make_parser();
+  parser.parse_or_exit(argc, argv);
+  const std::string path =
+      !args.trace_positional.empty() ? args.trace_positional : args.trace_flag;
+  if (path.empty()) {
+    std::cerr << "rlbf_run profile: pass a trace file (positional or "
+                 "--trace=FILE)\n\n"
+              << parser.usage();
+    return 2;
+  }
+  // load_trace_file throws named errors for missing/empty/malformed
+  // files; main's handler renders them as exit 1.
+  const obs::TraceDoc doc = obs::load_trace_file(path);
+  const std::vector<obs::ProfileRow> rows = obs::profile_report(doc.events);
+  obs::write_profile_table(std::cout, rows, args.top);
+  std::cout << "# " << rows.size() << " span name(s), " << doc.events.size()
+            << " event(s) from " << path << "\n";
+  if (!args.csv_out.empty()) {
+    if (!obs::save_profile_csv(args.csv_out, rows)) {
+      std::cerr << "rlbf_run profile: cannot write --csv_out=" << args.csv_out
+                << "\n";
+      return 1;
+    }
+    std::cout << "# profile CSV written to " << args.csv_out << "\n";
+  }
+  return 0;
 }
 
 // --------------------------------------------------------------- bench
@@ -1064,7 +1211,7 @@ int orchestrate(int argc, char** argv) {
 /// the trace, so --trace_out captures the sim, sweep, train, and dist
 /// layers in one timeline.
 struct BenchArgs : ObsFlags {
-  std::string out = "BENCH_PR6.json";
+  std::string out = "BENCH_PR7.json";
   std::string scenario = "sdsc-easy";
   std::size_t jobs = 10000;
   std::size_t sim_repeat = 3;
@@ -1074,14 +1221,33 @@ struct BenchArgs : ObsFlags {
   std::uint64_t seed = 1;
   std::size_t threads = 0;
   bool quick = false;
+  std::string tag = "dev";
+  std::string compare;
+  std::string candidate;
+  double threshold = 0.25;
+  std::string verdict_out;
 
   exp::ArgParser make_parser() {
     exp::ArgParser parser(
         "rlbf_run bench",
         "Time an end-to-end trace simulation, one training epoch, and a "
         "1-worker orchestrated sweep job; write the measurements as one "
-        "JSON report (the checked-in BENCH_PR<n>.json perf trajectory).");
+        "JSON report (the checked-in BENCH_PR<n>.json perf trajectory). "
+        "--compare=BASE diffs the new report against a baseline report "
+        "and exits 3 on a regression beyond --threshold.");
     parser.add("--out", &out, "where the JSON report goes");
+    parser.add("--tag", &tag,
+               "label recorded in the report's source block (e.g. PR7, ci)");
+    parser.add("--compare", &compare,
+               "baseline bench report to diff the fresh report against; "
+               "prints a field-by-field table and exits 3 on regression");
+    parser.add("--candidate", &candidate,
+               "with --compare: diff this EXISTING report instead of "
+               "running the bench (pure file-vs-file mode)");
+    parser.add("--threshold", &threshold,
+               "relative change that counts as a regression (0.25 = 25%)");
+    parser.add("--verdict_out", &verdict_out,
+               "write the machine-readable comparison verdict JSON here");
     parser.add("--scenario", &scenario, "scenario timed by the sim phase");
     parser.add("--jobs", &jobs, "trace length for the sim phase");
     parser.add("--sim_repeat", &sim_repeat,
@@ -1104,11 +1270,233 @@ struct BenchArgs : ObsFlags {
   }
 };
 
+/// The compile-time platform tag in the bench source block — enough to
+/// tell two trajectory points apart without trusting the filename.
+std::string platform_string() {
+  const std::string compiler =
+#if defined(__clang__)
+      "clang " + std::to_string(__clang_major__) + "." +
+      std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+      "gcc " + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__);
+#else
+      "unknown-compiler";
+#endif
+  const char* arch =
+#if defined(__x86_64__) || defined(_M_X64)
+      "x86_64";
+#elif defined(__aarch64__) || defined(_M_ARM64)
+      "aarch64";
+#else
+      "unknown-arch";
+#endif
+  const char* os =
+#if defined(__linux__)
+      "linux";
+#elif defined(__APPLE__)
+      "macos";
+#else
+      "unknown-os";
+#endif
+  return compiler + ", " + arch + "-" + os;
+}
+
+/// The fields the regression gate compares. Wall-time fields only mean
+/// anything when both reports measured the same workload, so they are
+/// config-sensitive: skipped (named in the table) when the two config
+/// blocks differ — which is what lets CI's --quick run gate against a
+/// full-budget checked-in baseline on the rate fields alone.
+struct CompareField {
+  const char* section;
+  const char* key;
+  bool higher_better;
+  bool config_sensitive;
+};
+
+constexpr CompareField kCompareFields[] = {
+    {"sim", "wall_seconds_min", false, true},
+    {"sim", "wall_seconds_mean", false, true},
+    {"sim", "events_per_second", true, false},
+    {"train", "wall_seconds", false, true},
+    {"train", "epoch_seconds_mean", false, true},
+    {"sweep", "instance_seconds_mean", false, true},
+    {"dist", "job_seconds_total", false, true},
+    {"dist", "worker_utilization", true, false},
+};
+
+bool json_equal(const obs::json::Value& a, const obs::json::Value& b) {
+  using Kind = obs::json::Value::Kind;
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Kind::Null: return true;
+    case Kind::Bool: return a.boolean == b.boolean;
+    case Kind::Number: return a.number == b.number;
+    case Kind::String: return a.text == b.text;
+    case Kind::Array:
+      if (a.items.size() != b.items.size()) return false;
+      for (std::size_t i = 0; i < a.items.size(); ++i) {
+        if (!json_equal(a.items[i], b.items[i])) return false;
+      }
+      return true;
+    case Kind::Object:
+      if (a.members.size() != b.members.size()) return false;
+      for (const auto& [key, value] : a.members) {
+        const obs::json::Value* other = b.find(key);
+        if (other == nullptr || !json_equal(value, *other)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+std::string slurp_report(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open bench report: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (buf.str().empty()) {
+    throw std::runtime_error("bench report is empty: " + path);
+  }
+  return buf.str();
+}
+
+/// Diff two bench reports field by field; 0 = clean, 3 = regression.
+/// Missing fields (an older schema on either side) and config-sensitive
+/// fields across differing configs are skipped BY NAME in the table —
+/// a gate that silently compared nothing would always pass.
+int bench_compare(const std::string& base_path, const std::string& cand_path,
+                  double threshold, const std::string& verdict_out) {
+  if (!(threshold > 0.0)) {
+    std::cerr << "rlbf_run bench: --threshold must be > 0\n";
+    return 2;
+  }
+  const obs::json::Value base =
+      obs::json::parse(slurp_report(base_path), base_path);
+  const obs::json::Value cand =
+      obs::json::parse(slurp_report(cand_path), cand_path);
+  const obs::json::Value* base_cfg = base.find("config");
+  const obs::json::Value* cand_cfg = cand.find("config");
+  const bool config_match =
+      base_cfg != nullptr && cand_cfg != nullptr &&
+      json_equal(*base_cfg, *cand_cfg);
+
+  struct Row {
+    std::string field;
+    bool has_values = false;
+    double base = 0.0;
+    double cand = 0.0;
+    bool has_change = false;
+    double change = 0.0;
+    std::string status;
+  };
+  std::vector<Row> rows;
+  std::size_t regressions = 0;
+  for (const CompareField& field : kCompareFields) {
+    Row row;
+    row.field = std::string(field.section) + "." + field.key;
+    const auto lookup = [&](const obs::json::Value& report) {
+      const obs::json::Value* section = report.find(field.section);
+      return section == nullptr ? nullptr : section->find(field.key);
+    };
+    const obs::json::Value* b = lookup(base);
+    const obs::json::Value* c = lookup(cand);
+    if (b == nullptr || !b->is_number() || c == nullptr || !c->is_number()) {
+      row.status = "skipped: missing";
+    } else {
+      row.has_values = true;
+      row.base = b->number;
+      row.cand = c->number;
+      if (field.config_sensitive && !config_match) {
+        row.status = "skipped: config differs";
+      } else if (row.base == 0.0) {
+        row.status = "skipped: zero baseline";
+      } else {
+        row.has_change = true;
+        row.change = (row.cand - row.base) / row.base;
+        const double against =
+            field.higher_better ? -row.change : row.change;
+        if (against > threshold) {
+          row.status = "REGRESSION";
+          ++regressions;
+        } else if (-against > threshold) {
+          row.status = "improved";
+        } else {
+          row.status = "ok";
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  util::Table table({"field", "base", "candidate", "change", "status"});
+  for (const Row& row : rows) {
+    std::string change;
+    if (row.has_change) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.1f%%", row.change * 100.0);
+      change = buf;
+    }
+    table.add_row({row.field,
+                   row.has_values ? exp::format_metric(row.base) : "-",
+                   row.has_values ? exp::format_metric(row.cand) : "-",
+                   change, row.status});
+  }
+  table.print(std::cout);
+  char thr[32];
+  std::snprintf(thr, sizeof(thr), "%g%%", threshold * 100.0);
+  std::cout << "# bench compare: " << cand_path << " vs " << base_path
+            << ": " << regressions << " regression(s) at threshold " << thr
+            << (config_match ? "" : " (configs differ: wall-time fields skipped)")
+            << "\n";
+
+  if (!verdict_out.empty()) {
+    std::ofstream os(verdict_out, std::ios::binary | std::ios::trunc);
+    os << "{\n"
+       << "  \"base\": \"" << base_path << "\",\n"
+       << "  \"candidate\": \"" << cand_path << "\",\n"
+       << "  \"threshold\": " << exp::format_double_exact(threshold) << ",\n"
+       << "  \"config_match\": " << (config_match ? "true" : "false") << ",\n"
+       << "  \"fields\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      os << (i == 0 ? "\n" : ",\n") << "    {\"field\": \"" << row.field
+         << "\", \"base\": "
+         << (row.has_values ? exp::format_double_exact(row.base) : "null")
+         << ", \"candidate\": "
+         << (row.has_values ? exp::format_double_exact(row.cand) : "null")
+         << ", \"change\": "
+         << (row.has_change ? exp::format_double_exact(row.change) : "null")
+         << ", \"status\": \"" << row.status << "\"}";
+    }
+    os << "\n  ],\n"
+       << "  \"regressions\": " << regressions << ",\n"
+       << "  \"verdict\": \"" << (regressions == 0 ? "ok" : "regression")
+       << "\"\n}\n";
+    os.flush();
+    if (!os) {
+      std::cerr << "rlbf_run bench: cannot write --verdict_out=" << verdict_out
+                << "\n";
+      return 1;
+    }
+    std::cout << "# verdict written to " << verdict_out << "\n";
+  }
+  return regressions == 0 ? 0 : 3;
+}
+
 int bench(int argc, char** argv) {
   BenchArgs args;
   exp::ArgParser parser = args.make_parser();
   parser.parse_or_exit(argc, argv);
   args.activate_obs();
+  // Pure file-vs-file mode: diff two existing reports, run nothing.
+  if (!args.candidate.empty()) {
+    if (args.compare.empty()) {
+      std::cerr << "rlbf_run bench: --candidate needs --compare=BASE\n";
+      return 2;
+    }
+    return bench_compare(args.compare, args.candidate, args.threshold,
+                         args.verdict_out);
+  }
   // The report is read from the metrics registry, so metrics are always
   // on here; --metrics_out additionally dumps the raw registry.
   obs::set_enabled(true);
@@ -1218,6 +1606,12 @@ int bench(int argc, char** argv) {
   std::ofstream os(args.out, std::ios::binary | std::ios::trunc);
   os << "{\n"
      << "  \"bench\": \"rlbf_run bench\",\n"
+     << "  \"schema_version\": 2,\n"
+     << "  \"source\": {\n"
+     << "    \"tag\": \"" << args.tag << "\",\n"
+     << "    \"platform\": \"" << platform_string() << "\",\n"
+     << "    \"libm\": \"" << util::libm_fingerprint_id() << "\"\n"
+     << "  },\n"
      << "  \"config\": {\n"
      << "    \"scenario\": \"" << base.name << "\",\n"
      << "    \"jobs\": " << args.jobs << ",\n"
@@ -1284,7 +1678,15 @@ int bench(int argc, char** argv) {
             << exp::format_metric(dist_hist.sum) << "s (utilization "
             << exp::format_metric(worker_utilization) << ")\n"
             << "# bench report written to " << args.out << "\n";
-  return args.save_obs();
+  const int obs_rc = args.save_obs();
+  // Gate last, so the fresh report and the obs dumps exist either way;
+  // a regression (exit 3) outranks a failed obs dump (exit 1).
+  if (!args.compare.empty()) {
+    const int compared = bench_compare(args.compare, args.out, args.threshold,
+                                       args.verdict_out);
+    if (compared != 0) return compared;
+  }
+  return obs_rc;
 }
 
 // -------------------------------------------------------------- models
@@ -1468,8 +1870,12 @@ const std::vector<Command>& command_table() {
        [] { return TrainArgs{}.make_parser().usage(); }},
       {"models", "list and maintain the model store",
        [] { return ModelsArgs{}.make_parser().usage(); }},
-      {"bench", "time the sim/train/dist hot paths into a JSON report",
+      {"bench",
+       "time the sim/train/dist hot paths into a JSON report "
+       "(--compare gates against a baseline)",
        [] { return BenchArgs{}.make_parser().usage(); }},
+      {"profile", "self-time table per span name from a trace file",
+       [] { return ProfileArgs{}.make_parser().usage(); }},
   };
   return commands;
 }
@@ -1524,6 +1930,7 @@ int main(int argc, char** argv) {
       if (command == "train") return train(argc - 1, argv + 1);
       if (command == "models") return models(argc - 1, argv + 1);
       if (command == "bench") return bench(argc - 1, argv + 1);
+      if (command == "profile") return profile(argc - 1, argv + 1);
       if (command == "help") return help(argc - 1, argv + 1);
       std::cerr << "rlbf_run: unknown command '" << command
                 << "' (known: " << known_command_names() << ")\n";
