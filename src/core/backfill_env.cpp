@@ -107,9 +107,10 @@ std::optional<std::size_t> TrainingEnv::choose(const sim::BackfillContext& ctx) 
   step.reward = 0.0;
   if (candidate != kStopAction) {
     if (config_.delay_rule == DelayRule::EstimatePenalty) {
-      const auto& job = ctx.trace[ctx.candidates[candidate]];
-      if (!sched::EasyBackfillChooser::admissible(job, ctx.reservation, ctx.estimator,
-                                                  ctx.now)) {
+      const std::size_t job_idx = ctx.candidates[candidate];
+      if (!sched::EasyBackfillChooser::admissible_with_estimate(
+              ctx.trace[job_idx], ctx.reservation,
+              sim::context_estimate(ctx, job_idx), ctx.now)) {
         step.reward -= config_.delay_penalty;
       }
     } else if (config_.delay_rule == DelayRule::ActualDelayPenalty) {

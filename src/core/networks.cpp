@@ -1,5 +1,6 @@
 #include "core/networks.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rlbf::core {
@@ -59,6 +60,32 @@ nn::Tensor KernelActorCritic::policy_logits_nograd(const nn::Tensor& policy_obs)
 
 double KernelActorCritic::value_nograd(const nn::Tensor& value_obs) const {
   return value_.forward_value(value_obs).item();
+}
+
+std::vector<nn::Tensor> KernelActorCritic::policy_logits_nograd_batch(
+    const std::vector<const nn::Tensor*>& obs) const {
+  if (obs.empty()) return {};
+  std::size_t total_rows = 0;
+  for (const nn::Tensor* o : obs) total_rows += o->rows();
+  nn::Tensor stacked(total_rows, ObservationConfig::kFeatures);
+  std::size_t at = 0;
+  for (const nn::Tensor* o : obs) {
+    std::copy(o->data().begin(), o->data().end(),
+              stacked.data().begin() + static_cast<std::ptrdiff_t>(
+                                           at * ObservationConfig::kFeatures));
+    at += o->rows();
+  }
+  const nn::Tensor scores = policy_.forward_value(stacked);
+  std::vector<nn::Tensor> out;
+  out.reserve(obs.size());
+  at = 0;
+  for (const nn::Tensor* o : obs) {
+    nn::Tensor piece(o->rows(), 1);
+    for (std::size_t r = 0; r < o->rows(); ++r) piece.at(r, 0) = scores.at(at + r, 0);
+    out.push_back(std::move(piece));
+    at += o->rows();
+  }
+  return out;
 }
 
 std::vector<nn::VarPtr> KernelActorCritic::policy_parameters() const {
@@ -126,6 +153,27 @@ nn::Tensor FlatActorCritic::policy_logits_nograd(const nn::Tensor& policy_obs) c
 
 double FlatActorCritic::value_nograd(const nn::Tensor& value_obs) const {
   return value_.forward_value(value_obs).item();
+}
+
+std::vector<nn::Tensor> FlatActorCritic::policy_logits_nograd_batch(
+    const std::vector<const nn::Tensor*>& obs) const {
+  if (obs.empty()) return {};
+  const std::size_t flat = obs_.padded_policy_rows() * ObservationConfig::kFeatures;
+  nn::Tensor stacked(obs.size(), flat);
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (obs[i]->size() != flat) {
+      throw std::invalid_argument("flat policy: observation must be padded");
+    }
+    std::copy(obs[i]->data().begin(), obs[i]->data().end(),
+              stacked.data().begin() + static_cast<std::ptrdiff_t>(i * flat));
+  }
+  const nn::Tensor scores = policy_.forward_value(stacked);
+  std::vector<nn::Tensor> out;
+  out.reserve(obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    out.push_back(scores.row(i).reshaped(obs_.padded_policy_rows(), 1));
+  }
+  return out;
 }
 
 std::vector<nn::VarPtr> FlatActorCritic::policy_parameters() const {

@@ -42,6 +42,11 @@ class KernelActorCritic final : public rl::ActorCritic {
   nn::VarPtr value(const nn::Tensor& value_obs) const override;
   nn::Tensor policy_logits_nograd(const nn::Tensor& policy_obs) const override;
   double value_nograd(const nn::Tensor& value_obs) const override;
+  /// Kernel batching: all observations' job rows concatenate into ONE
+  /// matrix-matrix forward (the kernel scores rows independently), then
+  /// split back per observation — bit-identical to per-observation calls.
+  std::vector<nn::Tensor> policy_logits_nograd_batch(
+      const std::vector<const nn::Tensor*>& obs) const override;
   std::vector<nn::VarPtr> policy_parameters() const override;
   std::vector<nn::VarPtr> value_parameters() const override;
   std::unique_ptr<rl::ActorCritic> clone() const override;
@@ -66,6 +71,10 @@ class FlatActorCritic final : public rl::ActorCritic {
   nn::VarPtr value(const nn::Tensor& value_obs) const override;
   nn::Tensor policy_logits_nograd(const nn::Tensor& policy_obs) const override;
   double value_nograd(const nn::Tensor& value_obs) const override;
+  /// Flat batching: the padded observations each flatten to one row, so
+  /// B observations stack into a B-row matrix for one forward pass.
+  std::vector<nn::Tensor> policy_logits_nograd_batch(
+      const std::vector<const nn::Tensor*>& obs) const override;
   std::vector<nn::VarPtr> policy_parameters() const override;
   std::vector<nn::VarPtr> value_parameters() const override;
   std::unique_ptr<rl::ActorCritic> clone() const override;

@@ -30,32 +30,65 @@ ObservationBuilder::ObservationBuilder(const ObservationConfig& config)
 
 std::vector<std::size_t> ObservationBuilder::observed_queue(
     const sim::BackfillContext& ctx, std::size_t limit) const {
-  std::vector<std::size_t> q(ctx.queue.begin(), ctx.queue.end());
-  // Paper §3.2: sort by submission time; cut off FCFS-style.
-  std::stable_sort(q.begin(), q.end(), [&](std::size_t a, std::size_t b) {
-    return ctx.trace[a].submit_time < ctx.trace[b].submit_time;
-  });
+  // Paper §3.2: sort by submission time; cut off FCFS-style. The sort
+  // always covers the full queue before truncating, so one sorted copy
+  // per decision serves both the policy view (max_obsv_size) and the
+  // value view (value_obsv_size); the simulator invalidates the cache
+  // slot before every decision.
+  std::vector<std::size_t> q;
+  const std::vector<std::size_t>* cached =
+      ctx.cache != nullptr ? ctx.cache->sorted_queue() : nullptr;
+  if (cached != nullptr) {
+    q = *cached;
+  } else {
+    q.assign(ctx.queue.begin(), ctx.queue.end());
+    std::stable_sort(q.begin(), q.end(), [&](std::size_t a, std::size_t b) {
+      return ctx.trace[a].submit_time < ctx.trace[b].submit_time;
+    });
+    if (ctx.cache != nullptr) ctx.cache->mutable_sorted_queue() = q;
+  }
   if (q.size() > limit) q.resize(limit);
   return q;
 }
 
-void ObservationBuilder::fill_row(nn::Tensor& obs, std::size_t row, const swf::Job& job,
+void ObservationBuilder::fill_row(nn::Tensor& obs, std::size_t row,
+                                  std::size_t job_index,
                                   const sim::BackfillContext& ctx) const {
+  const swf::Job& job = ctx.trace[job_index];
   const double wt = static_cast<double>(std::max<std::int64_t>(ctx.now - job.submit_time, 0));
   const double rt = static_cast<double>(std::max<std::int64_t>(job.request_time(), 1));
-  const double est = static_cast<double>(ctx.estimator.estimate(job));
+  // The estimate and the log-scaled per-job features are pure functions
+  // of the job, so the per-simulation cache memoizes them; the cached
+  // values are the identical bits the direct computation yields. Both
+  // are strictly positive (rt, est >= 1), so < 0 marks an empty slot.
+  const double est = static_cast<double>(
+      ctx.cache != nullptr ? ctx.cache->estimate(ctx.estimator, ctx.trace, job_index)
+                           : ctx.estimator.estimate(job));
+  double log_rt;
+  double log_est;
+  if (ctx.cache != nullptr) {
+    double& rt_slot = ctx.cache->log_request_slot(job_index);
+    if (rt_slot < 0.0) rt_slot = log_scale(rt);
+    log_rt = rt_slot;
+    double& est_slot = ctx.cache->log_estimate_slot(job_index);
+    if (est_slot < 0.0) est_slot = log_scale(est);
+    log_est = est_slot;
+  } else {
+    log_rt = log_scale(rt);
+    log_est = log_scale(est);
+  }
   const double shadow_gap =
       static_cast<double>(std::max<std::int64_t>(ctx.reservation.shadow_time - ctx.now, 1));
   const double slack = std::clamp((shadow_gap - est) / shadow_gap, -1.0, 1.0);
   obs.at(row, 0) = log_scale(wt);
-  obs.at(row, 1) = log_scale(rt);
+  obs.at(row, 1) = log_rt;
   obs.at(row, 2) = static_cast<double>(job.procs()) /
                    static_cast<double>(ctx.trace.machine_procs());
   obs.at(row, 3) = ctx.cluster.can_fit(job.procs()) ? 1.0 : 0.0;
-  obs.at(row, 4) = log_scale(est);
+  obs.at(row, 4) = log_est;
   obs.at(row, 5) = slack;
   obs.at(row, 6) = ctx.cluster.free_fraction();
-  obs.at(row, 7) = (&job == &ctx.trace[ctx.rjob]) ? 1.0 : 0.0;
+  obs.at(row, 7) = (job_index == ctx.rjob) ? 1.0 : 0.0;
   const double free_procs =
       std::max(static_cast<double>(ctx.cluster.free_procs()), 1.0);
   obs.at(row, 9) = std::min(static_cast<double>(job.procs()) / free_procs, 1.0);
@@ -90,13 +123,14 @@ PolicyObservation ObservationBuilder::build_policy(const sim::BackfillContext& c
 
   for (std::size_t r = 0; r < observed.size(); ++r) {
     const std::size_t job_idx = observed[r];
-    fill_row(po.obs, r, ctx.trace[job_idx], ctx);
+    fill_row(po.obs, r, job_idx, ctx);
     if (job_idx == ctx.rjob) continue;  // present but never selectable
     const auto it = std::find(ctx.candidates.begin(), ctx.candidates.end(), job_idx);
     if (it == ctx.candidates.end()) continue;  // does not fit right now
     if ((admissible_only || config_.mask_inadmissible) &&
-        !sched::EasyBackfillChooser::admissible(ctx.trace[job_idx], ctx.reservation,
-                                                ctx.estimator, ctx.now)) {
+        !sched::EasyBackfillChooser::admissible_with_estimate(
+            ctx.trace[job_idx], ctx.reservation,
+            sim::context_estimate(ctx, job_idx), ctx.now)) {
       continue;
     }
     po.mask[r] = 1;
@@ -112,7 +146,7 @@ nn::Tensor ObservationBuilder::build_value(const sim::BackfillContext& ctx) cons
   nn::Tensor jobs = nn::Tensor::zeros(config_.value_obsv_size,
                                       ObservationConfig::kFeatures);
   for (std::size_t r = 0; r < observed.size(); ++r) {
-    fill_row(jobs, r, ctx.trace[observed[r]], ctx);
+    fill_row(jobs, r, observed[r], ctx);
   }
   return jobs.reshaped(1, config_.value_feature_dim());
 }

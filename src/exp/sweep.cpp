@@ -209,7 +209,7 @@ std::vector<ScenarioRun> run_sweep(const std::vector<ScenarioSpec>& specs,
     obs::ScopedTimer timer("sweep.instance_seconds");
     runs[i] = run_scenario(specs[spec_index], seeds[rep]);
     if (obs::enabled()) {
-      static obs::Counter& c = obs::counter("sweep.instances");
+      static obs::CachedCounter c("sweep.instances");
       c.add(1);
     }
   });

@@ -355,7 +355,7 @@ VarPtr masked_entropy(const VarPtr& log_probs, const std::vector<std::uint8_t>& 
 
 void backward(const VarPtr& root) {
   if (obs::enabled()) {
-    static obs::Counter& c = obs::counter("nn.backward_calls");
+    static obs::CachedCounter c("nn.backward_calls");
     c.add(1);
   }
   if (root->value.size() != 1) {

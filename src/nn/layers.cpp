@@ -44,11 +44,27 @@ Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden_activation,
   }
 }
 
-VarPtr Mlp::forward(const VarPtr& x) const {
-  if (obs::enabled()) {
-    static obs::Counter& c = obs::counter("nn.forward_calls");
-    c.add(1);
+namespace {
+
+/// One multi-row call that replaces what would otherwise be a per-row
+/// pass per job: the ratio of batched_forward to (forward +
+/// forward_value) shows how much per-job work the batching collapsed.
+void count_forward(std::size_t rows, const char* which) {
+  static obs::CachedCounter forward("nn.forward_calls");
+  static obs::CachedCounter value("nn.forward_value_calls");
+  static obs::CachedCounter batched("nn.batched_forward_calls");
+  static obs::CachedCounter batched_rows("nn.batched_forward_rows");
+  (which[0] == 'g' ? forward : value).add(1);
+  if (rows > 1) {
+    batched.add(1);
+    batched_rows.add(rows);
   }
+}
+
+}  // namespace
+
+VarPtr Mlp::forward(const VarPtr& x) const {
+  if (obs::enabled()) count_forward(x->value.rows(), "graph");
   VarPtr h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].forward(h);
@@ -58,28 +74,38 @@ VarPtr Mlp::forward(const VarPtr& x) const {
 }
 
 Tensor Mlp::forward_value(const Tensor& x) const {
-  if (obs::enabled()) {
-    static obs::Counter& c = obs::counter("nn.forward_value_calls");
-    c.add(1);
-  }
-  Tensor h = x;
+  Tensor out, scratch;
+  forward_value_into(x, out, scratch);
+  return out;
+}
+
+void Mlp::forward_value_into(const Tensor& x, Tensor& out, Tensor& scratch) const {
+  if (obs::enabled()) count_forward(x.rows(), "value");
+  // Ping-pong between `out` and `scratch` so a caller-owned pair of
+  // buffers makes the whole pass allocation-free once warmed up. The
+  // arithmetic (matmul, row-broadcast bias, elementwise activation) is
+  // identical to the historical per-call-allocating loop, so results
+  // are bit-for-bit unchanged.
+  const Tensor* h = &x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    Tensor out;
-    Tensor::matmul_into(h, layers_[i].weight()->value, out);
+    // Layers alternate targets; the final layer must land in `out`.
+    const bool last = i + 1 == layers_.size();
+    const bool to_out = last || (layers_.size() - 1 - i) % 2 == 0;
+    Tensor& dst = to_out ? out : scratch;
+    Tensor::matmul_into(*h, layers_[i].weight()->value, dst);
     const Tensor& b = layers_[i].bias()->value;
-    for (std::size_t r = 0; r < out.rows(); ++r) {
-      for (std::size_t c = 0; c < out.cols(); ++c) out.at(r, c) += b.at(0, c);
+    for (std::size_t r = 0; r < dst.rows(); ++r) {
+      for (std::size_t c = 0; c < dst.cols(); ++c) dst.at(r, c) += b.at(0, c);
     }
-    if (i + 1 < layers_.size()) {
-      for (auto& v : out.data()) {
+    if (!last) {
+      for (auto& v : dst.data()) {
         v = (act_ == Activation::Relu) ? (v > 0.0 ? v : 0.0)
             : (act_ == Activation::Tanh) ? std::tanh(v)
                                          : v;
       }
     }
-    h = std::move(out);
+    h = &dst;
   }
-  return h;
 }
 
 std::size_t Mlp::in_features() const { return dims_.front(); }

@@ -54,7 +54,15 @@ class Mlp {
 
   VarPtr forward(const VarPtr& x) const;
   /// Value-only forward (no graph construction) for rollout collection.
+  /// `x` may hold any number of rows — the whole batch goes through one
+  /// matrix-matrix pass per layer. Bit-identical per row to a
+  /// row-at-a-time pass (row-independent matmul/bias/activation).
   Tensor forward_value(const Tensor& x) const;
+  /// forward_value into caller-owned buffers: `out` receives the result,
+  /// `scratch` holds intermediate activations. Allocation-free once both
+  /// have seen their largest shapes; results are bit-identical to
+  /// forward_value.
+  void forward_value_into(const Tensor& x, Tensor& out, Tensor& scratch) const;
 
   std::size_t in_features() const;
   std::size_t out_features() const;

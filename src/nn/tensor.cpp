@@ -56,7 +56,12 @@ void Tensor::matmul_into(const Tensor& a, const Tensor& b, Tensor& out, bool tra
   }
   if (out.rows_ != m || out.cols_ != n) {
     if (accumulate) throw std::invalid_argument("matmul: bad accumulate shape");
-    out = Tensor(m, n);
+    // Reshape in place: vector::assign reuses existing capacity, so a
+    // caller cycling one scratch tensor through different layer shapes
+    // stops allocating once the largest shape has been seen.
+    out.rows_ = m;
+    out.cols_ = n;
+    out.data_.assign(m * n, 0.0);
   } else if (!accumulate) {
     out.fill(0.0);
   }

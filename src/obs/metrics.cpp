@@ -241,10 +241,13 @@ void write_histogram_json(std::ostream& os, const Histogram::Snapshot& snap) {
 struct Registry::Impl {
   mutable std::mutex mu;
   // std::map: sorted iteration AND stable node addresses — references
-  // handed out survive every later registration.
+  // handed out survive every later registration (but not a
+  // clear_for_testing, which bumps `generation` so CachedCounter
+  // handles re-resolve instead of dangling).
   std::map<std::string, Counter> counters;
   std::map<std::string, Gauge> gauges;
   std::map<std::string, Histogram> histograms;
+  std::atomic<std::uint64_t> generation{0};
 };
 
 Registry& Registry::instance() {
@@ -355,6 +358,21 @@ void Registry::reset() {
   for (auto& [name, metric] : im.counters) metric.reset();
   for (auto& [name, metric] : im.gauges) metric.reset();
   for (auto& [name, metric] : im.histograms) metric.reset();
+}
+
+std::uint64_t Registry::generation() const {
+  return impl().generation.load(std::memory_order_acquire);
+}
+
+void Registry::clear_for_testing() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.counters.clear();
+  im.gauges.clear();
+  im.histograms.clear();
+  // Bump AFTER the maps are emptied (still under the lock): a handle
+  // that observes the new generation re-resolves into the new maps.
+  im.generation.fetch_add(1, std::memory_order_release);
 }
 
 Counter& counter(const std::string& name) {

@@ -12,12 +12,15 @@
 //     files the CLI flags name — never to result streams, so enabling
 //     them cannot perturb a single byte of simulation, sweep, training,
 //     or store output.
-//   * The registry hands out references with stable addresses (metrics
-//     are never destroyed), so hot paths pay one registration on first
-//     enabled use and a relaxed atomic update afterwards:
+//   * The registry hands out references with stable addresses for the
+//     registry's lifetime, and hot paths hold an obs::CachedCounter: one
+//     registration on first enabled use, a relaxed atomic update
+//     afterwards, and automatic re-resolution if the registry is ever
+//     cleared/swapped (a `static obs::Counter&` latch would keep
+//     counting into the old generation's node):
 //
 //       if (obs::enabled()) {
-//         static obs::Counter& c = obs::counter("sim.events");
+//         static obs::CachedCounter c("sim.events");
 //         c.add(n);
 //       }
 //
@@ -169,6 +172,16 @@ class Registry {
   /// Zero every metric (names stay registered). Tests and bench repeats.
   void reset();
 
+  /// Monotonic generation stamp, bumped whenever previously handed-out
+  /// metric references are invalidated (clear_for_testing). CachedCounter
+  /// re-resolves when it observes a new generation.
+  std::uint64_t generation() const;
+
+  /// Drop every registered metric — references obtained earlier DANGLE
+  /// afterwards. Strictly a test hook for exercising the re-resolution
+  /// path; production code only ever reset()s.
+  void clear_for_testing();
+
  private:
   Registry() = default;
   struct Impl;
@@ -181,6 +194,42 @@ Counter& counter(const std::string& name);
 Gauge& gauge(const std::string& name);
 Histogram& histogram(const std::string& name,
                      const HistogramLayout& layout = duration_buckets());
+
+/// Hot-path counter handle: resolves its registry node on first use and
+/// caches the pointer, revalidating against Registry::generation() so a
+/// cleared/swapped registry (tests, embedders) can never leave it
+/// counting into a stale — or dangling — node the way a function-local
+/// `static obs::Counter&` latch would. Safe to share across threads
+/// (function-local static in practice): the cache is a release-stored
+/// pointer published by an acquire-read generation stamp, and a racing
+/// re-resolution lands on the same registry node.
+class CachedCounter {
+ public:
+  /// `name` must outlive the handle (a string literal in practice).
+  explicit CachedCounter(const char* name) : name_(name) {}
+
+  void add(std::uint64_t n = 1) {
+    const std::uint64_t gen = Registry::instance().generation();
+    Counter* c = nullptr;
+    if (generation_.load(std::memory_order_acquire) == gen) {
+      c = cached_.load(std::memory_order_relaxed);
+    }
+    if (c == nullptr) {
+      c = &Registry::instance().counter(name_);
+      cached_.store(c, std::memory_order_relaxed);
+      generation_.store(gen, std::memory_order_release);
+    }
+    c->add(n);
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+  std::atomic<Counter*> cached_{nullptr};
+  // Starts at the never-issued sentinel so the first add() resolves.
+  std::atomic<std::uint64_t> generation_{~std::uint64_t{0}};
+};
 
 /// Write the registry dump to `path`; false on I/O error. Writes even
 /// when metrics are disabled (the dump is then empty-or-stale, which

@@ -25,19 +25,38 @@ double Dqn::epsilon(std::size_t epoch) const {
   return config_.epsilon_start + f * (config_.epsilon_end - config_.epsilon_start);
 }
 
-double Dqn::td_target(const Transition& t) const {
-  if (t.done) return t.reward;
-  const nn::Tensor target_q = target_->policy_logits_nograd(t.next_obs);
-  std::size_t best;
+std::vector<double> Dqn::td_targets(const std::vector<const Transition*>& batch) const {
+  // Non-terminal transitions share ONE batched next-state scoring pass
+  // (two with double DQN) instead of a forward per transition. Batched
+  // scoring is bit-identical per row to per-transition calls, so the
+  // targets — and the trained model — are unchanged.
+  std::vector<std::size_t> live;
+  std::vector<const nn::Tensor*> next_obs;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch[i]->done) {
+      live.push_back(i);
+      next_obs.push_back(&batch[i]->next_obs);
+    }
+  }
+  const std::vector<nn::Tensor> target_q = target_->policy_logits_nograd_batch(next_obs);
+  std::vector<nn::Tensor> online_q;
   if (config_.double_dqn) {
     // Action selection by the online net, evaluation by the target net —
     // breaks the max-operator overestimation bias.
-    const nn::Tensor online_q = model_.policy_logits_nograd(t.next_obs);
-    best = argmax_masked(online_q, t.next_mask);
-  } else {
-    best = argmax_masked(target_q, t.next_mask);
+    online_q = model_.policy_logits_nograd_batch(next_obs);
   }
-  return t.reward + config_.gamma * target_q.at(best, 0);
+
+  std::vector<double> targets;
+  targets.reserve(batch.size());
+  for (const Transition* t : batch) targets.push_back(t->reward);
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    const Transition& t = *batch[live[k]];
+    const std::size_t best = config_.double_dqn
+                                 ? argmax_masked(online_q[k], t.next_mask)
+                                 : argmax_masked(target_q[k], t.next_mask);
+    targets[live[k]] = t.reward + config_.gamma * target_q[k].at(best, 0);
+  }
+  return targets;
 }
 
 DqnStats Dqn::update(util::Rng& rng) {
@@ -50,9 +69,11 @@ DqnStats Dqn::update(util::Rng& rng) {
 
     opt_.zero_grad();
     const double inv_n = 1.0 / static_cast<double>(batch.size());
+    const std::vector<double> targets = td_targets(batch);
     double loss_sum = 0.0, q_sum = 0.0, y_sum = 0.0;
-    for (const Transition* t : batch) {
-      const double y = td_target(*t);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const Transition* t = batch[b];
+      const double y = targets[b];
       const nn::VarPtr q_all = model_.policy_logits(t->obs);
       const nn::VarPtr q_a = nn::pick(q_all, t->action, 0);
       nn::VarPtr loss = nn::huber(nn::sub(q_a, nn::scalar(y)), config_.huber_delta);

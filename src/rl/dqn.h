@@ -80,8 +80,9 @@ class Dqn {
   const DqnConfig& config() const { return config_; }
 
  private:
-  /// TD target for one transition (no gradient).
-  double td_target(const Transition& t) const;
+  /// TD targets for a whole minibatch (no gradient): non-terminal
+  /// next-states are scored in one batched pass per network.
+  std::vector<double> td_targets(const std::vector<const Transition*>& batch) const;
 
   ActorCritic& model_;
   DqnConfig config_;

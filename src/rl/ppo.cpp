@@ -6,6 +6,14 @@
 
 namespace rlbf::rl {
 
+std::vector<nn::Tensor> ActorCritic::policy_logits_nograd_batch(
+    const std::vector<const nn::Tensor*>& obs) const {
+  std::vector<nn::Tensor> out;
+  out.reserve(obs.size());
+  for (const nn::Tensor* o : obs) out.push_back(policy_logits_nograd(*o));
+  return out;
+}
+
 CategoricalSample sample_masked(const nn::Tensor& logits,
                                 const std::vector<std::uint8_t>& mask, util::Rng& rng) {
   if (logits.cols() != 1 || logits.rows() != mask.size()) {
@@ -107,14 +115,29 @@ void Ppo::policy_shard(const std::vector<Step*>& steps, ActorCritic& replica,
 
 void Ppo::value_shard(const std::vector<Step*>& steps, ActorCritic& replica,
                       ShardGrads& out) const {
-  for (const Step* s : steps) {
-    const nn::VarPtr v = replica.value(s->value_obs);
-    nn::VarPtr loss = nn::square(nn::sub(v, nn::scalar(s->ret)));
+  if (steps.empty()) return;
+  // One batched critic forward for the whole shard instead of a graph
+  // pass per step. This is bit-identical to the historical per-step
+  // loop: forward rows are row-independent; the weight/bias gradient of
+  // a B-row matmul accumulates over rows in exactly the order the
+  // per-step accumulate_grad calls did; and the per-row losses are
+  // extracted and summed below in step order.
+  nn::Tensor stacked(steps.size(), steps.front()->value_obs.cols());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const nn::Tensor& o = steps[i]->value_obs;
+    for (std::size_t c = 0; c < o.cols(); ++c) stacked.at(i, c) = o.at(0, c);
+  }
+  const nn::VarPtr v_all = replica.value(stacked);
+  nn::VarPtr total;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const nn::VarPtr v = nn::pick(v_all, i, 0);
+    nn::VarPtr loss = nn::square(nn::sub(v, nn::scalar(steps[i]->ret)));
     loss = nn::mul_scalar(loss, out.inv_batch);
-    nn::backward(loss);
     out.loss_sum += loss->value.item() / out.inv_batch;
     ++out.n;
+    total = total == nullptr ? loss : nn::add(total, loss);
   }
+  nn::backward(total);
 }
 
 std::vector<Step*> Ppo::sample_minibatch(const std::vector<Step*>& all,

@@ -34,6 +34,13 @@ class ActorCritic {
   virtual nn::Tensor policy_logits_nograd(const nn::Tensor& policy_obs) const = 0;
   virtual double value_nograd(const nn::Tensor& value_obs) const = 0;
 
+  /// Score many observations in one pass where the model supports it
+  /// (DQN target batches). Bit-identical element-wise to calling
+  /// policy_logits_nograd once per observation; the base implementation
+  /// is exactly that loop. `obs` pointers must be non-null.
+  virtual std::vector<nn::Tensor> policy_logits_nograd_batch(
+      const std::vector<const nn::Tensor*>& obs) const;
+
   virtual std::vector<nn::VarPtr> policy_parameters() const = 0;
   virtual std::vector<nn::VarPtr> value_parameters() const = 0;
 

@@ -15,11 +15,15 @@ AvailabilityProfile::AvailabilityProfile(std::int64_t now, std::int64_t total)
 
 AvailabilityProfile AvailabilityProfile::from_cluster(
     const sim::ClusterState& cluster, const swf::Trace& trace,
-    const sim::RuntimeEstimator& estimator, std::int64_t now) {
+    const sim::RuntimeEstimator& estimator, std::int64_t now,
+    sim::FeatureCache* cache) {
   AvailabilityProfile profile(now, cluster.total_procs());
   for (const auto& r : cluster.running_jobs()) {
-    const std::int64_t est_end =
-        std::max(r.start_time + estimator.estimate(trace[r.job_index]), now + 1);
+    const std::int64_t est = cache != nullptr
+                                 ? cache->estimate(estimator, trace, r.job_index)
+                                 : estimator.estimate(trace[r.job_index]);
+    // Snapshot-only estimated view; see sim::estimated_release.
+    const std::int64_t est_end = sim::estimated_release(r, est, now);
     profile.reserve(now, r.procs, est_end - now);
   }
   return profile;
@@ -95,7 +99,7 @@ std::vector<std::int64_t> plan_starts(AvailabilityProfile profile,
   starts.reserve(order.size());
   for (const std::size_t idx : order) {
     const auto& job = ctx.trace[idx];
-    const std::int64_t dur = ctx.estimator.estimate(job);
+    const std::int64_t dur = sim::context_estimate(ctx, idx);
     const std::int64_t s = profile.earliest_start(job.procs(), dur);
     profile.reserve(s, job.procs(), dur);
     starts.push_back(s);
@@ -106,12 +110,14 @@ std::vector<std::int64_t> plan_starts(AvailabilityProfile profile,
 namespace {
 
 /// Shared plan-and-compare core: admit the first candidate that delays
-/// no queued job's planned start by more than its allowance.
+/// no queued job's planned start by more than its allowance. The
+/// allowance callback receives the queued job's trace index so it can
+/// use the context's memoized estimates.
 std::optional<std::size_t> choose_with_allowance(
     const sim::BackfillContext& ctx,
-    const std::function<std::int64_t(const swf::Job&)>& allowance) {
+    const std::function<std::int64_t(std::size_t)>& allowance) {
   const AvailabilityProfile base = AvailabilityProfile::from_cluster(
-      ctx.cluster, ctx.trace, ctx.estimator, ctx.now);
+      ctx.cluster, ctx.trace, ctx.estimator, ctx.now, ctx.cache);
 
   // Baseline plan: every queued job packed in priority order.
   const std::vector<std::int64_t> baseline = plan_starts(base, ctx.queue, ctx);
@@ -122,7 +128,7 @@ std::optional<std::size_t> choose_with_allowance(
     // (minus the candidate) must stay within its delay allowance.
     AvailabilityProfile with_cand = base;
     const auto& cjob = ctx.trace[cand];
-    with_cand.reserve(ctx.now, cjob.procs(), ctx.estimator.estimate(cjob));
+    with_cand.reserve(ctx.now, cjob.procs(), sim::context_estimate(ctx, cand));
 
     std::vector<std::size_t> rest;
     std::vector<std::int64_t> rest_baseline;
@@ -134,7 +140,7 @@ std::optional<std::size_t> choose_with_allowance(
     const std::vector<std::int64_t> with_starts = plan_starts(with_cand, rest, ctx);
     bool delays = false;
     for (std::size_t q = 0; q < rest.size(); ++q) {
-      if (with_starts[q] > rest_baseline[q] + allowance(ctx.trace[rest[q]])) {
+      if (with_starts[q] > rest_baseline[q] + allowance(rest[q])) {
         delays = true;
         break;
       }
@@ -148,7 +154,7 @@ std::optional<std::size_t> choose_with_allowance(
 
 std::optional<std::size_t> ConservativeBackfillChooser::choose(
     const sim::BackfillContext& ctx) {
-  return choose_with_allowance(ctx, [](const swf::Job&) { return 0; });
+  return choose_with_allowance(ctx, [](std::size_t) { return std::int64_t{0}; });
 }
 
 SlackBackfillChooser::SlackBackfillChooser(double slack_factor,
@@ -161,15 +167,19 @@ SlackBackfillChooser::SlackBackfillChooser(double slack_factor,
 
 std::int64_t SlackBackfillChooser::allowance(
     const swf::Job& job, const sim::RuntimeEstimator& estimator) const {
-  const double proportional =
-      slack_factor_ * static_cast<double>(estimator.estimate(job));
+  return allowance_from_estimate(estimator.estimate(job));
+}
+
+std::int64_t SlackBackfillChooser::allowance_from_estimate(
+    std::int64_t estimate) const {
+  const double proportional = slack_factor_ * static_cast<double>(estimate);
   return fixed_slack_ + static_cast<std::int64_t>(proportional);
 }
 
 std::optional<std::size_t> SlackBackfillChooser::choose(
     const sim::BackfillContext& ctx) {
-  return choose_with_allowance(ctx, [&](const swf::Job& job) {
-    return allowance(job, ctx.estimator);
+  return choose_with_allowance(ctx, [&](std::size_t idx) {
+    return allowance_from_estimate(sim::context_estimate(ctx, idx));
   });
 }
 

@@ -23,11 +23,15 @@ class AvailabilityProfile {
   AvailabilityProfile(std::int64_t now, std::int64_t total);
 
   /// Build from the cluster's running set, using estimated end times
-  /// (elapsed estimates clamp to now + 1, as in compute_reservation).
+  /// (elapsed estimates clamp to now + 1, as in compute_reservation —
+  /// both sites share sim::estimated_release, applied to a snapshot
+  /// only; the cluster's actual end times must never be patched).
+  /// `cache` optionally memoizes the runtime estimates.
   static AvailabilityProfile from_cluster(const sim::ClusterState& cluster,
                                           const swf::Trace& trace,
                                           const sim::RuntimeEstimator& estimator,
-                                          std::int64_t now);
+                                          std::int64_t now,
+                                          sim::FeatureCache* cache = nullptr);
 
   /// Earliest time >= now at which `procs` processors stay free for
   /// `duration` seconds.
@@ -86,6 +90,8 @@ class SlackBackfillChooser final : public sim::BackfillChooser {
   /// The delay allowance for one job.
   std::int64_t allowance(const swf::Job& job,
                          const sim::RuntimeEstimator& estimator) const;
+  /// Allowance from an already-known runtime estimate.
+  std::int64_t allowance_from_estimate(std::int64_t estimate) const;
 
  private:
   double slack_factor_;

@@ -10,7 +10,14 @@ bool EasyBackfillChooser::admissible(const swf::Job& candidate,
                                      const sim::Reservation& res,
                                      const sim::RuntimeEstimator& estimator,
                                      std::int64_t now) {
-  const std::int64_t est_end = now + estimator.estimate(candidate);
+  return admissible_with_estimate(candidate, res, estimator.estimate(candidate), now);
+}
+
+bool EasyBackfillChooser::admissible_with_estimate(const swf::Job& candidate,
+                                                   const sim::Reservation& res,
+                                                   std::int64_t estimate,
+                                                   std::int64_t now) {
+  const std::int64_t est_end = now + estimate;
   if (est_end <= res.shadow_time) return true;      // done before the reservation
   return candidate.procs() <= res.extra_procs;      // fits the spare processors
 }
@@ -24,8 +31,8 @@ std::optional<std::size_t> EasyBackfillChooser::choose(const sim::BackfillContex
       break;
     case BackfillOrder::ShortestFirst:
       std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return ctx.estimator.estimate(ctx.trace[ctx.candidates[a]]) <
-               ctx.estimator.estimate(ctx.trace[ctx.candidates[b]]);
+        return sim::context_estimate(ctx, ctx.candidates[a]) <
+               sim::context_estimate(ctx, ctx.candidates[b]);
       });
       break;
     case BackfillOrder::WidestFirst:
@@ -42,8 +49,9 @@ std::optional<std::size_t> EasyBackfillChooser::choose(const sim::BackfillContex
       break;
   }
   for (const std::size_t i : order) {
-    if (admissible(ctx.trace[ctx.candidates[i]], ctx.reservation, ctx.estimator,
-                   ctx.now)) {
+    if (admissible_with_estimate(ctx.trace[ctx.candidates[i]], ctx.reservation,
+                                 sim::context_estimate(ctx, ctx.candidates[i]),
+                                 ctx.now)) {
       return i;
     }
   }

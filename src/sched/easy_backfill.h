@@ -38,6 +38,12 @@ class EasyBackfillChooser final : public sim::BackfillChooser {
   static bool admissible(const swf::Job& candidate, const sim::Reservation& res,
                          const sim::RuntimeEstimator& estimator, std::int64_t now);
 
+  /// Same test with the runtime estimate supplied by the caller (hot
+  /// paths pull it from the per-simulation FeatureCache).
+  static bool admissible_with_estimate(const swf::Job& candidate,
+                                       const sim::Reservation& res,
+                                       std::int64_t estimate, std::int64_t now);
+
  private:
   BackfillOrder order_;
 };

@@ -22,12 +22,14 @@ class FcfsPolicy final : public sim::PriorityPolicy {
  public:
   double score(const swf::Job& job, std::int64_t now) const override;
   std::string name() const override { return "FCFS"; }
+  bool time_invariant() const override { return true; }  // score = submit time
 };
 
 class SjfPolicy final : public sim::PriorityPolicy {
  public:
   double score(const swf::Job& job, std::int64_t now) const override;
   std::string name() const override { return "SJF"; }
+  bool time_invariant() const override { return true; }  // score = request time
 };
 
 class Wfp3Policy final : public sim::PriorityPolicy {

@@ -1,5 +1,7 @@
 #include "sim/cluster.h"
 
+#include <algorithm>
+
 namespace rlbf::sim {
 
 ClusterState::ClusterState(std::int64_t total_procs)
@@ -13,36 +15,39 @@ void ClusterState::start(std::size_t job_index, std::int64_t procs, std::int64_t
   if (actual_runtime < 0) throw std::invalid_argument("cluster: negative runtime");
   if (procs > free_procs_) throw std::runtime_error("cluster: oversubscription");
   free_procs_ -= procs;
-  running_.push(RunningJob{job_index, procs, now, now + actual_runtime});
+  running_.push_back(RunningJob{job_index, procs, now, now + actual_runtime});
+  std::push_heap(running_.begin(), running_.end(), ByEndTime{});
 }
 
 std::int64_t ClusterState::next_completion_time() const {
   if (running_.empty()) throw std::runtime_error("cluster: nothing running");
-  return running_.top().end_time;
+  return running_.front().end_time;
 }
 
 std::vector<RunningJob> ClusterState::complete_until(std::int64_t now) {
   std::vector<RunningJob> done;
-  while (!running_.empty() && running_.top().end_time <= now) {
-    done.push_back(running_.top());
-    running_.pop();
+  while (!running_.empty() && running_.front().end_time <= now) {
+    std::pop_heap(running_.begin(), running_.end(), ByEndTime{});
+    done.push_back(running_.back());
+    running_.pop_back();
     free_procs_ += done.back().procs;
   }
   return done;
 }
 
 std::vector<RunningJob> ClusterState::running_jobs() const {
-  // priority_queue has no iteration; copy and drain. Running sets are
-  // small (bounded by machine size), so this is cheap and keeps the
-  // invariant-holding heap untouched.
   std::vector<RunningJob> out;
-  out.reserve(running_.size());
-  auto copy = running_;
-  while (!copy.empty()) {
-    out.push_back(copy.top());
-    copy.pop();
-  }
+  running_jobs_into(out);
   return out;
+}
+
+void ClusterState::running_jobs_into(std::vector<RunningJob>& out) const {
+  // sort_heap performs exactly the pop_heap sequence the old copy-and-
+  // drain loop did, leaving elements in descending pop order; reversing
+  // restores pop order (ascending end_time, heap tie behavior intact).
+  out = running_;
+  std::sort_heap(out.begin(), out.end(), ByEndTime{});
+  std::reverse(out.begin(), out.end());
 }
 
 }  // namespace rlbf::sim

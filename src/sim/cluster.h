@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
@@ -49,8 +48,14 @@ class ClusterState {
   /// Remove and return all jobs with end_time <= now (ascending order).
   std::vector<RunningJob> complete_until(std::int64_t now);
 
-  /// Snapshot of running jobs (unordered heap contents).
+  /// Snapshot of running jobs in heap pop order (ascending end_time,
+  /// ties resolved exactly as repeated pops would resolve them).
   std::vector<RunningJob> running_jobs() const;
+
+  /// Same snapshot written into a caller-owned scratch vector, so hot
+  /// paths that take one snapshot per scheduling decision reuse a single
+  /// allocation instead of constructing a fresh vector each time.
+  void running_jobs_into(std::vector<RunningJob>& out) const;
 
  private:
   struct ByEndTime {
@@ -61,7 +66,12 @@ class ClusterState {
 
   std::int64_t total_procs_;
   std::int64_t free_procs_;
-  std::priority_queue<RunningJob, std::vector<RunningJob>, ByEndTime> running_;
+  // Explicit heap (std::push_heap/std::pop_heap over ByEndTime) rather
+  // than std::priority_queue: identical ordering behavior, but the
+  // backing vector stays inspectable, which lets running_jobs_into()
+  // reproduce pop order via sort_heap without draining a copy of the
+  // queue element-by-element.
+  std::vector<RunningJob> running_;
 };
 
 }  // namespace rlbf::sim

@@ -9,9 +9,24 @@
 
 namespace rlbf::sim {
 
+std::int64_t estimated_release(const RunningJob& r, std::int64_t estimate,
+                               std::int64_t now) {
+  // Under-predicted jobs whose estimate already elapsed count as "due
+  // immediately"; a real scheduler would see the estimate expired.
+  return std::max(r.start_time + estimate, now + 1);
+}
+
 Reservation compute_reservation(const ClusterState& cluster, const swf::Trace& trace,
                                 const swf::Job& rjob, const RuntimeEstimator& estimator,
                                 std::int64_t now) {
+  std::vector<RunningJob> scratch;
+  return compute_reservation(cluster, trace, rjob, estimator, now, nullptr, scratch);
+}
+
+Reservation compute_reservation(const ClusterState& cluster, const swf::Trace& trace,
+                                const swf::Job& rjob, const RuntimeEstimator& estimator,
+                                std::int64_t now, FeatureCache* cache,
+                                std::vector<RunningJob>& scratch) {
   Reservation res;
   const std::int64_t need = rjob.procs();
   std::int64_t free_procs = cluster.free_procs();
@@ -21,18 +36,19 @@ Reservation compute_reservation(const ClusterState& cluster, const swf::Trace& t
     return res;
   }
   // Walk running jobs in estimated-end order, accumulating releases
-  // until the head job fits.
-  auto running = cluster.running_jobs();
-  for (auto& r : running) {
-    const auto& job = trace[r.job_index];
-    std::int64_t est_end = r.start_time + estimator.estimate(job);
-    // Under-predicted jobs whose estimate already elapsed count as "due
-    // immediately"; a real scheduler would see the estimate expired.
-    r.end_time = std::max(est_end, now + 1);
+  // until the head job fits. The snapshot keeps heap pop order, so the
+  // unstable sort below always sees the same input sequence and resolves
+  // estimated-end ties identically across calls.
+  cluster.running_jobs_into(scratch);
+  for (auto& r : scratch) {
+    const std::int64_t est = cache != nullptr
+                                 ? cache->estimate(estimator, trace, r.job_index)
+                                 : estimator.estimate(trace[r.job_index]);
+    r.end_time = estimated_release(r, est, now);
   }
-  std::sort(running.begin(), running.end(),
+  std::sort(scratch.begin(), scratch.end(),
             [](const RunningJob& a, const RunningJob& b) { return a.end_time < b.end_time; });
-  for (const auto& r : running) {
+  for (const auto& r : scratch) {
     free_procs += r.procs;
     if (free_procs >= need) {
       res.shadow_time = r.end_time;
@@ -56,7 +72,9 @@ class SimRunner {
         estimator_(estimator),
         chooser_(chooser),
         options_(options),
-        cluster_(trace.machine_procs()) {}
+        cluster_(trace.machine_procs()),
+        cache_(trace.size()),
+        time_invariant_(policy.time_invariant()) {}
 
   std::vector<JobResult> run() {
     obs::Span span("simulate", "sim");
@@ -98,16 +116,48 @@ class SimRunner {
     if (!obs::enabled()) return;
     obs::counter("sim.events_processed").add(events_);
     obs::counter("sim.schedule_recomputations").add(queue_sorts_);
+    obs::counter("sim.queue_incremental_inserts").add(queue_inserts_);
     obs::counter("sim.backfill_opportunities").add(opportunities_);
     obs::counter("sim.backfill_decisions").add(decisions_);
     obs::counter("sim.jobs_backfilled").add(backfills_);
     obs::counter("sim.jobs_started").add(started_);
   }
 
+  /// Priority comparison at a fixed instant: (score, trace index). The
+  /// index tie-break makes this a strict total order, so any sorted
+  /// arrangement of the queue under it is unique — which is what lets
+  /// sorts be skipped and arrivals be binary-inserted without changing
+  /// a single scheduling decision.
+  bool queue_less(std::size_t a, std::size_t b, std::int64_t now) const {
+    const double sa = policy_.score(trace_[a], now);
+    const double sb = policy_.score(trace_[b], now);
+    if (sa != sb) return sa < sb;
+    return a < b;  // deterministic tie-break: arrival order
+  }
+
+  /// True when the queue is already in priority order for time `now`.
+  bool queue_sorted_at(std::int64_t now) const {
+    return queue_sorted_ && (time_invariant_ || sorted_now_ == now);
+  }
+
   void admit_arrivals(std::int64_t now) {
     while (next_arrival_ < trace_.size() &&
            trace_[next_arrival_].submit_time <= now) {
-      queue_.push_back(next_arrival_++);
+      const std::size_t idx = next_arrival_++;
+      if (queue_sorted_at(now)) {
+        // Binary insertion keeps the (unique) sorted order valid; the
+        // new arrival has the largest trace index, so lower_bound lands
+        // exactly where a full re-sort would place it.
+        const auto pos = std::lower_bound(
+            queue_.begin(), queue_.end(), idx,
+            [&](std::size_t a, std::size_t b) { return queue_less(a, b, now); });
+        queue_.insert(pos, idx);
+        sorted_now_ = now;
+        ++queue_inserts_;
+      } else {
+        queue_.push_back(idx);
+        queue_sorted_ = false;
+      }
     }
   }
 
@@ -132,15 +182,22 @@ class SimRunner {
     ++started_;
   }
 
+  /// Bring the queue into priority order for `now`, skipping the sort
+  /// when the current order is provably already correct: the comparator
+  /// is a strict total order (unique sorted sequence), erasures preserve
+  /// sortedness, and arrivals are binary-inserted — so once sorted, the
+  /// queue only goes stale when `now` advances under a time-varying
+  /// policy. `now` is constant within one schedule_pass, making the
+  /// old sort-per-iteration fully redundant.
   void sort_queue(std::int64_t now) {
+    if (queue_sorted_at(now)) return;
     ++queue_sorts_;
     std::stable_sort(queue_.begin(), queue_.end(),
                      [&](std::size_t a, std::size_t b) {
-                       const double sa = policy_.score(trace_[a], now);
-                       const double sb = policy_.score(trace_[b], now);
-                       if (sa != sb) return sa < sb;
-                       return a < b;  // deterministic tie-break: arrival order
+                       return queue_less(a, b, now);
                      });
+    queue_sorted_ = true;
+    sorted_now_ = now;
   }
 
   /// Start every head job that fits; on the first blocked head, open one
@@ -170,24 +227,25 @@ class SimRunner {
           backfilled >= options_.max_backfills_per_opportunity) {
         return;
       }
-      std::vector<std::size_t> candidates;
+      candidates_.clear();
       for (std::size_t i = 1; i < queue_.size(); ++i) {
         if (cluster_.can_fit(trace_[queue_[i]].procs())) {
-          candidates.push_back(queue_[i]);
+          candidates_.push_back(queue_[i]);
         }
       }
-      if (candidates.empty()) return;
-      const Reservation res =
-          compute_reservation(cluster_, trace_, trace_[rjob], estimator_, now);
+      if (candidates_.empty()) return;
+      const Reservation res = compute_reservation(
+          cluster_, trace_, trace_[rjob], estimator_, now, &cache_, running_scratch_);
+      cache_.begin_decision();
       const BackfillContext ctx{trace_, cluster_, estimator_, now,
-                                rjob, res, queue_, candidates};
+                                rjob, res, queue_, candidates_, &cache_};
       ++decisions_;
       const auto pick = chooser_->choose(ctx);
       if (!pick.has_value()) return;
-      if (*pick >= candidates.size()) {
+      if (*pick >= candidates_.size()) {
         throw std::runtime_error("backfill chooser returned out-of-range pick");
       }
-      const std::size_t chosen = candidates[*pick];
+      const std::size_t chosen = candidates_[*pick];
       start_job(chosen, now, /*backfilled=*/true);
       queue_.erase(std::find(queue_.begin(), queue_.end(), chosen));
       ++backfilled;
@@ -207,9 +265,21 @@ class SimRunner {
   std::size_t next_arrival_ = 0;
   std::size_t started_ = 0;
 
+  // Incremental-order bookkeeping: the queue is sorted iff queue_sorted_
+  // and (the policy is time-invariant or sorted_now_ == current time).
+  FeatureCache cache_;
+  bool time_invariant_ = false;
+  bool queue_sorted_ = true;  // vacuously: the queue starts empty
+  std::int64_t sorted_now_ = std::numeric_limits<std::int64_t>::min();
+
+  // Per-decision scratch buffers, reused across the whole run.
+  std::vector<std::size_t> candidates_;
+  std::vector<RunningJob> running_scratch_;
+
   // Hot-loop counters, flushed to obs once per run (see flush_counters).
   std::uint64_t events_ = 0;
   std::uint64_t queue_sorts_ = 0;
+  std::uint64_t queue_inserts_ = 0;
   std::uint64_t opportunities_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t backfills_ = 0;

@@ -32,6 +32,11 @@ class PriorityPolicy {
   virtual ~PriorityPolicy() = default;
   virtual double score(const swf::Job& job, std::int64_t now) const = 0;
   virtual std::string name() const = 0;
+  /// True when score() ignores `now` (FCFS, SJF). The simulator then
+  /// keeps the queue sorted incrementally — binary-inserting arrivals —
+  /// instead of re-sorting at every scheduling pass. Policies whose
+  /// scores drift with time (WFP3, F1) must leave this false.
+  virtual bool time_invariant() const { return false; }
 };
 
 /// Source of the runtime estimates schedulers plan with.
@@ -51,12 +56,82 @@ struct Reservation {
   std::int64_t extra_procs = 0;
 };
 
+/// The scheduler-visible release time of a running job: its estimated
+/// end, clamped to now + 1 when the estimate already elapsed (an
+/// under-prediction counts as "due immediately"). Every planner that
+/// projects the running set (EASY reservations, conservative profiles)
+/// must apply this to a SNAPSHOT of the running job, never back into the
+/// cluster: the cluster's own end_time is the job's *actual* completion,
+/// which drives event advancement — persisting the estimated view there
+/// would corrupt completion order and the simulation's two-clock design.
+std::int64_t estimated_release(const RunningJob& r, std::int64_t estimate,
+                               std::int64_t now);
+
+/// Per-simulation memo for values that are pure functions of one job:
+/// runtime estimates (NoisyEstimator rebuilds an RNG per call — the
+/// dominant per-decision cost) and the log-scaled observation features
+/// derived from them, plus the submit-time-sorted queue shared by every
+/// observation built for the same decision. Owned by the simulation run;
+/// choosers reach it through BackfillContext::cache and must also work
+/// when it is null (contexts built outside the simulator, e.g. tests).
+/// Memoization is exact: re-reading a cached value yields the identical
+/// bits the direct computation would.
+class FeatureCache {
+ public:
+  explicit FeatureCache(std::size_t trace_size)
+      : estimates_(trace_size, -1),
+        log_request_(trace_size, -1.0),
+        log_estimate_(trace_size, -1.0) {}
+
+  /// Memoized estimator.estimate(trace[job_index]) (always >= 1).
+  std::int64_t estimate(const RuntimeEstimator& estimator, const swf::Trace& trace,
+                        std::size_t job_index) {
+    std::int64_t& slot = estimates_[job_index];
+    if (slot < 0) slot = estimator.estimate(trace[job_index]);
+    return slot;
+  }
+
+  /// Raw memo slots for the observation layer's per-job log-scaled
+  /// features (strictly positive when computed; < 0 means unset). The
+  /// core layer owns the formula; the cache only owns the storage.
+  double& log_request_slot(std::size_t job_index) { return log_request_[job_index]; }
+  double& log_estimate_slot(std::size_t job_index) { return log_estimate_[job_index]; }
+
+  /// The full pending queue sorted by submit time is identical for every
+  /// observation of one decision; the simulator invalidates it before
+  /// each chooser consultation.
+  void begin_decision() { sorted_queue_valid_ = false; }
+  const std::vector<std::size_t>* sorted_queue() const {
+    return sorted_queue_valid_ ? &sorted_queue_ : nullptr;
+  }
+  std::vector<std::size_t>& mutable_sorted_queue() {
+    sorted_queue_valid_ = true;
+    return sorted_queue_;
+  }
+
+ private:
+  std::vector<std::int64_t> estimates_;
+  std::vector<double> log_request_;
+  std::vector<double> log_estimate_;
+  std::vector<std::size_t> sorted_queue_;
+  bool sorted_queue_valid_ = false;
+};
+
 /// Compute the reservation for `rjob` against the current running set.
 /// Estimated ends that already elapsed (under-predictions) are treated as
 /// "due now" (clamped to now + 1).
 Reservation compute_reservation(const ClusterState& cluster, const swf::Trace& trace,
                                 const swf::Job& rjob, const RuntimeEstimator& estimator,
                                 std::int64_t now);
+
+/// Hot-path variant: reuses a caller-owned snapshot buffer and (when
+/// `cache` is non-null) memoized runtime estimates. Bit-identical to the
+/// plain overload — the snapshot preserves heap pop order, so the
+/// unstable sort over estimated ends sees the same input sequence.
+Reservation compute_reservation(const ClusterState& cluster, const swf::Trace& trace,
+                                const swf::Job& rjob, const RuntimeEstimator& estimator,
+                                std::int64_t now, FeatureCache* cache,
+                                std::vector<RunningJob>& scratch);
 
 /// Everything a chooser may inspect when picking a backfill candidate.
 struct BackfillContext {
@@ -71,7 +146,19 @@ struct BackfillContext {
   /// Jobs that fit the free processors right now, priority order,
   /// excluding rjob. Never empty when choose() is called.
   const std::vector<std::size_t>& candidates;
+  /// Per-simulation feature memo; null for contexts built outside the
+  /// simulator. Trailing + defaulted so existing aggregate initializers
+  /// keep working.
+  FeatureCache* cache = nullptr;
 };
+
+/// Runtime estimate for trace[job_index], memoized through the context's
+/// cache when present.
+inline std::int64_t context_estimate(const BackfillContext& ctx, std::size_t job_index) {
+  return ctx.cache != nullptr
+             ? ctx.cache->estimate(ctx.estimator, ctx.trace, job_index)
+             : ctx.estimator.estimate(ctx.trace[job_index]);
+}
 
 /// Strategy consulted at backfilling opportunities.
 class BackfillChooser {

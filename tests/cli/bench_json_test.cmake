@@ -61,15 +61,16 @@ endfunction()
 
 # ---- the bench report: the pinned perf-trajectory fields.
 file(READ "${WORK_DIR}/bench.json" bench)
-# Schema v2: version stamp + provenance block (tag, toolchain/platform,
-# libm fingerprint id) so two checked-in reports are comparable.
+# Schema v3: version stamp + provenance block (tag, toolchain/platform,
+# libm fingerprint id) so two checked-in reports are comparable, plus
+# the deterministic work-counter section.
 string(JSON schema_version ERROR_VARIABLE json_err GET "${bench}" schema_version)
-if(json_err OR NOT schema_version EQUAL 2)
+if(json_err OR NOT schema_version EQUAL 3)
   math(EXPR failures "${failures} + 1")
-  message(WARNING "bench report: schema_version should be 2, got "
+  message(WARNING "bench report: schema_version should be 3, got "
                   "'${schema_version}' ${json_err}")
 else()
-  message(STATUS "bench report: schema_version = 2")
+  message(STATUS "bench report: schema_version = 3")
 endif()
 require_member(bench "bench report" source tag)
 require_member(bench "bench report" source platform)
@@ -91,6 +92,19 @@ require_positive(bench "bench report" sweep instances)
 require_positive(bench "bench report" dist jobs)
 require_positive(bench "bench report" dist job_seconds_total)
 require_positive(bench "bench report" dist worker_utilization)
+# Schema v3 counters: the train phase exercises the NN hot paths (batched
+# forwards included) and the sim phase maintains its queue incrementally.
+# sim.schedule_recomputations counts only ACTUAL full sorts — with the
+# bench's time-invariant priority policies (FCFS/SJF) it is rightly 0,
+# so it is member-checked, not positivity-checked.
+require_positive(bench "bench report" counters nn.forward_calls)
+require_positive(bench "bench report" counters nn.forward_value_calls)
+require_positive(bench "bench report" counters nn.batched_forward_calls)
+require_positive(bench "bench report" counters nn.batched_forward_rows)
+require_positive(bench "bench report" counters nn.backward_calls)
+require_member(bench "bench report" counters sim.schedule_recomputations)
+require_positive(bench "bench report" counters sim.queue_incremental_inserts)
+require_member(bench "bench report" counters sim.backfill_decisions)
 
 # ---- the metrics registry dump: the three sections, and a counter from
 # every instrumented layer.

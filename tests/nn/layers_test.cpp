@@ -69,6 +69,69 @@ INSTANTIATE_TEST_SUITE_P(AllActivations, MlpActivationTest,
                          ::testing::Values(Activation::None, Activation::Relu,
                                            Activation::Tanh));
 
+// ---- batched-inference parity suite -------------------------------------
+// The hot-path contract: the graph forward, the nograd forward, and the
+// buffer-reusing batched path must agree BIT-FOR-BIT (operator==, not a
+// tolerance) for every activation and batch size, and a multi-row batch
+// must reproduce the per-row passes exactly. The golden byte-identity
+// suite leans on this.
+
+class MlpParityTest
+    : public ::testing::TestWithParam<std::tuple<Activation, std::size_t>> {};
+
+TEST_P(MlpParityTest, GraphValueAndBatchedPathsAreBitIdentical) {
+  const auto [act, batch] = GetParam();
+  util::Rng rng(23);
+  const Mlp mlp({10, 32, 16, 8, 1}, act, rng);
+  const Tensor x = Tensor::randn(batch, 10, rng);
+
+  const Tensor via_graph = mlp.forward(make_var(x))->value;
+  const Tensor via_value = mlp.forward_value(x);
+  Tensor via_into, scratch;
+  mlp.forward_value_into(x, via_into, scratch);
+
+  EXPECT_TRUE(via_graph == via_value);
+  EXPECT_TRUE(via_value == via_into);
+
+  // One batched pass == the per-row passes, bit for bit.
+  for (std::size_t r = 0; r < batch; ++r) {
+    const Tensor row_out = mlp.forward_value(x.row(r));
+    ASSERT_EQ(row_out.rows(), 1u);
+    for (std::size_t c = 0; c < row_out.cols(); ++c) {
+      EXPECT_EQ(via_value.at(r, c), row_out.at(0, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ActivationsAndBatchSizes, MlpParityTest,
+    ::testing::Combine(::testing::Values(Activation::None, Activation::Relu,
+                                         Activation::Tanh),
+                       ::testing::Values(std::size_t{1}, std::size_t{7},
+                                         std::size_t{64})));
+
+TEST(Mlp, ForwardValueHandlesEmptyCandidateBatch) {
+  util::Rng rng(29);
+  const Mlp mlp({10, 8, 1}, Activation::Relu, rng);
+  const Tensor empty(0, 10);
+  const Tensor out = mlp.forward_value(empty);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 1u);
+}
+
+TEST(Mlp, ForwardValueIntoReusesBuffersAcrossShapes) {
+  util::Rng rng(31);
+  const Mlp mlp({6, 12, 4, 1}, Activation::Tanh, rng);
+  Tensor out, scratch;
+  // Warm with a large batch, then shrink and grow again: every call must
+  // match a fresh forward_value exactly despite the recycled buffers.
+  for (const std::size_t batch : {64u, 1u, 7u, 64u}) {
+    const Tensor x = Tensor::randn(batch, 6, rng);
+    mlp.forward_value_into(x, out, scratch);
+    EXPECT_TRUE(out == mlp.forward_value(x));
+  }
+}
+
 TEST(Mlp, HiddenActivationIsNotAppliedToOutput) {
   util::Rng rng(9);
   Mlp mlp({2, 4, 1}, Activation::Relu, rng);

@@ -225,6 +225,51 @@ TEST(MetricsDisabledTest, HooksAllocateNothingAndRegisterNothing) {
             names.end());
 }
 
+// ---- CachedCounter / registry-generation regression ---------------------
+// The historical hot-path idiom latched `static obs::Counter&` once per
+// process; if the registry was ever cleared/swapped within a process the
+// latched reference kept counting into (or dangling off) the old node.
+// CachedCounter revalidates against Registry::generation().
+
+TEST(CachedCounterTest, ResolvesLazilyAndCounts) {
+  obs::CachedCounter handle("test.cached_counter_basic");
+  handle.add(2);
+  handle.add();
+  EXPECT_EQ(obs::counter("test.cached_counter_basic").value(), 3u);
+}
+
+TEST(CachedCounterTest, ReresolvesAfterRegistryClear) {
+  obs::CachedCounter handle("test.cached_counter_clear");
+  handle.add(5);
+  EXPECT_EQ(obs::counter("test.cached_counter_clear").value(), 5u);
+
+  const std::uint64_t gen_before = obs::Registry::instance().generation();
+  obs::Registry::instance().clear_for_testing();
+  EXPECT_GT(obs::Registry::instance().generation(), gen_before);
+
+  // The name is gone until something re-registers it...
+  const std::vector<std::string> names =
+      obs::Registry::instance().counter_names();
+  EXPECT_EQ(std::find(names.begin(), names.end(), "test.cached_counter_clear"),
+            names.end());
+
+  // ...and the handle lands its next increment in the NEW node instead
+  // of the stale pre-clear one (which a static-latched reference would
+  // still be pointing at).
+  handle.add(7);
+  EXPECT_EQ(obs::counter("test.cached_counter_clear").value(), 7u);
+}
+
+TEST(CachedCounterTest, ConcurrentAddsAcrossClearStayOnLiveNode) {
+  obs::CachedCounter handle("test.cached_counter_threads");
+  rlbf::util::ThreadPool pool(4);
+  pool.parallel_for(64, [&](std::size_t) { handle.add(); });
+  EXPECT_EQ(obs::counter("test.cached_counter_threads").value(), 64u);
+  obs::Registry::instance().clear_for_testing();
+  pool.parallel_for(64, [&](std::size_t) { handle.add(); });
+  EXPECT_EQ(obs::counter("test.cached_counter_threads").value(), 64u);
+}
+
 TEST(MetricsDisabledTest, TimerStartedDisabledNeverMerges) {
   obs::set_enabled(false);
   obs::ScopedTimer timer("test.disabled_timer_merge");

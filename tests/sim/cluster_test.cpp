@@ -94,6 +94,43 @@ TEST(Cluster, RunningJobsSnapshotDoesNotDisturbHeap) {
   EXPECT_EQ(c.running_count(), 2u);
 }
 
+TEST(Cluster, RunningJobsSnapshotMatchesPopOrderIncludingTies) {
+  // The snapshot must list jobs exactly as complete_until would pop
+  // them — including heap tie resolution for equal end times — because
+  // reservation code sorts the snapshot with an unstable sort and its
+  // tie behavior depends on the input sequence.
+  ClusterState c(64);
+  c.start(0, 4, 0, 100);
+  c.start(1, 4, 0, 50);
+  c.start(2, 4, 0, 100);  // ties with job 0
+  c.start(3, 4, 0, 50);   // ties with job 1
+  c.start(4, 4, 0, 75);
+  const auto snapshot = c.running_jobs();
+  const auto popped = c.complete_until(1000);
+  ASSERT_EQ(snapshot.size(), popped.size());
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(snapshot[i].job_index, popped[i].job_index) << "position " << i;
+    EXPECT_EQ(snapshot[i].end_time, popped[i].end_time);
+  }
+}
+
+TEST(Cluster, RunningJobsIntoReusesBufferAndMatchesRunningJobs) {
+  ClusterState c(32);
+  c.start(0, 2, 0, 30);
+  c.start(1, 2, 0, 10);
+  c.start(2, 2, 0, 20);
+  std::vector<RunningJob> scratch(17);  // stale contents must be replaced
+  c.running_jobs_into(scratch);
+  const auto fresh = c.running_jobs();
+  ASSERT_EQ(scratch.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(scratch[i].job_index, fresh[i].job_index);
+    EXPECT_EQ(scratch[i].end_time, fresh[i].end_time);
+  }
+  EXPECT_EQ(scratch[0].end_time, 10);  // pop order is ascending end time
+  EXPECT_EQ(scratch[2].end_time, 30);
+}
+
 TEST(Cluster, FullLifecycleConservesProcs) {
   ClusterState c(32);
   for (int i = 0; i < 8; ++i) c.start(static_cast<std::size_t>(i), 4, i, 10 + i);

@@ -365,6 +365,68 @@ TEST(EventSim, ZeroRuntimeJobsScheduleInstantly) {
   EXPECT_EQ(results[1].start_time, 0);  // machine free again immediately
 }
 
+/// Wraps a policy but reports it as time-varying, forcing the simulator
+/// down the full re-sort path. Scheduling results must be identical to
+/// the incremental (binary-insert, sort-skipping) path the real policy
+/// takes when it declares itself time-invariant.
+class ForcedResortPolicy final : public PriorityPolicy {
+ public:
+  explicit ForcedResortPolicy(const PriorityPolicy& inner) : inner_(inner) {}
+  double score(const swf::Job& job, std::int64_t now) const override {
+    return inner_.score(job, now);
+  }
+  std::string name() const override { return inner_.name(); }
+  // time_invariant() deliberately stays false.
+
+ private:
+  const PriorityPolicy& inner_;
+};
+
+TEST(EventSim, IncrementalQueueMatchesFullResortPath) {
+  const swf::Trace trace = workload::sdsc_sp2_like(7, 800);
+  sched::RequestTimeEstimator est;
+  for (const char* pname : {"FCFS", "SJF"}) {
+    const auto policy = sched::make_policy(pname);
+    ASSERT_TRUE(policy->time_invariant()) << pname;
+    ForcedResortPolicy resort(*policy);
+    EasyBackfillChooser easy_fast, easy_slow;
+    const auto fast = simulate(trace, *policy, est, &easy_fast);
+    const auto slow = simulate(trace, resort, est, &easy_slow);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].start_time, slow[i].start_time) << pname << " job " << i;
+      EXPECT_EQ(fast[i].end_time, slow[i].end_time) << pname << " job " << i;
+      EXPECT_EQ(fast[i].backfilled, slow[i].backfilled) << pname << " job " << i;
+    }
+  }
+}
+
+TEST(EventSim, CachedReservationMatchesPlainOverload) {
+  // Equal estimated ends exercise the unstable sort's tie behavior; the
+  // cached overload must resolve them identically because it feeds the
+  // sort the same pop-order snapshot.
+  swf::Trace t("t", 32,
+               {make_job(1, 0, 500, 6, 100), make_job(2, 0, 500, 6, 100),
+                make_job(3, 0, 400, 6, 80), make_job(4, 0, 600, 6, 100),
+                make_job(5, 0, 300, 6, 50)});
+  ClusterState cluster(32);
+  for (std::size_t i = 0; i < 5; ++i) cluster.start(i, 6, 0, t[i].run_time);
+  sched::RequestTimeEstimator est;
+  FeatureCache cache(t.size());
+  std::vector<RunningJob> scratch;
+  for (std::int64_t need = 8; need <= 32; need += 6) {
+    const swf::Job rjob = make_job(9, 1, 50, need);
+    const Reservation plain = compute_reservation(cluster, t, rjob, est, 10);
+    // Twice through the cached overload: cold estimates, then memoized.
+    for (int pass = 0; pass < 2; ++pass) {
+      const Reservation cached =
+          compute_reservation(cluster, t, rjob, est, 10, &cache, scratch);
+      EXPECT_EQ(cached.shadow_time, plain.shadow_time) << "need " << need;
+      EXPECT_EQ(cached.extra_procs, plain.extra_procs) << "need " << need;
+    }
+  }
+}
+
 TEST(EventSim, BackfillingImprovesUtilizationOnBlockedWorkload) {
   const swf::Trace trace = workload::sdsc_sp2_like(21, 1000);
   FcfsPolicy fcfs;

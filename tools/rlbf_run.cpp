@@ -1211,7 +1211,7 @@ int profile(int argc, char** argv) {
 /// the trace, so --trace_out captures the sim, sweep, train, and dist
 /// layers in one timeline.
 struct BenchArgs : ObsFlags {
-  std::string out = "BENCH_PR7.json";
+  std::string out = "BENCH_PR8.json";
   std::string scenario = "sdsc-easy";
   std::size_t jobs = 10000;
   std::size_t sim_repeat = 3;
@@ -1322,6 +1322,13 @@ constexpr CompareField kCompareFields[] = {
     {"sweep", "instance_seconds_mean", false, true},
     {"dist", "job_seconds_total", false, true},
     {"dist", "worker_utilization", true, false},
+    // Schema-v3 work counters (deterministic, so any same-config change
+    // is real): fewer NN passes and fewer full queue sorts per identical
+    // workload are the hot-path campaign's direct evidence. Against an
+    // older baseline they surface as "skipped: new field" rows.
+    {"counters", "nn.forward_calls", false, true},
+    {"counters", "nn.forward_value_calls", false, true},
+    {"counters", "sim.schedule_recomputations", false, true},
 };
 
 bool json_equal(const obs::json::Value& a, const obs::json::Value& b) {
@@ -1382,7 +1389,8 @@ int bench_compare(const std::string& base_path, const std::string& cand_path,
 
   struct Row {
     std::string field;
-    bool has_values = false;
+    bool has_base = false;
+    bool has_cand = false;
     double base = 0.0;
     double cand = 0.0;
     bool has_change = false;
@@ -1400,29 +1408,41 @@ int bench_compare(const std::string& base_path, const std::string& cand_path,
     };
     const obs::json::Value* b = lookup(base);
     const obs::json::Value* c = lookup(cand);
-    if (b == nullptr || !b->is_number() || c == nullptr || !c->is_number()) {
-      row.status = "skipped: missing";
-    } else {
-      row.has_values = true;
+    if (b != nullptr && b->is_number()) {
+      row.has_base = true;
       row.base = b->number;
+    }
+    if (c != nullptr && c->is_number()) {
+      row.has_cand = true;
       row.cand = c->number;
-      if (field.config_sensitive && !config_match) {
-        row.status = "skipped: config differs";
-      } else if (row.base == 0.0) {
-        row.status = "skipped: zero baseline";
+    }
+    if (!row.has_base && row.has_cand) {
+      // The candidate measures something the baseline predates. Named
+      // distinctly so the table documents what the next pinned baseline
+      // starts gating — and so it never divides by the absent value.
+      row.status = "skipped: new field";
+    } else if (!row.has_base || !row.has_cand) {
+      row.status = "skipped: missing";
+    } else if (field.config_sensitive && !config_match) {
+      row.status = "skipped: config differs";
+    } else if (!std::isfinite(row.base) || !std::isfinite(row.cand)) {
+      row.status = "skipped: non-finite value";
+    } else if (row.base == 0.0) {
+      // A zero baseline makes relative change undefined (any nonzero
+      // candidate would read as an infinite regression); verdict by
+      // equality instead of dividing.
+      row.status = row.cand == 0.0 ? "ok" : "skipped: zero baseline";
+    } else {
+      row.has_change = true;
+      row.change = (row.cand - row.base) / row.base;
+      const double against = field.higher_better ? -row.change : row.change;
+      if (against > threshold) {
+        row.status = "REGRESSION";
+        ++regressions;
+      } else if (-against > threshold) {
+        row.status = "improved";
       } else {
-        row.has_change = true;
-        row.change = (row.cand - row.base) / row.base;
-        const double against =
-            field.higher_better ? -row.change : row.change;
-        if (against > threshold) {
-          row.status = "REGRESSION";
-          ++regressions;
-        } else if (-against > threshold) {
-          row.status = "improved";
-        } else {
-          row.status = "ok";
-        }
+        row.status = "ok";
       }
     }
     rows.push_back(std::move(row));
@@ -1437,8 +1457,8 @@ int bench_compare(const std::string& base_path, const std::string& cand_path,
       change = buf;
     }
     table.add_row({row.field,
-                   row.has_values ? exp::format_metric(row.base) : "-",
-                   row.has_values ? exp::format_metric(row.cand) : "-",
+                   row.has_base ? exp::format_metric(row.base) : "-",
+                   row.has_cand ? exp::format_metric(row.cand) : "-",
                    change, row.status});
   }
   table.print(std::cout);
@@ -1461,9 +1481,9 @@ int bench_compare(const std::string& base_path, const std::string& cand_path,
       const Row& row = rows[i];
       os << (i == 0 ? "\n" : ",\n") << "    {\"field\": \"" << row.field
          << "\", \"base\": "
-         << (row.has_values ? exp::format_double_exact(row.base) : "null")
+         << (row.has_base ? exp::format_double_exact(row.base) : "null")
          << ", \"candidate\": "
-         << (row.has_values ? exp::format_double_exact(row.cand) : "null")
+         << (row.has_cand ? exp::format_double_exact(row.cand) : "null")
          << ", \"change\": "
          << (row.has_change ? exp::format_double_exact(row.change) : "null")
          << ", \"status\": \"" << row.status << "\"}";
@@ -1606,7 +1626,7 @@ int bench(int argc, char** argv) {
   std::ofstream os(args.out, std::ios::binary | std::ios::trunc);
   os << "{\n"
      << "  \"bench\": \"rlbf_run bench\",\n"
-     << "  \"schema_version\": 2,\n"
+     << "  \"schema_version\": 3,\n"
      << "  \"source\": {\n"
      << "    \"tag\": \"" << args.tag << "\",\n"
      << "    \"platform\": \"" << platform_string() << "\",\n"
@@ -1655,6 +1675,27 @@ int bench(int argc, char** argv) {
      << "    \"attempts\": " << report.total_attempts << ",\n"
      << "    \"job_seconds_total\": " << num(dist_hist.sum) << ",\n"
      << "    \"worker_utilization\": " << num(worker_utilization) << "\n"
+     << "  },\n"
+     // Schema v3: deterministic work counters across every phase — the
+     // hot-path evidence (batched NN passes, skipped queue sorts) that
+     // wall clocks alone cannot attribute.
+     << "  \"counters\": {\n"
+     << "    \"nn.forward_calls\": " << obs::counter("nn.forward_calls").value()
+     << ",\n"
+     << "    \"nn.forward_value_calls\": "
+     << obs::counter("nn.forward_value_calls").value() << ",\n"
+     << "    \"nn.batched_forward_calls\": "
+     << obs::counter("nn.batched_forward_calls").value() << ",\n"
+     << "    \"nn.batched_forward_rows\": "
+     << obs::counter("nn.batched_forward_rows").value() << ",\n"
+     << "    \"nn.backward_calls\": " << obs::counter("nn.backward_calls").value()
+     << ",\n"
+     << "    \"sim.schedule_recomputations\": "
+     << obs::counter("sim.schedule_recomputations").value() << ",\n"
+     << "    \"sim.queue_incremental_inserts\": "
+     << obs::counter("sim.queue_incremental_inserts").value() << ",\n"
+     << "    \"sim.backfill_decisions\": "
+     << obs::counter("sim.backfill_decisions").value() << "\n"
      << "  }\n"
      << "}\n";
   os.flush();
