@@ -4,10 +4,10 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/collection.h"
 #include "core/rl_backfill.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sched/easy_backfill.h"
 #include "util/log.h"
 
 namespace rlbf::core {
@@ -25,50 +25,16 @@ AgentConfig reconcile_masking(AgentConfig agent, const EnvConfig& env) {
   return agent;
 }
 
-struct TrajResult {
-  rl::Episode episode;
-  double bsld = 0.0;
-  double baseline_bsld = 0.0;
-};
-
-/// One epoch's trajectory collection, identical to Trainer::run_epoch's:
-/// per trajectory, sample a sequence, compute the FCFS+SJF-backfill
-/// reward baseline on it, then schedule it with the TrainingEnv.
-/// Deterministic at a fixed seed regardless of worker interleaving.
-std::vector<TrajResult> collect_trajectories(
-    const swf::Trace& trace, const sim::PriorityPolicy& policy,
-    const sim::RuntimeEstimator& estimator, const Agent& agent,
-    const EnvConfig& env_config, util::ThreadPool& pool, util::Rng& rng,
-    std::size_t n_traj, std::size_t jobs_per_trajectory) {
-  std::vector<std::uint64_t> seeds(n_traj);
-  for (auto& s : seeds) s = rng();
-
-  std::vector<TrajResult> results(n_traj);
-  const std::size_t n_workers = std::min(pool.size(), n_traj);
-  std::vector<Agent> replicas;
-  replicas.reserve(n_workers);
-  for (std::size_t w = 0; w < n_workers; ++w) replicas.push_back(agent.clone());
-
-  pool.parallel_for(n_traj, [&](std::size_t t) {
-    Agent& worker_agent = replicas[t % n_workers];
-    util::Rng traj_rng(seeds[t]);
-
-    const swf::Trace seq = trace.sample(jobs_per_trajectory, traj_rng);
-    sched::FcfsPolicy fcfs;
-    sched::EasyBackfillChooser sjf_bf(sched::BackfillOrder::ShortestFirst);
-    const auto baseline = sched::run_schedule(seq, fcfs, estimator, &sjf_bf);
-    const double baseline_bsld =
-        std::max(objective_value(env_config.objective, baseline.results), 1.0);
-
-    TrainingEnv env(worker_agent, env_config, traj_rng.split());
-    env.set_baseline_bsld(baseline_bsld);
-    (void)sched::run_schedule(seq, policy, estimator, &env);
-
-    results[t].episode = env.take_episode();
-    results[t].bsld = env.last_bsld();
-    results[t].baseline_bsld = baseline_bsld;
-  });
-  return results;
+/// One epoch's collection request: pre-draw the per-sequence seeds from
+/// the trainer's RNG stream (the shared core::collect_sequences body
+/// consumes them through whatever transport is installed).
+rl::CollectionPlan make_plan(util::Rng& rng, std::size_t n_traj,
+                             std::size_t epoch) {
+  rl::CollectionPlan plan;
+  plan.epoch = epoch;
+  plan.seeds.resize(n_traj);
+  for (auto& s : plan.seeds) s = rng();
+  return plan;
 }
 
 /// Greedy held-out evaluation, identical to Trainer::evaluate_greedy.
@@ -128,11 +94,17 @@ AltEpochStats DqnTrainer::run_epoch() {
   stats.epoch = ++epoch_;
   stats.epsilon = dqn_.epsilon(epoch_ - 1);
 
-  EnvConfig env = config_.env;
-  env.epsilon = stats.epsilon;
-  auto results =
-      collect_trajectories(trace_, *policy_, estimator_, agent_, env, pool_, rng_,
-                           config_.trajectories_per_epoch, config_.jobs_per_trajectory);
+  rl::CollectionPlan plan =
+      make_plan(rng_, config_.trajectories_per_epoch, epoch_);
+  plan.epsilon = stats.epsilon;
+  CollectionContext ctx;
+  ctx.trace = &trace_;
+  ctx.policy = policy_.get();
+  ctx.estimator = &estimator_;
+  ctx.env = config_.env;
+  ctx.env.epsilon = stats.epsilon;
+  ctx.jobs_per_trajectory = config_.jobs_per_trajectory;
+  auto results = collect_sequences(*collector_, plan, ctx, agent_);
 
   double sum_bsld = 0.0, sum_base = 0.0, sum_reward = 0.0;
   for (auto& r : results) {
@@ -219,10 +191,15 @@ AltEpochStats ReinforceTrainer::run_epoch() {
   AltEpochStats stats;
   stats.epoch = ++epoch_;
 
-  auto results = collect_trajectories(trace_, *policy_, estimator_, agent_,
-                                      config_.env, pool_, rng_,
-                                      config_.trajectories_per_epoch,
-                                      config_.jobs_per_trajectory);
+  const rl::CollectionPlan plan =
+      make_plan(rng_, config_.trajectories_per_epoch, epoch_);
+  CollectionContext ctx;
+  ctx.trace = &trace_;
+  ctx.policy = policy_.get();
+  ctx.estimator = &estimator_;
+  ctx.env = config_.env;
+  ctx.jobs_per_trajectory = config_.jobs_per_trajectory;
+  auto results = collect_sequences(*collector_, plan, ctx, agent_);
 
   rl::RolloutBuffer buffer;
   double sum_bsld = 0.0, sum_base = 0.0, sum_reward = 0.0;

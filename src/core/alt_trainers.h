@@ -22,6 +22,7 @@
 
 #include "core/agent.h"
 #include "core/backfill_env.h"
+#include "rl/collect.h"
 #include "rl/dqn.h"
 #include "rl/reinforce.h"
 #include "sched/scheduler.h"
@@ -78,6 +79,12 @@ class DqnTrainer {
   const rl::Dqn& dqn() const { return dqn_; }
   const DqnTrainerConfig& config() const { return config_; }
 
+  /// Swap the rollout transport (borrowed; nullptr restores the default
+  /// in-process ThreadCollector). Same contract as Trainer::set_collector.
+  void set_collector(rl::Collector* collector) {
+    collector_ = collector != nullptr ? collector : &thread_collector_;
+  }
+
  private:
   swf::Trace trace_;
   DqnTrainerConfig config_;
@@ -85,6 +92,8 @@ class DqnTrainer {
   std::unique_ptr<sim::PriorityPolicy> policy_;
   sched::RequestTimeEstimator estimator_;
   util::ThreadPool pool_;
+  rl::ThreadCollector thread_collector_{pool_};
+  rl::Collector* collector_ = &thread_collector_;
   rl::Dqn dqn_;
   util::Rng rng_;
   std::size_t epoch_ = 0;
@@ -124,6 +133,12 @@ class ReinforceTrainer {
   const Agent& agent() const { return agent_; }
   const ReinforceTrainerConfig& config() const { return config_; }
 
+  /// Swap the rollout transport (borrowed; nullptr restores the default
+  /// in-process ThreadCollector). Same contract as Trainer::set_collector.
+  void set_collector(rl::Collector* collector) {
+    collector_ = collector != nullptr ? collector : &thread_collector_;
+  }
+
  private:
   swf::Trace trace_;
   ReinforceTrainerConfig config_;
@@ -131,6 +146,8 @@ class ReinforceTrainer {
   std::unique_ptr<sim::PriorityPolicy> policy_;
   sched::RequestTimeEstimator estimator_;
   util::ThreadPool pool_;
+  rl::ThreadCollector thread_collector_{pool_};
+  rl::Collector* collector_ = &thread_collector_;
   rl::Reinforce reinforce_;
   util::Rng rng_;
   std::size_t epoch_ = 0;

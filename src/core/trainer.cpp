@@ -3,10 +3,10 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/collection.h"
 #include "core/rl_backfill.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sched/easy_backfill.h"
 #include "util/log.h"
 
 namespace rlbf::core {
@@ -52,53 +52,21 @@ EpochStats Trainer::run_epoch() {
   const std::size_t n_traj = config_.trajectories_per_epoch;
 
   // Pre-draw the per-trajectory seeds on the main thread so the epoch is
-  // deterministic regardless of worker interleaving.
-  std::vector<std::uint64_t> seeds(n_traj);
-  for (auto& s : seeds) s = rng_();
+  // deterministic regardless of worker interleaving — or, with a process
+  // transport, regardless of which worker serves which sequence.
+  rl::CollectionPlan plan;
+  plan.epoch = epoch_ + 1;
+  plan.seeds.resize(n_traj);
+  for (auto& s : plan.seeds) s = rng_();
 
-  struct TrajResult {
-    rl::Episode episode;
-    double bsld = 0.0;
-    double baseline_bsld = 0.0;
-  };
-  std::vector<TrajResult> results(n_traj);
-
-  // Per-worker agent replicas: collection reads model parameters while
-  // PPO later writes them, so workers run on private copies synced once
-  // per epoch. Replicas are indexed by trajectory, grouped per worker.
-  const std::size_t n_workers = std::min(pool_.size(), n_traj);
-  std::vector<Agent> replicas;
-  replicas.reserve(n_workers);
-  for (std::size_t w = 0; w < n_workers; ++w) replicas.push_back(agent_.clone());
-
-  pool_.parallel_for(n_traj, [&](std::size_t t) {
-    Agent& worker_agent = replicas[t % n_workers];
-    util::Rng traj_rng(seeds[t]);
-
-    // Sample the sequence and compute the reward baseline on it:
-    // FCFS base + shortest-first EASY backfilling (paper §3.4).
-    const swf::Trace seq = trace_.sample(config_.jobs_per_trajectory, traj_rng);
-    sched::FcfsPolicy fcfs;
-    sched::EasyBackfillChooser sjf_bf(sched::BackfillOrder::ShortestFirst);
-    const auto baseline = sched::run_schedule(seq, fcfs, estimator_, &sjf_bf);
-    const double baseline_bsld =
-        std::max(objective_value(config_.env.objective, baseline.results), 1.0);
-
-    TrainingEnv env(worker_agent, config_.env, traj_rng.split());
-    env.set_baseline_bsld(baseline_bsld);
-    const auto outcome = sched::run_schedule(seq, *policy_, estimator_, &env);
-    (void)outcome;
-
-    results[t].episode = env.take_episode();
-    results[t].bsld = env.last_bsld();
-    results[t].baseline_bsld = baseline_bsld;
-  });
-
-  // NOTE: a worker replica serves several trajectories sequentially
-  // (parallel_for hands tasks to pool threads round-robin by index, so
-  // two trajectories with the same replica may interleave across
-  // threads). Replica models are only *read* during collection, which
-  // makes that safe.
+  CollectionContext ctx;
+  ctx.trace = &trace_;
+  ctx.policy = policy_.get();
+  ctx.estimator = &estimator_;
+  ctx.env = config_.env;
+  ctx.jobs_per_trajectory = config_.jobs_per_trajectory;
+  std::vector<rl::SequenceResult> results =
+      collect_sequences(*collector_, plan, ctx, agent_);
 
   rl::RolloutBuffer buffer;
   EpochStats stats;

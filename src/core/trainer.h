@@ -17,6 +17,7 @@
 
 #include "core/agent.h"
 #include "core/backfill_env.h"
+#include "rl/collect.h"
 #include "rl/ppo.h"
 #include "sched/scheduler.h"
 #include "util/thread_pool.h"
@@ -85,6 +86,15 @@ class Trainer {
   const Agent& agent() const { return agent_; }
   const TrainerConfig& config() const { return config_; }
 
+  /// Swap the rollout transport (borrowed; must outlive the trainer).
+  /// nullptr restores the default in-process ThreadCollector. The epoch
+  /// protocol is transport-independent: seeds are pre-drawn here and
+  /// results consumed in sequence order, so any conforming collector
+  /// yields byte-identical training.
+  void set_collector(rl::Collector* collector) {
+    collector_ = collector != nullptr ? collector : &thread_collector_;
+  }
+
  private:
   swf::Trace trace_;
   TrainerConfig config_;
@@ -92,6 +102,8 @@ class Trainer {
   std::unique_ptr<sim::PriorityPolicy> policy_;
   sched::RequestTimeEstimator estimator_;
   util::ThreadPool pool_;
+  rl::ThreadCollector thread_collector_{pool_};
+  rl::Collector* collector_ = &thread_collector_;
   rl::Ppo ppo_;
   util::Rng rng_;
   std::size_t epoch_ = 0;

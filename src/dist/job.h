@@ -31,6 +31,10 @@ struct JobSpec {
   /// Position in the plan; stable across retries (failure logs and the
   /// --inject_fail test hook address jobs by this id).
   std::size_t id = 0;
+  /// 1-based attempt number, stamped by the orchestrator on each launch
+  /// (planned jobs carry 1). Host-mapping launchers rotate on it, so a
+  /// retry lands on a different host than the attempt that just failed.
+  std::size_t attempt = 1;
   /// Human name for logs: "sweep-shard0/3", "train-shard1/3".
   std::string name;
   /// The worker command in local argv form; launchers for remote

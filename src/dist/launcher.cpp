@@ -125,7 +125,10 @@ CommandLauncher::CommandLauncher(std::string command_template,
 }
 
 const std::string& CommandLauncher::host_for(const JobSpec& job) const {
-  return hosts_[job.id % hosts_.size()];
+  // Attempt 1 is plain round-robin by id; each retry advances one host,
+  // so a job never reruns on the host that just failed it (unless the
+  // list has a single host, where there is nowhere else to go).
+  return hosts_[(job.id + job.attempt - 1) % hosts_.size()];
 }
 
 LaunchResult CommandLauncher::launch(const JobSpec& job) {

@@ -90,7 +90,10 @@ class CommandLauncher : public Launcher {
   LaunchResult launch(const JobSpec& job) override;
   LaunchResult fetch(const JobSpec& job) override;
 
-  /// Round-robin host assignment: job id % hosts.
+  /// Round-robin host assignment with retry rotation:
+  /// (id + attempt - 1) % hosts — attempt 1 is plain round-robin by id,
+  /// and every retry moves to the next host in the list, away from the
+  /// one that just failed.
   const std::string& host_for(const JobSpec& job) const;
 
  private:

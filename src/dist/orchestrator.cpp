@@ -177,6 +177,7 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
         std::filesystem::remove_all(job.output_dir, ec);
       }
       JobSpec launched = job;
+      launched.attempt = attempt;
       const bool injecting = attempt <= injected;
       if (injecting) launched.argv.push_back(kInjectFailFlag);
       event("job " + job.name + ": attempt " + std::to_string(attempt) + "/" +
@@ -193,7 +194,9 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
       outcome.command = run.command;
       if (run.process.ok()) {
         const Clock::time_point fetch_start = Clock::now();
-        LaunchResult fetched = launcher.fetch(job);
+        // Fetch from the attempt that actually ran (host-rotating
+        // launchers map a retry to a different host than attempt 1).
+        LaunchResult fetched = launcher.fetch(launched);
         const double fetch_seconds = seconds_since(fetch_start);
         if (obs::enabled()) {
           obs::histogram("dist.fetch_seconds").observe(fetch_seconds);

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "core/alt_trainers.h"
+#include "dist/rollout.h"
 #include "exp/config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -132,6 +133,48 @@ core::Agent load_init_agent(const std::string& ref, const Store& store,
                            "' (not a spec name, store key, or model file)");
 }
 
+/// The worker-side flags that reconstruct `spec`'s training setup in a
+/// collect-rollouts subprocess: the registered spec name plus the
+/// overrides the train CLI can apply (seed, trace size, trajectory
+/// length). Throws unless re-applying exactly those overrides to the
+/// registered spec reproduces `spec`'s canonical string — the proof
+/// that worker-side collection samples the same trace, environment, and
+/// reward shaping the learner would have used in-process.
+std::vector<std::string> rollout_worker_args(const TrainingSpec& spec,
+                                             const TrainOptions& options) {
+  if (!TrainingRegistry::instance().contains(spec.name)) {
+    throw std::invalid_argument(
+        "train: --rollout_workers requires a registered training spec "
+        "(workers reconstruct the setup by name); '" +
+        spec.name + "' is not registered");
+  }
+  TrainingSpec rebuilt = find_training_spec(spec.name);
+  rebuilt.trainer.seed = spec.trainer.seed;
+  rebuilt.workload.trace_jobs = spec.workload.trace_jobs;
+  rebuilt.trainer.jobs_per_trajectory = spec.trainer.jobs_per_trajectory;
+  rebuilt.trainer.epochs = spec.trainer.epochs;
+  rebuilt.trainer.trajectories_per_epoch = spec.trainer.trajectories_per_epoch;
+  rebuilt.trainer.threads = spec.trainer.threads;
+  rebuilt.init_agent = spec.init_agent;
+  if (canonical_string(rebuilt) != canonical_string(spec)) {
+    throw std::invalid_argument(
+        "train: --rollout_workers cannot reproduce spec '" + spec.name +
+        "' from its registered definition plus CLI overrides — the spec "
+        "was modified beyond seed/jobs/traj_jobs/epochs/trajectories; "
+        "run in-process (--rollout_workers=0)");
+  }
+  std::vector<std::string> args = {
+      "--spec=" + spec.name,
+      "--seed=" + std::to_string(spec.trainer.seed),
+      "--jobs=" + std::to_string(spec.workload.trace_jobs),
+      "--traj_jobs=" + std::to_string(spec.trainer.jobs_per_trajectory)};
+  if (options.rollout.worker_threads != 0) {
+    args.push_back("--threads=" +
+                   std::to_string(options.rollout.worker_threads));
+  }
+  return args;
+}
+
 /// Shared body of train_spec / train_on_trace: run the spec's algorithm
 /// over `trace` and commit the result under `key`.
 TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
@@ -143,6 +186,43 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
   TrainOutcome outcome;
   core::TrainerConfig cfg = spec.trainer;
   if (options.threads != 0) cfg.threads = options.threads;
+
+  // The process rollout transport, when requested: every epoch's
+  // collection fans out to collect-rollouts subprocesses. Constructed
+  // before the trainer so malformed transport options fail fast.
+  std::unique_ptr<dist::ProcessCollector> collector;
+  if (options.rollout.workers > 0) {
+    dist::RolloutTransportOptions transport;
+    transport.worker = options.rollout.worker_binary;
+    transport.worker_args = rollout_worker_args(spec, options);
+    transport.work_dir = options.rollout.work_dir;
+    transport.workers = options.rollout.workers;
+    transport.retries = options.rollout.retries;
+    transport.timeout_seconds = options.rollout.timeout_seconds;
+    transport.inject_failures = options.rollout.inject_failures;
+    transport.worker_metrics = options.rollout.worker_metrics;
+    transport.worker_trace = options.rollout.worker_trace;
+    transport.hosts = options.rollout.hosts;
+    transport.command_template = options.rollout.command_template;
+    transport.fetch_template = options.rollout.fetch_template;
+    transport.on_event = options.rollout.on_event;
+    collector = std::make_unique<dist::ProcessCollector>(std::move(transport));
+  }
+  // Installs the transport on a trainer: workers load the learner's
+  // live agent from a per-epoch checkpoint (exact-text model format, so
+  // the round-trip is bit-exact).
+  const auto attach_collector = [&](auto& trainer) {
+    if (!collector) return;
+    trainer.set_collector(collector.get());
+    collector->set_save_model(
+        [&agent = trainer.agent(), &spec](const std::string& path) {
+          if (!agent.save(path, {{"spec_name", spec.name},
+                                 {"rollout_checkpoint", "1"}})) {
+            throw std::runtime_error(
+                "rollout transport: cannot write model checkpoint " + path);
+          }
+        });
+  };
 
   // Best-so-far tracking shared by every algorithm branch: the trainers
   // evaluate the *greedy* policy on held-out sequences, and at an
@@ -187,6 +267,7 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
   if (spec.algorithm == "ppo") {
     ppo = init ? std::make_unique<core::Trainer>(trace, cfg, *init)
                : std::make_unique<core::Trainer>(trace, cfg);
+    attach_collector(*ppo);
     ppo->train(make_observer(
         ppo->agent(), [](const core::EpochStats& s) { return from_stats(s); }));
     trained = &ppo->agent();
@@ -194,6 +275,7 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
     const core::DqnTrainerConfig dcfg = to_dqn(cfg, spec.dqn);
     dqn = init ? std::make_unique<core::DqnTrainer>(trace, dcfg, *init)
                : std::make_unique<core::DqnTrainer>(trace, dcfg);
+    attach_collector(*dqn);
     dqn->train(make_observer(dqn->agent(), [](const core::AltEpochStats& s) {
       return from_stats(s);
     }));
@@ -202,6 +284,7 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
     const core::ReinforceTrainerConfig rcfg = to_reinforce(cfg, spec.reinforce);
     reinforce = init ? std::make_unique<core::ReinforceTrainer>(trace, rcfg, *init)
                      : std::make_unique<core::ReinforceTrainer>(trace, rcfg);
+    attach_collector(*reinforce);
     reinforce->train(make_observer(
         reinforce->agent(),
         [](const core::AltEpochStats& s) { return from_stats(s); }));
@@ -241,6 +324,7 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
 
   outcome.entry = store.put(key, *trained, spec.name, meta, canonical);
   outcome.epochs_run = epochs_run;
+  if (collector) outcome.rollout_jobs = collector->jobs();
   if (std::isfinite(best_eval)) outcome.best_eval_bsld = best_eval;
   std::error_code ec;
   std::filesystem::remove(ckpt, ec);  // superseded by the committed entry
@@ -268,6 +352,13 @@ TrainOutcome train_spec(const TrainingSpec& spec, Store& store,
 
 TrainOutcome train_on_trace(const swf::Trace& trace, const TrainingSpec& spec,
                             Store& store, const TrainOptions& options) {
+  if (options.rollout.workers > 0) {
+    // A collect-rollouts worker reconstructs its trace from the spec's
+    // workload fields; an explicit caller-built trace has no such recipe.
+    throw std::invalid_argument(
+        "train_on_trace: --rollout_workers is not supported with an "
+        "explicit trace (workers rebuild the trace from the spec)");
+  }
   // The spec's workload-construction fields describe nothing here — the
   // caller owns trace construction — so the content address hashes the
   // trainer protocol plus the trace itself.

@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dist/job.h"
 #include "model/store.h"
 #include "model/training_spec.h"
 
@@ -59,6 +61,35 @@ struct TrainOptions {
   /// identical to an unsharded run. The default 0/1 is "everything".
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+
+  /// In-run distributed collection: with workers > 0 every trainer epoch
+  /// fans its rollouts out to `rlbf_run collect-rollouts` subprocesses
+  /// (dist::ProcessCollector) instead of the in-process thread pool.
+  /// Requires a REGISTERED spec — the worker reconstructs the training
+  /// setup from the spec name plus explicit overrides, and train_spec
+  /// verifies the reconstruction reproduces the learner's canonical
+  /// string before any worker launches. Results are byte-identical to
+  /// workers == 0 at any worker count (rl/collect.h contract).
+  struct RolloutOptions {
+    std::size_t workers = 0;
+    /// Worker binary (normally the running rlbf_run itself).
+    std::string worker_binary;
+    /// Scratch dir for model checkpoints, rollout files, and sidecars.
+    std::string work_dir;
+    /// Collection threads per worker process (0 = spec/hardware default).
+    std::size_t worker_threads = 0;
+    std::size_t retries = 1;
+    double timeout_seconds = 0.0;
+    std::map<std::size_t, std::size_t> inject_failures;
+    bool worker_metrics = false;
+    bool worker_trace = false;
+    /// Remote transport (CommandLauncher) when command_template is set.
+    std::vector<std::string> hosts;
+    std::string command_template;
+    std::string fetch_template;
+    std::function<void(const std::string&)> on_event;
+  };
+  RolloutOptions rollout;
 };
 
 struct TrainOutcome {
@@ -71,6 +102,10 @@ struct TrainOutcome {
   /// single-spec entry points), so callers never recompute the
   /// partition to pair outcomes with specs.
   std::size_t spec_index = 0;
+  /// With TrainOptions::rollout.workers > 0: every collect-rollouts
+  /// worker job the run launched (sidecar paths included), so the caller
+  /// can merge fleet observability. Empty otherwise and on cache hits.
+  std::vector<dist::JobSpec> rollout_jobs;
 };
 
 /// Train one spec into the store (or return the cached entry). Throws

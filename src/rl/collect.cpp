@@ -1,0 +1,17 @@
+#include "rl/collect.h"
+
+namespace rlbf::rl {
+
+std::vector<SequenceResult> ThreadCollector::collect(const CollectionPlan& plan,
+                                                     const SequenceFn& fn) {
+  const std::size_t n = plan.seeds.size();
+  std::vector<SequenceResult> results(n);
+  if (n == 0) return results;
+  const std::size_t n_slots = slots(n);
+  pool_->parallel_for(n, [&](std::size_t t) {
+    results[t] = fn(t, plan.seeds[t], t % n_slots);
+  });
+  return results;
+}
+
+}  // namespace rlbf::rl

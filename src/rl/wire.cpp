@@ -1,0 +1,258 @@
+#include "rl/wire.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "nn/tensor.h"
+
+namespace rlbf::rl {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'L', 'B', 'F', 'R', 'O', 'L', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// ---- encoding (explicit little-endian, so files are host-portable) ----
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_tensor(std::string& out, const nn::Tensor& t) {
+  put_u64(out, t.rows());
+  put_u64(out, t.cols());
+  for (const double v : t.data()) put_f64(out, v);
+}
+
+// ---- decoding, with every bound checked before it is trusted ----
+
+struct Reader {
+  const std::string& bytes;
+  std::size_t pos = 0;
+
+  void need(std::size_t n, const char* what) const {
+    if (bytes.size() - pos < n) {
+      throw WireError("rollout wire: truncated input (need " +
+                      std::to_string(n) + " byte(s) for " + what +
+                      " at offset " + std::to_string(pos) + ", have " +
+                      std::to_string(bytes.size() - pos) + ")");
+    }
+  }
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  double f64(const char* what) {
+    const std::uint64_t bits = u64(what);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// A length prefix is only trusted after checking the payload it
+  /// promises actually fits in the remaining bytes — a corrupted count
+  /// must raise a truncation error, not a giant allocation.
+  std::uint64_t count(std::uint64_t element_bytes, const char* what) {
+    const std::uint64_t n = u64(what);
+    if (element_bytes != 0 && n > (bytes.size() - pos) / element_bytes) {
+      throw WireError("rollout wire: truncated input (" + std::string(what) +
+                      " claims " + std::to_string(n) +
+                      " element(s), more than the remaining " +
+                      std::to_string(bytes.size() - pos) + " byte(s) hold)");
+    }
+    return n;
+  }
+
+  nn::Tensor tensor(const char* what) {
+    const std::uint64_t rows = u64(what);
+    const std::uint64_t cols = u64(what);
+    if (rows != 0 && cols > (bytes.size() - pos) / 8 / rows) {
+      throw WireError("rollout wire: truncated input (" + std::string(what) +
+                      " claims a " + std::to_string(rows) + "x" +
+                      std::to_string(cols) + " tensor beyond the remaining " +
+                      std::to_string(bytes.size() - pos) + " byte(s))");
+    }
+    nn::Tensor t(rows, cols);
+    for (double& v : t.data()) v = f64(what);
+    return t;
+  }
+};
+
+}  // namespace
+
+std::string encode_rollouts(const std::vector<SequenceResult>& results,
+                            const std::string& fingerprint) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kVersion);
+  put_u64(out, fingerprint.size());
+  out += fingerprint;
+  put_u64(out, results.size());
+  for (const SequenceResult& r : results) {
+    put_f64(out, r.bsld);
+    put_f64(out, r.baseline_bsld);
+    put_u64(out, r.episode.steps.size());
+    for (const Step& s : r.episode.steps) {
+      put_tensor(out, s.policy_obs);
+      put_u64(out, s.mask.size());
+      for (const std::uint8_t m : s.mask) out += static_cast<char>(m);
+      put_u64(out, s.action);
+      put_f64(out, s.log_prob);
+      put_tensor(out, s.value_obs);
+      put_f64(out, s.value);
+      put_f64(out, s.reward);
+    }
+  }
+  put_u64(out, fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+std::vector<SequenceResult> decode_rollouts(
+    const std::string& bytes, const std::string& expected_fingerprint) {
+  Reader r{bytes};
+  r.need(sizeof(kMagic), "magic");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw WireError("rollout wire: bad magic (not a rollout file)");
+  }
+  r.pos = sizeof(kMagic);
+  const std::uint32_t version = r.u32("version");
+  if (version != kVersion) {
+    throw WireError("rollout wire: unsupported version " +
+                    std::to_string(version) + " (this build reads version " +
+                    std::to_string(kVersion) + ")");
+  }
+  // Checksum before content: a flipped byte anywhere must be reported as
+  // corruption, not as whatever field it happened to land in.
+  if (bytes.size() < r.pos + 8) {
+    throw WireError("rollout wire: truncated input (no checksum trailer)");
+  }
+  {
+    Reader tail{bytes, bytes.size() - 8};
+    const std::uint64_t stored = tail.u64("checksum");
+    const std::uint64_t computed = fnv1a64(bytes.data(), bytes.size() - 8);
+    if (stored != computed) {
+      throw WireError("rollout wire: checksum mismatch (file corrupted)");
+    }
+  }
+  const std::string body(bytes.data(), bytes.size() - 8);
+  Reader in{body, r.pos};
+  const std::uint64_t fp_len = in.count(1, "fingerprint");
+  const std::string fingerprint = body.substr(in.pos, fp_len);
+  in.pos += fp_len;
+  if (!expected_fingerprint.empty() && fingerprint != expected_fingerprint) {
+    throw WireError("rollout wire: fingerprint mismatch (expected '" +
+                    expected_fingerprint + "', file carries '" + fingerprint +
+                    "') — stale or mismatched rollout response");
+  }
+  // 24 bytes is the smallest possible sequence (two doubles + step count).
+  const std::uint64_t n = in.count(24, "sequence count");
+  std::vector<SequenceResult> results(n);
+  for (SequenceResult& seq : results) {
+    seq.bsld = in.f64("bsld");
+    seq.baseline_bsld = in.f64("baseline_bsld");
+    const std::uint64_t steps = in.count(8 * 8, "step count");
+    seq.episode.steps.resize(steps);
+    for (Step& s : seq.episode.steps) {
+      s.policy_obs = in.tensor("policy_obs");
+      const std::uint64_t mask_len = in.count(1, "mask");
+      s.mask.resize(mask_len);
+      for (std::uint8_t& m : s.mask) {
+        in.need(1, "mask byte");
+        m = static_cast<std::uint8_t>(body[in.pos++]);
+      }
+      s.action = in.u64("action");
+      s.log_prob = in.f64("log_prob");
+      s.value_obs = in.tensor("value_obs");
+      s.value = in.f64("value");
+      s.reward = in.f64("reward");
+    }
+  }
+  if (in.pos != body.size()) {
+    throw WireError("rollout wire: " +
+                    std::to_string(body.size() - in.pos) +
+                    " trailing byte(s) after the last sequence");
+  }
+  return results;
+}
+
+void save_rollouts(const std::string& path,
+                   const std::vector<SequenceResult>& results,
+                   const std::string& fingerprint) {
+  const std::string bytes = encode_rollouts(results, fingerprint);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw WireError("rollout wire: cannot open " + tmp + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw WireError("rollout wire: cannot write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw WireError("rollout wire: cannot move " + tmp + " to " + path + ": " +
+                    ec.message());
+  }
+}
+
+std::vector<SequenceResult> load_rollouts(
+    const std::string& path, const std::string& expected_fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw WireError("rollout wire: cannot read " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    throw WireError("rollout wire: read error on " + path);
+  }
+  try {
+    return decode_rollouts(bytes, expected_fingerprint);
+  } catch (const WireError& e) {
+    throw WireError(std::string(e.what()) + " [" + path + "]");
+  }
+}
+
+}  // namespace rlbf::rl

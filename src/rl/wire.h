@@ -1,0 +1,61 @@
+// The rollout wire format: how a collect-rollouts worker process ships
+// an epoch's sequence results back to the learner.
+//
+// A versioned binary container, explicitly little-endian so files read
+// identically across hosts in a heterogeneous fleet:
+//
+//   magic "RLBFROLL" | u32 version | fingerprint (length-prefixed)
+//   | u64 sequence count | sequences... | u64 FNV-1a checksum
+//
+// Every variable-size field is length-prefixed, doubles travel as raw
+// IEEE-754 bit patterns (bit-exact — the transport must never perturb a
+// reward or observation), and the trailing checksum covers everything
+// before it. The embedded fingerprint names the REQUEST the file
+// answers (spec + epoch + worker + seed subset): a supervisor decoding
+// with the expected fingerprint can never consume a stale file from a
+// previous epoch or a different run, even on a reused scratch dir.
+//
+// Episodes are serialized as collected — Step::advantage/ret are
+// learner-side derivations (RolloutBuffer::finish) and are not
+// transported; decode restores their collection-time zeros.
+//
+// Every decode failure is a named WireError (truncation, bad magic,
+// unsupported version, checksum mismatch, fingerprint mismatch) — a
+// corrupt or mismatched file must fail loudly, never train quietly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rl/collect.h"
+
+namespace rlbf::rl {
+
+/// Decode/read failure with a message naming the defect and offset.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialize an epoch's results. `fingerprint` is stored verbatim and
+/// re-checked on decode.
+std::string encode_rollouts(const std::vector<SequenceResult>& results,
+                            const std::string& fingerprint);
+
+/// Inverse of encode_rollouts. Throws WireError on any malformed input
+/// or when the embedded fingerprint differs from `expected_fingerprint`
+/// (pass "" to skip the fingerprint check).
+std::vector<SequenceResult> decode_rollouts(
+    const std::string& bytes, const std::string& expected_fingerprint);
+
+/// File forms. save_rollouts writes atomically (tmp + rename) so a
+/// crashed worker never leaves a torn file a retry could half-read;
+/// both throw WireError on I/O failure.
+void save_rollouts(const std::string& path,
+                   const std::vector<SequenceResult>& results,
+                   const std::string& fingerprint);
+std::vector<SequenceResult> load_rollouts(
+    const std::string& path, const std::string& expected_fingerprint);
+
+}  // namespace rlbf::rl

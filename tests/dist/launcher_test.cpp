@@ -87,6 +87,28 @@ TEST(CommandLauncherTest, AssignsHostsRoundRobin) {
   EXPECT_EQ(launcher.host_for(job), "a");
 }
 
+TEST(CommandLauncherTest, RetryAdvancesToTheNextHost) {
+  // (id + attempt - 1) % hosts: attempt 1 is the plain round-robin
+  // assignment, every retry moves one host further — never back onto
+  // the host that just failed (unless there is only one).
+  CommandLauncher launcher("{command}", {"a", "b", "c"});
+  JobSpec job;
+  job.id = 1;
+  EXPECT_EQ(launcher.host_for(job), "b");  // attempt defaults to 1
+  job.attempt = 2;
+  EXPECT_EQ(launcher.host_for(job), "c");
+  job.attempt = 3;
+  EXPECT_EQ(launcher.host_for(job), "a");
+  job.attempt = 4;
+  EXPECT_EQ(launcher.host_for(job), "b");  // wraps back around
+
+  CommandLauncher single("{command}", {"only"});
+  job.attempt = 1;
+  EXPECT_EQ(single.host_for(job), "only");
+  job.attempt = 2;
+  EXPECT_EQ(single.host_for(job), "only");  // nowhere else to go
+}
+
 TEST(CommandLauncherTest, RendersAndRunsTheTemplate) {
   CommandLauncher launcher("echo host={host} job={job}; {command}", {"h0"});
   JobSpec job;

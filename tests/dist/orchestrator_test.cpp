@@ -71,6 +71,61 @@ TEST(OrchestratorTest, InjectedFailureIsRetriedToSuccess) {
   EXPECT_TRUE(saw_retry);
 }
 
+TEST(OrchestratorTest, StampsTheAttemptOnEveryLaunchAndFetch) {
+  // The orchestrator hands launchers the ATTEMPT-STAMPED job (and
+  // fetches from that same stamped spec), so host-rotating launchers
+  // see which try this is. Planned jobs always carry attempt 1.
+  class RecordingLauncher : public LocalLauncher {
+   public:
+    LaunchResult launch(const JobSpec& job) override {
+      launch_attempts.push_back(job.attempt);
+      return LocalLauncher::launch(job);
+    }
+    LaunchResult fetch(const JobSpec& job) override {
+      fetch_attempts.push_back(job.attempt);
+      return LocalLauncher::fetch(job);
+    }
+    std::vector<std::size_t> launch_attempts;
+    std::vector<std::size_t> fetch_attempts;
+  };
+  RecordingLauncher launcher;
+  OrchestratorOptions options;
+  options.max_attempts = 3;
+  options.inject_failures = {{0, 2}};  // attempts 1 and 2 fail, 3 passes
+  const OrchestrationReport report =
+      run_jobs({flag_sensitive_job(0)}, launcher, options);
+  EXPECT_TRUE(report.all_ok);
+  EXPECT_EQ(launcher.launch_attempts, (std::vector<std::size_t>{1, 2, 3}));
+  // Only the successful attempt fetches, and from the stamped spec.
+  EXPECT_EQ(launcher.fetch_attempts, (std::vector<std::size_t>{3}));
+}
+
+TEST(OrchestratorTest, RetryLandsOnADifferentHost) {
+  // Elastic retry through a real CommandLauncher: the template renders
+  // {host}, so the recorded command shows where each attempt ran. Job 0
+  // maps to h0 on attempt 1; the retry must rotate to h1.
+  CommandLauncher launcher("echo host={host}; {command}", {"h0", "h1"});
+  OrchestratorOptions options;
+  options.max_attempts = 2;
+  options.inject_failures = {{0, 1}};
+  std::vector<std::string> events;
+  options.on_event = [&](const std::string& line) { events.push_back(line); };
+  const OrchestrationReport report =
+      run_jobs({flag_sensitive_job(0)}, launcher, options);
+  EXPECT_TRUE(report.all_ok);
+  EXPECT_EQ(report.jobs[0].attempts, 2u);
+  // The outcome records the LAST command that ran — the retry, on h1.
+  EXPECT_NE(report.jobs[0].command.find("host=h1"), std::string::npos)
+      << report.jobs[0].command;
+  bool attempt1_on_h0 = false;
+  for (const std::string& line : events) {
+    attempt1_on_h0 =
+        attempt1_on_h0 || (line.find("attempt 1/2") != std::string::npos &&
+                           line.find("injected failure") != std::string::npos);
+  }
+  EXPECT_TRUE(attempt1_on_h0) << "no injected attempt-1 event recorded";
+}
+
 TEST(OrchestratorTest, ExhaustedRetriesAreNamedWithStderrTail) {
   LocalLauncher launcher;
   std::vector<JobSpec> jobs = {flag_sensitive_job(0),

@@ -1,0 +1,222 @@
+// Wire-format tests: a rollout file round-trips bit-exactly, and every
+// way a file can be wrong — truncation, foreign bytes, version skew,
+// corruption, a stale fingerprint, trailing garbage — is a named
+// WireError, never a silent misread.
+#include "rl/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace rlbf::rl {
+namespace {
+
+std::uint64_t fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Re-stamp the trailing checksum after a deliberate edit, so tests can
+/// target the field UNDER the checksum (version, counts, trailing junk)
+/// without tripping the corruption check first.
+std::string with_recomputed_checksum(std::string bytes) {
+  bytes.resize(bytes.size() - 8);
+  const std::uint64_t hash = fnv1a64(bytes.data(), bytes.size());
+  for (int i = 0; i < 8; ++i) {
+    bytes += static_cast<char>((hash >> (8 * i)) & 0xff);
+  }
+  return bytes;
+}
+
+nn::Tensor tensor2x3(double base) {
+  nn::Tensor t(2, 3);
+  for (std::size_t i = 0; i < t.data().size(); ++i) {
+    t.data()[i] = base + static_cast<double>(i) * 0.125;
+  }
+  return t;
+}
+
+std::vector<SequenceResult> sample_results() {
+  std::vector<SequenceResult> results(2);
+  results[0].bsld = 3.141592653589793;
+  results[0].baseline_bsld = 7.25;
+  Step s0;
+  s0.policy_obs = tensor2x3(1.0);
+  s0.mask = {1, 0, 1};
+  s0.action = 2;
+  s0.log_prob = -0.6931471805599453;
+  s0.value_obs = tensor2x3(-4.0);
+  s0.value = 0.0078125;
+  s0.reward = -1e-300;  // subnormal-adjacent: must survive bit-exactly
+  Step s1;
+  s1.policy_obs = nn::Tensor(1, 1);
+  s1.policy_obs.data()[0] = 42.0;
+  s1.mask = {1};
+  s1.action = 0;
+  s1.log_prob = 0.0;
+  s1.value_obs = nn::Tensor(0, 0);
+  s1.value = -2.5;
+  s1.reward = 11.0;
+  results[0].episode.steps = {s0, s1};
+  results[1].bsld = 1.5;
+  results[1].baseline_bsld = 2.0;
+  // Second sequence has no steps (a legal degenerate episode).
+  return results;
+}
+
+void expect_equal(const std::vector<SequenceResult>& a,
+                  const std::vector<SequenceResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bsld, b[i].bsld);
+    EXPECT_EQ(a[i].baseline_bsld, b[i].baseline_bsld);
+    ASSERT_EQ(a[i].episode.steps.size(), b[i].episode.steps.size());
+    for (std::size_t j = 0; j < a[i].episode.steps.size(); ++j) {
+      const Step& x = a[i].episode.steps[j];
+      const Step& y = b[i].episode.steps[j];
+      EXPECT_EQ(x.policy_obs.rows(), y.policy_obs.rows());
+      EXPECT_EQ(x.policy_obs.cols(), y.policy_obs.cols());
+      EXPECT_EQ(x.policy_obs.data(), y.policy_obs.data());
+      EXPECT_EQ(x.mask, y.mask);
+      EXPECT_EQ(x.action, y.action);
+      EXPECT_EQ(x.log_prob, y.log_prob);
+      EXPECT_EQ(x.value_obs.data(), y.value_obs.data());
+      EXPECT_EQ(x.value, y.value);
+      EXPECT_EQ(x.reward, y.reward);
+    }
+  }
+}
+
+void expect_wire_error(const std::string& bytes, const std::string& expected_fp,
+                       const std::string& needle) {
+  try {
+    decode_rollouts(bytes, expected_fp);
+    FAIL() << "expected WireError containing '" << needle << "'";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WireTest, RoundTripIsBitExact) {
+  const std::vector<SequenceResult> original = sample_results();
+  const std::string bytes = encode_rollouts(original, "fp-abc");
+  const std::vector<SequenceResult> decoded = decode_rollouts(bytes, "fp-abc");
+  expect_equal(original, decoded);
+}
+
+TEST(WireTest, AdvantageAndReturnAreNotTransported) {
+  // GAE outputs are learner-side derivations; the wire restores their
+  // collection-time zeros even if the sender had finished its buffer.
+  std::vector<SequenceResult> results = sample_results();
+  results[0].episode.steps[0].advantage = 9.0;
+  results[0].episode.steps[0].ret = -9.0;
+  const std::vector<SequenceResult> decoded =
+      decode_rollouts(encode_rollouts(results, ""), "");
+  EXPECT_EQ(decoded[0].episode.steps[0].advantage, 0.0);
+  EXPECT_EQ(decoded[0].episode.steps[0].ret, 0.0);
+}
+
+TEST(WireTest, EmptyResultSetRoundTrips) {
+  const std::string bytes = encode_rollouts({}, "fp");
+  EXPECT_TRUE(decode_rollouts(bytes, "fp").empty());
+}
+
+TEST(WireTest, EmptyExpectedFingerprintSkipsTheCheck) {
+  const std::string bytes = encode_rollouts(sample_results(), "whatever");
+  expect_equal(sample_results(), decode_rollouts(bytes, ""));
+}
+
+TEST(WireTest, FingerprintMismatchIsANamedError) {
+  const std::string bytes = encode_rollouts({}, "epoch1-worker0");
+  expect_wire_error(bytes, "epoch2-worker0", "fingerprint mismatch");
+  expect_wire_error(bytes, "epoch2-worker0", "epoch1-worker0");  // names both
+}
+
+TEST(WireTest, BadMagicIsANamedError) {
+  std::string bytes = encode_rollouts({}, "fp");
+  bytes[0] = 'X';
+  expect_wire_error(bytes, "fp", "bad magic");
+  expect_wire_error("", "", "truncated");
+  expect_wire_error("RLBF", "", "truncated");  // shorter than the magic
+}
+
+TEST(WireTest, UnsupportedVersionIsANamedError) {
+  std::string bytes = encode_rollouts({}, "fp");
+  bytes[8] = 2;  // version lives right after the 8-byte magic
+  expect_wire_error(with_recomputed_checksum(std::move(bytes)), "fp",
+                    "unsupported version 2");
+}
+
+TEST(WireTest, FlippedByteIsCorruptionNotAFieldError) {
+  const std::vector<SequenceResult> results = sample_results();
+  std::string bytes = encode_rollouts(results, "fp");
+  // Flip one payload byte deep in the body: the checksum must catch it
+  // before the decoder trusts whatever field the byte landed in.
+  bytes[bytes.size() / 2] ^= 0x40;
+  expect_wire_error(bytes, "fp", "checksum mismatch");
+}
+
+TEST(WireTest, TruncationIsANamedError) {
+  const std::string bytes = encode_rollouts(sample_results(), "fp");
+  // Any prefix shorter than the file must fail as truncation/corruption,
+  // never decode: the checksum trailer guards most cuts, the bounds
+  // checks guard the rest.
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() - 9, bytes.size() / 2,
+        std::size_t{14}, std::size_t{8}}) {
+    EXPECT_THROW(decode_rollouts(bytes.substr(0, keep), "fp"), WireError)
+        << "prefix of " << keep << " byte(s) decoded";
+  }
+}
+
+TEST(WireTest, CorruptedCountIsTruncationNotAGiantAllocation) {
+  std::string bytes = encode_rollouts(sample_results(), "fp");
+  // The sequence count sits after magic(8) + version(4) + fp len(8) +
+  // "fp"(2); write 2^56 over it and re-stamp the checksum.
+  const std::size_t count_at = 8 + 4 + 8 + 2;
+  for (int i = 0; i < 8; ++i) bytes[count_at + i] = (i == 7) ? 1 : 0;
+  expect_wire_error(with_recomputed_checksum(std::move(bytes)), "fp",
+                    "truncated");
+}
+
+TEST(WireTest, TrailingBytesAreANamedError) {
+  std::string bytes = encode_rollouts(sample_results(), "fp");
+  bytes.resize(bytes.size() - 8);  // drop the checksum
+  bytes += "junk";                 // garbage after the last sequence
+  bytes += std::string(8, '\0');   // placeholder checksum, re-stamped below
+  expect_wire_error(with_recomputed_checksum(std::move(bytes)), "fp",
+                    "trailing byte(s)");
+}
+
+TEST(WireTest, SaveLoadRoundTripsAndNamesThePathOnError) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/rollouts_test.bin";
+  const std::vector<SequenceResult> original = sample_results();
+  save_rollouts(path, original, "fp-77");
+  // Atomic write: no .tmp litter once save returns.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  expect_equal(original, load_rollouts(path, "fp-77"));
+  try {
+    load_rollouts(path, "other-fp");
+    FAIL() << "expected WireError";
+  } catch (const WireError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fingerprint mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  EXPECT_THROW(load_rollouts(dir + "/does_not_exist.bin", ""), WireError);
+}
+
+}  // namespace
+}  // namespace rlbf::rl

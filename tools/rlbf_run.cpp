@@ -60,9 +60,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/collection.h"
 #include "dist/job.h"
 #include "dist/launcher.h"
 #include "dist/orchestrator.h"
+#include "dist/rollout.h"
 #include "exp/config.h"
 #include "exp/scenario.h"
 #include "exp/shard.h"
@@ -70,6 +72,7 @@
 #include "exp/sweep.h"
 #include "model/store.h"
 #include "model/train.h"
+#include "rl/wire.h"
 #include "obs/json.h"
 #include "obs/merge.h"
 #include "obs/metrics.h"
@@ -631,6 +634,60 @@ struct FanoutFlags {
   }
 };
 
+/// The remote-transport knobs every fan-out surface shares —
+/// `orchestrate`, `train --workers`, and `train --rollout_workers` all
+/// bind this ONE definition, so they speak the same
+/// --hosts/--command_template dialect and cannot drift apart.
+struct TransportFlags {
+  std::string hosts;
+  std::string command_template;
+  std::string fetch_template;
+
+  void bind_transport(exp::ArgParser& parser) {
+    parser.add("--hosts", &hosts,
+               "comma-separated host list; with --command_template, jobs are "
+               "assigned round-robin over it, and a retried job rotates to "
+               "the next host (away from the one that just failed)");
+    parser.add("--command_template", &command_template,
+               "launch each job through this shell template instead of a "
+               "local fork/exec; placeholders: {command} or {qcommand} "
+               "(required; use {qcommand} — the command quoted once more — "
+               "for transports like ssh that re-evaluate their argument in "
+               "a remote shell), {host}, {job}, {id}, {out}, {{ for a "
+               "literal brace — e.g. \"ssh {host} {qcommand}\"");
+    parser.add("--fetch_template", &fetch_template,
+               "shell template copying a finished job's output_dir back "
+               "({host}, {remote}, {local}, {job}, {id}) — e.g. "
+               "\"scp -r {host}:{remote} {local}\"; empty = shared filesystem");
+  }
+
+  bool remote() const { return !command_template.empty(); }
+
+  /// "" when the pairing rule holds; otherwise the error to print.
+  std::string transport_error(const std::string& command) const {
+    if (!command_template.empty() && hosts.empty()) {
+      return "rlbf_run " + command + ": --command_template needs --hosts";
+    }
+    if (!hosts.empty() && command_template.empty()) {
+      // Silently running everything locally would drop an explicit
+      // request to distribute — make the user say how to reach the hosts.
+      return "rlbf_run " + command + ": --hosts needs --command_template " +
+             "(e.g. \"ssh {host} {command}\")";
+    }
+    return "";
+  }
+
+  /// The launcher this transport selects: a local process pool, or the
+  /// command template expanded over the host list.
+  std::unique_ptr<dist::Launcher> make_launcher(double timeout) const {
+    if (command_template.empty()) {
+      return std::make_unique<dist::LocalLauncher>(timeout);
+    }
+    return std::make_unique<dist::CommandLauncher>(
+        command_template, dist::parse_hosts(hosts), fetch_template, timeout);
+  }
+};
+
 /// "out/" and "out" must both put the default scratch BESIDE the
 /// directory, never inside it.
 std::string trim_trailing_slashes(std::string path) {
@@ -638,8 +695,9 @@ std::string trim_trailing_slashes(std::string path) {
   return path;
 }
 
-struct TrainArgs : FanoutFlags, ObsFlags {
+struct TrainArgs : FanoutFlags, TransportFlags, ObsFlags {
   bool list = false;
+  std::size_t rollout_workers = 0;
   std::string spec_names;
   bool ablations = false;
   std::string store_root;
@@ -688,11 +746,18 @@ struct TrainArgs : FanoutFlags, ObsFlags {
                "after training, pack this invocation's entries into a "
                "portable bundle directory (what orchestrated workers ship "
                "back for collection)");
+    parser.add("--rollout_workers", &rollout_workers,
+               "actor/learner split: keep the PPO/DQN/REINFORCE update "
+               "in-process but fan every epoch's rollout collection out to "
+               "this many collect-rollouts worker processes (0 = in-process "
+               "threads; any value trains byte-identical results)");
     bind_fanout(parser,
                 "fan the spec grid out over this many concurrent worker "
-                "processes (local pool); their bundles are imported back into "
-                "--store, byte-identical to a sequential run (1 = in-process)",
+                "processes (local pool, or --command_template over --hosts); "
+                "their bundles are imported back into --store, "
+                "byte-identical to a sequential run (1 = in-process)",
                 "<store>.orchestrate");
+    bind_transport(parser);
     bind_obs(parser);
     return parser;
   }
@@ -777,6 +842,25 @@ int train(int argc, char** argv) {
                  "fan-out assigns shards itself)\n";
     return 2;
   }
+  if (const std::string err = args.transport_error("train"); !err.empty()) {
+    std::cerr << err << "\n";
+    return 2;
+  }
+  if (args.rollout_workers > 0 && args.workers > 1) {
+    std::cerr << "rlbf_run train: --rollout_workers and --workers are "
+                 "exclusive (--workers fans out whole specs to private "
+                 "stores; --rollout_workers fans out each epoch's rollout "
+                 "collection under one in-process learner)\n";
+    return 2;
+  }
+  if (args.rollout_workers > 0 &&
+      (args.ablations ||
+       split_names(args.spec_names, "--spec").size() != 1)) {
+    std::cerr << "rlbf_run train: --rollout_workers trains exactly one "
+                 "--spec=NAME per invocation (the rollout scratch dir and "
+                 "worker job ids are per-run)\n";
+    return 2;
+  }
   if (args.workers > 1 && !args.export_bundle.empty()) {
     std::cerr << "rlbf_run train: --workers and --export_bundle are exclusive "
                  "(the fan-out already collects worker bundles into --store; "
@@ -836,14 +920,16 @@ int train(int argc, char** argv) {
     if (args.ablations) plan.args.push_back("--ablations");
     // N concurrent local workers each defaulting to full hardware
     // concurrency would oversubscribe the machine N-fold; split the
-    // hardware between them unless the user chose a count.
-    const std::size_t worker_threads =
-        args.threads != 0 ? args.threads
-                          : std::max<std::size_t>(
-                                std::thread::hardware_concurrency() /
-                                    args.workers,
-                                1);
-    plan.args.push_back("--threads=" + std::to_string(worker_threads));
+    // hardware between them unless the user chose a count. (Remote jobs
+    // keep their own machine's default.)
+    if (args.threads != 0) {
+      plan.args.push_back("--threads=" + std::to_string(args.threads));
+    } else if (!args.remote()) {
+      plan.args.push_back("--threads=" +
+                          std::to_string(std::max<std::size_t>(
+                              std::thread::hardware_concurrency() / args.workers,
+                              1)));
+    }
     if (args.force) plan.args.push_back("--force");
     plan.args.push_back("--quiet");
     if (args.seed != 0) plan.args.push_back("--seed=" + std::to_string(args.seed));
@@ -862,9 +948,14 @@ int train(int argc, char** argv) {
     plan.worker_trace = !args.trace_out.empty();
 
     const std::vector<dist::JobSpec> jobs = dist::plan_train_jobs(plan);
-    dist::LocalLauncher launcher(args.timeout);
+    // Remote transports fetch bundles back under work_dir; create it up
+    // front (local workers create their own output dirs).
+    std::error_code work_ec;
+    std::filesystem::create_directories(work_dir, work_ec);
+    const std::unique_ptr<dist::Launcher> launcher =
+        args.make_launcher(args.timeout);
     const dist::OrchestrationReport report = run_fanout(
-        jobs, launcher, args.workers, args.retries, args.inject_fail,
+        jobs, *launcher, args.workers, args.retries, args.inject_fail,
         args.quiet);
     if (!report.all_ok) {
       std::cerr << "rlbf_run train: fan-out failed:\n"
@@ -918,6 +1009,43 @@ int train(int argc, char** argv) {
   options.force = args.force;
   options.shard_index = shard.index;
   options.shard_count = shard.count;
+
+  // The actor/learner split: collection fans out to collect-rollouts
+  // subprocesses, the update stays in this process. Byte-identical to
+  // --rollout_workers=0 by the rl/collect.h determinism contract.
+  std::string rollout_work_dir;
+  if (args.rollout_workers > 0) {
+    rollout_work_dir = args.scratch_dir(
+        trim_trailing_slashes(model::default_store_root()) + ".rollouts");
+    options.rollout.workers = args.rollout_workers;
+    options.rollout.worker_binary =
+        args.worker_binary.empty() ? util::current_executable(g_program_path)
+                                   : args.worker_binary;
+    options.rollout.work_dir = rollout_work_dir;
+    // Split the hardware between concurrent local workers (the learner
+    // sleeps during collection); remote workers keep their own default.
+    if (args.threads != 0) {
+      options.rollout.worker_threads = args.threads;
+    } else if (!args.remote()) {
+      options.rollout.worker_threads = std::max<std::size_t>(
+          std::thread::hardware_concurrency() / args.rollout_workers, 1);
+    }
+    options.rollout.retries = args.retries;
+    options.rollout.timeout_seconds = args.timeout;
+    options.rollout.inject_failures = parse_inject_fail(args.inject_fail);
+    options.rollout.worker_metrics = !args.metrics_out.empty();
+    options.rollout.worker_trace = !args.trace_out.empty();
+    if (args.remote()) {
+      options.rollout.hosts = dist::parse_hosts(args.hosts);
+      options.rollout.command_template = args.command_template;
+      options.rollout.fetch_template = args.fetch_template;
+    }
+    if (!args.quiet) {
+      options.rollout.on_event = [](const std::string& line) {
+        std::cout << "# " << line << "\n" << std::flush;
+      };
+    }
+  }
   if (!args.quiet) {
     // Per-epoch progress goes through util::log (stderr, leveled,
     // optional elapsed prefix) like every other progress surface; the
@@ -973,6 +1101,148 @@ int train(int argc, char** argv) {
               << (exported.size() == 1 ? "y" : "ies") << " to "
               << args.export_bundle << "/\n";
   }
+  if (args.rollout_workers > 0) {
+    // Fleet rollup over every collect-rollouts job this run launched,
+    // then scratch cleanup — same order as the fan-out modes (the
+    // sidecars live in the scratch dir).
+    std::vector<dist::JobSpec> rollout_jobs;
+    for (const model::TrainOutcome& out : outcomes) {
+      rollout_jobs.insert(rollout_jobs.end(), out.rollout_jobs.begin(),
+                          out.rollout_jobs.end());
+    }
+    const int obs_rc = save_fleet_obs(args, rollout_jobs);
+    args.cleanup_scratch(rollout_work_dir);
+    return obs_rc;
+  }
+  return args.save_obs();
+}
+
+// --------------------------------------------------- collect-rollouts
+
+/// The rollout worker of the actor/learner split: reconstruct one
+/// registered training spec's collection setup (trace, base policy,
+/// environment — mirroring the trainer constructors exactly), load the
+/// learner's per-epoch model checkpoint, produce the requested seed
+/// subset over an in-process thread pool, and ship the results back as
+/// a fingerprinted wire file (rl/wire.h). Launched by
+/// `train --rollout_workers=N` through dist::ProcessCollector.
+struct CollectRolloutsArgs : ObsFlags {
+  std::string spec_name;
+  std::uint64_t seed = 0;
+  std::size_t jobs = 0;
+  std::size_t traj_jobs = 0;
+  std::size_t threads = 0;
+  std::string seeds_text;
+  std::string model_path;
+  std::string out_path;
+  std::string fingerprint;
+  std::size_t epoch = 0;
+  double epsilon = std::numeric_limits<double>::quiet_NaN();
+
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser(
+        "rlbf_run collect-rollouts",
+        "Rollout worker for `train --rollout_workers`: reconstruct a "
+        "registered training spec's collection setup, load the learner's "
+        "model checkpoint, collect the given per-sequence seeds, and "
+        "write the fingerprinted rollout wire file the supervisor "
+        "reassembles in sequence order.");
+    parser.add("--spec", &spec_name,
+               "registered training spec name (required)");
+    parser.add("--seed", &seed,
+               "training seed override (0 = the spec's own; the supervisor "
+               "always passes the effective seed)");
+    parser.add("--jobs", &jobs, "override the training trace length (0 = keep)");
+    parser.add("--traj_jobs", &traj_jobs,
+               "override jobs per trajectory (0 = keep)");
+    parser.add("--threads", &threads,
+               "collection threads (0 = hardware; never changes the result)");
+    parser.add("--seeds", &seeds_text,
+               "comma-separated per-sequence seeds, in sequence order "
+               "(required)");
+    parser.add("--model", &model_path,
+               "the learner's model checkpoint to collect with (required)");
+    parser.add("--epoch", &epoch, "1-based epoch being collected (labels only)");
+    parser.add("--out", &out_path,
+               "where the rollout wire file goes (required)");
+    parser.add("--fingerprint", &fingerprint,
+               "request fingerprint embedded in the wire file (the "
+               "supervisor rejects a response carrying any other)");
+    parser.add("--epsilon", &epsilon,
+               "DQN exploration rate for this epoch (required for dqn specs)");
+    bind_obs(parser);
+    return parser;
+  }
+};
+
+int collect_rollouts(int argc, char** argv) {
+  CollectRolloutsArgs args;
+  exp::ArgParser parser = args.make_parser();
+  parser.parse_or_exit(argc, argv);
+  args.activate_obs();
+  if (args.spec_name.empty() || args.seeds_text.empty() ||
+      args.model_path.empty() || args.out_path.empty()) {
+    std::cerr << "rlbf_run collect-rollouts: pass --spec, --seeds, --model, "
+                 "and --out\n\n"
+              << parser.usage();
+    return 2;
+  }
+  model::TrainingSpec spec = model::find_training_spec(args.spec_name);
+  if (args.seed != 0) spec.trainer.seed = args.seed;
+  if (args.jobs > 0) spec.workload.trace_jobs = args.jobs;
+  if (args.traj_jobs > 0) spec.trainer.jobs_per_trajectory = args.traj_jobs;
+
+  // Mirror the trainer constructors' environment forcing exactly: the
+  // worker-side epoch must see the same selection mode and exploration
+  // rate the in-process epoch would have (core/trainer.cpp forces
+  // nothing for PPO; core/alt_trainers.cpp forces EpsilonGreedy for DQN
+  // — with the decayed per-epoch rate — and SampleSoftmax for
+  // REINFORCE).
+  core::EnvConfig env = spec.trainer.env;
+  if (spec.algorithm == "dqn") {
+    if (!std::isfinite(args.epsilon)) {
+      std::cerr << "rlbf_run collect-rollouts: dqn specs need --epsilon "
+                   "(the supervisor passes the epoch's decayed rate)\n";
+      return 2;
+    }
+    env.selection = core::ActionSelection::EpsilonGreedy;
+    env.epsilon = args.epsilon;
+  } else if (spec.algorithm == "reinforce") {
+    env.selection = core::ActionSelection::SampleSoftmax;
+  }
+
+  // The agent comes entirely from the checkpoint: observation and
+  // network configuration travel in the model file, so warm starts and
+  // masking reconciliation are the learner's business, not ours.
+  const core::Agent agent = core::Agent::load(args.model_path);
+  const std::shared_ptr<const swf::Trace> trace =
+      exp::build_trace_cached(spec.workload, spec.trainer.seed);
+  const std::unique_ptr<sim::PriorityPolicy> policy =
+      sched::make_policy(spec.trainer.base_policy);
+  sched::RequestTimeEstimator estimator;
+
+  rl::CollectionPlan plan;
+  plan.seeds = dist::parse_seed_list(args.seeds_text);
+  plan.epoch = args.epoch;
+  plan.epsilon = args.epsilon;
+  core::CollectionContext ctx;
+  ctx.trace = trace.get();
+  ctx.policy = policy.get();
+  ctx.estimator = &estimator;
+  ctx.env = env;
+  ctx.jobs_per_trajectory = spec.trainer.jobs_per_trajectory;
+
+  util::ThreadPool pool(args.threads);
+  rl::ThreadCollector collector(pool);
+  const std::vector<rl::SequenceResult> results =
+      core::collect_sequences(collector, plan, ctx, agent);
+
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(args.out_path).parent_path(), ec);
+  rl::save_rollouts(args.out_path, results, args.fingerprint);
+  std::cout << "# collected " << results.size() << " sequence(s) (epoch "
+            << args.epoch << ") -> " << args.out_path << "\n";
   return args.save_obs();
 }
 
@@ -983,12 +1253,9 @@ int train(int argc, char** argv) {
 /// via SweepFlags::forward() — and the supervision knobs are the shared
 /// FanoutFlags block `train --workers` also uses; only the transport
 /// flags (hosts, templates) and --out_dir are orchestrate's own.
-struct OrchestrateArgs : SweepFlags, FanoutFlags, ObsFlags {
+struct OrchestrateArgs : SweepFlags, FanoutFlags, TransportFlags, ObsFlags {
   std::size_t parallel = 0;
   std::string out_dir;
-  std::string hosts;
-  std::string command_template;
-  std::string fetch_template;
   bool quiet = false;
 
   OrchestrateArgs() { workers = 2; }
@@ -1008,20 +1275,7 @@ struct OrchestrateArgs : SweepFlags, FanoutFlags, ObsFlags {
     parser.add("--parallel", &parallel,
                "jobs in flight at once (0 = all workers)");
     parser.add("--out_dir", &out_dir, "where the merged files go (required)");
-    parser.add("--hosts", &hosts,
-               "comma-separated host list; with --command_template, jobs are "
-               "assigned round-robin over it");
-    parser.add("--command_template", &command_template,
-               "launch each job through this shell template instead of a "
-               "local fork/exec; placeholders: {command} or {qcommand} "
-               "(required; use {qcommand} — the command quoted once more — "
-               "for transports like ssh that re-evaluate their argument in "
-               "a remote shell), {host}, {job}, {id}, {out}, {{ for a "
-               "literal brace — e.g. \"ssh {host} {qcommand}\"");
-    parser.add("--fetch_template", &fetch_template,
-               "shell template copying a finished job's output_dir back "
-               "({host}, {remote}, {local}, {job}, {id}) — e.g. "
-               "\"scp -r {host}:{remote} {local}\"; empty = shared filesystem");
+    bind_transport(parser);
     parser.add("--inject_fail", &inject_fail,
                "test hook: \"JOB:COUNT[,JOB:COUNT...]\" forces the first "
                "COUNT attempts of job JOB to fail and be retried");
@@ -1047,15 +1301,8 @@ int orchestrate(int argc, char** argv) {
     std::cerr << "rlbf_run orchestrate: --workers must be >= 1\n";
     return 2;
   }
-  if (!args.command_template.empty() && args.hosts.empty()) {
-    std::cerr << "rlbf_run orchestrate: --command_template needs --hosts\n";
-    return 2;
-  }
-  if (!args.hosts.empty() && args.command_template.empty()) {
-    // Silently running everything locally would drop an explicit request
-    // to distribute — make the user say how to reach the hosts.
-    std::cerr << "rlbf_run orchestrate: --hosts needs --command_template "
-                 "(e.g. \"ssh {host} {command}\")\n";
+  if (const std::string err = args.transport_error("orchestrate"); !err.empty()) {
+    std::cerr << err << "\n";
     return 2;
   }
   // Deterministic CLI errors fail HERE, like `run`'s own up-front
@@ -1112,14 +1359,8 @@ int orchestrate(int argc, char** argv) {
 
   // Choose the transport: a local process pool, or the user's command
   // template expanded over the host list.
-  std::unique_ptr<dist::Launcher> launcher;
-  if (args.command_template.empty()) {
-    launcher = std::make_unique<dist::LocalLauncher>(args.timeout);
-  } else {
-    launcher = std::make_unique<dist::CommandLauncher>(
-        args.command_template, dist::parse_hosts(args.hosts),
-        args.fetch_template, args.timeout);
-  }
+  const std::unique_ptr<dist::Launcher> launcher =
+      args.make_launcher(args.timeout);
 
   const std::size_t parallel =
       args.parallel == 0 ? args.workers : args.parallel;
@@ -1909,6 +2150,9 @@ const std::vector<Command>& command_table() {
        [] { return OrchestrateArgs{}.make_parser().usage(); }},
       {"train", "train specs into the model store (sharded or fanned out)",
        [] { return TrainArgs{}.make_parser().usage(); }},
+      {"collect-rollouts",
+       "rollout worker behind train --rollout_workers (actor/learner split)",
+       [] { return CollectRolloutsArgs{}.make_parser().usage(); }},
       {"models", "list and maintain the model store",
        [] { return ModelsArgs{}.make_parser().usage(); }},
       {"bench",
@@ -1969,6 +2213,9 @@ int main(int argc, char** argv) {
       if (command == "merge") return merge(argc - 1, argv + 1);
       if (command == "orchestrate") return orchestrate(argc - 1, argv + 1);
       if (command == "train") return train(argc - 1, argv + 1);
+      if (command == "collect-rollouts") {
+        return collect_rollouts(argc - 1, argv + 1);
+      }
       if (command == "models") return models(argc - 1, argv + 1);
       if (command == "bench") return bench(argc - 1, argv + 1);
       if (command == "profile") return profile(argc - 1, argv + 1);
