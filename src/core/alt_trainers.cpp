@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/collection.h"
@@ -53,6 +54,23 @@ double evaluate_greedy_impl(const swf::Trace& trace, const Agent& agent,
     sum += objective_value(objective, outcome.results);
   }
   return sum / static_cast<double>(std::max<std::size_t>(samples, 1));
+}
+
+/// The train.* curves shared by both alternative algorithms, keyed by
+/// epoch number like Trainer::record_epoch_series. epsilon only means
+/// something for DQN; REINFORCE passes record_epsilon = false.
+void record_alt_epoch_series(obs::SeriesRecorder* series,
+                             const AltEpochStats& s, bool record_epsilon) {
+  if (series == nullptr) return;
+  const auto step = static_cast<std::int64_t>(s.epoch);
+  series->record("train.loss", step, s.loss);
+  series->record("train.mean_reward", step, s.mean_reward);
+  series->record("train.mean_bsld", step, s.mean_bsld);
+  series->record("train.baseline_bsld", step, s.mean_baseline_bsld);
+  if (record_epsilon) series->record("train.epsilon", step, s.epsilon);
+  if (!std::isnan(s.eval_bsld)) {
+    series->record("train.eval_bsld", step, s.eval_bsld);
+  }
 }
 
 void validate_loop_config(std::size_t trace_size, std::size_t jobs_per_trajectory,
@@ -154,6 +172,7 @@ std::vector<AltEpochStats> DqnTrainer::train(
     util::log_info("dqn epoch ", s.epoch, " reward=", s.mean_reward,
                    " bsld=", s.mean_bsld, " eps=", s.epsilon, " loss=", s.loss,
                    " eval=", s.eval_bsld, " wall=", s.wall_seconds, "s");
+    record_alt_epoch_series(series_, s, /*record_epsilon=*/true);
     if (on_epoch) on_epoch(s);
   }
   if (config_.keep_best && best_model_ != nullptr) {
@@ -252,6 +271,7 @@ std::vector<AltEpochStats> ReinforceTrainer::train(
     util::log_info("reinforce epoch ", s.epoch, " reward=", s.mean_reward,
                    " bsld=", s.mean_bsld, " loss=", s.loss, " eval=", s.eval_bsld,
                    " wall=", s.wall_seconds, "s");
+    record_alt_epoch_series(series_, s, /*record_epsilon=*/false);
     if (on_epoch) on_epoch(s);
   }
   if (config_.keep_best && best_model_ != nullptr) {

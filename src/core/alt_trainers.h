@@ -22,6 +22,7 @@
 
 #include "core/agent.h"
 #include "core/backfill_env.h"
+#include "obs/series.h"
 #include "rl/collect.h"
 #include "rl/dqn.h"
 #include "rl/reinforce.h"
@@ -85,6 +86,10 @@ class DqnTrainer {
     collector_ = collector != nullptr ? collector : &thread_collector_;
   }
 
+  /// Attach a time-series recorder (borrowed; must outlive the
+  /// trainer). Same pure-observer contract as Trainer::set_series.
+  void set_series(obs::SeriesRecorder* series) { series_ = series; }
+
  private:
   swf::Trace trace_;
   DqnTrainerConfig config_;
@@ -99,6 +104,7 @@ class DqnTrainer {
   std::size_t epoch_ = 0;
   double best_eval_bsld_ = std::numeric_limits<double>::infinity();
   std::unique_ptr<rl::ActorCritic> best_model_;
+  obs::SeriesRecorder* series_ = nullptr;
 };
 
 struct ReinforceTrainerConfig {
@@ -139,6 +145,10 @@ class ReinforceTrainer {
     collector_ = collector != nullptr ? collector : &thread_collector_;
   }
 
+  /// Attach a time-series recorder (borrowed; must outlive the
+  /// trainer). Same pure-observer contract as Trainer::set_series.
+  void set_series(obs::SeriesRecorder* series) { series_ = series; }
+
  private:
   swf::Trace trace_;
   ReinforceTrainerConfig config_;
@@ -153,6 +163,7 @@ class ReinforceTrainer {
   std::size_t epoch_ = 0;
   double best_eval_bsld_ = std::numeric_limits<double>::infinity();
   std::unique_ptr<rl::ActorCritic> best_model_;
+  obs::SeriesRecorder* series_ = nullptr;
 };
 
 }  // namespace rlbf::core

@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/collection.h"
@@ -112,6 +113,25 @@ double Trainer::evaluate_greedy() {
   return sum / static_cast<double>(std::max<std::size_t>(config_.eval_samples, 1));
 }
 
+void Trainer::record_epoch_series(const EpochStats& s) const {
+  if (series_ == nullptr) return;
+  const auto step = static_cast<std::int64_t>(s.epoch);
+  series_->record("train.policy_loss", step, s.ppo.policy_loss);
+  series_->record("train.value_loss", step, s.ppo.value_loss);
+  series_->record("train.entropy", step, s.ppo.entropy);
+  series_->record("train.grad_norm", step, s.ppo.grad_norm);
+  series_->record("train.approx_kl", step, s.ppo.approx_kl);
+  series_->record("train.mean_reward", step, s.mean_reward);
+  series_->record("train.mean_bsld", step, s.mean_bsld);
+  series_->record("train.baseline_bsld", step, s.mean_baseline_bsld);
+  // Sparse series: the greedy evaluation only runs every eval_every
+  // epochs, so non-evaluation epochs contribute no point rather than a
+  // misleading NaN.
+  if (!std::isnan(s.eval_bsld)) {
+    series_->record("train.eval_bsld", step, s.eval_bsld);
+  }
+}
+
 std::vector<EpochStats> Trainer::train(
     const std::function<void(const EpochStats&)>& on_epoch) {
   std::vector<EpochStats> history;
@@ -132,6 +152,7 @@ std::vector<EpochStats> Trainer::train(
                    " bsld=", s.mean_bsld, " baseline=", s.mean_baseline_bsld,
                    " steps=", s.steps, " kl=", s.ppo.approx_kl,
                    " eval=", s.eval_bsld, " wall=", s.wall_seconds, "s");
+    record_epoch_series(s);
     if (on_epoch) on_epoch(s);
   }
   if (config_.keep_best && best_model_ != nullptr) {

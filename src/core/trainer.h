@@ -17,6 +17,7 @@
 
 #include "core/agent.h"
 #include "core/backfill_env.h"
+#include "obs/series.h"
 #include "rl/collect.h"
 #include "rl/ppo.h"
 #include "sched/scheduler.h"
@@ -95,7 +96,16 @@ class Trainer {
     collector_ = collector != nullptr ? collector : &thread_collector_;
   }
 
+  /// Attach a time-series recorder (borrowed; must outlive the
+  /// trainer). Each epoch records the train.* curves keyed by epoch
+  /// number. nullptr (the default) records nothing — recording is a
+  /// pure observer and never alters training.
+  void set_series(obs::SeriesRecorder* series) { series_ = series; }
+
  private:
+  /// Record one epoch's train.* points into series_ (no-op when null).
+  void record_epoch_series(const EpochStats& s) const;
+
   swf::Trace trace_;
   TrainerConfig config_;
   Agent agent_;
@@ -109,6 +119,7 @@ class Trainer {
   std::size_t epoch_ = 0;
   double best_eval_bsld_ = std::numeric_limits<double>::infinity();
   std::unique_ptr<rl::ActorCritic> best_model_;
+  obs::SeriesRecorder* series_ = nullptr;
 };
 
 }  // namespace rlbf::core

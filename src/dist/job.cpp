@@ -39,6 +39,10 @@ void add_sidecars(JobSpec& job, const PlanOptions& options, std::size_t i) {
     job.trace_path = stem + ".trace.json";
     job.argv.push_back("--trace_out=" + job.trace_path);
   }
+  if (options.worker_series) {
+    job.series_path = stem + ".series.jsonl";
+    job.argv.push_back("--series_out=" + job.series_path);
+  }
 }
 
 }  // namespace

@@ -53,6 +53,7 @@ struct JobSpec {
   /// copy output_dir back won't retrieve them).
   std::string metrics_path;
   std::string trace_path;
+  std::string series_path;
 
   std::string command_line() const;  // shell-quoted rendering for logs
 };
@@ -68,12 +69,14 @@ struct PlanOptions {
   std::size_t workers = 1;
   std::string work_dir;
   /// Ask each worker for per-process observability sidecars
-  /// (<work_dir>/worker<i>.metrics.json / .trace.json): the planner
-  /// appends the matching --metrics_out/--trace_out flags and records
-  /// the paths in JobSpec so the supervisor can merge them afterwards
-  /// (obs::merge).
+  /// (<work_dir>/worker<i>.metrics.json / .trace.json /
+  /// .series.jsonl): the planner appends the matching
+  /// --metrics_out/--trace_out/--series_out flags and records the paths
+  /// in JobSpec so the supervisor can merge them afterwards (obs::merge
+  /// / obs::merge_series).
   bool worker_metrics = false;
   bool worker_trace = false;
+  bool worker_series = false;
 };
 
 /// N shard-sweep jobs over the `run`/`sweep` flags in `options.args`.

@@ -126,6 +126,7 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
         obs::trace_mark("heartbeat " + std::to_string(done.load()) + "/" +
                             std::to_string(jobs.size()) + " done",
                         "dist");
+        if (options.on_heartbeat) options.on_heartbeat();
       }
     });
   }
@@ -159,6 +160,13 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
             .observe(outcome.queue_wait_seconds);
         obs::histogram("dist.job_seconds").observe(outcome.total_seconds);
       }
+      if (options.series != nullptr) {
+        const auto step = static_cast<std::int64_t>(job.id);
+        options.series->record("dist.job_seconds", step,
+                               outcome.total_seconds);
+        options.series->record("dist.queue_wait_seconds", step,
+                               outcome.queue_wait_seconds);
+      }
     };
 
     for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -190,6 +198,12 @@ OrchestrationReport run_jobs(const std::vector<JobSpec>& jobs,
       const double run_seconds = seconds_since(attempt_start);
       if (obs::enabled()) {
         obs::histogram("dist.run_seconds").observe(run_seconds);
+      }
+      if (options.series != nullptr) {
+        // One point per attempt at the same step (the job id): retried
+        // jobs show every attempt's duration, plan order preserved.
+        options.series->record("dist.attempt_seconds",
+                               static_cast<std::int64_t>(job.id), run_seconds);
       }
       outcome.command = run.command;
       if (run.process.ok()) {

@@ -23,6 +23,7 @@
 #include "dist/launcher.h"
 #include "exp/shard.h"
 #include "model/store.h"
+#include "obs/series.h"
 
 namespace rlbf::dist {
 
@@ -48,6 +49,18 @@ struct OrchestratorOptions {
   /// f failed") emitted via util::log_info while jobs run, so long
   /// orchestrations are never silent. 0 disables it.
   double heartbeat_seconds = 30.0;
+  /// Fired on every heartbeat tick, after the summary line — the hook
+  /// the CLI uses to sample the metrics registry into a series file
+  /// (obs::RegistrySampler::sample_once). Called from the heartbeat
+  /// thread; must be thread-safe.
+  std::function<void()> on_heartbeat;
+  /// Time-series recorder for per-job duration analytics (borrowed;
+  /// may be null). Each finished job records dist.job_seconds /
+  /// dist.queue_wait_seconds keyed by job id, and every attempt records
+  /// dist.attempt_seconds keyed by job id (one point per attempt), so
+  /// straggler analysis can replay the run's timing shape per job — the
+  /// registry histograms only keep the distribution.
+  obs::SeriesRecorder* series = nullptr;
 };
 
 /// The flag an injected-failure attempt appends; unknown to every

@@ -142,6 +142,11 @@ std::vector<rl::SequenceResult> ProcessCollector::collect(
                        ".trace.json";
       job.argv.push_back("--trace_out=" + job.trace_path);
     }
+    if (options_.worker_series) {
+      job.series_path = options_.work_dir + "/worker" + std::to_string(job.id) +
+                        ".series.jsonl";
+      job.argv.push_back("--series_out=" + job.series_path);
+    }
     epoch_jobs.push_back(std::move(job));
   }
 
@@ -150,6 +155,8 @@ std::vector<rl::SequenceResult> ProcessCollector::collect(
   run_options.max_attempts = options_.retries + 1;
   run_options.inject_failures = options_.inject_failures;
   run_options.on_event = options_.on_event;
+  run_options.heartbeat_seconds = options_.heartbeat_seconds;
+  run_options.on_heartbeat = options_.on_heartbeat;
   const OrchestrationReport report =
       run_jobs(epoch_jobs, *launcher_, run_options);
   jobs_.insert(jobs_.end(), epoch_jobs.begin(), epoch_jobs.end());

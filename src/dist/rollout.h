@@ -55,10 +55,17 @@ struct RolloutTransportOptions {
   /// (dist::OrchestratorOptions::inject_failures).
   std::map<std::size_t, std::size_t> inject_failures;
   /// Ask workers for per-process observability sidecars
-  /// (<work_dir>/worker<id>.metrics.json / .trace.json), recorded in the
-  /// job specs for a later save_fleet_obs merge.
+  /// (<work_dir>/worker<id>.metrics.json / .trace.json /
+  /// .series.jsonl), recorded in the job specs for a later
+  /// save_fleet_obs merge.
   bool worker_metrics = false;
   bool worker_trace = false;
+  bool worker_series = false;
+  /// Heartbeat interval for each epoch's job supervisor
+  /// (dist::OrchestratorOptions::heartbeat_seconds); 0 disables it.
+  double heartbeat_seconds = 30.0;
+  /// Fired on every supervisor heartbeat (registry sampling hook).
+  std::function<void()> on_heartbeat;
   /// Remote transport: when command_template is nonempty, jobs run
   /// through a CommandLauncher over these hosts instead of local
   /// fork/exec (same placeholders as `rlbf_run orchestrate`).

@@ -202,6 +202,9 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
     transport.inject_failures = options.rollout.inject_failures;
     transport.worker_metrics = options.rollout.worker_metrics;
     transport.worker_trace = options.rollout.worker_trace;
+    transport.worker_series = options.rollout.worker_series;
+    transport.heartbeat_seconds = options.rollout.heartbeat_seconds;
+    transport.on_heartbeat = options.rollout.on_heartbeat;
     transport.hosts = options.rollout.hosts;
     transport.command_template = options.rollout.command_template;
     transport.fetch_template = options.rollout.fetch_template;
@@ -212,6 +215,9 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
   // live agent from a per-epoch checkpoint (exact-text model format, so
   // the round-trip is bit-exact).
   const auto attach_collector = [&](auto& trainer) {
+    // The series recorder rides along with the transport seam: both are
+    // pure observers the trainers consult per epoch.
+    trainer.set_series(options.series);
     if (!collector) return;
     trainer.set_collector(collector.get());
     collector->set_save_model(
@@ -234,6 +240,8 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
   // prints about the training run without retraining.
   TrainProgress last;
   std::vector<double> eval_curve;
+  std::vector<double> reward_curve;
+  std::vector<double> bsld_curve;
   const std::string ckpt = store.checkpoint_path(key);
   const auto make_observer = [&](const core::Agent& live_agent, auto stats_map) {
     // Init-capture the referent: capturing the reference PARAMETER by
@@ -243,6 +251,8 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
       ++epochs_run;
       last = p;
       eval_curve.push_back(p.eval_bsld);
+      reward_curve.push_back(p.mean_reward);
+      bsld_curve.push_back(p.mean_bsld);
       if (!std::isnan(p.eval_bsld) && p.eval_bsld < best_eval) {
         best_eval = p.eval_bsld;
         if (options.checkpoint) {
@@ -313,13 +323,20 @@ TrainOutcome run_training(const swf::Trace& trace, const TrainingSpec& spec,
     meta["final_train_bsld"] = exp::format_double_exact(last.mean_bsld);
     meta["final_steps"] = std::to_string(last.steps);
     // One value per epoch ("nan" on non-evaluation epochs), so benches
-    // can reprint convergence curves from a cache hit.
-    std::string curve;
-    for (const double v : eval_curve) {
-      if (!curve.empty()) curve += ',';
-      curve += std::isnan(v) ? "nan" : exp::format_double_exact(v);
-    }
-    meta["eval_curve"] = curve;
+    // can reprint convergence curves from a cache hit. reward/bsld ride
+    // along so `rlbf_run curves --store` can render full training
+    // curves without the series sidecar.
+    const auto join_curve = [](const std::vector<double>& values) {
+      std::string curve;
+      for (const double v : values) {
+        if (!curve.empty()) curve += ',';
+        curve += std::isnan(v) ? "nan" : exp::format_double_exact(v);
+      }
+      return curve;
+    };
+    meta["eval_curve"] = join_curve(eval_curve);
+    meta["reward_curve"] = join_curve(reward_curve);
+    meta["bsld_curve"] = join_curve(bsld_curve);
   }
 
   outcome.entry = store.put(key, *trained, spec.name, meta, canonical);

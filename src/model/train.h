@@ -22,6 +22,10 @@
 #include "model/store.h"
 #include "model/training_spec.h"
 
+namespace rlbf::obs {
+class SeriesRecorder;
+}  // namespace rlbf::obs
+
 namespace rlbf::model {
 
 /// Algorithm-independent per-epoch progress (core::EpochStats and
@@ -50,6 +54,12 @@ struct TrainOptions {
   bool checkpoint = true;
   /// Observes every epoch of every spec (progress tables, logging).
   std::function<void(const TrainingSpec&, const TrainProgress&)> on_progress;
+  /// Time-series recorder attached to every trainer (borrowed; must
+  /// outlive the call). Each epoch records the train.* curves keyed by
+  /// epoch number (--series_out). nullptr records nothing; recording is
+  /// a pure observer, so results and store bytes are identical either
+  /// way.
+  obs::SeriesRecorder* series = nullptr;
   /// Distributed execution (mirroring exp::SweepOptions): train only
   /// shard `shard_index` of a `shard_count`-way partition of the spec
   /// list. The partition is round-robin over warm-start dependency
@@ -83,6 +93,13 @@ struct TrainOptions {
     std::map<std::size_t, std::size_t> inject_failures;
     bool worker_metrics = false;
     bool worker_trace = false;
+    bool worker_series = false;
+    /// Heartbeat interval for each epoch's job supervisor (see
+    /// dist::OrchestratorOptions::heartbeat_seconds); 0 disables it.
+    double heartbeat_seconds = 30.0;
+    /// Fired on every supervisor heartbeat (e.g. to sample the metrics
+    /// registry into the series file).
+    std::function<void()> on_heartbeat;
     /// Remote transport (CommandLauncher) when command_template is set.
     std::vector<std::string> hosts;
     std::string command_template;

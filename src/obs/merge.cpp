@@ -257,10 +257,28 @@ TraceDoc parse_trace_json(const std::string& text, const std::string& origin) {
     if (!ev.is_object()) {
       throw std::runtime_error(origin + ": trace event is not an object");
     }
-    // Metadata events (ph "M": process names from an earlier splice)
-    // carry no timing; drop them — the splice re-emits its own.
+    // Metadata events (ph "M") carry no timing and never splice as
+    // spans — but a process_name row from an earlier splice is the
+    // pid's worker attribution, which `profile --by_worker` needs, so
+    // it is kept as a pid -> name entry instead of a timed event.
     if (const json::Value* ph = ev.find("ph")) {
-      if (ph->is_string() && ph->text == "M") continue;
+      if (ph->is_string() && ph->text == "M") {
+        const json::Value* name = ev.find("name");
+        const json::Value* pid = ev.find("pid");
+        if (name != nullptr && name->is_string() &&
+            name->text == "process_name" && pid != nullptr &&
+            pid->is_number() && pid->number >= 0) {
+          if (const json::Value* args = ev.find("args")) {
+            if (const json::Value* label = args->find("name")) {
+              if (label->is_string()) {
+                doc.process_names[static_cast<std::uint32_t>(pid->number)] =
+                    label->text;
+              }
+            }
+          }
+        }
+        continue;
+      }
     }
     PidTraceEvent out;
     out.event.name = ev.string_at("name");

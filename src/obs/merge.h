@@ -97,9 +97,14 @@ struct PidTraceEvent {
 /// One parsed Chrome trace document. epoch_anchor_us is 0 when the
 /// document predates the anchor field or tracing was never enabled in
 /// the producing process (such a trace splices unshifted).
+/// process_names carries the "process_name" metadata rows of an earlier
+/// splice (pid -> worker label, e.g. 1 -> "supervisor"), so a merged
+/// fleet trace keeps its worker attribution when re-read
+/// (`rlbf_run profile --by_worker`); empty for a single-process trace.
 struct TraceDoc {
   std::vector<PidTraceEvent> events;
   std::int64_t epoch_anchor_us = 0;
+  std::map<std::uint32_t, std::string> process_names;
 };
 
 TraceDoc parse_trace_json(const std::string& text, const std::string& origin);

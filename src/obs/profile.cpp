@@ -202,4 +202,58 @@ bool save_profile_csv(const std::string& path,
   return static_cast<bool>(os);
 }
 
+std::vector<WorkerProfile> profile_report_by_worker(
+    const std::vector<PidTraceEvent>& events,
+    const std::map<std::uint32_t, std::string>& process_names) {
+  std::map<std::uint32_t, std::vector<PidTraceEvent>> by_pid;
+  for (const PidTraceEvent& ev : events) by_pid[ev.pid].push_back(ev);
+  std::vector<WorkerProfile> workers;
+  workers.reserve(by_pid.size());
+  for (auto& [pid, slice] : by_pid) {
+    WorkerProfile worker;
+    worker.pid = pid;
+    const auto it = process_names.find(pid);
+    worker.name =
+        it != process_names.end() ? it->second : "pid" + std::to_string(pid);
+    worker.rows = profile_report(slice);
+    workers.push_back(std::move(worker));
+  }
+  return workers;
+}
+
+void write_worker_profile_table(std::ostream& os,
+                                const std::vector<WorkerProfile>& workers,
+                                std::size_t top) {
+  bool first = true;
+  for (const WorkerProfile& worker : workers) {
+    if (!first) os << "\n";
+    first = false;
+    os << "== " << worker.name << " (pid " << worker.pid << ") ==\n";
+    write_profile_table(os, worker.rows, top);
+  }
+}
+
+void write_worker_profile_csv(std::ostream& os,
+                              const std::vector<WorkerProfile>& workers) {
+  os << "pid,worker,span,count,self_s,total_s,mean_s,p50_s,p95_s,p99_s\n";
+  for (const WorkerProfile& worker : workers) {
+    for (const ProfileRow& r : worker.rows) {
+      os << worker.pid << "," << csv_field(worker.name) << ","
+         << csv_field(r.name) << "," << r.count << "," << fixed6(r.self_seconds)
+         << "," << fixed6(r.total_seconds) << "," << fixed6(r.mean_seconds)
+         << "," << fixed6(r.p50_seconds) << "," << fixed6(r.p95_seconds) << ","
+         << fixed6(r.p99_seconds) << "\n";
+    }
+  }
+}
+
+bool save_worker_profile_csv(const std::string& path,
+                             const std::vector<WorkerProfile>& workers) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  write_worker_profile_csv(os, workers);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
 }  // namespace rlbf::obs

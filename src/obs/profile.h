@@ -61,4 +61,34 @@ void write_profile_csv(std::ostream& os, const std::vector<ProfileRow>& rows);
 bool save_profile_csv(const std::string& path,
                       const std::vector<ProfileRow>& rows);
 
+/// One worker's (pid's) slice of a fleet profile.
+struct WorkerProfile {
+  std::uint32_t pid = 0;
+  /// The pid's process_name from the spliced trace ("supervisor",
+  /// "worker0"), or "pid<N>" when the trace carries no name for it.
+  std::string name;
+  std::vector<ProfileRow> rows;  // profile_report order
+};
+
+/// Per-worker attribution on a merged fleet trace: the event set split
+/// by pid, each slice profiled independently (nesting already never
+/// crosses pids), ordered by pid ascending — so self time is charged to
+/// the worker that actually spent it instead of pooling under one span
+/// name. `process_names` normally comes from TraceDoc::process_names.
+std::vector<WorkerProfile> profile_report_by_worker(
+    const std::vector<PidTraceEvent>& events,
+    const std::map<std::uint32_t, std::string>& process_names);
+
+/// One table section per worker ("== worker0 (pid 2) =="), each
+/// rendered by write_profile_table with the same `top` cap.
+void write_worker_profile_table(std::ostream& os,
+                                const std::vector<WorkerProfile>& workers,
+                                std::size_t top = 0);
+
+/// CSV of every worker's rows with leading pid/worker columns.
+void write_worker_profile_csv(std::ostream& os,
+                              const std::vector<WorkerProfile>& workers);
+bool save_worker_profile_csv(const std::string& path,
+                             const std::vector<WorkerProfile>& workers);
+
 }  // namespace rlbf::obs

@@ -238,7 +238,7 @@ PpoStats Ppo::update(RolloutBuffer& buffer, util::Rng& rng) {
       // SpinningUp convention: stop before applying this update.
       break;
     }
-    policy_opt_.clip_grad_norm(config_.max_grad_norm);
+    stats.grad_norm = policy_opt_.clip_grad_norm(config_.max_grad_norm);
     policy_opt_.step();
     ++stats.policy_iters;
   }

@@ -100,6 +100,10 @@ struct PpoStats {
   std::size_t policy_iters = 0;
   std::size_t value_iters = 0;
   double clip_fraction = 0.0;  // fraction of clipped ratios, last iter
+  /// Pre-clip policy gradient L2 norm, last applied iteration (the
+  /// value clip_grad_norm measured before scaling). 0 when no policy
+  /// iteration applied its update.
+  double grad_norm = 0.0;
 };
 
 class Ppo {

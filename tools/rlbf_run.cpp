@@ -57,6 +57,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -77,6 +80,7 @@
 #include "obs/merge.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/series.h"
 #include "obs/trace.h"
 #include "util/libm_fingerprint.h"
 #include "util/log.h"
@@ -148,6 +152,26 @@ void describe_scenario(const std::string& name) {
 
 // ------------------------------------------------------------- obs flags
 
+/// The process-wide series recorder behind --series_out. One recorder
+/// per process (like the metrics Registry and the trace buffer), so the
+/// trainer seam, the orchestrator's per-job duration series, and the
+/// registry sampler all latch into the same document. Construction on
+/// first use anchors the steady/wall pair.
+obs::SeriesRecorder& series_recorder() {
+  static obs::SeriesRecorder recorder;
+  return recorder;
+}
+
+/// The registry sampler feeding series_recorder(). Manual-tick mode:
+/// heartbeats and the final dump call sample_once(); no background
+/// thread of its own. Against a registry with no enabled metrics it
+/// records nothing — which is what keeps a bare --series_out run's
+/// series file free of timing-dependent registry data.
+obs::RegistrySampler& registry_sampler() {
+  static obs::RegistrySampler sampler(series_recorder());
+  return sampler;
+}
+
 /// The observability surface run/train/orchestrate (and bench) share:
 /// --metrics_out / --trace_out enable the corresponding obs subsystem
 /// for the process and dump its sink to a file at successful exit, and
@@ -164,6 +188,7 @@ void describe_scenario(const std::string& name) {
 struct ObsFlags {
   std::string metrics_out;
   std::string trace_out;
+  std::string series_out;
   bool log_elapsed = false;
 
   void bind_obs(exp::ArgParser& parser) {
@@ -174,12 +199,22 @@ struct ObsFlags {
     parser.add("--trace_out", &trace_out,
                "enable span tracing and write a Chrome trace_event JSON "
                "(chrome://tracing, Perfetto) here on success");
+    parser.add("--series_out", &series_out,
+               "write scalar time series (training curves keyed by epoch, "
+               "per-job duration series, registry samples when metrics are "
+               "enabled) as JSONL here on success; read back with `rlbf_run "
+               "curves`. Never changes run/store output bytes");
     parser.add_flag("--log_elapsed", &log_elapsed,
                     "prefix stderr log lines with elapsed time ([+12.034s])");
   }
 
   /// Flip the process-wide switches. Call immediately after parsing so
-  /// every layer below sees the flags.
+  /// every layer below sees the flags. --series_out deliberately does
+  /// NOT enable metrics: the series recorder is a pure observer, and a
+  /// bare --series_out run keeps an empty registry, so its series file
+  /// holds only the bit-deterministic curves (the `rlbf_run curves`
+  /// byte-determinism contract). Pass --metrics_out too when registry
+  /// samples are wanted.
   void activate_obs() const {
     if (!metrics_out.empty()) obs::set_enabled(true);
     if (!trace_out.empty()) obs::set_tracing(true);
@@ -204,6 +239,20 @@ struct ObsFlags {
         util::log_info("trace written to ", trace_out);
       } else {
         std::cerr << "rlbf_run: cannot write --trace_out=" << trace_out
+                  << "\n";
+        rc = 1;
+      }
+    }
+    if (!series_out.empty()) {
+      // Final registry latch first, so a metrics-enabled run's series
+      // end with the closing counter deltas (no-op otherwise).
+      registry_sampler().sample_once();
+      const obs::SeriesRecorder& recorder = series_recorder();
+      if (obs::save_series_jsonl(series_out, recorder.snapshot(),
+                                 recorder.epoch_anchor_us())) {
+        util::log_info("series written to ", series_out);
+      } else {
+        std::cerr << "rlbf_run: cannot write --series_out=" << series_out
                   << "\n";
         rc = 1;
       }
@@ -276,6 +325,37 @@ int save_fleet_obs(const ObsFlags& obs_flags,
       }
     } catch (const std::exception& e) {
       std::cerr << "rlbf_run: cannot splice worker traces: " << e.what()
+                << "\n";
+      rc = 1;
+    }
+  }
+  if (!obs_flags.series_out.empty()) {
+    try {
+      registry_sampler().sample_once();  // closing registry latch (no-op
+                                         // unless metrics are enabled)
+      std::vector<obs::LabeledSeries> docs;
+      // Supervisor first: its curves (training epochs, dist.* job
+      // series) lead the merged document's source order.
+      docs.push_back({"supervisor",
+                      obs::SeriesDoc{series_recorder().snapshot(),
+                                     series_recorder().epoch_anchor_us()}});
+      for (const dist::JobSpec& job : jobs) {
+        if (job.series_path.empty()) continue;
+        docs.push_back({"worker" + std::to_string(job.id),
+                        obs::load_series_file(job.series_path)});
+      }
+      const obs::SeriesDoc merged = obs::merge_series(docs);
+      if (obs::save_series_jsonl(obs_flags.series_out, merged.series,
+                                 merged.epoch_anchor_us)) {
+        util::log_info("merged series (", docs.size(),
+                       " source(s)) written to ", obs_flags.series_out);
+      } else {
+        std::cerr << "rlbf_run: cannot write --series_out="
+                  << obs_flags.series_out << "\n";
+        rc = 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "rlbf_run: cannot merge worker series: " << e.what()
                 << "\n";
       rc = 1;
     }
@@ -596,6 +676,7 @@ struct FanoutFlags {
   std::string work_dir;
   bool keep_work = false;
   double timeout = 0.0;
+  double heartbeat = 30.0;
   std::string inject_fail;
 
   /// `workers_help` and the scratch default named in --work_dir's help
@@ -615,6 +696,10 @@ struct FanoutFlags {
     parser.add("--timeout", &timeout,
                "per-attempt wall-clock limit in seconds for worker jobs "
                "(0 = none)");
+    parser.add("--heartbeat", &heartbeat,
+               "seconds between orchestrator heartbeat summaries while "
+               "jobs run; with --series_out each heartbeat also samples "
+               "the metrics registry into the series file (0 = off)");
     parser.add("--inject_fail", &inject_fail,
                "test hook: \"JOB:COUNT[,JOB:COUNT...]\" forces the first "
                "COUNT attempts of worker job JOB to fail and be retried");
@@ -791,11 +876,18 @@ std::map<std::size_t, std::size_t> parse_inject_fail(const std::string& text) {
 dist::OrchestrationReport run_fanout(
     const std::vector<dist::JobSpec>& jobs, dist::Launcher& launcher,
     std::size_t max_parallel, std::size_t retries, const std::string& inject,
-    bool quiet) {
+    bool quiet, double heartbeat, bool series) {
   dist::OrchestratorOptions options;
   options.max_parallel = max_parallel;
   options.max_attempts = retries + 1;
   options.inject_failures = parse_inject_fail(inject);
+  options.heartbeat_seconds = heartbeat;
+  if (series) {
+    // Per-job duration series plus a registry sample per heartbeat
+    // (sample_once is thread-safe; the heartbeat thread calls it).
+    options.series = &series_recorder();
+    options.on_heartbeat = [] { registry_sampler().sample_once(); };
+  }
   if (!quiet) {
     options.on_event = [](const std::string& line) {
       std::cout << "# " << line << "\n" << std::flush;
@@ -946,6 +1038,7 @@ int train(int argc, char** argv) {
     // Instrumented supervisor => per-worker sidecars, rolled up below.
     plan.worker_metrics = !args.metrics_out.empty();
     plan.worker_trace = !args.trace_out.empty();
+    plan.worker_series = !args.series_out.empty();
 
     const std::vector<dist::JobSpec> jobs = dist::plan_train_jobs(plan);
     // Remote transports fetch bundles back under work_dir; create it up
@@ -956,7 +1049,7 @@ int train(int argc, char** argv) {
         args.make_launcher(args.timeout);
     const dist::OrchestrationReport report = run_fanout(
         jobs, *launcher, args.workers, args.retries, args.inject_fail,
-        args.quiet);
+        args.quiet, args.heartbeat, !args.series_out.empty());
     if (!report.all_ok) {
       std::cerr << "rlbf_run train: fan-out failed:\n"
                 << report.failure_summary() << "\n";
@@ -1009,6 +1102,10 @@ int train(int argc, char** argv) {
   options.force = args.force;
   options.shard_index = shard.index;
   options.shard_count = shard.count;
+  // Per-epoch training curves (policy/value loss, entropy, grad norm,
+  // reward/bsld, epsilon, eval) into the process recorder — a pure
+  // observer; results and store bytes are identical either way.
+  if (!args.series_out.empty()) options.series = &series_recorder();
 
   // The actor/learner split: collection fans out to collect-rollouts
   // subprocesses, the update stays in this process. Byte-identical to
@@ -1035,6 +1132,11 @@ int train(int argc, char** argv) {
     options.rollout.inject_failures = parse_inject_fail(args.inject_fail);
     options.rollout.worker_metrics = !args.metrics_out.empty();
     options.rollout.worker_trace = !args.trace_out.empty();
+    options.rollout.worker_series = !args.series_out.empty();
+    options.rollout.heartbeat_seconds = args.heartbeat;
+    if (!args.series_out.empty()) {
+      options.rollout.on_heartbeat = [] { registry_sampler().sample_once(); };
+    }
     if (args.remote()) {
       options.rollout.hosts = dist::parse_hosts(args.hosts);
       options.rollout.command_template = args.command_template;
@@ -1285,6 +1387,47 @@ struct OrchestrateArgs : SweepFlags, FanoutFlags, TransportFlags, ObsFlags {
   }
 };
 
+/// Slowest-K straggler table for the orchestrate summary: per-job
+/// wall-clock and queue-wait timings ranked against the fleet p50/p95
+/// (the same fixed-bucket histogram machinery the metrics registry
+/// uses). Timing-dependent output — callers gate it on !quiet; the
+/// byte-identity tests compare --quiet stdout only.
+void print_straggler_table(const dist::OrchestrationReport& report,
+                           std::size_t top_k) {
+  if (report.jobs.empty() || top_k == 0) return;
+  obs::Histogram hist(obs::duration_buckets());
+  for (const dist::JobOutcome& out : report.jobs) {
+    hist.observe(out.total_seconds);
+  }
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  const double p50 = obs::percentile(snap, 0.50);
+  const double p95 = obs::percentile(snap, 0.95);
+  std::vector<const dist::JobOutcome*> slowest;
+  slowest.reserve(report.jobs.size());
+  for (const dist::JobOutcome& out : report.jobs) slowest.push_back(&out);
+  std::sort(slowest.begin(), slowest.end(),
+            [](const dist::JobOutcome* a, const dist::JobOutcome* b) {
+              if (a->total_seconds != b->total_seconds) {
+                return a->total_seconds > b->total_seconds;
+              }
+              return a->job.name < b->job.name;
+            });
+  if (slowest.size() > top_k) slowest.resize(top_k);
+  std::cout << "# stragglers: slowest " << slowest.size() << " of "
+            << report.jobs.size() << " job(s); fleet p50 "
+            << exp::format_metric(p50) << "s, p95 " << exp::format_metric(p95)
+            << "s\n";
+  util::Table table({"job", "attempts", "queue_s", "total_s", "vs_p50"});
+  for (const dist::JobOutcome* out : slowest) {
+    const std::string ratio =
+        p50 > 0.0 ? exp::format_metric(out->total_seconds / p50) + "x" : "";
+    table.add_row({out->job.name, std::to_string(out->attempts),
+                   exp::format_metric(out->queue_wait_seconds),
+                   exp::format_metric(out->total_seconds), ratio});
+  }
+  table.print(std::cout);
+}
+
 int orchestrate(int argc, char** argv) {
   OrchestrateArgs args;
   exp::ArgParser parser = args.make_parser();
@@ -1354,6 +1497,7 @@ int orchestrate(int argc, char** argv) {
   // sidecars into the work dir; save_fleet_obs rolls them up below.
   plan.worker_metrics = !args.metrics_out.empty();
   plan.worker_trace = !args.trace_out.empty();
+  plan.worker_series = !args.series_out.empty();
 
   const std::vector<dist::JobSpec> jobs = dist::plan_sweep_jobs(plan);
 
@@ -1365,7 +1509,8 @@ int orchestrate(int argc, char** argv) {
   const std::size_t parallel =
       args.parallel == 0 ? args.workers : args.parallel;
   const dist::OrchestrationReport report = run_fanout(
-      jobs, *launcher, parallel, args.retries, args.inject_fail, args.quiet);
+      jobs, *launcher, parallel, args.retries, args.inject_fail, args.quiet,
+      args.heartbeat, !args.series_out.empty());
   if (!report.all_ok) {
     std::cerr << "rlbf_run orchestrate: run failed:\n"
               << report.failure_summary() << "\n";
@@ -1377,6 +1522,7 @@ int orchestrate(int argc, char** argv) {
             << report.total_attempts << " attempt(s)); merged "
             << merged.shard_count << " shard(s), " << merged.total_instances
             << " instance(s) -> " << args.out_dir << "/\n";
+  if (!args.quiet) print_straggler_table(report, 5);
   // Fleet rollup first: the worker sidecars live in the scratch dir.
   const int obs_rc = save_fleet_obs(args, jobs);
   args.cleanup_scratch(work_dir);
@@ -1393,6 +1539,7 @@ struct ProfileArgs {
   std::string trace_positional;
   std::string trace_flag;
   std::size_t top = 0;
+  bool by_worker = false;
   std::string csv_out;
 
   exp::ArgParser make_parser() {
@@ -1406,6 +1553,10 @@ struct ProfileArgs {
     parser.add("--trace", &trace_flag,
                "the trace file (alternative to the positional form)");
     parser.add("--top", &top, "print only the top N span names (0 = all)");
+    parser.add_flag("--by_worker", &by_worker,
+                    "break the report down per pid (worker) of a merged "
+                    "fleet trace: one inclusive/exclusive table per "
+                    "process, labeled from the trace's process names");
     parser.add("--csv_out", &csv_out,
                "also write the FULL table (never truncated) as CSV here");
     return parser;
@@ -1427,6 +1578,22 @@ int profile(int argc, char** argv) {
   // load_trace_file throws named errors for missing/empty/malformed
   // files; main's handler renders them as exit 1.
   const obs::TraceDoc doc = obs::load_trace_file(path);
+  if (args.by_worker) {
+    const std::vector<obs::WorkerProfile> workers =
+        obs::profile_report_by_worker(doc.events, doc.process_names);
+    obs::write_worker_profile_table(std::cout, workers, args.top);
+    std::cout << "# " << workers.size() << " worker(s), " << doc.events.size()
+              << " event(s) from " << path << "\n";
+    if (!args.csv_out.empty()) {
+      if (!obs::save_worker_profile_csv(args.csv_out, workers)) {
+        std::cerr << "rlbf_run profile: cannot write --csv_out="
+                  << args.csv_out << "\n";
+        return 1;
+      }
+      std::cout << "# profile CSV written to " << args.csv_out << "\n";
+    }
+    return 0;
+  }
   const std::vector<obs::ProfileRow> rows = obs::profile_report(doc.events);
   obs::write_profile_table(std::cout, rows, args.top);
   std::cout << "# " << rows.size() << " span name(s), " << doc.events.size()
@@ -1442,6 +1609,274 @@ int profile(int argc, char** argv) {
   return 0;
 }
 
+// -------------------------------------------------------------- curves
+
+/// Read back time series: a --series_out file (single run or merged
+/// fleet document), or the training curves a `train` run persisted in
+/// its store entry's meta. Every rendering excludes the wall-clock
+/// field, so output is byte-deterministic across reruns and thread
+/// counts whenever the underlying computation is.
+struct CurvesArgs {
+  std::string series_positional;
+  std::string series_flag;
+  std::string store_root;
+  std::string spec;
+  std::string format = "table";
+  std::string out;
+  std::string compare;
+
+  exp::ArgParser make_parser() {
+    exp::ArgParser parser(
+        "rlbf_run curves",
+        "Read a --series_out JSONL file (or a trained entry's store-meta "
+        "curves) and print the series step-aligned as a table, CSV, or "
+        "JSON. Wall-clock stamps are never printed, so deterministic "
+        "series render byte-identically across reruns.");
+    parser.add_positional("series", &series_positional,
+                          "the series file (--series_out JSONL)");
+    parser.add("--series", &series_flag,
+               "the series file (alternative to the positional form)");
+    parser.add("--store", &store_root,
+               "with --spec: model store root (default: $RLBF_MODEL_STORE "
+               "or 'models')");
+    parser.add("--spec", &spec,
+               "read the eval/reward/bsld curves persisted in this store "
+               "entry's meta instead of a series file (training spec name "
+               "or store key)");
+    parser.add("--format", &format, "output format: table | csv | json");
+    parser.add("--out", &out,
+               "write the rendering here instead of stdout (same bytes)");
+    parser.add("--compare", &compare,
+               "two series files \"A,B\": per-series point counts, last "
+               "values, and last-value delta (B - A) instead of a rendering");
+    return parser;
+  }
+};
+
+/// The column label a series renders under: "name", or "source/name"
+/// once a fleet merge tagged it.
+std::string series_label(const obs::Series& s) {
+  return s.source.empty() ? s.name : s.source + "/" + s.name;
+}
+
+/// Step-aligned rendering: one row per step in the union of every
+/// series' steps, one column per series. A series that recorded several
+/// points at one step (dist.attempt_seconds under retries) shows the
+/// LAST one — the full point list survives in the json format.
+void render_curves_aligned(std::ostream& os,
+                           const std::vector<obs::Series>& series, bool csv) {
+  std::set<std::int64_t> steps;
+  std::vector<std::map<std::int64_t, double>> cells(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (const obs::SeriesPoint& p : series[i].points) {
+      steps.insert(p.step);
+      cells[i][p.step] = p.value;  // record order: last at a step wins
+    }
+  }
+  std::vector<std::string> headers;
+  headers.push_back("step");
+  for (const obs::Series& s : series) headers.push_back(series_label(s));
+  if (csv) {
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      os << (c == 0 ? "" : ",") << headers[c];
+    }
+    os << "\n";
+    for (const std::int64_t step : steps) {
+      os << step;
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        const auto it = cells[i].find(step);
+        os << ",";
+        if (it != cells[i].end()) os << obs::format_number(it->second);
+      }
+      os << "\n";
+    }
+    return;
+  }
+  util::Table table(headers);
+  for (const std::int64_t step : steps) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(step));
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const auto it = cells[i].find(step);
+      row.push_back(it != cells[i].end() ? obs::format_number(it->second)
+                                         : std::string());
+    }
+    table.add_row(row);
+  }
+  table.print(os);
+}
+
+/// JSON rendering: the full point lists as [step, value] pairs — the
+/// wall-clock field is deliberately absent (the determinism contract).
+void render_curves_json(std::ostream& os, const obs::SeriesDoc& doc) {
+  os << "{\n  \"series\": [";
+  for (std::size_t i = 0; i < doc.series.size(); ++i) {
+    const obs::Series& s = doc.series[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << s.name << "\"";
+    if (!s.source.empty()) os << ", \"source\": \"" << s.source << "\"";
+    os << ", \"points\": [";
+    for (std::size_t k = 0; k < s.points.size(); ++k) {
+      os << (k == 0 ? "" : ", ") << "[" << s.points[k].step << ", "
+         << obs::format_number(s.points[k].value) << "]";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+/// The store-meta curves of one trained entry, as 1-based-epoch series.
+/// NaN entries (epochs the eval cadence skipped) are dropped, matching
+/// the trainer's sparse train.eval_bsld recording.
+obs::SeriesDoc store_curves(model::Store& store, const std::string& ref) {
+  std::optional<model::StoreEntry> entry = store.lookup(ref);
+  if (!entry.has_value()) {
+    std::vector<model::StoreEntry> matches;
+    for (const model::StoreEntry& e : store.list()) {
+      if (e.name == ref) matches.push_back(e);
+    }
+    if (matches.empty()) {
+      throw std::runtime_error("curves: no store entry with key or spec "
+                               "name '" + ref + "' in " + store.root() + "/");
+    }
+    if (matches.size() > 1) {
+      throw std::runtime_error(
+          "curves: " + std::to_string(matches.size()) + " store entries are "
+          "named '" + ref + "' — pass the 16-hex key instead");
+    }
+    entry = std::move(matches.front());
+  }
+  obs::SeriesDoc doc;
+  const auto add_curve = [&](const char* meta_key) {
+    const auto it = entry->meta.find(meta_key);
+    if (it == entry->meta.end() || it->second.empty()) return;
+    obs::Series s;
+    s.name = meta_key;
+    std::int64_t epoch = 0;
+    for (const std::string& token : split_names(it->second, meta_key)) {
+      ++epoch;
+      double value = 0.0;
+      if (!exp::parse_number(token, &value)) {
+        throw std::runtime_error("curves: bad value '" + token +
+                                 "' in store meta " + meta_key + " of " +
+                                 entry->key);
+      }
+      if (std::isnan(value)) continue;
+      s.points.push_back({epoch, value, 0});
+    }
+    if (!s.points.empty()) doc.series.push_back(std::move(s));
+  };
+  add_curve("eval_curve");
+  add_curve("reward_curve");
+  add_curve("bsld_curve");
+  if (doc.series.empty()) {
+    throw std::runtime_error("curves: store entry " + entry->key +
+                             " ('" + entry->name + "') carries no curves "
+                             "in its meta (trained before the telemetry "
+                             "layer?)");
+  }
+  return doc;
+}
+
+/// Per-series diff of two series files: point counts, last values, and
+/// the last-value delta (B - A). Series are matched by (name, source).
+int curves_compare(const std::string& compare_text) {
+  const std::vector<std::string> paths = split_names(compare_text, "--compare");
+  if (paths.size() != 2) {
+    std::cerr << "rlbf_run curves: --compare wants exactly two files "
+                 "(\"A,B\"), got " << paths.size() << "\n";
+    return 2;
+  }
+  const obs::SeriesDoc a = obs::load_series_file(paths[0]);
+  const obs::SeriesDoc b = obs::load_series_file(paths[1]);
+  std::map<std::pair<std::string, std::string>, const obs::Series*> in_a, in_b;
+  for (const obs::Series& s : a.series) in_a[{s.name, s.source}] = &s;
+  for (const obs::Series& s : b.series) in_b[{s.name, s.source}] = &s;
+  std::set<std::pair<std::string, std::string>> keys;
+  for (const auto& [key, s] : in_a) keys.insert(key);
+  for (const auto& [key, s] : in_b) keys.insert(key);
+  util::Table table({"series", "n_a", "n_b", "last_a", "last_b", "delta"});
+  for (const auto& key : keys) {
+    const auto fa = in_a.find(key);
+    const auto fb = in_b.find(key);
+    const obs::Series* sa = fa == in_a.end() ? nullptr : fa->second;
+    const obs::Series* sb = fb == in_b.end() ? nullptr : fb->second;
+    const std::string label =
+        key.second.empty() ? key.first : key.second + "/" + key.first;
+    const bool has_a = sa != nullptr && !sa->points.empty();
+    const bool has_b = sb != nullptr && !sb->points.empty();
+    table.add_row(
+        {label, sa == nullptr ? "-" : std::to_string(sa->points.size()),
+         sb == nullptr ? "-" : std::to_string(sb->points.size()),
+         has_a ? obs::format_number(sa->points.back().value) : "-",
+         has_b ? obs::format_number(sb->points.back().value) : "-",
+         has_a && has_b ? obs::format_number(sb->points.back().value -
+                                             sa->points.back().value)
+                        : ""});
+  }
+  table.print(std::cout);
+  std::cout << "# curves compare: " << paths[1] << " vs " << paths[0] << ": "
+            << keys.size() << " series\n";
+  return 0;
+}
+
+int curves(int argc, char** argv) {
+  CurvesArgs args;
+  exp::ArgParser parser = args.make_parser();
+  parser.parse_or_exit(argc, argv);
+  if (!args.compare.empty()) return curves_compare(args.compare);
+  if (args.format != "table" && args.format != "csv" &&
+      args.format != "json") {
+    std::cerr << "rlbf_run curves: --format must be table, csv, or json\n";
+    return 2;
+  }
+
+  obs::SeriesDoc doc;
+  if (!args.spec.empty()) {
+    if (!args.store_root.empty()) {
+      model::set_default_store_root(args.store_root);
+    }
+    doc = store_curves(model::default_store(), args.spec);
+  } else {
+    const std::string path = !args.series_positional.empty()
+                                 ? args.series_positional
+                                 : args.series_flag;
+    if (path.empty()) {
+      std::cerr << "rlbf_run curves: pass a series file (positional or "
+                   "--series=FILE), --spec=NAME, or --compare=A,B\n\n"
+                << parser.usage();
+      return 2;
+    }
+    // load_series_file throws named errors for missing/empty/malformed
+    // files; main's handler renders them as exit 1.
+    doc = obs::load_series_file(path);
+  }
+
+  std::ostringstream rendered;
+  if (args.format == "json") {
+    render_curves_json(rendered, doc);
+  } else {
+    render_curves_aligned(rendered, doc.series, args.format == "csv");
+  }
+  std::size_t points = 0;
+  for (const obs::Series& s : doc.series) points += s.points.size();
+  if (args.out.empty()) {
+    std::cout << rendered.str();
+    std::cout << "# " << doc.series.size() << " series, " << points
+              << " point(s)\n";
+  } else {
+    std::ofstream os(args.out, std::ios::binary | std::ios::trunc);
+    os << rendered.str();
+    os.flush();
+    if (!os) {
+      std::cerr << "rlbf_run curves: cannot write --out=" << args.out << "\n";
+      return 1;
+    }
+    std::cout << "# " << doc.series.size() << " series, " << points
+              << " point(s) written to " << args.out << "\n";
+  }
+  return 0;
+}
+
 // --------------------------------------------------------------- bench
 
 /// A pinned micro-benchmark of the three hot paths — full-trace
@@ -1452,7 +1887,7 @@ int profile(int argc, char** argv) {
 /// the trace, so --trace_out captures the sim, sweep, train, and dist
 /// layers in one timeline.
 struct BenchArgs : ObsFlags {
-  std::string out = "BENCH_PR8.json";
+  std::string out = "BENCH_PR10.json";
   std::string scenario = "sdsc-easy";
   std::size_t jobs = 10000;
   std::size_t sim_repeat = 3;
@@ -2161,6 +2596,10 @@ const std::vector<Command>& command_table() {
        [] { return BenchArgs{}.make_parser().usage(); }},
       {"profile", "self-time table per span name from a trace file",
        [] { return ProfileArgs{}.make_parser().usage(); }},
+      {"curves",
+       "render --series_out time series (training curves, fleet series) "
+       "as aligned table/CSV/JSON",
+       [] { return CurvesArgs{}.make_parser().usage(); }},
   };
   return commands;
 }
@@ -2219,6 +2658,7 @@ int main(int argc, char** argv) {
       if (command == "models") return models(argc - 1, argv + 1);
       if (command == "bench") return bench(argc - 1, argv + 1);
       if (command == "profile") return profile(argc - 1, argv + 1);
+      if (command == "curves") return curves(argc - 1, argv + 1);
       if (command == "help") return help(argc - 1, argv + 1);
       std::cerr << "rlbf_run: unknown command '" << command
                 << "' (known: " << known_command_names() << ")\n";
